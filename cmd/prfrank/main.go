@@ -1,0 +1,279 @@
+// Command prfrank ranks a probabilistic dataset from a CSV file of
+// "score,probability[,group]" rows using any of the implemented ranking
+// functions. When a third column is present, rows sharing a group label are
+// treated as mutually exclusive alternatives (the x-tuples model) and the
+// tree-aware algorithms are used.
+//
+// Usage:
+//
+//	prfrank -in data.csv -func prfe -alpha 0.95 -k 10
+//	prfrank -in data.csv -func pt -h 100 -k 10
+//	prfrank -in xdata.csv -func urank -k 10      # with a group column
+//
+// Functions: prfe (default), pt, escore, erank, urank, utop, kselection,
+// prob, score, consensus. With a group column only prfe, pt, erank and
+// urank are available (the rest have no published correlated algorithm).
+package main
+
+import (
+	"bufio"
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+
+	"repro/internal/andxor"
+	"repro/internal/baselines"
+	"repro/internal/core"
+	"repro/internal/pdb"
+)
+
+func main() {
+	var (
+		in       = flag.String("in", "-", "input CSV of score,probability rows (\"-\" for stdin)")
+		fn       = flag.String("func", "prfe", "ranking function: prfe|pt|escore|erank|urank|utop|kselection|prob|score|consensus")
+		alpha    = flag.Float64("alpha", 0.95, "PRFe parameter α")
+		h        = flag.Int("h", 100, "PT(h) depth")
+		k        = flag.Int("k", 10, "answer size")
+		withVals = flag.Bool("values", false, "print ranking values alongside tuples")
+	)
+	flag.Parse()
+
+	d, groups, tree, err := readInput(*in)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "prfrank:", err)
+		os.Exit(1)
+	}
+	if tree != nil {
+		if err := rankTree(tree, groups, *fn, *alpha, *h, *k, *withVals); err != nil {
+			fmt.Fprintln(os.Stderr, "prfrank:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if d.Len() == 0 {
+		fmt.Fprintln(os.Stderr, "prfrank: empty input")
+		os.Exit(1)
+	}
+	kk := *k
+	if kk > d.Len() {
+		kk = d.Len()
+	}
+
+	var ranking pdb.Ranking
+	values := map[pdb.TupleID]float64{}
+	switch *fn {
+	case "prfe":
+		vals := core.PRFeLog(d, complex(*alpha, 0))
+		ranking = pdb.RankByValue(vals).TopK(kk)
+		for id, v := range vals {
+			values[pdb.TupleID(id)] = v
+		}
+	case "pt":
+		vals := core.PTh(d, *h)
+		ranking = pdb.RankByValue(vals).TopK(kk)
+		for id, v := range vals {
+			values[pdb.TupleID(id)] = v
+		}
+	case "escore":
+		vals := baselines.EScore(d)
+		ranking = pdb.RankByValue(vals).TopK(kk)
+		for id, v := range vals {
+			values[pdb.TupleID(id)] = v
+		}
+	case "erank":
+		vals := baselines.ERank(d)
+		ranking = baselines.ERankRanking(vals).TopK(kk)
+		for id, v := range vals {
+			values[pdb.TupleID(id)] = v
+		}
+	case "urank":
+		ranking = baselines.URank(d, kk)
+	case "utop":
+		set, p := baselines.UTopK(d, kk)
+		ranking = set
+		fmt.Printf("# U-Top answer probability: %g\n", p)
+	case "kselection":
+		set, v := baselines.KSelection(d, kk)
+		ranking = set
+		fmt.Printf("# expected best score: %g\n", v)
+	case "prob":
+		vals := baselines.ByProbability(d)
+		ranking = pdb.RankByValue(vals).TopK(kk)
+		for id, v := range vals {
+			values[pdb.TupleID(id)] = v
+		}
+	case "score":
+		vals := baselines.ByScore(d)
+		ranking = pdb.RankByValue(vals).TopK(kk)
+		for id, v := range vals {
+			values[pdb.TupleID(id)] = v
+		}
+	case "consensus":
+		ranking = baselines.ConsensusTopK(d, kk)
+	default:
+		fmt.Fprintf(os.Stderr, "prfrank: unknown function %q\n", *fn)
+		os.Exit(1)
+	}
+
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	fmt.Fprintf(w, "%-6s %-8s %-12s %-12s", "rank", "tuple", "score", "prob")
+	if *withVals {
+		fmt.Fprintf(w, " %-14s", "value")
+	}
+	fmt.Fprintln(w)
+	for pos, id := range ranking {
+		t, _ := d.ByID(id)
+		fmt.Fprintf(w, "%-6d %-8d %-12g %-12g", pos+1, id, t.Score, t.Prob)
+		if *withVals {
+			if v, ok := values[id]; ok {
+				fmt.Fprintf(w, " %-14g", v)
+			}
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// readInput parses score,probability[,group] rows. Without a group column
+// it returns an independent dataset; with one it returns the x-tuple tree
+// and the per-leaf group labels.
+func readInput(path string) (*pdb.Dataset, []string, *andxor.Tree, error) {
+	var r io.Reader = os.Stdin
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		defer f.Close()
+		r = f
+	}
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	var scores, probs []float64
+	var labels []string
+	grouped := false
+	line := 0
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		line++
+		if len(rec) < 2 {
+			return nil, nil, nil, fmt.Errorf("line %d: need score,probability", line)
+		}
+		if line == 1 && !isNumeric(rec[0]) {
+			continue // header row
+		}
+		s, err := strconv.ParseFloat(rec[0], 64)
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("line %d: bad score %q", line, rec[0])
+		}
+		p, err := strconv.ParseFloat(rec[1], 64)
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("line %d: bad probability %q", line, rec[1])
+		}
+		scores = append(scores, s)
+		probs = append(probs, p)
+		if len(rec) >= 3 && rec[2] != "" {
+			grouped = true
+			labels = append(labels, rec[2])
+		} else {
+			labels = append(labels, "")
+		}
+	}
+	if !grouped {
+		d, err := pdb.NewDataset(scores, probs)
+		return d, nil, nil, err
+	}
+	// Build x-tuple groups in first-appearance order; ungrouped rows get
+	// their own singleton group.
+	order := []string{}
+	byLabel := map[string][]andxor.Alternative{}
+	leafLabels := make([]string, 0, len(scores))
+	for i := range scores {
+		l := labels[i]
+		if l == "" {
+			l = fmt.Sprintf("_row%d", i)
+		}
+		if _, ok := byLabel[l]; !ok {
+			order = append(order, l)
+		}
+		byLabel[l] = append(byLabel[l], andxor.Alternative{Score: scores[i], Prob: probs[i]})
+	}
+	var gs [][]andxor.Alternative
+	for _, l := range order {
+		for range byLabel[l] {
+			leafLabels = append(leafLabels, l)
+		}
+		gs = append(gs, byLabel[l])
+	}
+	tree, err := andxor.XTuples(gs)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return nil, leafLabels, tree, nil
+}
+
+// rankTree handles the grouped (x-tuples) path.
+func rankTree(tree *andxor.Tree, labels []string, fn string, alpha float64, h, k int, withVals bool) error {
+	n := tree.Len()
+	if k > n {
+		k = n
+	}
+	var ranking pdb.Ranking
+	values := map[pdb.TupleID]float64{}
+	switch fn {
+	case "prfe":
+		vals := core.AbsParts(andxor.PRFeValues(tree, complex(alpha, 0)))
+		ranking = pdb.RankByValue(vals).TopK(k)
+		for id, v := range vals {
+			values[pdb.TupleID(id)] = v
+		}
+	case "pt":
+		vals := andxor.PTh(tree, h)
+		ranking = pdb.RankByValue(vals).TopK(k)
+		for id, v := range vals {
+			values[pdb.TupleID(id)] = v
+		}
+	case "erank":
+		vals := andxor.ExpectedRanks(tree)
+		ranking = baselines.ERankRanking(vals).TopK(k)
+		for id, v := range vals {
+			values[pdb.TupleID(id)] = v
+		}
+	case "urank":
+		ranking = baselines.URankTree(tree, k)
+	default:
+		return fmt.Errorf("function %q is not available with a group column (use prfe|pt|erank|urank)", fn)
+	}
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	fmt.Fprintf(w, "%-6s %-10s %-12s %-12s", "rank", "group", "score", "prob")
+	if withVals {
+		fmt.Fprintf(w, " %-14s", "value")
+	}
+	fmt.Fprintln(w)
+	for pos, id := range ranking {
+		t := tree.Leaf(id)
+		fmt.Fprintf(w, "%-6d %-10s %-12g %-12g", pos+1, labels[id], t.Score, t.Prob)
+		if withVals {
+			if v, ok := values[id]; ok {
+				fmt.Fprintf(w, " %-14g", v)
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+func isNumeric(s string) bool {
+	_, err := strconv.ParseFloat(s, 64)
+	return err == nil
+}

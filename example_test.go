@@ -1,0 +1,102 @@
+package prf_test
+
+import (
+	"fmt"
+
+	prf "repro"
+)
+
+// The paper's Example 7: four tuples trading score against probability;
+// PRFe(α) spans the spectrum between the two extreme orders.
+func ExampleRankPRFe() {
+	d, _ := prf.NewDataset(
+		[]float64{100, 80, 50, 30},
+		[]float64{0.4, 0.6, 0.5, 0.9},
+	)
+	fmt.Println(prf.RankPRFe(d, 0.5)) // balanced
+	fmt.Println(prf.RankPRFe(d, 1.0)) // by probability
+	// Output:
+	// [1 0 3 2]
+	// [3 1 2 0]
+}
+
+// Rank distributions are exact positional probabilities computed by the
+// generating-function Algorithm 1 (the paper's Example 1).
+func ExampleRankDistribution() {
+	d, _ := prf.NewDataset([]float64{30, 20, 10}, []float64{0.5, 0.6, 0.4})
+	rd := prf.RankDistribution(d)
+	fmt.Printf("%.2f %.2f %.2f\n", rd.At(2, 1), rd.At(2, 2), rd.At(2, 3))
+	// Output:
+	// 0.08 0.20 0.12
+}
+
+// PRFe evaluates the generating function at the point α (Example 5).
+func ExamplePRFe() {
+	d, _ := prf.NewDataset([]float64{30, 20, 10}, []float64{0.5, 0.6, 0.4})
+	vals := prf.PRFe(d, complex(0.6, 0))
+	fmt.Printf("%.5f\n", real(vals[2]))
+	// Output:
+	// 0.14592
+}
+
+// And/xor trees capture mutual exclusion; Pr(r(t4)=3) on the Figure 1
+// traffic database is the paper's Example 4.
+func ExampleTreeRankDistribution() {
+	tree, _ := prf.NewTree(prf.NewAnd(
+		prf.NewXor([]float64{0.4}, prf.NewLeaf(120)),
+		prf.NewXor([]float64{0.7, 0.3}, prf.NewLeaf(130), prf.NewLeaf(80)),
+		prf.NewXor([]float64{0.4, 0.6}, prf.NewLeaf(95), prf.NewLeaf(110)),
+		prf.NewXor([]float64{1.0}, prf.NewLeaf(105)),
+	))
+	rd := prf.TreeRankDistribution(tree)
+	fmt.Printf("%.3f\n", rd.At(3, 3))
+	// Output:
+	// 0.216
+}
+
+// U-Top returns the most probable top-k set together with its probability.
+func ExampleUTopK() {
+	d, _ := prf.NewDataset([]float64{10, 5}, []float64{0.9, 0.8})
+	set, p := prf.UTopK(d, 1)
+	fmt.Println(set, p)
+	// Output:
+	// [0] 0.9
+}
+
+// The consensus top-k (Theorem 2) is PT(k)'s answer; its expected symmetric
+// difference from the random world's true top-k is minimal.
+func ExampleConsensusTopK() {
+	d, _ := prf.NewDataset([]float64{10, 8, 6}, []float64{0.9, 0.2, 0.9})
+	tau := prf.ConsensusTopK(d, 2)
+	fmt.Println(tau)
+	fmt.Printf("%.3f\n", prf.ExpectedSymDiff(d, tau))
+	// Output:
+	// [0 2]
+	// 0.562
+}
+
+// LearnAlpha recovers the PRFe parameter from a user-ranked sample.
+func ExampleLearnAlpha() {
+	scores := make([]float64, 200)
+	probs := make([]float64, 200)
+	for i := range scores {
+		scores[i] = float64(200 - i)
+		probs[i] = float64((i*37)%97)/100 + 0.01
+	}
+	d, _ := prf.NewDataset(scores, probs)
+	user := prf.RankPRFe(d, 0.8)
+	res := prf.LearnAlpha(d, user, 50, 8)
+	fmt.Printf("distance %.4f\n", res.Distance)
+	// Output:
+	// distance 0.0000
+}
+
+// KendallTopK is the paper's normalized top-k distance: 0 for identical
+// answers, 1 for disjoint ones.
+func ExampleKendallTopK() {
+	a := prf.Ranking{1, 2, 3}
+	b := prf.Ranking{3, 2, 1}
+	fmt.Printf("%.4f %.4f\n", prf.KendallTopK(a, a, 3), prf.KendallTopK(a, b, 3))
+	// Output:
+	// 0.0000 0.3333
+}

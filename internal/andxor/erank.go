@@ -1,0 +1,95 @@
+package andxor
+
+// Expected ranks (the E-Rank baseline of Cormode et al., reviewed in
+// Section 3.2) on correlated data. The paper shows (Section 3.3,
+// "Relationship to other ranking functions") that the expected rank of t
+// splits into
+//
+//	er1(t) = Σ_j j·Pr(r(t)=j)              (worlds containing t)
+//	er2(t) = Σ_{pw: t∉pw} Pr(pw)·|pw|      (worlds missing t)
+//
+// Both reduce to first-derivative evaluations of the tree's generating
+// function at x=1, so each tuple costs two O(n) dual-number tree walks —
+// generalizing the prior expected-rank algorithms to and/xor trees exactly
+// as the paper remarks.
+
+// dualBi tracks (A(1), A'(1), B(1), B'(1)) of the bivariate generating
+// function F = A(x) + B(x)·y under a leaf labeling.
+type dualBi struct {
+	a, da, b, db float64
+}
+
+// evalDual computes the dual-number evaluation for the labeling where leaf
+// positions in xSet carry x, the leaf target carries y, and the rest 1.
+// xAll=true labels every non-target leaf x (the er2 labeling).
+func evalDual(n *Node, pos []int, target int, xAll bool) dualBi {
+	switch n.kind {
+	case Leaf:
+		switch {
+		case pos[n.id] == target:
+			return dualBi{b: 1}
+		case xAll || pos[n.id] < target:
+			return dualBi{a: 1, da: 1} // A(x)=x
+		default:
+			return dualBi{a: 1}
+		}
+	case Xor:
+		residual := 1.0
+		for _, p := range n.edgeProbs {
+			residual -= p
+		}
+		out := dualBi{a: residual}
+		for i, c := range n.children {
+			p := n.edgeProbs[i]
+			if p == 0 {
+				continue
+			}
+			cd := evalDual(c, pos, target, xAll)
+			out.a += p * cd.a
+			out.da += p * cd.da
+			out.b += p * cd.b
+			out.db += p * cd.db
+		}
+		return out
+	default: // And
+		acc := dualBi{a: 1}
+		for _, c := range n.children {
+			cd := evalDual(c, pos, target, xAll)
+			acc = dualBi{
+				a:  acc.a * cd.a,
+				da: acc.da*cd.a + acc.a*cd.da,
+				b:  acc.a*cd.b + acc.b*cd.a,
+				db: acc.da*cd.b + acc.a*cd.db + acc.db*cd.a + acc.b*cd.da,
+			}
+		}
+		return acc
+	}
+}
+
+// ExpectedRanks returns E[r(t)] for every leaf, where absent tuples take
+// rank |pw| in their world (the Cormode et al. convention). O(n²) total.
+func ExpectedRanks(t *Tree) []float64 {
+	n := t.Len()
+	out := make([]float64, n)
+	order := t.sortedLeafOrder()
+	pos := make([]int, n)
+	for i, id := range order {
+		pos[id] = i
+	}
+	// C = E[|pw|] = Σ leaf marginals.
+	var c float64
+	for id := 0; id < n; id++ {
+		c += t.leaves[id].marginal
+	}
+	for i, id := range order {
+		// er1: B(x) = Σ_j Pr(r=j)·x^{j−1} ⇒ Σ_j j·Pr(r=j) = B'(1)+B(1).
+		d1 := evalDual(t.root, pos, i, false)
+		er1 := d1.db + d1.b
+		// er2: with all other leaves x, B(x) = Σ_j Pr(t ∧ j others)·x^j ⇒
+		// E[|pw|·δ(t∈pw)] = B'(1)+B(1), and er2 = C − that.
+		d2 := evalDual(t.root, pos, i, true)
+		er2 := c - (d2.db + d2.b)
+		out[id] = er1 + er2
+	}
+	return out
+}

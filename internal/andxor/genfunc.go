@@ -1,0 +1,192 @@
+package andxor
+
+import (
+	"repro/internal/pdb"
+	"repro/internal/poly"
+)
+
+// This file implements ANDXOR-PRF-RANK (Section 4.2, Algorithm 2): for each
+// tuple tᵢ the tree's generating function
+//
+//	Fⁱ(x, y) = A(x) + B(x)·y
+//
+// is computed bottom-up, where leaves ranked above tᵢ carry label x, tᵢ
+// itself carries y, and the rest carry 1 (Theorem 1). Because exactly one
+// leaf carries y, the y-degree never exceeds 1, so a pair of univariate
+// polynomials suffices; the coefficient of x^{j−1}·y is Pr(r(tᵢ) = j).
+
+// labelKind is the variable assigned to a leaf for one tuple's computation.
+type labelKind uint8
+
+const (
+	labelOne labelKind = iota // leaf ranked below the target (constant 1)
+	labelX                    // leaf ranked above the target
+	labelY                    // the target leaf itself
+)
+
+// bipoly is A(x) + B(x)·y with the y²-free invariant.
+type bipoly struct {
+	a poly.Poly
+	b poly.Poly
+}
+
+// evalBipoly computes the node's generating function under the labeling.
+// maxLen > 0 truncates every polynomial to that many coefficients (ranks
+// 1..maxLen), the PRFω(h) optimization.
+func evalBipoly(n *Node, label []labelKind, maxLen int) bipoly {
+	switch n.kind {
+	case Leaf:
+		switch label[n.id] {
+		case labelX:
+			return bipoly{a: poly.Poly{0, 1}}
+		case labelY:
+			return bipoly{b: poly.Poly{1}}
+		default:
+			return bipoly{a: poly.Poly{1}}
+		}
+	case Xor:
+		residual := 1.0
+		var a, b poly.Poly
+		for i, c := range n.children {
+			p := n.edgeProbs[i]
+			residual -= p
+			if p == 0 {
+				continue
+			}
+			cb := evalBipoly(c, label, maxLen)
+			a = poly.Add(a, cb.a.Scale(p))
+			b = poly.Add(b, cb.b.Scale(p))
+		}
+		a = poly.Add(a, poly.Poly{residual})
+		return bipoly{a: a, b: b}
+	default: // And
+		acc := bipoly{a: poly.Poly{1}}
+		for _, c := range n.children {
+			cb := evalBipoly(c, label, maxLen)
+			// (A + By)(A' + B'y) = AA' + (AB' + BA')y; BB'y² cannot occur
+			// because at most one subtree holds the y leaf.
+			var newA, newB poly.Poly
+			if maxLen > 0 {
+				newA = poly.MulTrunc(acc.a, cb.a, maxLen)
+				newB = poly.Add(poly.MulTrunc(acc.a, cb.b, maxLen), poly.MulTrunc(acc.b, cb.a, maxLen))
+			} else {
+				newA = poly.Mul(acc.a, cb.a)
+				newB = poly.Add(poly.Mul(acc.a, cb.b), poly.Mul(acc.b, cb.a))
+			}
+			acc = bipoly{a: newA, b: newB}
+		}
+		return acc
+	}
+}
+
+// labelsFor builds the per-leaf labels for the tuple at sorted position i of
+// order: positions < i get x, position i gets y, the rest 1.
+func labelsFor(order []pdb.TupleID, i int, buf []labelKind) []labelKind {
+	for j := range buf {
+		buf[j] = labelOne
+	}
+	for j := 0; j < i; j++ {
+		buf[order[j]] = labelX
+	}
+	buf[order[i]] = labelY
+	return buf
+}
+
+// RankDistribution computes the full positional-probability matrix of the
+// tree: Pr(r(t)=j) for every leaf t and rank j, by one bivariate tree
+// evaluation per tuple (O(n²) per tuple worst case, O(n³) total — the
+// Table 3 "And/Xor tree" row).
+func RankDistribution(t *Tree) *pdb.RankDistribution {
+	return RankDistributionTrunc(t, t.Len())
+}
+
+// RankDistributionTrunc computes Pr(r(t)=j) for ranks j ≤ h only, with all
+// polynomial products truncated to h coefficients.
+func RankDistributionTrunc(t *Tree, h int) *pdb.RankDistribution {
+	n := t.Len()
+	if h > n {
+		h = n
+	}
+	dist := make([][]float64, n)
+	order := t.sortedLeafOrder()
+	buf := make([]labelKind, n)
+	for i, id := range order {
+		f := evalBipoly(t.root, labelsFor(order, i, buf), h)
+		rows := i + 1
+		if rows > h {
+			rows = h
+		}
+		row := make([]float64, rows)
+		for j := 0; j < rows && j < len(f.b); j++ {
+			row[j] = f.b[j] // coefficient of x^j·y = Pr(rank j+1)
+		}
+		dist[id] = row
+	}
+	return &pdb.RankDistribution{Dist: dist}
+}
+
+// PRF computes Υω for every leaf of a correlated dataset in O(n³) time and
+// O(n) space per tuple evaluation.
+func PRF(t *Tree, omega func(tu pdb.Tuple, rank int) float64) []float64 {
+	n := t.Len()
+	out := make([]float64, n)
+	order := t.sortedLeafOrder()
+	buf := make([]labelKind, n)
+	for i, id := range order {
+		f := evalBipoly(t.root, labelsFor(order, i, buf), 0)
+		tu := t.Leaf(id)
+		var up float64
+		for j, c := range f.b {
+			if c != 0 {
+				up += omega(tu, j+1) * c
+			}
+		}
+		out[id] = up
+	}
+	return out
+}
+
+// PRFOmega computes Υ for the weight vector w (PRFω(h) with h = len(w)) on a
+// correlated dataset, truncating all polynomials to h coefficients: O(n²·h)
+// worst case.
+func PRFOmega(t *Tree, w []float64) []float64 {
+	n := t.Len()
+	h := len(w)
+	out := make([]float64, n)
+	order := t.sortedLeafOrder()
+	buf := make([]labelKind, n)
+	for i, id := range order {
+		f := evalBipoly(t.root, labelsFor(order, i, buf), h)
+		var up float64
+		for j := 0; j < len(f.b) && j < h; j++ {
+			up += w[j] * f.b[j]
+		}
+		out[id] = up
+	}
+	return out
+}
+
+// PTh computes Pr(r(t) ≤ h) for every leaf — PT(h) on correlated data.
+func PTh(t *Tree, h int) []float64 {
+	w := make([]float64, h)
+	for i := range w {
+		w[i] = 1
+	}
+	return PRFOmega(t, w)
+}
+
+// SizeDistribution returns Pr(|pw| = i) for i = 0..n: Example 2 of the
+// paper, obtained by labeling every leaf x.
+func SizeDistribution(t *Tree) []float64 {
+	n := t.Len()
+	label := make([]labelKind, n)
+	for i := range label {
+		label[i] = labelX
+	}
+	f := evalBipoly(t.root, label, 0)
+	out := make([]float64, n+1)
+	for i := 0; i < len(f.a) && i <= n; i++ {
+		out[i] = f.a[i]
+	}
+	return out
+}

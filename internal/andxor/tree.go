@@ -1,0 +1,501 @@
+// Package andxor implements probabilistic and/xor trees (Section 3.1,
+// Definition 2 of the paper) and the ranking algorithms that operate on them:
+//
+//   - the tree model itself, with ∧ (co-existence) and ∨ (mutual exclusion)
+//     inner nodes, probability and key constraints, leaf marginals, world
+//     enumeration and Monte-Carlo sampling;
+//   - the bivariate generating-function algorithm ANDXOR-PRF-RANK
+//     (Section 4.2, Algorithm 2, Theorem 1) computing rank distributions and
+//     PRF/PRFω values on correlated data;
+//   - the incremental PRFe algorithm ANDXOR-PRFe-RANK (Section 4.3,
+//     Algorithm 3), with division-free ∧-node updates;
+//   - expected ranks on trees via derivative evaluation;
+//   - the Section 4.4 reduction of attribute (score) uncertainty to xor
+//     groups of alternatives.
+//
+// And/xor trees generalize x-tuples, block-independent-disjoint tables and
+// p-or-sets, and can encode any finite set of possible worlds (Figure 2).
+package andxor
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/pdb"
+)
+
+// Kind labels a tree node.
+type Kind int
+
+// Node kinds. And nodes (∧) force their children to co-exist; Xor nodes (∨)
+// select at most one child, child v with probability p(u,v); leaves are
+// tuples.
+const (
+	And Kind = iota
+	Xor
+	Leaf
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case And:
+		return "and"
+	case Xor:
+		return "xor"
+	case Leaf:
+		return "leaf"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Node is one node of a probabilistic and/xor tree. Construct nodes with
+// NewLeaf/NewAnd/NewXor and assemble them into a Tree with New.
+type Node struct {
+	kind      Kind
+	score     float64
+	key       string
+	children  []*Node
+	edgeProbs []float64 // Xor nodes: p(u,v) aligned with children
+
+	// Filled in by New:
+	parent    *Node
+	parentIdx int         // index of this node within parent.children
+	id        pdb.TupleID // leaves only
+	idx       int         // dense node index across the whole tree
+	depth     int
+	marginal  float64 // leaves only: Pr(leaf present)
+}
+
+// NewLeaf returns a leaf node with the given score.
+func NewLeaf(score float64) *Node {
+	return &Node{kind: Leaf, score: score}
+}
+
+// NewKeyedLeaf returns a leaf carrying a possible-worlds key. The key
+// constraint of Definition 2 (leaves sharing a key must have a ∨ ancestor as
+// LCA) is enforced by New.
+func NewKeyedLeaf(key string, score float64) *Node {
+	return &Node{kind: Leaf, score: score, key: key}
+}
+
+// NewAnd returns a ∧ node over the given children.
+func NewAnd(children ...*Node) *Node {
+	return &Node{kind: And, children: children}
+}
+
+// NewXor returns a ∨ node; each child v is selected with probability
+// probs[v], and no child is selected with the residual 1−Σprobs.
+func NewXor(probs []float64, children ...*Node) *Node {
+	return &Node{kind: Xor, children: children, edgeProbs: probs}
+}
+
+// Tree is a validated probabilistic and/xor tree. Leaves are numbered with
+// dense TupleIDs 0..n−1 in construction order; Dataset exposes them with
+// their marginal probabilities so independence-assuming algorithms can be
+// run on the same data (Figure 10's comparison).
+type Tree struct {
+	root   *Node
+	leaves []*Node
+	nodes  []*Node // all nodes in preorder
+	height int
+}
+
+// New validates the node structure and returns the finished tree: edge
+// probabilities must be non-negative and sum to ≤ 1 per ∨ node, every node
+// must have a single parent, ∧/∨ nodes must have at least one child, and
+// leaves sharing a key must have a ∨ LCA.
+func New(root *Node) (*Tree, error) {
+	if root == nil {
+		return nil, errors.New("andxor: nil root")
+	}
+	t := &Tree{root: root}
+	if err := t.index(root, nil, 0, 0); err != nil {
+		return nil, err
+	}
+	t.computeMarginals()
+	if err := t.checkKeyConstraint(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+func (t *Tree) index(n *Node, parent *Node, parentIdx, depth int) error {
+	if n.parent != nil || (t.root != n && parent == nil) {
+		return errors.New("andxor: node attached to multiple parents")
+	}
+	if parent != nil {
+		n.parent = parent
+		n.parentIdx = parentIdx
+	}
+	n.depth = depth
+	n.idx = len(t.nodes)
+	t.nodes = append(t.nodes, n)
+	if depth > t.height {
+		t.height = depth
+	}
+	switch n.kind {
+	case Leaf:
+		if len(n.children) != 0 {
+			return errors.New("andxor: leaf with children")
+		}
+		if math.IsNaN(n.score) || math.IsInf(n.score, 0) {
+			return fmt.Errorf("andxor: leaf has invalid score %v", n.score)
+		}
+		n.id = pdb.TupleID(len(t.leaves))
+		t.leaves = append(t.leaves, n)
+	case And:
+		if len(n.children) == 0 {
+			return errors.New("andxor: ∧ node without children")
+		}
+	case Xor:
+		if len(n.children) == 0 {
+			return errors.New("andxor: ∨ node without children")
+		}
+		if len(n.edgeProbs) != len(n.children) {
+			return fmt.Errorf("andxor: ∨ node has %d children but %d edge probabilities",
+				len(n.children), len(n.edgeProbs))
+		}
+		var sum float64
+		for _, p := range n.edgeProbs {
+			if math.IsNaN(p) || p < 0 || p > 1 {
+				return fmt.Errorf("andxor: invalid edge probability %v", p)
+			}
+			sum += p
+		}
+		if sum > 1+1e-9 {
+			return fmt.Errorf("andxor: ∨ node edge probabilities sum to %v > 1", sum)
+		}
+	default:
+		return fmt.Errorf("andxor: unknown node kind %d", n.kind)
+	}
+	for i, c := range n.children {
+		if err := t.index(c, n, i, depth+1); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (t *Tree) computeMarginals() {
+	var walk func(n *Node, p float64)
+	walk = func(n *Node, p float64) {
+		if n.kind == Leaf {
+			n.marginal = p
+			return
+		}
+		for i, c := range n.children {
+			cp := p
+			if n.kind == Xor {
+				cp *= n.edgeProbs[i]
+			}
+			walk(c, cp)
+		}
+	}
+	walk(t.root, 1)
+}
+
+func (t *Tree) checkKeyConstraint() error {
+	byKey := make(map[string][]*Node)
+	for _, l := range t.leaves {
+		if l.key != "" {
+			byKey[l.key] = append(byKey[l.key], l)
+		}
+	}
+	for key, ls := range byKey {
+		for i := 0; i < len(ls); i++ {
+			for j := i + 1; j < len(ls); j++ {
+				if lca(ls[i], ls[j]).kind != Xor {
+					return fmt.Errorf("andxor: leaves with key %q have non-∨ LCA (key constraint)", key)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func lca(a, b *Node) *Node {
+	for a.depth > b.depth {
+		a = a.parent
+	}
+	for b.depth > a.depth {
+		b = b.parent
+	}
+	for a != b {
+		a = a.parent
+		b = b.parent
+	}
+	return a
+}
+
+// Len returns the number of leaves (tuples).
+func (t *Tree) Len() int { return len(t.leaves) }
+
+// Height returns the height d of the tree (root depth 0).
+func (t *Tree) Height() int { return t.height }
+
+// NodeCount returns the total number of nodes.
+func (t *Tree) NodeCount() int { return len(t.nodes) }
+
+// Leaf returns the leaf with the given TupleID as a pdb.Tuple whose Prob is
+// the leaf's marginal presence probability.
+func (t *Tree) Leaf(id pdb.TupleID) pdb.Tuple {
+	l := t.leaves[id]
+	return pdb.Tuple{ID: l.id, Score: l.score, Prob: l.marginal}
+}
+
+// LeafKey returns the possible-worlds key of the leaf ("" if unkeyed).
+func (t *Tree) LeafKey(id pdb.TupleID) string { return t.leaves[id].key }
+
+// LeafDepth returns the depth d_i of the leaf, the cost of one incremental
+// PRFe update (Table 3).
+func (t *Tree) LeafDepth(id pdb.TupleID) int { return t.leaves[id].depth }
+
+// Dataset returns the leaves as a tuple-independent dataset with marginal
+// probabilities. Running the core (independence-assuming) algorithms on it
+// is exactly the "ignore the correlations" arm of Figure 10.
+func (t *Tree) Dataset() *pdb.Dataset {
+	tuples := make([]pdb.Tuple, len(t.leaves))
+	for i, l := range t.leaves {
+		tuples[i] = pdb.Tuple{ID: l.id, Score: l.score, Prob: l.marginal}
+	}
+	d, err := pdb.FromTuples(tuples)
+	if err != nil {
+		// Marginals are products of validated probabilities; failure here is
+		// a bug in this package, not caller error.
+		panic(err)
+	}
+	return d
+}
+
+// sortedLeafOrder returns leaf IDs sorted by non-increasing score, ties by
+// ID — the T = {t₁ ≥ t₂ ≥ …} order every ranking algorithm uses.
+func (t *Tree) sortedLeafOrder() []pdb.TupleID {
+	ids := make([]pdb.TupleID, len(t.leaves))
+	for i := range ids {
+		ids[i] = pdb.TupleID(i)
+	}
+	sort.SliceStable(ids, func(a, b int) bool {
+		la, lb := t.leaves[ids[a]], t.leaves[ids[b]]
+		if la.score != lb.score {
+			return la.score > lb.score
+		}
+		return la.id < lb.id
+	})
+	return ids
+}
+
+// Sample draws one possible world from the tree's distribution; Present is
+// in ranked (score) order.
+func (t *Tree) Sample(rng *rand.Rand) pdb.World {
+	var present []pdb.TupleID
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		switch n.kind {
+		case Leaf:
+			present = append(present, n.id)
+		case And:
+			for _, c := range n.children {
+				walk(c)
+			}
+		case Xor:
+			u := rng.Float64()
+			acc := 0.0
+			for i, c := range n.children {
+				acc += n.edgeProbs[i]
+				if u < acc {
+					walk(c)
+					break
+				}
+			}
+		}
+	}
+	walk(t.root)
+	sort.Slice(present, func(a, b int) bool {
+		la, lb := t.leaves[present[a]], t.leaves[present[b]]
+		if la.score != lb.score {
+			return la.score > lb.score
+		}
+		return la.id < lb.id
+	})
+	return pdb.World{Present: present, Prob: math.NaN()}
+}
+
+// weightedSet is an intermediate world during enumeration.
+type weightedSet struct {
+	ids  []pdb.TupleID
+	prob float64
+}
+
+// EnumerateWorlds lists every possible world with positive probability,
+// refusing to materialize more than maxWorlds intermediate worlds (pass 0
+// for the default pdb.MaxEnumerate-derived bound). Present slices are in
+// ranked order. Worlds with identical tuple sets are merged.
+func (t *Tree) EnumerateWorlds(maxWorlds int) ([]pdb.World, error) {
+	if maxWorlds <= 0 {
+		maxWorlds = 1 << 20
+	}
+	sets, err := t.enum(t.root, maxWorlds)
+	if err != nil {
+		return nil, err
+	}
+	// Merge duplicates (different branches can yield the same tuple set).
+	merged := make(map[string]*weightedSet)
+	order := make([]string, 0, len(sets))
+	for _, s := range sets {
+		sort.Slice(s.ids, func(a, b int) bool {
+			la, lb := t.leaves[s.ids[a]], t.leaves[s.ids[b]]
+			if la.score != lb.score {
+				return la.score > lb.score
+			}
+			return la.id < lb.id
+		})
+		k := fmt.Sprint(s.ids)
+		if m, ok := merged[k]; ok {
+			m.prob += s.prob
+		} else {
+			cp := s
+			merged[k] = &cp
+			order = append(order, k)
+		}
+	}
+	worlds := make([]pdb.World, 0, len(merged))
+	for _, k := range order {
+		s := merged[k]
+		if s.prob > 0 {
+			worlds = append(worlds, pdb.World{Present: s.ids, Prob: s.prob})
+		}
+	}
+	return worlds, nil
+}
+
+func (t *Tree) enum(n *Node, maxWorlds int) ([]weightedSet, error) {
+	switch n.kind {
+	case Leaf:
+		return []weightedSet{{ids: []pdb.TupleID{n.id}, prob: 1}}, nil
+	case Xor:
+		var out []weightedSet
+		residual := 1.0
+		for i, c := range n.children {
+			p := n.edgeProbs[i]
+			residual -= p
+			if p == 0 {
+				continue
+			}
+			sub, err := t.enum(c, maxWorlds)
+			if err != nil {
+				return nil, err
+			}
+			for _, s := range sub {
+				out = append(out, weightedSet{ids: s.ids, prob: p * s.prob})
+			}
+			if len(out) > maxWorlds {
+				return nil, fmt.Errorf("andxor: more than %d worlds", maxWorlds)
+			}
+		}
+		if residual > 1e-12 {
+			out = append(out, weightedSet{prob: residual})
+		}
+		return out, nil
+	case And:
+		acc := []weightedSet{{prob: 1}}
+		for _, c := range n.children {
+			sub, err := t.enum(c, maxWorlds)
+			if err != nil {
+				return nil, err
+			}
+			if len(acc)*len(sub) > maxWorlds {
+				return nil, fmt.Errorf("andxor: more than %d worlds", maxWorlds)
+			}
+			next := make([]weightedSet, 0, len(acc)*len(sub))
+			for _, a := range acc {
+				for _, b := range sub {
+					ids := make([]pdb.TupleID, 0, len(a.ids)+len(b.ids))
+					ids = append(ids, a.ids...)
+					ids = append(ids, b.ids...)
+					next = append(next, weightedSet{ids: ids, prob: a.prob * b.prob})
+				}
+			}
+			acc = next
+		}
+		return acc, nil
+	}
+	return nil, fmt.Errorf("andxor: unknown node kind %v", n.kind)
+}
+
+// Independent builds the trivial tree for a tuple-independent dataset: a ∧
+// root with one single-child ∨ node per tuple (height 2). Tuple IDs follow
+// the dataset order.
+func Independent(d *pdb.Dataset) (*Tree, error) {
+	children := make([]*Node, d.Len())
+	for i, t := range d.Tuples() {
+		children[i] = NewXor([]float64{t.Prob}, NewLeaf(t.Score))
+	}
+	return New(NewAnd(children...))
+}
+
+// Alternative is one (score, probability) choice of an x-tuple or of an
+// uncertain-score tuple.
+type Alternative struct {
+	Score float64
+	Prob  float64
+}
+
+// XTuples builds the classic x-tuple model: a ∧ root over one ∨ node per
+// group of mutually exclusive alternatives (height 2). Leaves of group g get
+// the key "x<g>". Tuple IDs are assigned group by group in alternative
+// order.
+func XTuples(groups [][]Alternative) (*Tree, error) {
+	children := make([]*Node, len(groups))
+	for g, alts := range groups {
+		probs := make([]float64, len(alts))
+		leaves := make([]*Node, len(alts))
+		for i, a := range alts {
+			probs[i] = a.Prob
+			leaves[i] = NewKeyedLeaf(fmt.Sprintf("x%d", g), a.Score)
+		}
+		children[g] = NewXor(probs, leaves...)
+	}
+	return New(NewAnd(children...))
+}
+
+// FromWorlds encodes an explicit finite set of possible worlds as a tree
+// (Figure 2): a ∨ root with one ∧ child per world. Each world is a list of
+// (key, score) pairs; leaves across worlds that share a key are mutually
+// exclusive by construction (their LCA is the root ∨). Probabilities must
+// sum to ≤ 1. Returns the tree and, for bookkeeping, the mapping from
+// (world, position) to leaf TupleID.
+func FromWorlds(worlds [][]Alternative, probs []float64, keys [][]string) (*Tree, [][]pdb.TupleID, error) {
+	if len(worlds) != len(probs) {
+		return nil, nil, fmt.Errorf("andxor: %d worlds but %d probabilities", len(worlds), len(probs))
+	}
+	children := make([]*Node, len(worlds))
+	for w, tuples := range worlds {
+		leaves := make([]*Node, len(tuples))
+		for i, a := range tuples {
+			key := ""
+			if keys != nil {
+				key = keys[w][i]
+			}
+			leaves[i] = NewKeyedLeaf(key, a.Score)
+		}
+		children[w] = NewAnd(leaves...)
+	}
+	tree, err := New(NewXor(probs, children...))
+	if err != nil {
+		return nil, nil, err
+	}
+	ids := make([][]pdb.TupleID, len(worlds))
+	next := pdb.TupleID(0)
+	for w := range worlds {
+		ids[w] = make([]pdb.TupleID, len(worlds[w]))
+		for i := range worlds[w] {
+			ids[w][i] = next
+			next++
+		}
+	}
+	return tree, ids, nil
+}

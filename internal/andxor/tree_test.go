@@ -1,0 +1,605 @@
+package andxor
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/pdb"
+)
+
+// figure1Tree builds the traffic-monitoring database of Figure 1:
+// six tuples, t2/t3 and t4/t5 mutually exclusive, t6 certain.
+// Leaf IDs: 0=t1(120,.4) 1=t2(130,.7) 2=t3(80,.3) 3=t4(95,.4)
+// 4=t5(110,.6) 5=t6(105,1).
+func figure1Tree(t *testing.T) *Tree {
+	t.Helper()
+	root := NewAnd(
+		NewXor([]float64{0.4}, NewLeaf(120)),
+		NewXor([]float64{0.7, 0.3}, NewKeyedLeaf("Y-245", 130), NewKeyedLeaf("Y-245", 80)),
+		NewXor([]float64{0.4, 0.6}, NewKeyedLeaf("Z-541", 95), NewKeyedLeaf("Z-541", 110)),
+		NewXor([]float64{1.0}, NewLeaf(105)),
+	)
+	tree, err := New(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tree
+}
+
+// figure1Worlds is the possible-worlds table printed in Figure 1 (tuples in
+// ranked order).
+var figure1Worlds = []struct {
+	ids  []pdb.TupleID
+	prob float64
+}{
+	{[]pdb.TupleID{1, 0, 5, 3}, 0.112}, // pw1 = {t2,t1,t6,t4}
+	{[]pdb.TupleID{1, 0, 4, 5}, 0.168}, // pw2 = {t2,t1,t5,t6}
+	{[]pdb.TupleID{0, 5, 3, 2}, 0.048}, // pw3 = {t1,t6,t4,t3}
+	{[]pdb.TupleID{0, 4, 5, 2}, 0.072}, // pw4 = {t1,t5,t6,t3}
+	{[]pdb.TupleID{1, 5, 3}, 0.168},    // pw5 = {t2,t6,t4}
+	{[]pdb.TupleID{1, 4, 5}, 0.252},    // pw6 = {t2,t5,t6}
+	{[]pdb.TupleID{5, 3, 2}, 0.072},    // pw7 = {t6,t4,t3}
+	{[]pdb.TupleID{4, 5, 2}, 0.108},    // pw8 = {t5,t6,t3}
+}
+
+func TestFigure1WorldEnumeration(t *testing.T) {
+	tree := figure1Tree(t)
+	worlds, err := tree.EnumerateWorlds(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(worlds) != len(figure1Worlds) {
+		t.Fatalf("got %d worlds, want %d", len(worlds), len(figure1Worlds))
+	}
+	for _, want := range figure1Worlds {
+		found := false
+		for _, w := range worlds {
+			if idsEqual(w.Present, want.ids) {
+				found = true
+				if math.Abs(w.Prob-want.prob) > 1e-12 {
+					t.Fatalf("world %v has prob %v, want %v", want.ids, w.Prob, want.prob)
+				}
+			}
+		}
+		if !found {
+			t.Fatalf("world %v missing (got %+v)", want.ids, worlds)
+		}
+	}
+}
+
+func idsEqual(a, b []pdb.TupleID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Example 4: Pr(r(t4)=3) = 0.216 on the Figure 1 database.
+func TestExample4PositionalProbability(t *testing.T) {
+	tree := figure1Tree(t)
+	rd := RankDistribution(tree)
+	if got := rd.At(3, 3); math.Abs(got-0.216) > 1e-12 {
+		t.Fatalf("Pr(r(t4)=3) = %v, want 0.216", got)
+	}
+}
+
+func TestFigure1RankDistributionMatchesEnumeration(t *testing.T) {
+	tree := figure1Tree(t)
+	worlds, _ := tree.EnumerateWorlds(0)
+	want := pdb.RankDistributionFromWorlds(worlds, tree.Len())
+	got := RankDistribution(tree)
+	for id := 0; id < tree.Len(); id++ {
+		for j := 1; j <= tree.Len(); j++ {
+			g, w := got.At(pdb.TupleID(id), j), want.At(pdb.TupleID(id), j)
+			if math.Abs(g-w) > 1e-9 {
+				t.Fatalf("id=%d j=%d: %v vs %v", id, j, g, w)
+			}
+		}
+	}
+}
+
+// Figure 2: three explicit possible worlds encoded with a ∨ root.
+func TestFigure2FromWorlds(t *testing.T) {
+	worlds := [][]Alternative{
+		{{Score: 6}, {Score: 5}, {Score: 1}},
+		{{Score: 9}, {Score: 7}},
+		{{Score: 8}, {Score: 4}, {Score: 3}},
+	}
+	keys := [][]string{
+		{"t3", "t2", "t1"},
+		{"t3", "t1"},
+		{"t2", "t4", "t5"},
+	}
+	tree, ids, err := FromWorlds(worlds, []float64{0.3, 0.3, 0.4}, keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Len() != 8 {
+		t.Fatalf("tree has %d leaves, want 8", tree.Len())
+	}
+	got, err := tree.EnumerateWorlds(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("%d worlds, want 3", len(got))
+	}
+	// Size distribution (Example 2 / Figure 3(i)): sizes 3,2,3 with probs
+	// .3,.3,.4 → Pr(2)=.3, Pr(3)=.7.
+	sd := SizeDistribution(tree)
+	if math.Abs(sd[2]-0.3) > 1e-12 || math.Abs(sd[3]-0.7) > 1e-12 {
+		t.Fatalf("size distribution %v", sd)
+	}
+	_ = ids
+}
+
+func TestFromWorldsRejectsMismatch(t *testing.T) {
+	if _, _, err := FromWorlds([][]Alternative{{{Score: 1}}}, []float64{0.5, 0.5}, nil); err == nil {
+		t.Fatal("expected length-mismatch error")
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		root *Node
+	}{
+		{"edge probs above one", NewXor([]float64{0.7, 0.7}, NewLeaf(1), NewLeaf(2))},
+		{"negative edge prob", NewXor([]float64{-0.1}, NewLeaf(1))},
+		{"prob count mismatch", NewXor([]float64{0.5}, NewLeaf(1), NewLeaf(2))},
+		{"empty and", NewAnd()},
+		{"empty xor", NewXor(nil)},
+		{"key constraint", NewAnd(NewKeyedLeaf("k", 1), NewKeyedLeaf("k", 2))},
+		{"nan score", NewAnd(NewLeaf(math.NaN()))},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := New(c.root); err == nil {
+				t.Fatalf("expected validation error for %s", c.name)
+			}
+		})
+	}
+	t.Run("nil root", func(t *testing.T) {
+		if _, err := New(nil); err == nil {
+			t.Fatal("expected error for nil root")
+		}
+	})
+	t.Run("shared node", func(t *testing.T) {
+		shared := NewLeaf(1)
+		if _, err := New(NewAnd(shared, shared)); err == nil {
+			t.Fatal("expected error for node with two parents")
+		}
+	})
+}
+
+func TestLeafMarginals(t *testing.T) {
+	tree := figure1Tree(t)
+	want := []float64{0.4, 0.7, 0.3, 0.4, 0.6, 1.0}
+	for id, w := range want {
+		if got := tree.Leaf(pdb.TupleID(id)).Prob; math.Abs(got-w) > 1e-12 {
+			t.Fatalf("marginal of t%d = %v, want %v", id+1, got, w)
+		}
+	}
+	d := tree.Dataset()
+	if d.Len() != 6 {
+		t.Fatalf("dataset size %d", d.Len())
+	}
+}
+
+func TestSampleMatchesMarginals(t *testing.T) {
+	tree := figure1Tree(t)
+	rng := rand.New(rand.NewSource(3))
+	counts := make([]int, tree.Len())
+	const nSamples = 100000
+	for s := 0; s < nSamples; s++ {
+		w := tree.Sample(rng)
+		for _, id := range w.Present {
+			counts[id]++
+		}
+	}
+	for id := 0; id < tree.Len(); id++ {
+		got := float64(counts[id]) / nSamples
+		want := tree.Leaf(pdb.TupleID(id)).Prob
+		if math.Abs(got-want) > 0.01 {
+			t.Fatalf("sampled marginal of %d = %v, want %v", id, got, want)
+		}
+	}
+	// Mutual exclusion: t2 (id 1) and t3 (id 2) never co-occur.
+	for s := 0; s < 1000; s++ {
+		w := tree.Sample(rng)
+		if w.Rank(1) > 0 && w.Rank(2) > 0 {
+			t.Fatal("mutually exclusive tuples sampled together")
+		}
+	}
+}
+
+// randomTree builds a random and/xor tree with at most maxLeaves leaves.
+func randomTree(rng *rand.Rand, budget *int, depth int) *Node {
+	if depth >= 4 || *budget <= 1 || rng.Float64() < 0.35 {
+		*budget--
+		return NewLeaf(rng.Float64() * 100)
+	}
+	nc := 1 + rng.Intn(3)
+	children := make([]*Node, 0, nc)
+	for i := 0; i < nc && *budget > 0; i++ {
+		children = append(children, randomTree(rng, budget, depth+1))
+	}
+	if rng.Float64() < 0.5 {
+		probs := make([]float64, len(children))
+		rem := 1.0
+		for i := range probs {
+			p := rng.Float64() * rem
+			probs[i] = p
+			rem -= p
+		}
+		return NewXor(probs, children...)
+	}
+	return NewAnd(children...)
+}
+
+func mustRandomTree(t *testing.T, rng *rand.Rand, maxLeaves int) *Tree {
+	t.Helper()
+	budget := maxLeaves
+	tree, err := New(randomTree(rng, &budget, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tree
+}
+
+// Property: the generating-function rank distribution matches enumeration on
+// random trees.
+func TestQuickTreeRankDistributionMatchesEnumeration(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		budget := 2 + rng.Intn(9)
+		tree, err := New(randomTree(rng, &budget, 0))
+		if err != nil {
+			return false
+		}
+		worlds, err := tree.EnumerateWorlds(1 << 16)
+		if err != nil {
+			return true // oversized enumeration: skip
+		}
+		want := pdb.RankDistributionFromWorlds(worlds, tree.Len())
+		got := RankDistribution(tree)
+		for id := 0; id < tree.Len(); id++ {
+			for j := 1; j <= tree.Len(); j++ {
+				if math.Abs(got.At(pdb.TupleID(id), j)-want.At(pdb.TupleID(id), j)) > 1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: incremental PRFe (Algorithm 3) matches the naive re-evaluation
+// and the enumeration-based Υ on random trees, for real and complex α.
+func TestQuickPRFeIncrementalMatchesNaive(t *testing.T) {
+	alphas := []complex128{
+		complex(0.3, 0), complex(0.95, 0), complex(1, 0),
+		complex(0.6, 0.3), complex(0.2, -0.7),
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tree := mustRandomTreeQ(rng, 2+rng.Intn(15))
+		if tree == nil {
+			return false
+		}
+		for _, alpha := range alphas {
+			inc := PRFeValues(tree, alpha)
+			naive := PRFeValuesNaive(tree, alpha)
+			for i := range inc {
+				if cAbs(inc[i]-naive[i]) > 1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func mustRandomTreeQ(rng *rand.Rand, maxLeaves int) *Tree {
+	budget := maxLeaves
+	tree, err := New(randomTree(rng, &budget, 0))
+	if err != nil {
+		return nil
+	}
+	return tree
+}
+
+func cAbs(c complex128) float64 {
+	return math.Hypot(real(c), imag(c))
+}
+
+// PRFe on a tree must equal Σ_j Pr(r=j)·α^j from the rank distribution.
+func TestPRFeMatchesRankDistribution(t *testing.T) {
+	tree := figure1Tree(t)
+	rd := RankDistribution(tree)
+	alpha := 0.8
+	vals := PRFeValues(tree, complex(alpha, 0))
+	for id := 0; id < tree.Len(); id++ {
+		var want float64
+		for j := 1; j <= tree.Len(); j++ {
+			want += rd.At(pdb.TupleID(id), j) * math.Pow(alpha, float64(j))
+		}
+		if math.Abs(real(vals[id])-want) > 1e-9 {
+			t.Fatalf("id=%d: PRFe=%v want %v", id, real(vals[id]), want)
+		}
+	}
+}
+
+// An Independent() tree must reproduce the core package's results exactly.
+func TestIndependentTreeMatchesCorePackage(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	scores := make([]float64, 20)
+	probs := make([]float64, 20)
+	for i := range scores {
+		scores[i] = rng.Float64() * 100
+		probs[i] = rng.Float64()
+	}
+	d := pdb.MustDataset(scores, probs)
+	tree, err := Independent(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	worlds, err := pdb.EnumerateWorlds(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := pdb.RankDistributionFromWorlds(worlds, 20)
+	got := RankDistribution(tree)
+	for id := 0; id < 20; id++ {
+		for j := 1; j <= 20; j++ {
+			if math.Abs(got.At(pdb.TupleID(id), j)-want.At(pdb.TupleID(id), j)) > 1e-9 {
+				t.Fatalf("id=%d j=%d", id, j)
+			}
+		}
+	}
+}
+
+func TestPRFOmegaTruncationOnTree(t *testing.T) {
+	tree := figure1Tree(t)
+	rd := RankDistribution(tree)
+	w := []float64{1, 0.5, 0.25}
+	got := PRFOmega(tree, w)
+	for id := 0; id < tree.Len(); id++ {
+		var want float64
+		for j := 1; j <= len(w); j++ {
+			want += w[j-1] * rd.At(pdb.TupleID(id), j)
+		}
+		if math.Abs(got[id]-want) > 1e-9 {
+			t.Fatalf("id=%d: %v vs %v", id, got[id], want)
+		}
+	}
+	// PT(h) is the all-ones special case.
+	pt := PTh(tree, 2)
+	for id := 0; id < tree.Len(); id++ {
+		want := rd.At(pdb.TupleID(id), 1) + rd.At(pdb.TupleID(id), 2)
+		if math.Abs(pt[id]-want) > 1e-9 {
+			t.Fatalf("PT(2) id=%d: %v vs %v", id, pt[id], want)
+		}
+	}
+}
+
+// Expected ranks on trees match brute-force enumeration.
+func TestQuickExpectedRanksMatchEnumeration(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tree := mustRandomTreeQ(rng, 2+rng.Intn(8))
+		if tree == nil {
+			return false
+		}
+		worlds, err := tree.EnumerateWorlds(1 << 14)
+		if err != nil {
+			return true
+		}
+		want := make([]float64, tree.Len())
+		for _, w := range worlds {
+			for id := 0; id < tree.Len(); id++ {
+				r := w.Rank(pdb.TupleID(id))
+				if r == 0 {
+					r = len(w.Present) // |pw| convention for absent tuples
+				}
+				want[id] += w.Prob * float64(r)
+			}
+		}
+		got := ExpectedRanks(tree)
+		for id := range want {
+			if math.Abs(got[id]-want[id]) > 1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSizeDistributionSumsToOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 10; trial++ {
+		tree := mustRandomTree(t, rng, 12)
+		sd := SizeDistribution(tree)
+		var sum float64
+		for _, p := range sd {
+			sum += p
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("size distribution sums to %v", sum)
+		}
+	}
+}
+
+func TestXTuplesModel(t *testing.T) {
+	groups := [][]Alternative{
+		{{Score: 10, Prob: 0.5}, {Score: 8, Prob: 0.5}},
+		{{Score: 9, Prob: 0.4}},
+		{{Score: 7, Prob: 0.3}, {Score: 6, Prob: 0.2}, {Score: 5, Prob: 0.1}},
+	}
+	tree, err := XTuples(groups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Len() != 6 {
+		t.Fatalf("leaves %d", tree.Len())
+	}
+	if tree.Height() != 2 {
+		t.Fatalf("x-tuple tree height %d, want 2", tree.Height())
+	}
+	// Alternatives of group 0 never co-occur.
+	worlds, err := tree.EnumerateWorlds(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range worlds {
+		if w.Rank(0) > 0 && w.Rank(1) > 0 {
+			t.Fatal("x-tuple alternatives co-occur")
+		}
+	}
+}
+
+func TestPRFeUncertainAggregatesAlternatives(t *testing.T) {
+	groups := [][]Alternative{
+		{{Score: 10, Prob: 0.5}, {Score: 4, Prob: 0.3}},
+		{{Score: 8, Prob: 0.9}},
+	}
+	alpha := complex(0.7, 0)
+	got, err := PRFeUncertain(groups, alpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, _ := XTuples(groups)
+	perLeaf := PRFeValues(tree, alpha)
+	want0 := perLeaf[0] + perLeaf[1]
+	want1 := perLeaf[2]
+	if cAbs(got[0]-want0) > 1e-12 || cAbs(got[1]-want1) > 1e-12 {
+		t.Fatalf("got %v, want %v and %v", got, want0, want1)
+	}
+}
+
+func TestPRFUncertainMatchesEnumeration(t *testing.T) {
+	groups := [][]Alternative{
+		{{Score: 10, Prob: 0.5}, {Score: 4, Prob: 0.3}},
+		{{Score: 8, Prob: 0.9}},
+		{{Score: 6, Prob: 0.25}, {Score: 5, Prob: 0.25}},
+	}
+	// ω(i)=1 for i≤1: Υ(group) = Pr(one of its alternatives ranks first).
+	got, err := PRFUncertain(groups, func(_ pdb.Tuple, rank int) float64 {
+		if rank == 1 {
+			return 1
+		}
+		return 0
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, _ := XTuples(groups)
+	worlds, _ := tree.EnumerateWorlds(0)
+	gi := groupIndex(groups)
+	want := make([]float64, len(groups))
+	for _, w := range worlds {
+		if len(w.Present) > 0 {
+			want[gi[w.Present[0]]] += w.Prob
+		}
+	}
+	for g := range want {
+		if math.Abs(got[g]-want[g]) > 1e-9 {
+			t.Fatalf("group %d: %v vs %v", g, got[g], want[g])
+		}
+	}
+}
+
+func TestUncertainValidation(t *testing.T) {
+	bad := [][]Alternative{{{Score: 1, Prob: 0.7}, {Score: 2, Prob: 0.6}}}
+	if _, err := PRFeUncertain(bad, 1); err == nil {
+		t.Fatal("expected validation error for Σp > 1")
+	}
+	neg := [][]Alternative{{{Score: 1, Prob: -0.1}}}
+	if _, err := PRFUncertain(neg, func(pdb.Tuple, int) float64 { return 1 }); err == nil {
+		t.Fatal("expected validation error for negative prob")
+	}
+}
+
+func TestRankUncertainScores(t *testing.T) {
+	groups := [][]Alternative{
+		{{Score: 1, Prob: 0.1}},
+		{{Score: 100, Prob: 0.99}},
+	}
+	order, err := RankUncertainScores(groups, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if order[0] != 1 {
+		t.Fatalf("order %v, want group 1 first", order)
+	}
+}
+
+func TestEnumerateWorldsRespectsCap(t *testing.T) {
+	// 2^20 worlds exceed a cap of 100.
+	children := make([]*Node, 20)
+	for i := range children {
+		children[i] = NewXor([]float64{0.5}, NewLeaf(float64(i)))
+	}
+	tree, err := New(NewAnd(children...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tree.EnumerateWorlds(100); err == nil {
+		t.Fatal("expected world-count cap error")
+	}
+}
+
+func TestSortedLeafOrderStable(t *testing.T) {
+	tree, err := New(NewAnd(
+		NewXor([]float64{0.5}, NewLeaf(5)),
+		NewXor([]float64{0.5}, NewLeaf(5)),
+		NewXor([]float64{0.5}, NewLeaf(9)),
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	order := tree.sortedLeafOrder()
+	want := []pdb.TupleID{2, 0, 1}
+	if !idsEqual(order, want) {
+		t.Fatalf("order %v, want %v", order, want)
+	}
+}
+
+func TestTreeMetadata(t *testing.T) {
+	tree := figure1Tree(t)
+	if tree.Height() != 2 {
+		t.Fatalf("height %d, want 2", tree.Height())
+	}
+	if tree.NodeCount() != 11 {
+		t.Fatalf("nodes %d, want 11", tree.NodeCount())
+	}
+	if tree.LeafDepth(0) != 2 {
+		t.Fatalf("leaf depth %d, want 2", tree.LeafDepth(0))
+	}
+	if tree.LeafKey(1) != "Y-245" {
+		t.Fatalf("key %q", tree.LeafKey(1))
+	}
+	order := tree.sortedLeafOrder()
+	if !sort.SliceIsSorted(order, func(a, b int) bool {
+		return tree.Leaf(order[a]).Score > tree.Leaf(order[b]).Score
+	}) {
+		t.Fatal("sortedLeafOrder not sorted")
+	}
+}

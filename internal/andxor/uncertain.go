@@ -1,0 +1,147 @@
+package andxor
+
+import (
+	"fmt"
+	"math/cmplx"
+	"sort"
+
+	"repro/internal/pdb"
+)
+
+// Section 4.4: attribute uncertainty / uncertain scores. A tuple tᵢ whose
+// score takes value v_{i,j} with probability p_{i,j} (Σ_j p_{i,j} ≤ 1; the
+// residual is absence) is expanded into one alternative leaf per score, the
+// alternatives joined by a ∨ (xor) node. The PRF value of the original tuple
+// is the sum of its alternatives' values: Υ(tᵢ) = Σ_j Υ(t_{i,j}).
+
+// groupIndex maps the leaf IDs of an XTuples tree back to group indices.
+func groupIndex(groups [][]Alternative) []int {
+	var idx []int
+	for g, alts := range groups {
+		for range alts {
+			idx = append(idx, g)
+		}
+	}
+	return idx
+}
+
+// validateGroups checks Σ_j p_{i,j} ≤ 1 per group.
+func validateGroups(groups [][]Alternative) error {
+	for g, alts := range groups {
+		var sum float64
+		for _, a := range alts {
+			if a.Prob < 0 || a.Prob > 1 {
+				return fmt.Errorf("andxor: group %d has invalid probability %v", g, a.Prob)
+			}
+			sum += a.Prob
+		}
+		if sum > 1+1e-9 {
+			return fmt.Errorf("andxor: group %d probabilities sum to %v > 1", g, sum)
+		}
+	}
+	return nil
+}
+
+// PRFUncertain computes Υω per original tuple for independent tuples with
+// discrete score distributions. The ω function receives the alternative
+// (with its score and probability) so score-dependent weights such as
+// E-Score and k-selection work unchanged. O(N³) in the total number N of
+// alternatives via the tree algorithm; the paper's O(N²) bound applies to
+// the specialized independent expansion, which PRFeUncertain achieves for
+// exponential weights.
+func PRFUncertain(groups [][]Alternative, omega func(tu pdb.Tuple, rank int) float64) ([]float64, error) {
+	if err := validateGroups(groups); err != nil {
+		return nil, err
+	}
+	t, err := XTuples(groups)
+	if err != nil {
+		return nil, err
+	}
+	perLeaf := PRF(t, omega)
+	return sumByGroup(perLeaf, groupIndex(groups), len(groups)), nil
+}
+
+// PRFeUncertain computes Υ_α per original tuple under score uncertainty in
+// O(N·d + N log N) time via the incremental tree algorithm (the x-tuple tree
+// has height 2, so effectively O(N log N)).
+func PRFeUncertain(groups [][]Alternative, alpha complex128) ([]complex128, error) {
+	if err := validateGroups(groups); err != nil {
+		return nil, err
+	}
+	t, err := XTuples(groups)
+	if err != nil {
+		return nil, err
+	}
+	perLeaf := PRFeValues(t, alpha)
+	gi := groupIndex(groups)
+	out := make([]complex128, len(groups))
+	for id, v := range perLeaf {
+		out[gi[id]] += v
+	}
+	return out, nil
+}
+
+// RankUncertainScores ranks original tuples by |Υ_α| under score
+// uncertainty, returning group indices best-first.
+func RankUncertainScores(groups [][]Alternative, alpha float64) ([]int, error) {
+	vals, err := PRFeUncertain(groups, complex(alpha, 0))
+	if err != nil {
+		return nil, err
+	}
+	abs := make([]float64, len(vals))
+	for i, v := range vals {
+		abs[i] = cmplx.Abs(v)
+	}
+	r := pdb.RankByValue(abs)
+	out := make([]int, len(r))
+	for i, id := range r {
+		out[i] = int(id)
+	}
+	return out, nil
+}
+
+func sumByGroup(perLeaf []float64, gi []int, nGroups int) []float64 {
+	out := make([]float64, nGroups)
+	for id, v := range perLeaf {
+		out[gi[id]] += v
+	}
+	return out
+}
+
+// RankByKey aggregates PRFe values per possible-worlds key on an arbitrary
+// tree (Section 4.4 generalized beyond x-tuples): leaves sharing a key are
+// alternatives of one logical tuple, and the tuple's Υ is the sum over its
+// alternatives. Unkeyed leaves aggregate under their own singleton entry.
+// Returns the distinct keys best-first along with their |Υ| values.
+func RankByKey(t *Tree, alpha complex128) ([]string, []float64) {
+	perLeaf := PRFeValues(t, alpha)
+	order := make([]string, 0)
+	sums := make(map[string]complex128)
+	for id, v := range perLeaf {
+		key := t.LeafKey(pdb.TupleID(id))
+		if key == "" {
+			key = fmt.Sprintf("_leaf%d", id)
+		}
+		if _, ok := sums[key]; !ok {
+			order = append(order, key)
+		}
+		sums[key] += v
+	}
+	abs := make([]float64, len(order))
+	for i, key := range order {
+		abs[i] = cmplx.Abs(sums[key])
+	}
+	// Sort keys by value descending (stable on first-appearance order).
+	idx := make([]int, len(order))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return abs[idx[a]] > abs[idx[b]] })
+	outKeys := make([]string, len(order))
+	outVals := make([]float64, len(order))
+	for i, j := range idx {
+		outKeys[i] = order[j]
+		outVals[i] = abs[j]
+	}
+	return outKeys, outVals
+}

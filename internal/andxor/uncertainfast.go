@@ -1,0 +1,265 @@
+package andxor
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/pdb"
+)
+
+// This file implements the specialized Section 4.4 algorithm for uncertain
+// scores over *independent* tuples at the complexity the paper claims:
+// O(N²) for a general PRF and O(N log N) for PRFe, where N is the total
+// number of alternatives — instead of routing through the generic and/xor
+// tree machinery (O(N³) for PRF).
+//
+// Alternatives are sorted by score. For the alternative a = (g, s) of group
+// g, the generating function is
+//
+//	F_a(x) = p_a·x · ∏_{g'≠g} (1 − q_{g'} + q_{g'}·x),
+//
+// where q_{g'} is the total probability of g'’s alternatives with score
+// above s. Sweeping alternatives in score order changes one group factor at
+// a time; the coefficient array is maintained under factor swaps with
+// synthetic division. Division by (1−q+qx) is numerically stable for
+// q ≤ maxStableQ; groups that ever exceed it are handled by recomputing the
+// product without that group (rare, and still O(N) each), keeping the whole
+// computation exact to float64 roundoff.
+
+// maxStableQ bounds the leading coefficient of factors removed by synthetic
+// division; beyond it the recurrence c'_j = (c_j − q·c'_{j−1})/(1−q)
+// amplifies error too much and the slow path is used.
+const maxStableQ = 0.9
+
+// scoredAlt is one alternative with its group index.
+type scoredAlt struct {
+	group int
+	score float64
+	prob  float64
+	idx   int // index within its group (for stable tie-breaks)
+}
+
+// sortAlternatives flattens and sorts alternatives by non-increasing score
+// (ties by group then intra-group index, matching the tree leaf order).
+func sortAlternatives(groups [][]Alternative) []scoredAlt {
+	var alts []scoredAlt
+	for g, as := range groups {
+		for i, a := range as {
+			alts = append(alts, scoredAlt{group: g, score: a.Score, prob: a.Prob, idx: i})
+		}
+	}
+	sort.SliceStable(alts, func(i, j int) bool {
+		if alts[i].score != alts[j].score {
+			return alts[i].score > alts[j].score
+		}
+		if alts[i].group != alts[j].group {
+			return alts[i].group < alts[j].group
+		}
+		return alts[i].idx < alts[j].idx
+	})
+	return alts
+}
+
+// PRFUncertainFast computes Υω per original tuple for independent tuples
+// with uncertain scores in O(N²) total (N = number of alternatives). The
+// result matches PRFUncertain exactly up to roundoff.
+func PRFUncertainFast(groups [][]Alternative, omega func(tu pdb.Tuple, rank int) float64) ([]float64, error) {
+	if err := validateGroups(groups); err != nil {
+		return nil, err
+	}
+	m := len(groups)
+	alts := sortAlternatives(groups)
+	n := len(alts)
+	out := make([]float64, m)
+	if n == 0 {
+		return out, nil
+	}
+
+	// Coefficients of G(x) = ∏_g (1 − q_g + q_g·x) over all groups, where
+	// q_g is the mass of g's alternatives seen so far (score above the
+	// sweep point). Initially every q_g = 0, so G = 1.
+	coeff := make([]float64, 1, n+1)
+	coeff[0] = 1
+	q := make([]float64, m)
+	unstable := make([]bool, m) // groups whose factor left the stable range
+
+	// For unstable groups the factor is excluded from coeff; exclCount
+	// tracks how many are excluded.
+	excl := 0
+
+	for _, a := range alts {
+		g := a.group
+		// F_a needs the product over groups ≠ g with their current q.
+		// coeff holds the product over *stable* groups; unstable groups'
+		// factors are convolved back in on demand (O(excl·N), and excl is
+		// almost always 0).
+		var base []float64
+		if unstable[g] {
+			base = coeff
+		} else {
+			base = divideFactor(coeff, q[g])
+		}
+		if excl > 0 {
+			base = withUnstableFactors(base, q, unstable, g)
+		}
+		// Υ contribution: p_a · Σ_j ω(rank j+1) · base_j.
+		tu := pdb.Tuple{ID: pdb.TupleID(g), Score: a.score, Prob: a.prob}
+		var up float64
+		for j, c := range base {
+			if c != 0 {
+				up += omega(tu, j+1) * c
+			}
+		}
+		out[g] += a.prob * up
+
+		// Advance the sweep: group g's mass grows by p_a.
+		newQ := q[g] + a.prob
+		if newQ > 1 {
+			newQ = 1 // guard against roundoff
+		}
+		switch {
+		case unstable[g]:
+			q[g] = newQ
+		case newQ > maxStableQ:
+			// Retire g's factor from coeff before it becomes unstable.
+			coeff = divideFactor(coeff, q[g])
+			unstable[g] = true
+			excl++
+			q[g] = newQ
+		default:
+			coeff = swapFactor(coeff, q[g], newQ, n+1)
+			q[g] = newQ
+		}
+	}
+	return out, nil
+}
+
+// PRFeUncertainFast computes Υ_α per original tuple in O(N log N): the
+// factor swaps become O(1) scalar updates because only the value G(α)
+// matters, with the usual zero-count guard for vanished factors.
+func PRFeUncertainFast(groups [][]Alternative, alpha complex128) ([]complex128, error) {
+	if err := validateGroups(groups); err != nil {
+		return nil, err
+	}
+	m := len(groups)
+	alts := sortAlternatives(groups)
+	out := make([]complex128, m)
+	q := make([]float64, m)
+	// prod = ∏ non-zero factors (1−q_g+q_g·α); zeros counted separately.
+	prod := complex128(1)
+	zeros := 0
+	factor := func(qg float64) complex128 {
+		return complex(1-qg, 0) + complex(qg, 0)*alpha
+	}
+	for _, a := range alts {
+		g := a.group
+		// Value without group g's factor.
+		fg := factor(q[g])
+		var base complex128
+		switch {
+		case fg == 0 && zeros == 1:
+			base = prod
+		case fg == 0:
+			base = 0
+		case zeros > 0:
+			base = 0
+		default:
+			base = prod / fg
+		}
+		out[g] += complex(a.prob, 0) * alpha * base
+
+		newQ := q[g] + a.prob
+		if newQ > 1 {
+			newQ = 1
+		}
+		nf := factor(newQ)
+		// Swap fg → nf in the zero-counted product.
+		if fg == 0 {
+			zeros--
+		} else {
+			prod /= fg
+		}
+		if nf == 0 {
+			zeros++
+		} else {
+			prod *= nf
+		}
+		q[g] = newQ
+	}
+	return out, nil
+}
+
+// divideFactor returns coeff / (1−q+q·x) by synthetic division. q must be
+// well below 1 (callers enforce maxStableQ); q=0 divides by 1.
+func divideFactor(coeff []float64, q float64) []float64 {
+	if q == 0 {
+		out := make([]float64, len(coeff))
+		copy(out, coeff)
+		return out
+	}
+	inv := 1 / (1 - q)
+	out := make([]float64, len(coeff)-1)
+	prev := 0.0
+	for j := 0; j < len(out); j++ {
+		prev = (coeff[j] - q*prev) * inv
+		out[j] = prev
+	}
+	return out
+}
+
+// swapFactor replaces the factor (1−q+qx) by (1−q'+q'x) in the coefficient
+// array, capped at maxLen coefficients.
+func swapFactor(coeff []float64, oldQ, newQ float64, maxLen int) []float64 {
+	c := divideFactor(coeff, oldQ)
+	// Multiply by (1−newQ+newQ·x).
+	outLen := len(c) + 1
+	if outLen > maxLen {
+		outLen = maxLen
+	}
+	out := make([]float64, outLen)
+	for j, v := range c {
+		if j < outLen {
+			out[j] += v * (1 - newQ)
+		}
+		if j+1 < outLen {
+			out[j+1] += v * newQ
+		}
+	}
+	return out
+}
+
+// withUnstableFactors convolves the factors of all unstable groups except
+// skip back into base — the slow path for high-mass groups.
+func withUnstableFactors(base []float64, q []float64, unstable []bool, skip int) []float64 {
+	out := make([]float64, len(base))
+	copy(out, base)
+	for g, u := range unstable {
+		if !u || g == skip {
+			continue
+		}
+		out = mulLinear(out, q[g])
+	}
+	return out
+}
+
+func mulLinear(c []float64, q float64) []float64 {
+	out := make([]float64, len(c)+1)
+	for j, v := range c {
+		out[j] += v * (1 - q)
+		out[j+1] += v * q
+	}
+	return out
+}
+
+// qSanity reports the max group mass, for tests probing the unstable path.
+func qSanity(groups [][]Alternative) float64 {
+	worst := 0.0
+	for _, as := range groups {
+		var s float64
+		for _, a := range as {
+			s += a.Prob
+		}
+		worst = math.Max(worst, s)
+	}
+	return worst
+}

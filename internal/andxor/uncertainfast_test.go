@@ -1,0 +1,212 @@
+package andxor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/pdb"
+)
+
+// randGroups builds random uncertain-score groups; highMass sprinkles in
+// groups whose total probability approaches 1 (the unstable-division path).
+func randGroups(rng *rand.Rand, nGroups int, highMass bool) [][]Alternative {
+	groups := make([][]Alternative, nGroups)
+	for g := range groups {
+		na := 1 + rng.Intn(4)
+		alts := make([]Alternative, na)
+		budget := rng.Float64()
+		if highMass && rng.Intn(3) == 0 {
+			budget = 0.95 + 0.05*rng.Float64()
+		}
+		rem := budget
+		for i := range alts {
+			p := rem * rng.Float64()
+			if i == na-1 {
+				p = rem
+			}
+			alts[i] = Alternative{Score: rng.Float64() * 1000, Prob: p}
+			rem -= p
+		}
+		groups[g] = alts
+	}
+	return groups
+}
+
+// The O(N²) fast path must match the generic tree algorithm exactly.
+func TestQuickPRFUncertainFastMatchesTree(t *testing.T) {
+	omega := func(_ pdb.Tuple, rank int) float64 { return 1 / float64(rank) }
+	f := func(seed int64, highMass bool) bool {
+		rng := rand.New(rand.NewSource(seed))
+		groups := randGroups(rng, 1+rng.Intn(6), highMass)
+		fast, err := PRFUncertainFast(groups, omega)
+		if err != nil {
+			return false
+		}
+		slow, err := PRFUncertain(groups, omega)
+		if err != nil {
+			return false
+		}
+		for g := range fast {
+			if math.Abs(fast[g]-slow[g]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The O(N log N) PRFe fast path must match the tree algorithm, including at
+// complex α and with full-mass (q=1) groups whose factor vanishes at α
+// values where 1−q+qα = 0.
+func TestQuickPRFeUncertainFastMatchesTree(t *testing.T) {
+	alphas := []complex128{complex(0.3, 0), complex(0.95, 0), complex(0.5, 0.5), complex(0, 0)}
+	f := func(seed int64, highMass bool) bool {
+		rng := rand.New(rand.NewSource(seed))
+		groups := randGroups(rng, 1+rng.Intn(6), highMass)
+		for _, alpha := range alphas {
+			fast, err := PRFeUncertainFast(groups, alpha)
+			if err != nil {
+				return false
+			}
+			slow, err := PRFeUncertain(groups, alpha)
+			if err != nil {
+				return false
+			}
+			for g := range fast {
+				if cAbs(fast[g]-slow[g]) > 1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// A certain group (Σp = 1) exercises the zero-factor path at α = 0:
+// its factor (1−q+qα) = 0 annihilates every other alternative's chance of
+// ranking first only when the certain group outranks it.
+func TestPRFeUncertainFastCertainGroup(t *testing.T) {
+	groups := [][]Alternative{
+		{{Score: 100, Prob: 1}}, // certain top scorer
+		{{Score: 50, Prob: 0.5}},
+	}
+	got, err := PRFeUncertainFast(groups, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At α→0 the value is Pr(rank 1)·α → 0 for everything, and exactly 0
+	// at α=0; check against the tree path for identity.
+	want, err := PRFeUncertain(groups, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for g := range got {
+		if cAbs(got[g]-want[g]) > 1e-12 {
+			t.Fatalf("group %d: %v vs %v", g, got[g], want[g])
+		}
+	}
+}
+
+func TestPRFUncertainFastValidation(t *testing.T) {
+	bad := [][]Alternative{{{Score: 1, Prob: 0.7}, {Score: 2, Prob: 0.6}}}
+	if _, err := PRFUncertainFast(bad, func(pdb.Tuple, int) float64 { return 1 }); err == nil {
+		t.Fatal("expected validation error")
+	}
+	if _, err := PRFeUncertainFast(bad, 1); err == nil {
+		t.Fatal("expected validation error")
+	}
+	empty, err := PRFUncertainFast(nil, func(pdb.Tuple, int) float64 { return 1 })
+	if err != nil || len(empty) != 0 {
+		t.Fatalf("empty groups: %v %v", empty, err)
+	}
+}
+
+func TestDivideSwapFactorRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 30; trial++ {
+		// Build a product of random factors, divide one out, check against
+		// rebuilding from scratch.
+		qs := make([]float64, 1+rng.Intn(8))
+		for i := range qs {
+			qs[i] = rng.Float64() * maxStableQ
+		}
+		coeff := []float64{1}
+		for _, q := range qs {
+			coeff = mulLinear(coeff, q)
+		}
+		pick := rng.Intn(len(qs))
+		got := divideFactor(coeff, qs[pick])
+		want := []float64{1}
+		for i, q := range qs {
+			if i != pick {
+				want = mulLinear(want, q)
+			}
+		}
+		for j := range want {
+			if math.Abs(got[j]-want[j]) > 1e-9 {
+				t.Fatalf("divide mismatch at %d: %v vs %v", j, got[j], want[j])
+			}
+		}
+		// swapFactor: replace qs[pick] by a new q.
+		newQ := rng.Float64() * maxStableQ
+		swapped := swapFactor(coeff, qs[pick], newQ, len(coeff)+1)
+		want2 := mulLinear(want, newQ)
+		for j := range want2 {
+			if j < len(swapped) && math.Abs(swapped[j]-want2[j]) > 1e-9 {
+				t.Fatalf("swap mismatch at %d", j)
+			}
+		}
+	}
+}
+
+func TestQSanityHelper(t *testing.T) {
+	groups := [][]Alternative{
+		{{Score: 1, Prob: 0.3}, {Score: 2, Prob: 0.4}},
+		{{Score: 3, Prob: 0.95}},
+	}
+	if got := qSanity(groups); math.Abs(got-0.95) > 1e-12 {
+		t.Fatalf("qSanity = %v", got)
+	}
+}
+
+// RankByKey on the Figure 2 tree: alternatives of t1/t2/t3 (appearing with
+// different scores in different worlds) aggregate per key.
+func TestRankByKeyAggregates(t *testing.T) {
+	tree, _, err := FromWorlds(
+		[][]Alternative{
+			{{Score: 6}, {Score: 5}, {Score: 1}},
+			{{Score: 9}, {Score: 7}},
+			{{Score: 8}, {Score: 4}, {Score: 3}},
+		},
+		[]float64{0.3, 0.3, 0.4},
+		[][]string{{"t3", "t2", "t1"}, {"t3", "t1"}, {"t2", "t4", "t5"}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys, vals := RankByKey(tree, complex(0.9, 0))
+	if len(keys) != 5 {
+		t.Fatalf("keys: %v", keys)
+	}
+	seen := map[string]float64{}
+	for i, k := range keys {
+		seen[k] = vals[i]
+		if i > 0 && vals[i] > vals[i-1]+1e-12 {
+			t.Fatal("values not descending")
+		}
+	}
+	// Cross-check t3's aggregate: Υ(t3@6) + Υ(t3@9) from per-leaf values.
+	perLeaf := PRFeValues(tree, complex(0.9, 0))
+	want := cAbs(perLeaf[0] + perLeaf[3]) // leaf 0 = (t3,6), leaf 3 = (t3,9)
+	if math.Abs(seen["t3"]-want) > 1e-12 {
+		t.Fatalf("t3 aggregate %v, want %v", seen["t3"], want)
+	}
+}

@@ -1,0 +1,404 @@
+// Package baselines implements every prior ranking semantics the paper
+// compares against (Section 3.2): expected score (E-Score), ranking by
+// probability, probabilistic threshold top-k PT(h), uncertain rank-k
+// (U-Rank, in the paper's distinct-tuples variant), uncertain top-k (U-Top),
+// expected ranks (E-Rank), k-selection queries, and the consensus top-k
+// answers of Section 6.
+//
+// Independent-tuple versions use the core package's generating-function
+// machinery at the complexities the paper quotes; correlated versions run on
+// probabilistic and/xor trees through the andxor package. U-Top has no
+// polynomial algorithm for correlated data, so the tree version is a
+// Monte-Carlo estimator (documented substitution, DESIGN.md §4).
+package baselines
+
+import (
+	"container/heap"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/andxor"
+	"repro/internal/core"
+	"repro/internal/pdb"
+)
+
+// EScore returns Pr(t)·score(t) per tuple — the expected-score ranking
+// function. Invariant to correlations (a drawback the paper points out), so
+// the same function serves trees via Tree.Dataset().
+func EScore(d *pdb.Dataset) []float64 {
+	out := make([]float64, d.Len())
+	for _, t := range d.Tuples() {
+		out[t.ID] = t.Prob * t.Score
+	}
+	return out
+}
+
+// ByProbability returns Pr(t) per tuple (ranking by probabilities, the
+// ω(t,i)=1 special case of PRF).
+func ByProbability(d *pdb.Dataset) []float64 {
+	out := make([]float64, d.Len())
+	for _, t := range d.Tuples() {
+		out[t.ID] = t.Prob
+	}
+	return out
+}
+
+// ByScore returns score(t) per tuple (the deterministic ranking that ignores
+// probabilities entirely; the "Score" series of Figure 7).
+func ByScore(d *pdb.Dataset) []float64 {
+	out := make([]float64, d.Len())
+	for _, t := range d.Tuples() {
+		out[t.ID] = t.Score
+	}
+	return out
+}
+
+// PTh returns Pr(r(t) ≤ h) per tuple for independent tuples; the paper's
+// PT(h) returns the k tuples with the largest such values.
+func PTh(d *pdb.Dataset, h int) []float64 { return core.PTh(d, h) }
+
+// PThTree is PT(h) on a correlated dataset.
+func PThTree(t *andxor.Tree, h int) []float64 { return andxor.PTh(t, h) }
+
+// URank returns the paper's distinct-tuples U-Rank top-k: position i gets
+// the tuple maximizing Pr(r(t)=i) among tuples not already chosen at an
+// earlier position. O(nk + n log n) via truncated rank distributions.
+func URank(d *pdb.Dataset, k int) pdb.Ranking {
+	if k > d.Len() {
+		k = d.Len()
+	}
+	rd := core.RankDistributionTrunc(d, k)
+	return uRankFromDistribution(rd, d.Len(), k)
+}
+
+// URankTree is U-Rank on a correlated dataset.
+func URankTree(t *andxor.Tree, k int) pdb.Ranking {
+	if k > t.Len() {
+		k = t.Len()
+	}
+	rd := andxor.RankDistributionTrunc(t, k)
+	return uRankFromDistribution(rd, t.Len(), k)
+}
+
+func uRankFromDistribution(rd *pdb.RankDistribution, n, k int) pdb.Ranking {
+	chosen := make([]bool, n)
+	out := make(pdb.Ranking, 0, k)
+	for pos := 1; pos <= k; pos++ {
+		best := pdb.TupleID(-1)
+		bestP := math.Inf(-1)
+		for id := 0; id < n; id++ {
+			if chosen[id] {
+				continue
+			}
+			if p := rd.At(pdb.TupleID(id), pos); p > bestP {
+				bestP = p
+				best = pdb.TupleID(id)
+			}
+		}
+		if best < 0 {
+			break
+		}
+		chosen[best] = true
+		out = append(out, best)
+	}
+	return out
+}
+
+// ERank returns E[r(t)] per tuple for independent tuples in O(n log n),
+// using the Section 3.3 decomposition er1 + er2 with
+// er1(tᵢ) = pᵢ·(1 + Σ_{l<i} p_l) and er2(t) = (1−p)·(C − p).
+// Lower is better; see ERankRanking.
+func ERank(d *pdb.Dataset) []float64 {
+	out := make([]float64, d.Len())
+	c := d.ExpectedWorldSize()
+	prefix := 0.0
+	for _, t := range sortedTuples(d) {
+		er1 := t.Prob * (1 + prefix)
+		er2 := (1 - t.Prob) * (c - t.Prob)
+		out[t.ID] = er1 + er2
+		prefix += t.Prob
+	}
+	return out
+}
+
+// ERankTree returns E[r(t)] on a correlated dataset (O(n²) via derivative
+// evaluation of the tree's generating function).
+func ERankTree(t *andxor.Tree) []float64 { return andxor.ExpectedRanks(t) }
+
+// ERankRanking converts expected ranks (lower better) into a best-first
+// Ranking by negating the values.
+func ERankRanking(expectedRanks []float64) pdb.Ranking {
+	neg := make([]float64, len(expectedRanks))
+	for i, v := range expectedRanks {
+		neg[i] = -v
+	}
+	return pdb.RankByValue(neg)
+}
+
+func sortedTuples(d *pdb.Dataset) []pdb.Tuple {
+	c := d.Clone()
+	if !c.Sorted() {
+		c.SortByScore()
+	}
+	return c.Tuples()
+}
+
+// UTopK computes the exact uncertain top-k (U-Top) answer for independent
+// tuples: the k-set with the largest probability of being exactly the top-k
+// of a random world. Returns the set ordered by score and its probability.
+//
+// The O(n log n) algorithm scans candidates for the lowest-scored member m
+// of the answer: the optimal completion takes the k−1 tuples among t₁..t_{m−1}
+// maximizing the odds p/(1−p) (tuples with p=1 are forced; tuples with p=0
+// never help). A second pass reconstructs the best set.
+func UTopK(d *pdb.Dataset, k int) (pdb.Ranking, float64) {
+	ts := sortedTuples(d)
+	n := len(ts)
+	if k <= 0 || n == 0 {
+		return nil, 0
+	}
+	if k > n {
+		k = n
+	}
+	bestM, bestLog := -1, math.Inf(-1)
+	sel := newTopGainSelector(k - 1)
+	baseFinite := 0.0 // Σ log(1−p) over prefix tuples with p<1
+	ones := 0         // count of p=1 tuples in prefix (forced members)
+	for m := 0; m < n; m++ {
+		t := ts[m]
+		if ones <= k-1 && t.Prob > 0 && m >= k-1 {
+			// Shrink the finite-gain slots if forced members grew.
+			sel.setCapacity(k - 1 - ones)
+			if sel.len()+ones == k-1 {
+				logProb := math.Log(t.Prob) + baseFinite + sel.sum
+				// The (1−p) of selected members must not be charged:
+				// sel.sum already contains log p − log(1−p) per member.
+				if logProb > bestLog {
+					bestLog = logProb
+					bestM = m
+				}
+			}
+		}
+		// Add t to the prefix pool for future m.
+		switch {
+		case t.Prob >= 1:
+			ones++
+		case t.Prob > 0:
+			baseFinite += math.Log(1 - t.Prob)
+			sel.add(math.Log(t.Prob) - math.Log(1-t.Prob))
+		default:
+			// p=0 tuples can never appear; they contribute log(1)=0 when
+			// excluded and are never worth selecting.
+		}
+		if ones > k-1 {
+			// More than k−1 certain tuples now precede every later
+			// candidate, so no later tuple can be the k-th member.
+			break
+		}
+	}
+	if bestM < 0 {
+		// No size-k answer has positive probability (e.g. fewer than k
+		// tuples with p>0). Fall back to the k best-scored positive tuples.
+		out := make(pdb.Ranking, 0, k)
+		for _, t := range ts {
+			if t.Prob > 0 && len(out) < k {
+				out = append(out, t.ID)
+			}
+		}
+		return out, 0
+	}
+	// Reconstruct: forced p=1 tuples plus the top finite gains in
+	// t₀..t_{bestM−1}, then t_{bestM} itself.
+	type cand struct {
+		id   pdb.TupleID
+		gain float64
+	}
+	var cands []cand
+	var forced []pdb.TupleID
+	for m := 0; m < bestM; m++ {
+		t := ts[m]
+		switch {
+		case t.Prob >= 1:
+			forced = append(forced, t.ID)
+		case t.Prob > 0:
+			cands = append(cands, cand{t.ID, math.Log(t.Prob) - math.Log(1-t.Prob)})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].gain > cands[j].gain })
+	members := map[pdb.TupleID]bool{ts[bestM].ID: true}
+	for _, id := range forced {
+		members[id] = true
+	}
+	for i := 0; i < len(cands) && len(members) < k; i++ {
+		members[cands[i].id] = true
+	}
+	out := make(pdb.Ranking, 0, k)
+	for _, t := range ts {
+		if members[t.ID] {
+			out = append(out, t.ID)
+		}
+	}
+	return out, math.Exp(bestLog)
+}
+
+// topGainSelector maintains the largest `cap` gains seen so far and their
+// sum, with capacity shrinking allowed (never growing).
+type topGainSelector struct {
+	capacity int
+	h        minHeap
+	sum      float64
+}
+
+func newTopGainSelector(capacity int) *topGainSelector {
+	return &topGainSelector{capacity: capacity}
+}
+
+func (s *topGainSelector) len() int { return len(s.h) }
+
+func (s *topGainSelector) setCapacity(c int) {
+	if c < 0 {
+		c = 0
+	}
+	s.capacity = c
+	for len(s.h) > c {
+		s.sum -= heap.Pop(&s.h).(float64)
+	}
+}
+
+func (s *topGainSelector) add(g float64) {
+	if s.capacity == 0 {
+		return
+	}
+	if len(s.h) < s.capacity {
+		heap.Push(&s.h, g)
+		s.sum += g
+		return
+	}
+	if g > s.h[0] {
+		s.sum += g - s.h[0]
+		s.h[0] = g
+		heap.Fix(&s.h, 0)
+	}
+}
+
+type minHeap []float64
+
+func (h minHeap) Len() int            { return len(h) }
+func (h minHeap) Less(i, j int) bool  { return h[i] < h[j] }
+func (h minHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *minHeap) Push(x interface{}) { *h = append(*h, x.(float64)) }
+func (h *minHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	v := old[n-1]
+	*h = old[:n-1]
+	return v
+}
+
+// WorldSampler produces random possible worlds; both *pdb.Dataset (via
+// SampleWorld) and *andxor.Tree satisfy it through small adapters.
+type WorldSampler interface {
+	SampleWorld(rng *rand.Rand) pdb.World
+}
+
+// DatasetSampler adapts an independent dataset to WorldSampler.
+type DatasetSampler struct{ D *pdb.Dataset }
+
+// SampleWorld implements WorldSampler.
+func (s DatasetSampler) SampleWorld(rng *rand.Rand) pdb.World { return pdb.SampleWorld(s.D, rng) }
+
+// TreeSampler adapts an and/xor tree to WorldSampler.
+type TreeSampler struct{ T *andxor.Tree }
+
+// SampleWorld implements WorldSampler.
+func (s TreeSampler) SampleWorld(rng *rand.Rand) pdb.World { return s.T.Sample(rng) }
+
+// UTopKMonteCarlo estimates the U-Top answer by sampling worlds and
+// returning the modal top-k set (scored order). Used for correlated data,
+// where no polynomial exact algorithm is known.
+func UTopKMonteCarlo(s WorldSampler, k, samples int, rng *rand.Rand) pdb.Ranking {
+	counts := make(map[string]int)
+	repr := make(map[string]pdb.Ranking)
+	var keyBuf []byte
+	for i := 0; i < samples; i++ {
+		w := s.SampleWorld(rng)
+		top := pdb.TopKFromWorld(w, k)
+		keyBuf = keyBuf[:0]
+		for _, id := range top {
+			keyBuf = append(keyBuf, byte(id), byte(id>>8), byte(id>>16), byte(id>>24))
+		}
+		key := string(keyBuf)
+		counts[key]++
+		if _, ok := repr[key]; !ok {
+			cp := make(pdb.Ranking, len(top))
+			copy(cp, top)
+			repr[key] = cp
+		}
+	}
+	bestKey, bestCount := "", -1
+	for key, c := range counts {
+		if c > bestCount || (c == bestCount && key < bestKey) {
+			bestKey, bestCount = key, c
+		}
+	}
+	return repr[bestKey]
+}
+
+// KSelection solves the k-selection query exactly for independent tuples
+// with non-negative scores: the set S of k tuples maximizing the expected
+// score of the best present tuple of S, via the O(nk) dynamic program
+//
+//	g(i,j) = max( g(i+1,j), pᵢ·sᵢ + (1−pᵢ)·g(i+1,j−1) )
+//
+// over the score-sorted order. Returns the chosen set (score order) and its
+// expected best score.
+func KSelection(d *pdb.Dataset, k int) (pdb.Ranking, float64) {
+	ts := sortedTuples(d)
+	n := len(ts)
+	if k > n {
+		k = n
+	}
+	if k <= 0 || n == 0 {
+		return nil, 0
+	}
+	// g[i][j]: best value using tuples i..n−1 with j picks left.
+	g := make([][]float64, n+1)
+	for i := range g {
+		g[i] = make([]float64, k+1)
+	}
+	for i := n - 1; i >= 0; i-- {
+		p, s := ts[i].Prob, ts[i].Score
+		for j := 1; j <= k; j++ {
+			skip := g[i+1][j]
+			take := p*s + (1-p)*g[i+1][j-1]
+			if take > skip {
+				g[i][j] = take
+			} else {
+				g[i][j] = skip
+			}
+		}
+	}
+	out := make(pdb.Ranking, 0, k)
+	j := k
+	for i := 0; i < n && j > 0; i++ {
+		p, s := ts[i].Prob, ts[i].Score
+		take := p*s + (1-p)*g[i+1][j-1]
+		if take >= g[i+1][j] {
+			out = append(out, ts[i].ID)
+			j--
+		}
+	}
+	return out, g[0][k]
+}
+
+// KSelectionPRF returns the PRF special case ω(t,i) = δ(i=1)·score(t), i.e.
+// score(t)·Pr(r(t)=1) per tuple — the paper's PRF view of k-selection.
+func KSelectionPRF(d *pdb.Dataset) []float64 {
+	return core.PRF(d, func(t pdb.Tuple, rank int) float64 {
+		if rank == 1 {
+			return t.Score
+		}
+		return 0
+	})
+}

@@ -1,0 +1,423 @@
+package baselines
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/andxor"
+	"repro/internal/pdb"
+)
+
+func randDataset(rng *rand.Rand, n int) *pdb.Dataset {
+	scores := make([]float64, n)
+	probs := make([]float64, n)
+	for i := 0; i < n; i++ {
+		scores[i] = rng.Float64() * 100
+		probs[i] = rng.Float64()
+	}
+	return pdb.MustDataset(scores, probs)
+}
+
+func TestEScoreAndByProbability(t *testing.T) {
+	d := pdb.MustDataset([]float64{10, 20}, []float64{0.5, 0.25})
+	es := EScore(d)
+	if es[0] != 5 || es[1] != 5 {
+		t.Fatalf("EScore = %v", es)
+	}
+	bp := ByProbability(d)
+	if bp[0] != 0.5 || bp[1] != 0.25 {
+		t.Fatalf("ByProbability = %v", bp)
+	}
+	bs := ByScore(d)
+	if bs[0] != 10 || bs[1] != 20 {
+		t.Fatalf("ByScore = %v", bs)
+	}
+}
+
+// E-Rank closed form vs enumeration (absent tuples take rank |pw|).
+func TestQuickERankMatchesEnumeration(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(9)
+		d := randDataset(rng, n)
+		got := ERank(d)
+		worlds, err := pdb.EnumerateWorlds(d)
+		if err != nil {
+			return false
+		}
+		want := make([]float64, n)
+		for _, w := range worlds {
+			for id := 0; id < n; id++ {
+				r := w.Rank(pdb.TupleID(id))
+				if r == 0 {
+					r = len(w.Present)
+				}
+				want[id] += w.Prob * float64(r)
+			}
+		}
+		for id := range want {
+			if math.Abs(got[id]-want[id]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The Section 3.2 E-Rank anomaly: a highly probable but lower-scored tuple
+// is ranked above a slightly less probable high-scored tuple, because the
+// (1−p)·C penalty for possibly being absent dominates when the expected
+// world size C is large. The paper's instance uses n=100,000 (t2 vs t1000);
+// this is the same effect at n=5,000 (t2 vs t40).
+func TestERankAnomalyFavorsProbableTuple(t *testing.T) {
+	n := 5000
+	scores := make([]float64, n)
+	probs := make([]float64, n)
+	for i := 0; i < n; i++ {
+		scores[i] = float64(n - i)
+		probs[i] = 0.5
+	}
+	probs[1] = 0.98  // 2nd highest score, prob .98
+	probs[39] = 0.99 // 40th highest score, prob .99
+	d := pdb.MustDataset(scores, probs)
+	er := ERank(d)
+	ranking := ERankRanking(er)
+	if ranking.Position(39) > ranking.Position(1) {
+		t.Fatalf("E-Rank should (anomalously) place t40 above t2: positions %d vs %d",
+			ranking.Position(39), ranking.Position(1))
+	}
+}
+
+func TestERankRankingOrder(t *testing.T) {
+	er := []float64{5, 1, 3}
+	r := ERankRanking(er)
+	want := pdb.Ranking{1, 2, 0}
+	for i := range want {
+		if r[i] != want[i] {
+			t.Fatalf("ranking %v, want %v", r, want)
+		}
+	}
+}
+
+// U-Rank greedy distinct-tuples answer vs direct recomputation from the
+// enumerated rank distribution.
+func TestQuickURankMatchesEnumeration(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(7)
+		k := 1 + rng.Intn(n)
+		d := randDataset(rng, n)
+		got := URank(d, k)
+		worlds, err := pdb.EnumerateWorlds(d)
+		if err != nil {
+			return false
+		}
+		rd := pdb.RankDistributionFromWorlds(worlds, n)
+		chosen := make(map[pdb.TupleID]bool)
+		for pos := 1; pos <= k; pos++ {
+			best, bestP := pdb.TupleID(-1), math.Inf(-1)
+			for id := 0; id < n; id++ {
+				if chosen[pdb.TupleID(id)] {
+					continue
+				}
+				if p := rd.At(pdb.TupleID(id), pos); p > bestP {
+					bestP, best = p, pdb.TupleID(id)
+				}
+			}
+			chosen[best] = true
+			if got[pos-1] != best {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// bruteUTop computes argmax_S Pr(top-k(pw) = S) by enumeration.
+func bruteUTop(t *testing.T, d *pdb.Dataset, k int) (map[pdb.TupleID]bool, float64) {
+	t.Helper()
+	worlds, err := pdb.EnumerateWorlds(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make(map[string]float64)
+	sets := make(map[string][]pdb.TupleID)
+	for _, w := range worlds {
+		top := pdb.TopKFromWorld(w, k)
+		if len(top) < k {
+			continue // only size-k answers compete
+		}
+		key := ""
+		for _, id := range top {
+			key += string(rune(id)) + ","
+		}
+		counts[key] += w.Prob
+		sets[key] = top
+	}
+	bestKey, bestP := "", -1.0
+	for key, p := range counts {
+		if p > bestP {
+			bestKey, bestP = key, p
+		}
+	}
+	out := make(map[pdb.TupleID]bool)
+	for _, id := range sets[bestKey] {
+		out[id] = true
+	}
+	return out, bestP
+}
+
+func TestQuickUTopKMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(8)
+		k := 1 + rng.Intn(n)
+		d := randDataset(rng, n)
+		// Sprinkle in p=1 and p=0 edge tuples.
+		ts := make([]pdb.Tuple, n)
+		copy(ts, d.Tuples())
+		if rng.Intn(2) == 0 {
+			ts[rng.Intn(n)].Prob = 1
+		}
+		if rng.Intn(2) == 0 {
+			ts[rng.Intn(n)].Prob = 0
+		}
+		d2, _ := pdb.FromTuples(ts)
+		gotSet, gotP := UTopK(d2, k)
+		worlds, err := pdb.EnumerateWorlds(d2)
+		if err != nil {
+			return false
+		}
+		if len(gotSet) < k {
+			// Degenerate fallback: fewer than k tuples can ever appear, so
+			// no size-k answer has positive probability.
+			_, bruteP := bruteUTopQuiet(d2, k)
+			return gotP == 0 && bruteP == 0
+		}
+		// Probability that the returned set is exactly the top-k.
+		var checkP float64
+		for _, w := range worlds {
+			top := pdb.TopKFromWorld(w, k)
+			if len(top) != len(gotSet) {
+				continue
+			}
+			same := true
+			for i := range top {
+				if top[i] != gotSet[i] {
+					same = false
+					break
+				}
+			}
+			if same {
+				checkP += w.Prob
+			}
+		}
+		if math.Abs(checkP-gotP) > 1e-9 {
+			return false
+		}
+		// And it must be the maximum over all size-k answers.
+		_, bruteP := bruteUTopQuiet(d2, k)
+		return gotP >= bruteP-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func bruteUTopQuiet(d *pdb.Dataset, k int) (map[pdb.TupleID]bool, float64) {
+	worlds, _ := pdb.EnumerateWorlds(d)
+	counts := make(map[string]float64)
+	for _, w := range worlds {
+		top := pdb.TopKFromWorld(w, k)
+		if len(top) < k {
+			continue
+		}
+		key := ""
+		for _, id := range top {
+			key += string(rune('A'+id)) + ","
+		}
+		counts[key] += w.Prob
+	}
+	bestP := 0.0
+	for _, p := range counts {
+		if p > bestP {
+			bestP = p
+		}
+	}
+	return nil, bestP
+}
+
+func TestUTopKSimple(t *testing.T) {
+	// Two tuples, k=1: {t0} wins with p=.9 vs {t1} with .1·.8.
+	d := pdb.MustDataset([]float64{10, 5}, []float64{0.9, 0.8})
+	set, p := UTopK(d, 1)
+	if len(set) != 1 || set[0] != 0 {
+		t.Fatalf("UTop = %v", set)
+	}
+	if math.Abs(p-0.9) > 1e-12 {
+		t.Fatalf("p = %v, want 0.9", p)
+	}
+}
+
+func TestUTopKWithCertainTuples(t *testing.T) {
+	// A certain tuple below k certain tuples forces itself into any answer.
+	d := pdb.MustDataset([]float64{10, 8, 6}, []float64{0.5, 1, 0.5})
+	set, p := UTopK(d, 2)
+	found := false
+	for _, id := range set {
+		if id == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("answer %v must contain the certain tuple", set)
+	}
+	if p <= 0 {
+		t.Fatalf("p = %v", p)
+	}
+}
+
+func TestUTopKDegenerate(t *testing.T) {
+	// Fewer positive tuples than k: fall back, probability 0.
+	d := pdb.MustDataset([]float64{10, 5}, []float64{0.5, 0})
+	set, p := UTopK(d, 2)
+	if p != 0 {
+		t.Fatalf("p = %v, want 0", p)
+	}
+	if len(set) != 1 || set[0] != 0 {
+		t.Fatalf("fallback set %v", set)
+	}
+	if got, _ := UTopK(pdb.MustDataset(nil, nil), 3); got != nil {
+		t.Fatalf("empty dataset UTop = %v", got)
+	}
+}
+
+func TestUTopKMonteCarloAgreesWithExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	d := pdb.MustDataset(
+		[]float64{100, 90, 80, 70, 60},
+		[]float64{0.9, 0.85, 0.2, 0.9, 0.3},
+	)
+	exact, _ := UTopK(d, 2)
+	mc := UTopKMonteCarlo(DatasetSampler{D: d}, 2, 20000, rng)
+	if len(mc) != len(exact) {
+		t.Fatalf("MC answer %v vs exact %v", mc, exact)
+	}
+	for i := range mc {
+		if mc[i] != exact[i] {
+			t.Fatalf("MC answer %v vs exact %v", mc, exact)
+		}
+	}
+}
+
+func TestUTopKMonteCarloOnTree(t *testing.T) {
+	tree, err := andxor.XTuples([][]andxor.Alternative{
+		{{Score: 10, Prob: 0.95}},
+		{{Score: 9, Prob: 0.9}, {Score: 1, Prob: 0.1}},
+		{{Score: 2, Prob: 0.5}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	top := UTopKMonteCarlo(TreeSampler{T: tree}, 2, 20000, rng)
+	// Most likely world starts {10, 9}: IDs 0 and 1.
+	if len(top) != 2 || top[0] != 0 || top[1] != 1 {
+		t.Fatalf("tree MC UTop = %v", top)
+	}
+}
+
+// k-selection DP vs brute force over all k-subsets.
+func TestQuickKSelectionMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(8)
+		k := 1 + rng.Intn(n)
+		d := randDataset(rng, n)
+		_, gotVal := KSelection(d, k)
+		bestVal := 0.0
+		ts := make([]pdb.Tuple, n)
+		copy(ts, d.Tuples())
+		// Enumerate subsets of size k.
+		for mask := 0; mask < 1<<n; mask++ {
+			if popcount(mask) != k {
+				continue
+			}
+			if v := expectedBest(ts, mask); v > bestVal {
+				bestVal = v
+			}
+		}
+		return math.Abs(gotVal-bestVal) <= 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func popcount(x int) int {
+	c := 0
+	for x != 0 {
+		c += x & 1
+		x >>= 1
+	}
+	return c
+}
+
+// expectedBest computes E[max score among present set members] directly.
+func expectedBest(ts []pdb.Tuple, mask int) float64 {
+	var members []pdb.Tuple
+	for i, t := range ts {
+		if mask&(1<<i) != 0 {
+			members = append(members, t)
+		}
+	}
+	// Sort members by score descending.
+	for i := range members {
+		for j := i + 1; j < len(members); j++ {
+			if members[j].Score > members[i].Score {
+				members[i], members[j] = members[j], members[i]
+			}
+		}
+	}
+	v, pNone := 0.0, 1.0
+	for _, m := range members {
+		v += pNone * m.Prob * m.Score
+		pNone *= 1 - m.Prob
+	}
+	return v
+}
+
+func TestKSelectionReturnsRequestedSize(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	d := randDataset(rng, 10)
+	set, val := KSelection(d, 4)
+	if len(set) != 4 {
+		t.Fatalf("set size %d", len(set))
+	}
+	if val < 0 {
+		t.Fatalf("negative value %v", val)
+	}
+	if set2, _ := KSelection(d, 99); len(set2) != 10 {
+		t.Fatalf("clamped set size %d", len(set2))
+	}
+	if set3, v3 := KSelection(pdb.MustDataset(nil, nil), 2); set3 != nil || v3 != 0 {
+		t.Fatalf("empty dataset k-selection = %v, %v", set3, v3)
+	}
+}
+
+func TestKSelectionPRFSpecialCase(t *testing.T) {
+	d := pdb.MustDataset([]float64{10, 5}, []float64{0.5, 0.8})
+	vals := KSelectionPRF(d)
+	// score·Pr(r=1): t0: 10·0.5 = 5; t1: 5·(0.5·0.8)=2.
+	if math.Abs(vals[0]-5) > 1e-12 || math.Abs(vals[1]-2) > 1e-12 {
+		t.Fatalf("KSelectionPRF = %v", vals)
+	}
+}

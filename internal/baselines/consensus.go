@@ -1,0 +1,142 @@
+package baselines
+
+import (
+	"repro/internal/andxor"
+	"repro/internal/core"
+	"repro/internal/pdb"
+)
+
+// Section 6: consensus top-k answers. The most consensus answer under a
+// distance function dis() is the top-k list τ minimizing E[dis(τ, τ_pw)]
+// over the random world pw. Theorem 2 shows that under the symmetric
+// difference metric the consensus answer is exactly PT(k)'s top-k; Theorem 3
+// generalizes to weighted symmetric difference, whose consensus answer is
+// the PRFω top-k for the corresponding weights.
+
+// ConsensusTopK returns the consensus top-k answer under the symmetric
+// difference metric for independent tuples: the k tuples with the largest
+// Pr(r(t) ≤ k) (Theorem 2).
+func ConsensusTopK(d *pdb.Dataset, k int) pdb.Ranking {
+	return core.TopK(core.PTh(d, k), k)
+}
+
+// ConsensusTopKTree is ConsensusTopK on a correlated dataset.
+func ConsensusTopKTree(t *andxor.Tree, k int) pdb.Ranking {
+	return core.TopK(andxor.PTh(t, k), k)
+}
+
+// ExpectedSymDiff computes E[dis_Δ(τ, τ_pw)] exactly from the truncated rank
+// distribution, using the closed form in the proof of Theorem 2:
+//
+//	E = Σ_{t∉τ} Pr(r(t)≤k) + Σ_{t∈τ} (1 − Pr(r(t)≤k))
+//
+// where k = len(τ) and Pr(r(t)>k) includes the probability that t is absent.
+func ExpectedSymDiff(d *pdb.Dataset, tau pdb.Ranking) float64 {
+	k := len(tau)
+	pt := core.PTh(d, k)
+	return expectedSymDiffFromPT(pt, tau)
+}
+
+// ExpectedSymDiffTree is ExpectedSymDiff on a correlated dataset.
+func ExpectedSymDiffTree(t *andxor.Tree, tau pdb.Ranking) float64 {
+	pt := andxor.PTh(t, len(tau))
+	return expectedSymDiffFromPT(pt, tau)
+}
+
+func expectedSymDiffFromPT(pt []float64, tau pdb.Ranking) float64 {
+	inTau := make(map[pdb.TupleID]bool, len(tau))
+	for _, id := range tau {
+		inTau[id] = true
+	}
+	var e float64
+	for id, p := range pt {
+		if inTau[pdb.TupleID(id)] {
+			e += 1 - p
+		} else {
+			e += p
+		}
+	}
+	return e
+}
+
+// ExpectedWeightedSymDiff computes E[dis_ω(τ, τ_pw)] for the weighted
+// symmetric difference of Definition 5 with weight vector w (w[i] weighs
+// rank i+1; ranks beyond len(w) weigh 0):
+//
+//	E = Σ_{t∉τ} Υω(t)        (proof of Theorem 3)
+func ExpectedWeightedSymDiff(d *pdb.Dataset, tau pdb.Ranking, w []float64) float64 {
+	vals := core.PRFOmega(d, w)
+	return weightedSymDiffFromUpsilon(vals, tau)
+}
+
+// ExpectedWeightedSymDiffTree is the correlated-data version.
+func ExpectedWeightedSymDiffTree(t *andxor.Tree, tau pdb.Ranking, w []float64) float64 {
+	vals := andxor.PRFOmega(t, w)
+	return weightedSymDiffFromUpsilon(vals, tau)
+}
+
+func weightedSymDiffFromUpsilon(vals []float64, tau pdb.Ranking) float64 {
+	inTau := make(map[pdb.TupleID]bool, len(tau))
+	for _, id := range tau {
+		inTau[id] = true
+	}
+	var e float64
+	for id, v := range vals {
+		if !inTau[pdb.TupleID(id)] {
+			e += v
+		}
+	}
+	return e
+}
+
+// ConsensusTopKWeighted returns the consensus answer under the weighted
+// symmetric difference with weights w: the k = len(w)... tuples with the
+// largest Υω values (Theorem 3). k is passed separately because w may be
+// longer or shorter than the answer size.
+func ConsensusTopKWeighted(d *pdb.Dataset, k int, w []float64) pdb.Ranking {
+	return core.TopK(core.PRFOmega(d, w), k)
+}
+
+// SymDiffWorld computes dis_Δ(τ, topk(pw)) for one concrete world — the
+// brute-force distance used to cross-check the closed forms in tests.
+func SymDiffWorld(tau pdb.Ranking, w pdb.World, k int) int {
+	top := pdb.TopKFromWorld(w, k)
+	inTau := make(map[pdb.TupleID]bool, len(tau))
+	for _, id := range tau {
+		inTau[id] = true
+	}
+	inTop := make(map[pdb.TupleID]bool, len(top))
+	for _, id := range top {
+		inTop[id] = true
+	}
+	d := 0
+	for _, id := range tau {
+		if !inTop[id] {
+			d++
+		}
+	}
+	for _, id := range top {
+		if !inTau[id] {
+			d++
+		}
+	}
+	return d
+}
+
+// WeightedSymDiffWorld computes dis_ω(τ, topk(pw)) for one world: Σ w[i] over
+// positions i of the world's top-k whose tuple is missing from τ
+// (Definition 5, with τ₂ = the world's answer).
+func WeightedSymDiffWorld(tau pdb.Ranking, w pdb.World, weights []float64) float64 {
+	top := pdb.TopKFromWorld(w, len(weights))
+	inTau := make(map[pdb.TupleID]bool, len(tau))
+	for _, id := range tau {
+		inTau[id] = true
+	}
+	var d float64
+	for i, id := range top {
+		if !inTau[id] {
+			d += weights[i]
+		}
+	}
+	return d
+}

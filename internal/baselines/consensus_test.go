@@ -1,0 +1,268 @@
+package baselines
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/andxor"
+	"repro/internal/pdb"
+)
+
+// figure1Tree rebuilds the Figure 1 traffic database (see andxor tests).
+func figure1Tree(t *testing.T) *andxor.Tree {
+	t.Helper()
+	tree, err := andxor.New(andxor.NewAnd(
+		andxor.NewXor([]float64{0.4}, andxor.NewLeaf(120)),
+		andxor.NewXor([]float64{0.7, 0.3}, andxor.NewLeaf(130), andxor.NewLeaf(80)),
+		andxor.NewXor([]float64{0.4, 0.6}, andxor.NewLeaf(95), andxor.NewLeaf(110)),
+		andxor.NewXor([]float64{1.0}, andxor.NewLeaf(105)),
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tree
+}
+
+// Example 6 (with the paper's arithmetic slip corrected): the consensus
+// top-2 of the Figure 1 database under symmetric difference is {t2, t5} and
+// its expected distance is 1.736. (The paper's expression lists pw4 with
+// distance 4, but pw4 = {t1,t5,t6,t3} has top-2 {t1,t5}, at distance 2 from
+// {t2,t5}; the corrected expectation is 2·0.628 + 4·0.120 = 1.736.)
+func TestExample6ConsensusTop2(t *testing.T) {
+	tree := figure1Tree(t)
+	tau := ConsensusTopKTree(tree, 2)
+	want := map[pdb.TupleID]bool{1: true, 4: true} // t2, t5
+	if len(tau) != 2 || !want[tau[0]] || !want[tau[1]] {
+		t.Fatalf("consensus top-2 = %v, want {t2, t5}", tau)
+	}
+	got := ExpectedSymDiffTree(tree, tau)
+	// Cross-check against full enumeration.
+	worlds, err := tree.EnumerateWorlds(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var brute float64
+	for _, w := range worlds {
+		brute += w.Prob * float64(SymDiffWorld(tau, w, 2))
+	}
+	if math.Abs(got-brute) > 1e-9 {
+		t.Fatalf("closed form %v vs enumeration %v", got, brute)
+	}
+	if math.Abs(got-1.736) > 1e-9 {
+		t.Fatalf("E[disΔ] = %v, want 1.736", got)
+	}
+}
+
+// Theorem 2: the PT(k) top-k minimizes the expected symmetric difference
+// over all k-subsets.
+func TestQuickTheorem2ConsensusOptimality(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(6)
+		k := 1 + rng.Intn(n)
+		d := randDataset(rng, n)
+		tau := ConsensusTopK(d, k)
+		best := ExpectedSymDiff(d, tau)
+		// Compare against every k-subset by enumeration.
+		worlds, err := pdb.EnumerateWorlds(d)
+		if err != nil {
+			return false
+		}
+		for mask := 0; mask < 1<<n; mask++ {
+			if popcount(mask) != k {
+				continue
+			}
+			var cand pdb.Ranking
+			for i := 0; i < n; i++ {
+				if mask&(1<<i) != 0 {
+					cand = append(cand, pdb.TupleID(i))
+				}
+			}
+			var e float64
+			for _, w := range worlds {
+				e += w.Prob * float64(SymDiffWorld(cand, w, k))
+			}
+			if e < best-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The closed-form expected symmetric difference must match enumeration for
+// arbitrary (not just optimal) answers.
+func TestQuickExpectedSymDiffClosedForm(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(6)
+		k := 1 + rng.Intn(n)
+		d := randDataset(rng, n)
+		perm := rng.Perm(n)
+		tau := make(pdb.Ranking, k)
+		for i := 0; i < k; i++ {
+			tau[i] = pdb.TupleID(perm[i])
+		}
+		got := ExpectedSymDiff(d, tau)
+		worlds, err := pdb.EnumerateWorlds(d)
+		if err != nil {
+			return false
+		}
+		var want float64
+		for _, w := range worlds {
+			want += w.Prob * float64(SymDiffWorld(tau, w, k))
+		}
+		return math.Abs(got-want) <= 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Theorem 3: the PRFω top-k minimizes the expected weighted symmetric
+// difference, and the closed form matches enumeration.
+func TestQuickTheorem3WeightedConsensus(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(6)
+		k := 1 + rng.Intn(n)
+		d := randDataset(rng, n)
+		w := make([]float64, k)
+		for i := range w {
+			w[i] = rng.Float64() + 0.01 // positive weights
+		}
+		tau := ConsensusTopKWeighted(d, k, w)
+		got := ExpectedWeightedSymDiff(d, tau, w)
+		worlds, err := pdb.EnumerateWorlds(d)
+		if err != nil {
+			return false
+		}
+		var want float64
+		for _, pw := range worlds {
+			want += pw.Prob * WeightedSymDiffWorld(tau, pw, w)
+		}
+		if math.Abs(got-want) > 1e-9 {
+			return false
+		}
+		// Optimality over all k-subsets.
+		for mask := 0; mask < 1<<n; mask++ {
+			if popcount(mask) != k {
+				continue
+			}
+			var cand pdb.Ranking
+			for i := 0; i < n; i++ {
+				if mask&(1<<i) != 0 {
+					cand = append(cand, pdb.TupleID(i))
+				}
+			}
+			var e float64
+			for _, pw := range worlds {
+				e += pw.Prob * WeightedSymDiffWorld(cand, pw, w)
+			}
+			if e < got-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Constant weights reduce the weighted form to (one side of) the symmetric
+// difference consensus: the optimal answers coincide.
+func TestWeightedReducesToPlainConsensus(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	d := randDataset(rng, 12)
+	k := 4
+	w := make([]float64, k)
+	for i := range w {
+		w[i] = 1
+	}
+	plain := ConsensusTopK(d, k)
+	weighted := ConsensusTopKWeighted(d, k, w)
+	for i := range plain {
+		if plain[i] != weighted[i] {
+			t.Fatalf("plain %v vs weighted %v", plain, weighted)
+		}
+	}
+}
+
+func TestExpectedWeightedSymDiffTree(t *testing.T) {
+	tree := figure1Tree(t)
+	w := []float64{1, 0.5}
+	tau := pdb.Ranking{1, 4}
+	got := ExpectedWeightedSymDiffTree(tree, tau, w)
+	worlds, _ := tree.EnumerateWorlds(0)
+	var want float64
+	for _, pw := range worlds {
+		want += pw.Prob * WeightedSymDiffWorld(tau, pw, w)
+	}
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("tree weighted consensus: %v vs %v", got, want)
+	}
+}
+
+func TestURankTreeMatchesEnumeration(t *testing.T) {
+	tree := figure1Tree(t)
+	got := URankTree(tree, 3)
+	worlds, _ := tree.EnumerateWorlds(0)
+	rd := pdb.RankDistributionFromWorlds(worlds, tree.Len())
+	chosen := make(map[pdb.TupleID]bool)
+	for pos := 1; pos <= 3; pos++ {
+		bestP := math.Inf(-1)
+		for id := 0; id < tree.Len(); id++ {
+			if chosen[pdb.TupleID(id)] {
+				continue
+			}
+			if p := rd.At(pdb.TupleID(id), pos); p > bestP {
+				bestP = p
+			}
+		}
+		// Figure 1 has an exact tie at position 2 (t5 and t6 both at .324),
+		// so accept any maximizer within floating-point tolerance.
+		if got := rd.At(got[pos-1], pos); got < bestP-1e-9 {
+			t.Fatalf("U-Rank tree position %d: chosen tuple has Pr %v, max is %v", pos, got, bestP)
+		}
+		chosen[got[pos-1]] = true
+	}
+}
+
+func TestPThTreeAgainstPTh(t *testing.T) {
+	// On an independence-shaped tree the two PT(h) paths must agree.
+	rng := rand.New(rand.NewSource(31))
+	d := randDataset(rng, 15)
+	tree, err := andxor.Independent(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := PTh(d, 5)
+	b := PThTree(tree, 5)
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > 1e-9 {
+			t.Fatalf("PT(5) mismatch at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestERankTreeMatchesIndependentClosedForm(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	d := randDataset(rng, 12)
+	tree, err := andxor.Independent(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := ERank(d)
+	b := ERankTree(tree)
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > 1e-9 {
+			t.Fatalf("E-Rank mismatch at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}

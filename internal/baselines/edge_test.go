@@ -1,0 +1,198 @@
+package baselines
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/pdb"
+)
+
+// Degenerate datasets must not panic or produce NaNs anywhere in the
+// baseline suite (failure-injection tests).
+
+func degenerateDatasets() map[string]*pdb.Dataset {
+	return map[string]*pdb.Dataset{
+		"single tuple":    pdb.MustDataset([]float64{5}, []float64{0.5}),
+		"all certain":     pdb.MustDataset([]float64{3, 2, 1}, []float64{1, 1, 1}),
+		"all impossible":  pdb.MustDataset([]float64{3, 2, 1}, []float64{0, 0, 0}),
+		"identical score": pdb.MustDataset([]float64{7, 7, 7, 7}, []float64{0.2, 0.4, 0.6, 0.8}),
+		"negative scores": pdb.MustDataset([]float64{-1, -5, -3}, []float64{0.5, 0.5, 0.5}),
+	}
+}
+
+func TestBaselinesOnDegenerateDatasets(t *testing.T) {
+	for name, d := range degenerateDatasets() {
+		t.Run(name, func(t *testing.T) {
+			n := d.Len()
+			k := 2
+			if k > n {
+				k = n
+			}
+			checkFinite := func(label string, vals []float64) {
+				t.Helper()
+				for i, v := range vals {
+					if math.IsNaN(v) {
+						t.Fatalf("%s[%d] is NaN", label, i)
+					}
+				}
+			}
+			checkFinite("EScore", EScore(d))
+			checkFinite("ByProbability", ByProbability(d))
+			checkFinite("ByScore", ByScore(d))
+			checkFinite("ERank", ERank(d))
+			checkFinite("PTh", PTh(d, k))
+			checkFinite("KSelectionPRF", KSelectionPRF(d))
+			if got := URank(d, k); len(got) > k {
+				t.Fatalf("URank too long: %v", got)
+			}
+			if _, p := UTopK(d, k); math.IsNaN(p) {
+				t.Fatal("UTopK probability NaN")
+			}
+			if _, v := KSelection(d, k); math.IsNaN(v) {
+				t.Fatal("KSelection value NaN")
+			}
+			tau := ConsensusTopK(d, k)
+			if e := ExpectedSymDiff(d, tau); math.IsNaN(e) || e < 0 {
+				t.Fatalf("ExpectedSymDiff = %v", e)
+			}
+		})
+	}
+}
+
+// All-certain tuples: every semantics must agree with the score order.
+func TestAllSemanticsAgreeOnCertainData(t *testing.T) {
+	d := pdb.MustDataset([]float64{40, 30, 20, 10}, []float64{1, 1, 1, 1})
+	want := pdb.Ranking{0, 1, 2, 3}
+	checks := map[string]pdb.Ranking{
+		"E-Score":   pdb.RankByValue(EScore(d)),
+		"PT(4)":     pdb.RankByValue(PTh(d, 4)).TopK(4),
+		"U-Rank":    URank(d, 4),
+		"E-Rank":    ERankRanking(ERank(d)),
+		"consensus": ConsensusTopK(d, 4),
+		"PRFe(0.5)": core.RankPRFe(d, 0.5),
+	}
+	for name, got := range checks {
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%s = %v, want %v", name, got, want)
+			}
+		}
+	}
+	set, p := UTopK(d, 2)
+	if p != 1 || set[0] != 0 || set[1] != 1 {
+		t.Fatalf("U-Top on certain data: %v %v", set, p)
+	}
+}
+
+// Property: U-Top's probability is a true probability and the returned set
+// is feasible (all members have p>0).
+func TestQuickUTopKSanity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(20)
+		scores := make([]float64, n)
+		probs := make([]float64, n)
+		for i := range scores {
+			scores[i] = rng.Float64() * 100
+			probs[i] = rng.Float64()
+		}
+		d := pdb.MustDataset(scores, probs)
+		k := 1 + rng.Intn(n)
+		set, p := UTopK(d, k)
+		if p < 0 || p > 1+1e-12 {
+			return false
+		}
+		pm := d.ProbMap()
+		for _, id := range set {
+			if pm[id] <= 0 {
+				return false
+			}
+		}
+		return len(set) <= k
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: k-selection value is monotone in k (adding a pick never hurts).
+func TestQuickKSelectionMonotoneInK(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(15)
+		scores := make([]float64, n)
+		probs := make([]float64, n)
+		for i := range scores {
+			scores[i] = rng.Float64() * 100
+			probs[i] = rng.Float64()
+		}
+		d := pdb.MustDataset(scores, probs)
+		prev := 0.0
+		for k := 1; k <= n; k++ {
+			_, v := KSelection(d, k)
+			if v < prev-1e-9 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: E-Rank values lie in [0, n] and the certain top tuple has the
+// best expected rank.
+func TestQuickERankBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(25)
+		scores := make([]float64, n)
+		probs := make([]float64, n)
+		for i := range scores {
+			scores[i] = float64(n - i)
+			probs[i] = rng.Float64()
+		}
+		probs[0] = 1 // certain best-scored tuple: always rank 1
+		d := pdb.MustDataset(scores, probs)
+		er := ERank(d)
+		if math.Abs(er[0]-1) > 1e-9 {
+			return false
+		}
+		for _, v := range er {
+			if v < 0 || v > float64(n)+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the URank answer's first position maximizes Pr(r(t)=1), which
+// equals the U-Top answer for k=1.
+func TestQuickURankTopOneConsistency(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(15)
+		scores := make([]float64, n)
+		probs := make([]float64, n)
+		for i := range scores {
+			scores[i] = rng.Float64() * 100
+			probs[i] = 0.05 + 0.9*rng.Float64()
+		}
+		d := pdb.MustDataset(scores, probs)
+		ur := URank(d, 1)
+		ut, _ := UTopK(d, 1)
+		return len(ur) == 1 && len(ut) == 1 && ur[0] == ut[0]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

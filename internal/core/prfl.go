@@ -1,0 +1,40 @@
+package core
+
+import "repro/internal/pdb"
+
+// PRFl evaluates the PRFℓ (PRF-linear) special case ω(i) = −i of Section 3.3
+// for every tuple:
+//
+//	Υℓ(t) = −Σ_i i·Pr(r(t)=i) = −er1(t),
+//
+// the negated contribution of the worlds containing t to its expected rank.
+// For independent tuples er1(tᵢ) = pᵢ·(1 + Σ_{l<i} p_l), so one prefix-sum
+// scan suffices: O(n log n) with the sort, O(n) pre-sorted — matching the
+// paper's observation that expected ranks cost no more than PRFℓ.
+func PRFl(d *pdb.Dataset) []float64 {
+	out := make([]float64, d.Len())
+	prefix := 0.0
+	for _, t := range sortedCopy(d) {
+		out[t.ID] = -t.Prob * (1 + prefix)
+		prefix += t.Prob
+	}
+	return out
+}
+
+// ExpectedRankDecomposition returns the two parts of the expected rank of
+// Section 3.3 for every tuple: er1 (worlds containing t, which is −PRFℓ)
+// and er2 = (1−p)·(C−p) (worlds missing t, whose rank convention is |pw|).
+// E[r(t)] = er1 + er2; the baselines package exposes the combined E-Rank.
+func ExpectedRankDecomposition(d *pdb.Dataset) (er1, er2 []float64) {
+	n := d.Len()
+	er1 = PRFl(d)
+	for i := range er1 {
+		er1[i] = -er1[i]
+	}
+	er2 = make([]float64, n)
+	c := d.ExpectedWorldSize()
+	for _, t := range d.Tuples() {
+		er2[t.ID] = (1 - t.Prob) * (c - t.Prob)
+	}
+	return er1, er2
+}

@@ -1,0 +1,185 @@
+// Package datagen generates the Section 8 evaluation workloads:
+//
+//   - IIPLike, a synthetic stand-in for the International Ice Patrol iceberg
+//     sightings dataset (see DESIGN.md §4 for the substitution argument):
+//     scores are drift durations drawn from a heavy-tailed mixture,
+//     probabilities are the paper's own confidence-level conversion —
+//     {0.8, 0.7, 0.6, 0.5, 0.4, 0.3, 0.4} plus a small Gaussian tie-breaking
+//     noise;
+//   - SynIND, the independent-tuples synthetic dataset (scores uniform in
+//     [0, 10000], probabilities uniform in [0, 1]);
+//   - SynXOR / SynLOW / SynMED / SynHIGH, random probabilistic and/xor trees
+//     with the paper's height (L), degree (d) and ∨-to-∧ proportion (X/A)
+//     parameters.
+//
+// All generators are deterministic in their seed.
+package datagen
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/andxor"
+	"repro/internal/pdb"
+)
+
+// confidenceLevels are the paper's probabilities for the seven IIP sighting
+// sources: R/V, VIS, RAD, SAT-LOW, SAT-MED, SAT-HIGH, EST.
+var confidenceLevels = []float64{0.8, 0.7, 0.6, 0.5, 0.4, 0.3, 0.4}
+
+// IIPLike generates n iceberg-sighting-like records. The score ("number of
+// days drifted") follows a mixture of exponentials — most icebergs drift
+// briefly, a few for a very long time — and the probability is a uniformly
+// chosen confidence level with N(0, 0.01²) noise, clipped to (0, 1).
+func IIPLike(n int, seed int64) *pdb.Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	scores := make([]float64, n)
+	probs := make([]float64, n)
+	for i := 0; i < n; i++ {
+		mean := 30.0
+		if rng.Float64() < 0.1 {
+			mean = 400.0 // long-drifting tail
+		}
+		scores[i] = rng.ExpFloat64() * mean
+		p := confidenceLevels[rng.Intn(len(confidenceLevels))] + rng.NormFloat64()*0.01
+		probs[i] = clampProb(p)
+	}
+	return pdb.MustDataset(scores, probs)
+}
+
+// SynIND generates n independent tuples with uniform scores in [0, 10000]
+// and uniform probabilities in [0, 1].
+func SynIND(n int, seed int64) *pdb.Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	scores := make([]float64, n)
+	probs := make([]float64, n)
+	for i := 0; i < n; i++ {
+		scores[i] = rng.Float64() * 10000
+		probs[i] = rng.Float64()
+	}
+	return pdb.MustDataset(scores, probs)
+}
+
+func clampProb(p float64) float64 {
+	return math.Min(0.99, math.Max(0.01, p))
+}
+
+// TreeParams controls the random and/xor tree generators: the tree has
+// height at most Height, non-root inner nodes have at most MaxDegree
+// children, and an inner node is a ∨ with probability XorShare (the paper's
+// X/A ratio r corresponds to XorShare = r/(r+1); X/A=∞ is XorShare=1).
+type TreeParams struct {
+	Height    int
+	MaxDegree int
+	XorShare  float64
+}
+
+// SynTree generates a random and/xor tree with exactly n leaves. The root
+// is a ∧ node of unbounded degree (as in the x-tuples layout); subtrees are
+// grown randomly under the height/degree constraints, with uniform leaf
+// scores in [0, 10000] and random ∨ edge probabilities summing to at most 1.
+func SynTree(n int, p TreeParams, seed int64) (*andxor.Tree, error) {
+	rng := rand.New(rand.NewSource(seed))
+	if p.Height < 2 {
+		p.Height = 2
+	}
+	if p.MaxDegree < 2 {
+		p.MaxDegree = 2
+	}
+	var children []*andxor.Node
+	budget := n
+	for budget > 0 {
+		c, used := growSubtree(rng, p, 1, budget)
+		children = append(children, c)
+		budget -= used
+	}
+	return andxor.New(andxor.NewAnd(children...))
+}
+
+// growSubtree builds a random subtree at the given depth using at most
+// budget leaves; returns the node and the number of leaves consumed.
+func growSubtree(rng *rand.Rand, p TreeParams, depth, budget int) (*andxor.Node, int) {
+	if budget <= 1 || depth >= p.Height {
+		return leafNode(rng, p, depth), 1
+	}
+	width := 2 + rng.Intn(p.MaxDegree-1)
+	if width > budget {
+		width = budget
+	}
+	kids := make([]*andxor.Node, 0, width)
+	used := 0
+	for i := 0; i < width && used < budget; i++ {
+		c, u := growSubtree(rng, p, depth+1, budget-used)
+		kids = append(kids, c)
+		used += u
+	}
+	if rng.Float64() < p.XorShare {
+		return andxor.NewXor(randomEdgeProbs(rng, len(kids)), kids...), used
+	}
+	return andxor.NewAnd(kids...), used
+}
+
+// leafNode wraps a leaf in a single-child ∨ node (giving it an existence
+// probability) unless its parent context will already randomize presence; a
+// bare leaf under a ∧ chain would otherwise be certain. To keep every tuple
+// genuinely uncertain the leaf always gets its own ∨ unless the tree height
+// budget is exhausted at depth ≥ Height.
+func leafNode(rng *rand.Rand, p TreeParams, depth int) *andxor.Node {
+	leaf := andxor.NewLeaf(rng.Float64() * 10000)
+	if depth >= p.Height {
+		return leaf
+	}
+	return andxor.NewXor([]float64{0.05 + 0.9*rng.Float64()}, leaf)
+}
+
+func randomEdgeProbs(rng *rand.Rand, k int) []float64 {
+	probs := make([]float64, k)
+	var sum float64
+	for i := range probs {
+		probs[i] = 0.05 + rng.Float64()
+		sum += probs[i]
+	}
+	// Scale so the total lands in [0.5, 1]: some ∨ nodes may select nothing.
+	target := 0.5 + 0.5*rng.Float64()
+	for i := range probs {
+		probs[i] *= target / sum
+	}
+	return probs
+}
+
+// SynXOR generates the Syn-XOR dataset (L=2, X/A=∞, d=5): pure x-tuples,
+// groups of at most 5 mutually exclusive alternatives.
+func SynXOR(n int, seed int64) (*andxor.Tree, error) {
+	rng := rand.New(rand.NewSource(seed))
+	var groups [][]andxor.Alternative
+	remaining := n
+	for remaining > 0 {
+		size := 1 + rng.Intn(5)
+		if size > remaining {
+			size = remaining
+		}
+		alts := make([]andxor.Alternative, size)
+		probs := randomEdgeProbs(rng, size)
+		for i := range alts {
+			alts[i] = andxor.Alternative{Score: rng.Float64() * 10000, Prob: probs[i]}
+		}
+		groups = append(groups, alts)
+		remaining -= size
+	}
+	return andxor.XTuples(groups)
+}
+
+// SynLOW generates the Syn-LOW dataset (L=3, X/A=10, d=2).
+func SynLOW(n int, seed int64) (*andxor.Tree, error) {
+	return SynTree(n, TreeParams{Height: 3, MaxDegree: 2, XorShare: 10.0 / 11.0}, seed)
+}
+
+// SynMED generates the Syn-MED dataset (L=5, X/A=3, d=5).
+func SynMED(n int, seed int64) (*andxor.Tree, error) {
+	return SynTree(n, TreeParams{Height: 5, MaxDegree: 5, XorShare: 3.0 / 4.0}, seed)
+}
+
+// SynHIGH generates the Syn-HIGH dataset (L=5, X/A=1, d=10).
+func SynHIGH(n int, seed int64) (*andxor.Tree, error) {
+	return SynTree(n, TreeParams{Height: 5, MaxDegree: 10, XorShare: 0.5}, seed)
+}

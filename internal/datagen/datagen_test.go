@@ -1,0 +1,163 @@
+package datagen
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/andxor"
+	"repro/internal/pdb"
+)
+
+func TestIIPLikeShape(t *testing.T) {
+	d := IIPLike(5000, 42)
+	if d.Len() != 5000 {
+		t.Fatalf("size %d", d.Len())
+	}
+	// Probabilities must cluster near the seven confidence levels.
+	nearLevel := 0
+	for _, tu := range d.Tuples() {
+		if tu.Prob <= 0 || tu.Prob >= 1 {
+			t.Fatalf("probability %v out of (0,1)", tu.Prob)
+		}
+		for _, lv := range confidenceLevels {
+			if math.Abs(tu.Prob-lv) < 0.05 {
+				nearLevel++
+				break
+			}
+		}
+		if tu.Score < 0 {
+			t.Fatalf("negative drift %v", tu.Score)
+		}
+	}
+	if float64(nearLevel)/5000 < 0.99 {
+		t.Fatalf("only %d/5000 probabilities near a confidence level", nearLevel)
+	}
+	// Heavy tail: the max score should far exceed the median.
+	c := d.Clone()
+	c.SortByScore()
+	maxScore := c.Tuple(0).Score
+	median := c.Tuple(2500).Score
+	if maxScore < 8*median {
+		t.Fatalf("score distribution not heavy-tailed: max %v median %v", maxScore, median)
+	}
+}
+
+func TestIIPLikeDeterministic(t *testing.T) {
+	a := IIPLike(100, 7)
+	b := IIPLike(100, 7)
+	for i := 0; i < 100; i++ {
+		if a.Tuple(i) != b.Tuple(i) {
+			t.Fatal("same seed produced different data")
+		}
+	}
+	c := IIPLike(100, 8)
+	same := true
+	for i := 0; i < 100; i++ {
+		if a.Tuple(i) != c.Tuple(i) {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical data")
+	}
+}
+
+func TestSynINDShape(t *testing.T) {
+	d := SynIND(2000, 1)
+	if d.Len() != 2000 {
+		t.Fatalf("size %d", d.Len())
+	}
+	var probSum float64
+	for _, tu := range d.Tuples() {
+		if tu.Score < 0 || tu.Score > 10000 || tu.Prob < 0 || tu.Prob > 1 {
+			t.Fatalf("out of range tuple %+v", tu)
+		}
+		probSum += tu.Prob
+	}
+	// Expected world size ≈ n/2, the property §3.2 relies on.
+	if probSum < 900 || probSum > 1100 {
+		t.Fatalf("expected world size %v, want ≈1000", probSum)
+	}
+}
+
+func TestSynTreePresets(t *testing.T) {
+	cases := []struct {
+		name      string
+		build     func(n int, seed int64) (*andxor.Tree, error)
+		maxHeight int
+	}{
+		{"SynXOR", SynXOR, 2},
+		{"SynLOW", SynLOW, 3},
+		{"SynMED", SynMED, 5},
+		{"SynHIGH", SynHIGH, 5},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			tree, err := c.build(500, 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tree.Len() != 500 {
+				t.Fatalf("leaves %d, want 500", tree.Len())
+			}
+			if tree.Height() > c.maxHeight+1 {
+				// +1: leaves wrapped in presence-∨ nodes sit one level
+				// below their structural parent.
+				t.Fatalf("height %d exceeds %d", tree.Height(), c.maxHeight+1)
+			}
+			// Every leaf must have a valid marginal.
+			for id := 0; id < tree.Len(); id++ {
+				p := tree.Leaf(pdb.TupleID(id)).Prob
+				if p < 0 || p > 1 {
+					t.Fatalf("marginal %v", p)
+				}
+			}
+		})
+	}
+}
+
+func TestSynXORIsXTuples(t *testing.T) {
+	tree, err := SynXOR(100, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Height() != 2 {
+		t.Fatalf("SynXOR height %d, want 2", tree.Height())
+	}
+}
+
+func TestSynTreeDeterministic(t *testing.T) {
+	a, err := SynMED(200, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SynMED(200, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := 0; id < 200; id++ {
+		ta := a.Leaf(pdb.TupleID(id))
+		tb := b.Leaf(pdb.TupleID(id))
+		if ta.Score != tb.Score || math.Abs(ta.Prob-tb.Prob) > 1e-15 {
+			t.Fatal("same seed produced different trees")
+		}
+	}
+}
+
+func TestSynTreeCustomParams(t *testing.T) {
+	tree, err := SynTree(50, TreeParams{Height: 4, MaxDegree: 3, XorShare: 0.9}, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Len() != 50 {
+		t.Fatalf("leaves %d", tree.Len())
+	}
+	// Degenerate params are clamped, not fatal.
+	tree2, err := SynTree(10, TreeParams{}, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree2.Len() != 10 {
+		t.Fatalf("leaves %d", tree2.Len())
+	}
+}

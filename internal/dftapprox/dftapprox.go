@@ -1,0 +1,266 @@
+// Package dftapprox implements the Section 5.1 algorithm for approximating a
+// PRFω weight function by a short linear combination of complex
+// exponentials,
+//
+//	ω(i) ≈ Σ_{l=1..L} u_l · α_l^i ,
+//
+// which turns one O(n·h) PRFω evaluation into L O(n) PRFe evaluations.
+//
+// The pipeline starts from a plain discrete Fourier transform and adds the
+// paper's three adaptations, each independently switchable so the Figure 4
+// ablation can be reproduced:
+//
+//   - DF (damping factor): multiply by η^i with B·η^{aN} ≤ ε, killing the
+//     periodic wrap-around of the bare DFT;
+//   - IS (initial scaling): run the DFT on η^{-i}·ω(i) so the damping does
+//     not bias the approximation downward on [0, N);
+//   - ES (extend and shift): extrapolate ω to the left of 0 and shift right,
+//     moving the discontinuity at i=0 away from the region that matters.
+package dftapprox
+
+import (
+	"math"
+	"math/cmplx"
+	"sort"
+
+	"repro/internal/fft"
+)
+
+// Term is one exponential u·αⁱ of the approximation.
+type Term struct {
+	// U is the coefficient.
+	U complex128
+	// Alpha is the base; |Alpha| = η ≤ 1.
+	Alpha complex128
+}
+
+// Options configures Approximate. The zero value is not useful; start from
+// DefaultOptions.
+type Options struct {
+	// L is the number of exponential terms (DFT coefficients kept).
+	L int
+	// A is the domain multiplier: the DFT runs on [0, A·N).
+	A int
+	// B is the extension fraction for ES: ω is extrapolated over [−B·N, 0).
+	B float64
+	// Epsilon is the damping target: maxω·η^{A·N} ≤ Epsilon.
+	Epsilon float64
+	// Damping enables the DF step.
+	Damping bool
+	// InitialScaling enables the IS step (requires Damping).
+	InitialScaling bool
+	// ExtendShift enables the ES step.
+	ExtendShift bool
+}
+
+// DefaultOptions returns the recommended configuration: all three
+// adaptations on, a=2, b=0.1, ε=1e−3.
+//
+// ε trades off two error sources. The damping leaks B·ε of weight past the
+// wrap-around at a·N (the paper's periodicity problem), arguing for small ε;
+// but initial scaling blows the discontinuity at N up to height η^{−N} =
+// (B/ε)^{1/a}, whose Gibbs ringing pollutes the whole domain, arguing for
+// large ε. ε=1e−3 keeps both below ~1% for a=2; the paper's illustrative
+// 1e−5 makes the ringing the dominant error at small L.
+func DefaultOptions(l int) Options {
+	return Options{L: l, A: 2, B: 0.1, Epsilon: 1e-3, Damping: true, InitialScaling: true, ExtendShift: true}
+}
+
+// VariantOptions returns the four Figure 4 ablation settings in order:
+// DFT, DFT+DF, DFT+DF+IS, DFT+DF+IS+ES.
+func VariantOptions(l int) []Options {
+	base := Options{L: l, A: 2, B: 0.1, Epsilon: 1e-3}
+	df := base
+	df.Damping = true
+	dfis := df
+	dfis.InitialScaling = true
+	full := dfis
+	full.ExtendShift = true
+	return []Options{base, df, dfis, full}
+}
+
+// VariantNames matches VariantOptions for reporting.
+var VariantNames = []string{"DFT", "DFT+DF", "DFT+DF+IS", "DFT+DF+IS+ES"}
+
+// Approximate builds the exponential-sum approximation of ω over the
+// support [0, N): omega(i) is sampled at integers and assumed (near) zero
+// for i ≥ N. The returned terms are conjugate-closed so Eval's real part is
+// the approximation.
+func Approximate(omega func(i int) float64, n int, opts Options) []Term {
+	if n <= 0 || opts.L <= 0 {
+		return nil
+	}
+	if opts.A < 1 {
+		opts.A = 2
+	}
+	if opts.Epsilon <= 0 {
+		opts.Epsilon = 1e-5
+	}
+
+	shift := 0
+	if opts.ExtendShift {
+		shift = int(opts.B * float64(n))
+		if shift < 1 {
+			shift = 1
+		}
+	}
+	m := opts.A*n + shift // DFT domain size
+
+	// Bound B on |ω| for the damping target.
+	bound := 0.0
+	for i := 0; i < n; i++ {
+		if a := math.Abs(omega(i)); a > bound {
+			bound = a
+		}
+	}
+	if bound == 0 {
+		return nil
+	}
+
+	eta := 1.0
+	if opts.Damping {
+		// B·η^{aN} ≤ ε ⇒ η = (ε/B)^{1/(aN)}.
+		eta = math.Pow(opts.Epsilon/bound, 1/float64(opts.A*n))
+		if eta > 1 {
+			eta = 1
+		}
+	}
+
+	// Build the (extended, shifted, initially-scaled) sample sequence.
+	seq := make([]complex128, m)
+	for i := 0; i < m; i++ {
+		j := i - shift // position in the original domain
+		var v float64
+		switch {
+		case j >= 0:
+			v = omega(j)
+		default:
+			// ES extrapolation: ramp smoothly from 0 up to ω(0) over the
+			// extension, making the periodic sequence continuous both at
+			// the i=0 boundary and at the wrap-around (the bare flat
+			// extension would leave a height-ω(0) jump at the wrap, whose
+			// ringing is exactly the boundary error ES is meant to kill).
+			frac := float64(i+1) / float64(shift+1)
+			v = omega(0) * 0.5 * (1 - math.Cos(math.Pi*frac))
+		}
+		if opts.InitialScaling && eta < 1 {
+			v *= math.Pow(eta, -float64(i))
+		}
+		seq[i] = complex(v, 0)
+	}
+
+	psi := fft.Forward(seq)
+
+	// Keep the L largest coefficients, conjugate-closed so the result stays
+	// real: the partner of index k is m−k (k=0 and k=m/2 are self-paired).
+	order := make([]int, m)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ma, mb := cmplx.Abs(psi[order[a]]), cmplx.Abs(psi[order[b]])
+		if ma != mb {
+			return ma > mb
+		}
+		return order[a] < order[b]
+	})
+	chosen := make(map[int]bool, opts.L)
+	for _, k := range order {
+		if len(chosen) >= opts.L {
+			break
+		}
+		if chosen[k] {
+			continue
+		}
+		partner := (m - k) % m
+		if partner == k {
+			chosen[k] = true
+			continue
+		}
+		if len(chosen)+2 > opts.L {
+			continue // a pair no longer fits; try smaller (self-paired) ones
+		}
+		chosen[k] = true
+		chosen[partner] = true
+	}
+
+	// Assemble terms: ω(i) ≈ Σ_k (ψ(k)/m)·η^{i+shift}·e^{2πik(i+shift)/m}
+	//               = Σ_k u_k·α_k^i with α_k = η·e^{2πik/m}.
+	terms := make([]Term, 0, len(chosen))
+	ks := make([]int, 0, len(chosen))
+	for k := range chosen {
+		ks = append(ks, k)
+	}
+	sort.Ints(ks)
+	for _, k := range ks {
+		alpha := complex(eta, 0) * cmplx.Exp(complex(0, 2*math.Pi*float64(k)/float64(m)))
+		u := psi[k] / complex(float64(m), 0)
+		if shift > 0 {
+			// ω(j) = ω̄(j+shift) ≈ Σ (ψ(k)/m)·α^{j+shift}: fold α^shift
+			// into the coefficient. (With IS the DFT ran on η^{-i}·ω̄ and
+			// the η^i re-damping is already part of α^i, so the same
+			// formula covers every variant.)
+			u *= cmplx.Pow(alpha, complex(float64(shift), 0))
+		}
+		terms = append(terms, Term{U: u, Alpha: alpha})
+	}
+	return terms
+}
+
+// Eval returns the real part of Σ u·αⁱ at integer i ≥ 0.
+func Eval(terms []Term, i int) float64 {
+	var sum complex128
+	for _, t := range terms {
+		sum += t.U * cmplx.Pow(t.Alpha, complex(float64(i), 0))
+	}
+	return real(sum)
+}
+
+// EvalSeries evaluates the approximation at 0..n−1 with incremental powers
+// (O(L·n) without cmplx.Pow per point).
+func EvalSeries(terms []Term, n int) []float64 {
+	out := make([]float64, n)
+	for _, t := range terms {
+		pw := complex(1, 0)
+		for i := 0; i < n; i++ {
+			out[i] += real(t.U * pw)
+			pw *= t.Alpha
+		}
+	}
+	return out
+}
+
+// MaxAbsError returns max_{0≤i<n} |ω(i) − Eval(terms, i)|.
+func MaxAbsError(omega func(i int) float64, terms []Term, n int) float64 {
+	approx := EvalSeries(terms, n)
+	var worst float64
+	for i := 0; i < n; i++ {
+		if d := math.Abs(omega(i) - approx[i]); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// MeanSquaredError returns the MSE of the approximation over [0, n).
+func MeanSquaredError(omega func(i int) float64, terms []Term, n int) float64 {
+	approx := EvalSeries(terms, n)
+	var sum float64
+	for i := 0; i < n; i++ {
+		d := omega(i) - approx[i]
+		sum += d * d
+	}
+	return sum / float64(n)
+}
+
+// TermsForRankWeights converts sequence terms (ω(i) for 0-based i, i.e. the
+// weight of rank i+1 is ω(i)) into the PRFe form: with w[j−1] = Σ u·α^{j−1},
+// Υ = Σ_j w[j−1]·Pr(r=j) = Σ_l (u_l/α_l)·Υ_{α_l}, so each coefficient is
+// divided by its base.
+func TermsForRankWeights(terms []Term) []Term {
+	out := make([]Term, len(terms))
+	for i, t := range terms {
+		out[i] = Term{U: t.U / t.Alpha, Alpha: t.Alpha}
+	}
+	return out
+}

@@ -1,0 +1,217 @@
+package dftapprox
+
+import (
+	"math"
+	"testing"
+)
+
+func TestStepApproximationQuality(t *testing.T) {
+	const n = 200
+	omega := Step(n)
+	terms := Approximate(omega, n, DefaultOptions(30))
+	if len(terms) == 0 || len(terms) > 30 {
+		t.Fatalf("%d terms", len(terms))
+	}
+	// Inside the support (away from the discontinuity) the approximation
+	// must be close to 1; beyond ~aN it must decay to ~0 (no periodic
+	// wrap-around).
+	// Pointwise wobble of an L-term Fourier fit near the plateau edges is
+	// inherent (Gibbs); ranking quality is validated end-to-end by the
+	// Figure 8 experiment. Here we only require the fit to track the step.
+	approx := EvalSeries(terms, 6*n)
+	for i := n / 8; i < n-n/8; i++ {
+		if math.Abs(approx[i]-1) > 0.45 {
+			t.Fatalf("approx(%d) = %v, want ≈1", i, approx[i])
+		}
+	}
+	for i := 3 * n; i < 6*n; i++ {
+		if math.Abs(approx[i]) > 0.1 {
+			t.Fatalf("approx(%d) = %v, want ≈0 (periodicity must be damped)", i, approx[i])
+		}
+	}
+}
+
+func TestBareDFTIsPeriodicDampingFixesIt(t *testing.T) {
+	const n = 100
+	omega := Step(n)
+	variants := VariantOptions(20)
+	bare := Approximate(omega, n, variants[0])   // DFT
+	damped := Approximate(omega, n, variants[1]) // DFT+DF
+	// The bare DFT has period a·n = 200: the value at i and i+200 match.
+	p0 := Eval(bare, 50)
+	p1 := Eval(bare, 250)
+	if math.Abs(p0-p1) > 1e-6 {
+		t.Fatalf("bare DFT should be periodic: %v vs %v", p0, p1)
+	}
+	if math.Abs(p0-1) > 0.3 {
+		t.Fatalf("bare DFT should roughly fit the support: %v", p0)
+	}
+	// Damping kills the second period.
+	d1 := Eval(damped, 250)
+	if math.Abs(d1) > 0.2 {
+		t.Fatalf("damped approx at wrap-around = %v, want ≈0", d1)
+	}
+}
+
+func TestInitialScalingRemovesDampingBias(t *testing.T) {
+	const n = 400
+	omega := Step(n)
+	variants := VariantOptions(30)
+	df := Approximate(omega, n, variants[1])   // DFT+DF
+	dfis := Approximate(omega, n, variants[2]) // DFT+DF+IS
+	// Without IS the damped approximation decays like η^i inside the
+	// support; with IS it stays near 1. Compare at the right edge.
+	at := n - n/10
+	biased := Eval(df, at)
+	unbiased := Eval(dfis, at)
+	if !(math.Abs(unbiased-1) < math.Abs(biased-1)) {
+		t.Fatalf("IS should reduce bias at i=%d: DF err %v vs DF+IS err %v",
+			at, math.Abs(biased-1), math.Abs(unbiased-1))
+	}
+	if math.Abs(unbiased-1) > 0.15 {
+		t.Fatalf("DF+IS value at %d = %v, want ≈1", at, unbiased)
+	}
+}
+
+func TestExtendShiftImprovesLeftBoundary(t *testing.T) {
+	const n = 400
+	omega := Step(n)
+	variants := VariantOptions(30)
+	dfis := Approximate(omega, n, variants[2]) // DFT+DF+IS
+	full := Approximate(omega, n, variants[3]) // DFT+DF+IS+ES
+	// Average absolute error over the first few indices (the discontinuity
+	// DFT struggles with).
+	errAt := func(terms []Term) float64 {
+		var e float64
+		for i := 0; i < 8; i++ {
+			e += math.Abs(Eval(terms, i) - 1)
+		}
+		return e / 8
+	}
+	if !(errAt(full) < errAt(dfis)) {
+		t.Fatalf("ES should improve the boundary: full %v vs dfis %v", errAt(full), errAt(dfis))
+	}
+}
+
+func TestSmoothEasierThanStep(t *testing.T) {
+	const n, l = 300, 12
+	stepTerms := Approximate(Step(n), n, DefaultOptions(l))
+	smoothTerms := Approximate(Smooth(n), n, DefaultOptions(l))
+	stepErr := MeanSquaredError(Step(n), stepTerms, n)
+	smoothErr := MeanSquaredError(Smooth(n), smoothTerms, n)
+	if !(smoothErr < stepErr) {
+		t.Fatalf("smooth functions should be easier: smooth MSE %v vs step MSE %v", smoothErr, stepErr)
+	}
+}
+
+func TestMoreTermsImproveApproximation(t *testing.T) {
+	const n = 300
+	omega := Step(n)
+	prev := math.Inf(1)
+	improved := 0
+	for _, l := range []int{6, 14, 30, 60} {
+		terms := Approximate(omega, n, DefaultOptions(l))
+		err := MeanSquaredError(omega, terms, 2*n)
+		if err < prev {
+			improved++
+		}
+		prev = err
+	}
+	if improved < 2 {
+		t.Fatalf("error should broadly decrease with more terms (improved %d/3 times)", improved)
+	}
+}
+
+func TestApproximationIsRealValued(t *testing.T) {
+	const n = 150
+	terms := Approximate(Step(n), n, DefaultOptions(21))
+	// Conjugate closure: the imaginary parts of the sum must cancel.
+	pw := make([]complex128, len(terms))
+	for j := range pw {
+		pw[j] = 1
+	}
+	for i := 0; i < 2*n; i++ {
+		var sum complex128
+		for j, tm := range terms {
+			sum += tm.U * pw[j]
+			pw[j] *= tm.Alpha
+		}
+		if im := imag(sum); math.Abs(im) > 1e-8 {
+			t.Fatalf("imaginary residue %v at i=%d", im, i)
+		}
+	}
+}
+
+func TestAlphaMagnitudesAtMostOne(t *testing.T) {
+	terms := Approximate(Step(100), 100, DefaultOptions(15))
+	for _, tm := range terms {
+		if mag := math.Hypot(real(tm.Alpha), imag(tm.Alpha)); mag > 1+1e-12 {
+			t.Fatalf("|α| = %v > 1", mag)
+		}
+	}
+}
+
+func TestEvalSeriesMatchesEval(t *testing.T) {
+	terms := Approximate(LinearDecay(50), 50, DefaultOptions(11))
+	series := EvalSeries(terms, 120)
+	for i := 0; i < 120; i += 13 {
+		if math.Abs(series[i]-Eval(terms, i)) > 1e-9 {
+			t.Fatalf("series/eval mismatch at %d: %v vs %v", i, series[i], Eval(terms, i))
+		}
+	}
+}
+
+func TestDegenerateInputs(t *testing.T) {
+	if terms := Approximate(Step(10), 0, DefaultOptions(5)); terms != nil {
+		t.Fatalf("n=0 should yield no terms, got %v", terms)
+	}
+	if terms := Approximate(Step(10), 10, DefaultOptions(0)); terms != nil {
+		t.Fatalf("L=0 should yield no terms, got %v", terms)
+	}
+	zero := func(int) float64 { return 0 }
+	if terms := Approximate(zero, 10, DefaultOptions(5)); terms != nil {
+		t.Fatalf("zero function should yield no terms, got %v", terms)
+	}
+}
+
+func TestTermsForRankWeights(t *testing.T) {
+	terms := []Term{{U: complex(2, 0), Alpha: complex(0.5, 0)}}
+	rw := TermsForRankWeights(terms)
+	// w[j-1] = 2·0.5^{j-1}; PRFe form: Υ uses α^j, so U must become 4.
+	if rw[0].U != complex(4, 0) || rw[0].Alpha != complex(0.5, 0) {
+		t.Fatalf("rank-weight terms = %+v", rw)
+	}
+}
+
+func TestWeightFunctionLibrary(t *testing.T) {
+	if Step(5)(4) != 1 || Step(5)(5) != 0 || Step(5)(-1) != 0 {
+		t.Fatal("Step wrong")
+	}
+	if LinearDecay(5)(0) != 5 || LinearDecay(5)(4) != 1 || LinearDecay(5)(5) != 0 {
+		t.Fatal("LinearDecay wrong")
+	}
+	s := Smooth(100)
+	if s(0) <= 0 || s(100) != 0 {
+		t.Fatal("Smooth boundary wrong")
+	}
+	// Smooth must have a small discrete derivative.
+	for i := 1; i < 100; i++ {
+		if math.Abs(s(i)-s(i-1)) > 0.1 {
+			t.Fatalf("Smooth jumps at %d", i)
+		}
+	}
+	ld := LogDiscount(100)
+	if math.Abs(ld(0)-1) > 1e-12 {
+		t.Fatalf("LogDiscount(0) = %v, want 1 (rank 1)", ld(0))
+	}
+	if !(ld(1) < ld(0) && ld(50) < ld(1)) {
+		t.Fatal("LogDiscount not decreasing")
+	}
+}
+
+func TestMaxAbsError(t *testing.T) {
+	terms := Approximate(Step(100), 100, DefaultOptions(40))
+	if e := MaxAbsError(Step(100), terms, 90); e > 0.5 {
+		t.Fatalf("max error %v unexpectedly large", e)
+	}
+}

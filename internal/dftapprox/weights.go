@@ -1,0 +1,54 @@
+package dftapprox
+
+import "math"
+
+// Standard weight functions from the paper's figures. All take the 0-based
+// sequence index i (the weight of rank j is the function at i = j−1) and are
+// (near) zero beyond their support N, as the approximation algorithm
+// assumes.
+
+// Step returns the PT(h)-style step function: 1 on [0, n), 0 beyond —
+// Figure 4's and Figure 5(i)'s target.
+func Step(n int) func(int) float64 {
+	return func(i int) float64 {
+		if i >= 0 && i < n {
+			return 1
+		}
+		return 0
+	}
+}
+
+// LinearDecay returns ω(i) = n−i for i < n, 0 beyond (Figure 5(ii)).
+func LinearDecay(n int) func(int) float64 {
+	return func(i int) float64 {
+		if i >= 0 && i < n {
+			return float64(n - i)
+		}
+		return 0
+	}
+}
+
+// Smooth returns a fixed smooth function with small bounded first
+// derivative, the stand-in for Figure 5(iii)/Figure 8's unspecified "sfunc":
+// an exponentially damped cosine mixture, positive on [0, n) and ≈0 beyond.
+func Smooth(n int) func(int) float64 {
+	return func(i int) float64 {
+		if i < 0 || i >= n {
+			return 0
+		}
+		x := float64(i) / float64(n)
+		return math.Exp(-3*x) * (0.6 + 0.4*math.Cos(5*math.Pi*x)) * (1 - x)
+	}
+}
+
+// LogDiscount returns the information-retrieval discount factor
+// ω(i) = ln 2 / ln(i+2) (Section 3.3; rank j=i+1 gives ln2/ln(j+1)),
+// truncated to 0 beyond n.
+func LogDiscount(n int) func(int) float64 {
+	return func(i int) float64 {
+		if i < 0 || i >= n {
+			return 0
+		}
+		return math.Ln2 / math.Log(float64(i)+2)
+	}
+}

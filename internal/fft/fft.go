@@ -1,0 +1,165 @@
+// Package fft implements the discrete Fourier transform used by the
+// polynomial substrate (Appendix B of the paper) and by the DFT-based
+// approximation of weight functions (Section 5.1).
+//
+// Power-of-two sizes use an iterative radix-2 Cooley-Tukey transform;
+// arbitrary sizes fall back to Bluestein's chirp-z algorithm, which reduces a
+// length-n DFT to a power-of-two cyclic convolution. Everything is stdlib
+// only.
+package fft
+
+import (
+	"math"
+	"math/cmplx"
+)
+
+// Forward computes the (unnormalized) forward DFT of x:
+//
+//	X[k] = Σ_j x[j]·e^{-2πi·jk/n}
+//
+// The input slice is not modified. Any length is accepted.
+func Forward(x []complex128) []complex128 {
+	return transform(x, false)
+}
+
+// Inverse computes the inverse DFT of X, including the 1/n normalization:
+//
+//	x[j] = (1/n)·Σ_k X[k]·e^{+2πi·jk/n}
+func Inverse(x []complex128) []complex128 {
+	out := transform(x, true)
+	n := complex(float64(len(out)), 0)
+	for i := range out {
+		out[i] /= n
+	}
+	return out
+}
+
+func transform(x []complex128, inverse bool) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	copy(out, x)
+	if n <= 1 {
+		return out
+	}
+	if isPow2(n) {
+		radix2(out, inverse)
+		return out
+	}
+	return bluestein(out, inverse)
+}
+
+func isPow2(n int) bool { return n > 0 && n&(n-1) == 0 }
+
+// NextPow2 returns the smallest power of two ≥ n (and ≥ 1).
+func NextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// radix2 performs an in-place iterative Cooley-Tukey FFT. len(a) must be a
+// power of two. inverse selects the conjugate transform (no normalization).
+func radix2(a []complex128, inverse bool) {
+	n := len(a)
+	// Bit-reversal permutation.
+	for i, j := 1, 0; i < n; i++ {
+		bit := n >> 1
+		for ; j&bit != 0; bit >>= 1 {
+			j ^= bit
+		}
+		j ^= bit
+		if i < j {
+			a[i], a[j] = a[j], a[i]
+		}
+	}
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	for length := 2; length <= n; length <<= 1 {
+		ang := sign * 2 * math.Pi / float64(length)
+		wl := cmplx.Rect(1, ang)
+		for start := 0; start < n; start += length {
+			w := complex(1, 0)
+			half := length / 2
+			for j := 0; j < half; j++ {
+				u := a[start+j]
+				v := a[start+j+half] * w
+				a[start+j] = u + v
+				a[start+j+half] = u - v
+				w *= wl
+			}
+		}
+	}
+}
+
+// bluestein computes an arbitrary-length DFT via the chirp-z transform:
+// jk = (j² + k² − (k−j)²)/2, so X[k] = b*[k]·Σ_j (x[j]b*[j])·b[k−j]
+// with b[m] = e^{iπm²/n}, a cyclic convolution evaluated at a power of two.
+func bluestein(x []complex128, inverse bool) []complex128 {
+	n := len(x)
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	// b[m] = exp(sign·iπ·m²/n). Use m² mod 2n to keep the angle bounded.
+	b := make([]complex128, n)
+	for m := 0; m < n; m++ {
+		msq := (int64(m) * int64(m)) % int64(2*n)
+		b[m] = cmplx.Rect(1, sign*math.Pi*float64(msq)/float64(n))
+	}
+	// X[k] = b[k]·Σ_j (x[j]·b[j])·conj(b[k−j]), a cyclic convolution with
+	// the chirp conj(b) (using (k−j)² = k² + j² − 2jk).
+	m := NextPow2(2*n - 1)
+	fa := make([]complex128, m)
+	fb := make([]complex128, m)
+	for j := 0; j < n; j++ {
+		fa[j] = x[j] * b[j]
+	}
+	fb[0] = cmplx.Conj(b[0])
+	for j := 1; j < n; j++ {
+		c := cmplx.Conj(b[j])
+		fb[j] = c
+		fb[m-j] = c
+	}
+	radix2(fa, false)
+	radix2(fb, false)
+	for i := range fa {
+		fa[i] *= fb[i]
+	}
+	radix2(fa, true)
+	inv := complex(1/float64(m), 0)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		out[k] = fa[k] * inv * b[k]
+	}
+	return out
+}
+
+// Convolve returns the linear convolution of a and b (length la+lb−1) using
+// a power-of-two FFT. Empty inputs yield an empty result.
+func Convolve(a, b []complex128) []complex128 {
+	if len(a) == 0 || len(b) == 0 {
+		return nil
+	}
+	outLen := len(a) + len(b) - 1
+	m := NextPow2(outLen)
+	fa := make([]complex128, m)
+	fb := make([]complex128, m)
+	copy(fa, a)
+	copy(fb, b)
+	radix2(fa, false)
+	radix2(fb, false)
+	for i := range fa {
+		fa[i] *= fb[i]
+	}
+	radix2(fa, true)
+	inv := complex(1/float64(m), 0)
+	out := make([]complex128, outLen)
+	for i := range out {
+		out[i] = fa[i] * inv
+	}
+	return out
+}

@@ -1,0 +1,156 @@
+package fft
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// naiveDFT is the O(n²) reference implementation.
+func naiveDFT(x []complex128, inverse bool) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	for k := 0; k < n; k++ {
+		var sum complex128
+		for j := 0; j < n; j++ {
+			ang := sign * 2 * math.Pi * float64(j) * float64(k) / float64(n)
+			sum += x[j] * cmplx.Rect(1, ang)
+		}
+		out[k] = sum
+	}
+	return out
+}
+
+func maxAbsDiff(a, b []complex128) float64 {
+	var m float64
+	for i := range a {
+		if d := cmplx.Abs(a[i] - b[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+func randComplex(rng *rand.Rand, n int) []complex128 {
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	return x
+}
+
+func TestForwardMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 2, 3, 4, 5, 7, 8, 12, 16, 31, 32, 100, 128, 257} {
+		x := randComplex(rng, n)
+		got := Forward(x)
+		want := naiveDFT(x, false)
+		if d := maxAbsDiff(got, want); d > 1e-8*float64(n) {
+			t.Fatalf("n=%d: Forward differs from naive by %g", n, d)
+		}
+	}
+}
+
+func TestInverseRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range []int{1, 2, 3, 6, 8, 15, 64, 99, 256} {
+		x := randComplex(rng, n)
+		back := Inverse(Forward(x))
+		if d := maxAbsDiff(back, x); d > 1e-9*float64(n+1) {
+			t.Fatalf("n=%d: round trip error %g", n, d)
+		}
+	}
+}
+
+func TestForwardDoesNotMutateInput(t *testing.T) {
+	x := []complex128{1, 2, 3, 4, 5}
+	orig := make([]complex128, len(x))
+	copy(orig, x)
+	Forward(x)
+	for i := range x {
+		if x[i] != orig[i] {
+			t.Fatal("Forward mutated its input")
+		}
+	}
+}
+
+func TestConvolveMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, tc := range []struct{ la, lb int }{{1, 1}, {2, 3}, {5, 5}, {17, 9}, {64, 33}} {
+		a := randComplex(rng, tc.la)
+		b := randComplex(rng, tc.lb)
+		got := Convolve(a, b)
+		want := make([]complex128, tc.la+tc.lb-1)
+		for i := range a {
+			for j := range b {
+				want[i+j] += a[i] * b[j]
+			}
+		}
+		if d := maxAbsDiff(got, want); d > 1e-8 {
+			t.Fatalf("la=%d lb=%d: convolution error %g", tc.la, tc.lb, d)
+		}
+	}
+}
+
+func TestConvolveEmpty(t *testing.T) {
+	if got := Convolve(nil, []complex128{1}); got != nil {
+		t.Fatalf("Convolve(nil, x) = %v, want nil", got)
+	}
+}
+
+func TestNextPow2(t *testing.T) {
+	cases := map[int]int{0: 1, 1: 1, 2: 2, 3: 4, 4: 4, 5: 8, 1000: 1024}
+	for in, want := range cases {
+		if got := NextPow2(in); got != want {
+			t.Fatalf("NextPow2(%d)=%d want %d", in, got, want)
+		}
+	}
+}
+
+func TestParsevalProperty(t *testing.T) {
+	// Parseval: Σ|x|² = (1/n)Σ|X|².
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(50)
+		x := randComplex(rng, n)
+		X := Forward(x)
+		var ex, eX float64
+		for i := range x {
+			ex += real(x[i])*real(x[i]) + imag(x[i])*imag(x[i])
+			eX += real(X[i])*real(X[i]) + imag(X[i])*imag(X[i])
+		}
+		return math.Abs(ex-eX/float64(n)) <= 1e-7*(1+ex)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLinearityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(40)
+		a := randComplex(rng, n)
+		b := randComplex(rng, n)
+		sum := make([]complex128, n)
+		for i := range sum {
+			sum[i] = a[i] + b[i]
+		}
+		fa, fb, fs := Forward(a), Forward(b), Forward(sum)
+		for i := range fs {
+			if cmplx.Abs(fs[i]-(fa[i]+fb[i])) > 1e-7*float64(n+1) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,197 @@
+package junction
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/pdb"
+)
+
+// Chain is the Section 9.3 special case: a Markov chain Y_0 … Y_{n−1} of
+// binary tuple-presence variables described by calibrated pairwise joints —
+// exactly the junction tree of a chain-shaped Markov network, whose cliques
+// are the consecutive pairs.
+type Chain struct {
+	scores []float64
+	// pair[j][a][b] = Pr(Y_j = a ∧ Y_{j+1} = b).
+	pair [][2][2]float64
+}
+
+// NewChain validates the pairwise joints: each table must be a distribution,
+// and adjacent tables must agree on the shared marginal (calibration).
+func NewChain(scores []float64, pair [][2][2]float64) (*Chain, error) {
+	n := len(scores)
+	if n < 2 {
+		return nil, errors.New("junction: chain needs at least two variables")
+	}
+	if len(pair) != n-1 {
+		return nil, fmt.Errorf("junction: %d variables need %d pairwise joints, got %d", n, n-1, len(pair))
+	}
+	for j, t := range pair {
+		var sum float64
+		for a := 0; a < 2; a++ {
+			for b := 0; b < 2; b++ {
+				if t[a][b] < 0 || math.IsNaN(t[a][b]) {
+					return nil, fmt.Errorf("junction: pair %d has invalid entry %v", j, t[a][b])
+				}
+				sum += t[a][b]
+			}
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			return nil, fmt.Errorf("junction: pair %d sums to %v, want 1", j, sum)
+		}
+	}
+	for j := 0; j+1 < len(pair); j++ {
+		for b := 0; b < 2; b++ {
+			right := pair[j][0][b] + pair[j][1][b]
+			left := pair[j+1][b][0] + pair[j+1][b][1]
+			if math.Abs(right-left) > 1e-9 {
+				return nil, fmt.Errorf("junction: pairs %d and %d disagree on Pr(Y_%d=%d): %v vs %v",
+					j, j+1, j+1, b, right, left)
+			}
+		}
+	}
+	return &Chain{scores: scores, pair: pair}, nil
+}
+
+// Len returns the number of variables.
+func (c *Chain) Len() int { return len(c.scores) }
+
+// Network converts the chain into a general Markov network (first joint as a
+// pairwise factor, then conditionals), for cross-checking against the
+// generic junction-tree pipeline.
+func (c *Chain) Network() (*Network, error) {
+	n := len(c.scores)
+	factors := make([]Factor, 0, n-1)
+	// Factor over (Y_0, Y_1): the joint itself. Table bit 0 ↦ Y_0.
+	t0 := c.pair[0]
+	factors = append(factors, Factor{
+		Vars:  []int{0, 1},
+		Table: []float64{t0[0][0], t0[1][0], t0[0][1], t0[1][1]},
+	})
+	for j := 1; j < n-1; j++ {
+		// Conditional Pr(Y_{j+1} | Y_j) from the calibrated joint.
+		m := [2]float64{c.pair[j][0][0] + c.pair[j][0][1], c.pair[j][1][0] + c.pair[j][1][1]}
+		tbl := make([]float64, 4)
+		for a := 0; a < 2; a++ {
+			for b := 0; b < 2; b++ {
+				if m[a] > 0 {
+					tbl[a+2*b] = c.pair[j][a][b] / m[a]
+				}
+			}
+		}
+		factors = append(factors, Factor{Vars: []int{j, j + 1}, Table: tbl})
+	}
+	return NewNetwork(c.scores, factors)
+}
+
+// RankDistribution computes the positional probabilities with the direct
+// Section 9.3 chain dynamic program: O(n²) per tuple, O(n³) total.
+func (c *Chain) RankDistribution() *pdb.RankDistribution {
+	n := len(c.scores)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	// Sort by non-increasing score, ties by index.
+	for i := 1; i < n; i++ {
+		for j := i; j > 0; j-- {
+			a, b := order[j-1], order[j]
+			if c.scores[b] > c.scores[a] || (c.scores[b] == c.scores[a] && b < a) {
+				order[j-1], order[j] = order[j], order[j-1]
+			} else {
+				break
+			}
+		}
+	}
+	delta := make([]bool, n)
+	dist := make([][]float64, n)
+	for i, v := range order {
+		for j := range delta {
+			delta[j] = false
+		}
+		for j := 0; j < i; j++ {
+			delta[order[j]] = true
+		}
+		sums := c.partialSumDP(v, delta)
+		row := make([]float64, i+1)
+		for p := 0; p < len(sums) && p <= i; p++ {
+			row[p] = sums[p]
+		}
+		dist[v] = row
+	}
+	return &pdb.RankDistribution{Dist: dist}
+}
+
+// partialSumDP computes Pr(Y_target = 1 ∧ Σ_{δ} Y = p) along the chain.
+func (c *Chain) partialSumDP(target int, delta []bool) []float64 {
+	n := len(c.scores)
+	// g[y] is the vector over p of Pr(Y_j = y ∧ partial sum ∧ evidence),
+	// where the partial sum covers δ-variables with index < j.
+	m0 := [2]float64{c.pair[0][0][0] + c.pair[0][0][1], c.pair[0][1][0] + c.pair[0][1][1]}
+	g := [2][]float64{{m0[0]}, {m0[1]}}
+	if target == 0 {
+		g[0] = []float64{0}
+	}
+	for j := 0; j < n-1; j++ {
+		mj := [2]float64{c.pair[j][0][0] + c.pair[j][0][1], c.pair[j][1][0] + c.pair[j][1][1]}
+		var next [2][]float64
+		next[0] = []float64{0}
+		next[1] = []float64{0}
+		for y := 0; y < 2; y++ {
+			if mj[y] == 0 {
+				continue
+			}
+			// Fold Y_j's δ contribution while transitioning out of it.
+			shift := 0
+			if delta[j] && y == 1 {
+				shift = 1
+			}
+			for yn := 0; yn < 2; yn++ {
+				cond := c.pair[j][y][yn] / mj[y]
+				if cond == 0 {
+					continue
+				}
+				src := g[y]
+				dst := make([]float64, len(src)+shift)
+				for p, x := range src {
+					dst[p+shift] = x * cond
+				}
+				next[yn] = addVec(next[yn], dst)
+			}
+		}
+		g = next
+		if target == j+1 {
+			g[0] = []float64{0}
+		}
+	}
+	// Fold the last variable's δ contribution and sum out.
+	var out []float64
+	for y := 0; y < 2; y++ {
+		shift := 0
+		if delta[n-1] && y == 1 {
+			shift = 1
+		}
+		v := make([]float64, len(g[y])+shift)
+		for p, x := range g[y] {
+			v[p+shift] = x
+		}
+		out = addVec(out, v)
+	}
+	return out
+}
+
+// PRFeChain evaluates Υ_α per tuple with the chain DP backend.
+func PRFeChain(c *Chain, alpha complex128) []complex128 {
+	rd := c.RankDistribution()
+	out := make([]complex128, c.Len())
+	for v := 0; v < c.Len(); v++ {
+		pw := alpha
+		for _, p := range rd.Dist[v] {
+			out[v] += complex(p, 0) * pw
+			pw *= alpha
+		}
+	}
+	return out
+}

@@ -1,0 +1,444 @@
+package junction
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// clique is a node of the junction tree.
+type clique struct {
+	vars []int // sorted variable indices
+	// Tree structure (filled by build):
+	parent   int   // parent clique index, -1 for the root
+	children []int // child clique indices
+	// sepVars is the separator with the parent: vars ∩ parent.vars.
+	sepVars []int
+	// ownVars is vars \ sepVars — the variables summed out at this clique,
+	// each appearing here and nowhere closer to the root (RIP).
+	ownVars []int
+	// pot is the calibrated marginal Pr(C = x) indexed by the bit pattern
+	// over vars (vars[0] = LSB).
+	pot []float64
+	// sepPot is the calibrated separator marginal Pr(S = x) over sepVars.
+	sepPot []float64
+}
+
+// JTree is a calibrated junction tree for a Network.
+type JTree struct {
+	net     *Network
+	cliques []clique
+	root    int
+	tw      int
+}
+
+// Treewidth returns the treewidth of the triangulation (max clique size −1).
+func (jt *JTree) Treewidth() int { return jt.tw }
+
+// NumCliques returns the number of clique nodes.
+func (jt *JTree) NumCliques() int { return len(jt.cliques) }
+
+// VariableMarginal returns Pr(X_v = 1) from the calibrated potentials.
+func (jt *JTree) VariableMarginal(v int) float64 {
+	for _, c := range jt.cliques {
+		k := indexOf(c.vars, v)
+		if k < 0 {
+			continue
+		}
+		var p float64
+		for idx, w := range c.pot {
+			if idx&(1<<k) != 0 {
+				p += w
+			}
+		}
+		return p
+	}
+	return 0
+}
+
+// BuildJunctionTree triangulates the network's moral graph with min-fill,
+// collects maximal cliques, connects them by a maximum-weight spanning tree
+// (running-intersection property on chordal graphs), assigns factors, and
+// calibrates with two-pass sum-product message passing.
+func BuildJunctionTree(net *Network) (*JTree, error) {
+	n := net.n
+	// Moral graph adjacency: factor scopes are cliques.
+	adj := make([]map[int]bool, n)
+	for i := range adj {
+		adj[i] = make(map[int]bool)
+	}
+	for _, f := range net.factors {
+		for i := 0; i < len(f.Vars); i++ {
+			for j := i + 1; j < len(f.Vars); j++ {
+				adj[f.Vars[i]][f.Vars[j]] = true
+				adj[f.Vars[j]][f.Vars[i]] = true
+			}
+		}
+	}
+
+	cliqueSets := minFillCliques(adj)
+	cliqueSets = dropNonMaximal(cliqueSets)
+
+	cs := make([]clique, len(cliqueSets))
+	for i, vars := range cliqueSets {
+		cs[i] = clique{vars: vars, parent: -1}
+	}
+	jt := &JTree{net: net, cliques: cs}
+	for _, c := range cs {
+		if len(c.vars)-1 > jt.tw {
+			jt.tw = len(c.vars) - 1
+		}
+	}
+	if err := jt.spanningTree(); err != nil {
+		return nil, err
+	}
+	if err := jt.assignFactorsAndCalibrate(); err != nil {
+		return nil, err
+	}
+	return jt, nil
+}
+
+// minFillCliques triangulates by repeatedly eliminating the vertex whose
+// elimination adds the fewest fill edges, recording {v} ∪ N(v) as a clique.
+func minFillCliques(adj []map[int]bool) [][]int {
+	n := len(adj)
+	// Work on a copy.
+	g := make([]map[int]bool, n)
+	for i := range adj {
+		g[i] = make(map[int]bool, len(adj[i]))
+		for j := range adj[i] {
+			g[i][j] = true
+		}
+	}
+	alive := make([]bool, n)
+	for i := range alive {
+		alive[i] = true
+	}
+	var out [][]int
+	for remaining := n; remaining > 0; remaining-- {
+		// Pick the alive vertex with minimum fill.
+		best, bestFill := -1, 1<<30
+		for v := 0; v < n; v++ {
+			if !alive[v] {
+				continue
+			}
+			fill := 0
+			nbrs := aliveNeighbors(g, alive, v)
+			for i := 0; i < len(nbrs); i++ {
+				for j := i + 1; j < len(nbrs); j++ {
+					if !g[nbrs[i]][nbrs[j]] {
+						fill++
+					}
+				}
+			}
+			if fill < bestFill {
+				best, bestFill = v, fill
+			}
+		}
+		nbrs := aliveNeighbors(g, alive, best)
+		cl := append([]int{best}, nbrs...)
+		sort.Ints(cl)
+		out = append(out, cl)
+		// Add fill edges, then eliminate.
+		for i := 0; i < len(nbrs); i++ {
+			for j := i + 1; j < len(nbrs); j++ {
+				g[nbrs[i]][nbrs[j]] = true
+				g[nbrs[j]][nbrs[i]] = true
+			}
+		}
+		alive[best] = false
+	}
+	return out
+}
+
+func aliveNeighbors(g []map[int]bool, alive []bool, v int) []int {
+	var out []int
+	for u := range g[v] {
+		if alive[u] {
+			out = append(out, u)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// dropNonMaximal removes cliques contained in another clique.
+func dropNonMaximal(cls [][]int) [][]int {
+	var out [][]int
+	for i, a := range cls {
+		maximal := true
+		for j, b := range cls {
+			if i == j {
+				continue
+			}
+			if len(a) < len(b) || (len(a) == len(b) && i > j) {
+				if isSubset(a, b) {
+					maximal = false
+					break
+				}
+			}
+		}
+		if maximal {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+func isSubset(a, b []int) bool {
+	i := 0
+	for _, x := range a {
+		for i < len(b) && b[i] < x {
+			i++
+		}
+		if i >= len(b) || b[i] != x {
+			return false
+		}
+	}
+	return true
+}
+
+func intersect(a, b []int) []int {
+	var out []int
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			out = append(out, a[i])
+			i++
+			j++
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return out
+}
+
+func subtract(a, b []int) []int {
+	var out []int
+	j := 0
+	for _, x := range a {
+		for j < len(b) && b[j] < x {
+			j++
+		}
+		if j < len(b) && b[j] == x {
+			continue
+		}
+		out = append(out, x)
+	}
+	return out
+}
+
+func indexOf(vars []int, v int) int {
+	for i, x := range vars {
+		if x == v {
+			return i
+		}
+	}
+	return -1
+}
+
+// spanningTree connects the cliques with a maximum-|separator| spanning tree
+// (Prim), allowing empty separators to bridge disconnected components, and
+// roots the tree at clique 0.
+func (jt *JTree) spanningTree() error {
+	m := len(jt.cliques)
+	if m == 0 {
+		return errors.New("junction: no cliques")
+	}
+	inTree := make([]bool, m)
+	bestW := make([]int, m)
+	bestTo := make([]int, m)
+	for i := range bestW {
+		bestW[i] = -1
+		bestTo[i] = -1
+	}
+	inTree[0] = true
+	for i := 1; i < m; i++ {
+		bestW[i] = len(intersect(jt.cliques[0].vars, jt.cliques[i].vars))
+		bestTo[i] = 0
+	}
+	for added := 1; added < m; added++ {
+		pick, pw := -1, -1
+		for i := 0; i < m; i++ {
+			if !inTree[i] && bestW[i] > pw {
+				pick, pw = i, bestW[i]
+			}
+		}
+		if pick < 0 {
+			return errors.New("junction: spanning tree construction failed")
+		}
+		inTree[pick] = true
+		jt.cliques[pick].parent = bestTo[pick]
+		jt.cliques[bestTo[pick]].children = append(jt.cliques[bestTo[pick]].children, pick)
+		for i := 0; i < m; i++ {
+			if !inTree[i] {
+				if w := len(intersect(jt.cliques[pick].vars, jt.cliques[i].vars)); w > bestW[i] {
+					bestW[i], bestTo[i] = w, pick
+				}
+			}
+		}
+	}
+	jt.root = 0
+	for i := range jt.cliques {
+		c := &jt.cliques[i]
+		if c.parent >= 0 {
+			c.sepVars = intersect(c.vars, jt.cliques[c.parent].vars)
+		}
+		c.ownVars = subtract(c.vars, c.sepVars)
+	}
+	return nil
+}
+
+// assignFactorsAndCalibrate multiplies each factor into one clique
+// containing its scope, then runs collect/distribute sum-product passes and
+// normalizes all potentials into proper marginals.
+func (jt *JTree) assignFactorsAndCalibrate() error {
+	for i := range jt.cliques {
+		c := &jt.cliques[i]
+		c.pot = make([]float64, 1<<len(c.vars))
+		for j := range c.pot {
+			c.pot[j] = 1
+		}
+	}
+	for fi, f := range jt.net.factors {
+		placed := false
+		for i := range jt.cliques {
+			if isSubset(f.Vars, jt.cliques[i].vars) {
+				jt.multiplyFactorIn(i, f)
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			return fmt.Errorf("junction: factor %d scope %v not covered by any clique", fi, f.Vars)
+		}
+	}
+
+	// Collect: leaves → root, in reverse topological (children first) order.
+	order := jt.topoOrder()
+	for i := len(order) - 1; i >= 0; i-- {
+		ci := order[i]
+		c := &jt.cliques[ci]
+		if c.parent < 0 {
+			continue
+		}
+		msg := jt.marginalizeTo(ci, c.sepVars)
+		c.sepPot = msg
+		jt.multiplyTableIn(c.parent, c.sepVars, msg, nil)
+	}
+	// Distribute: root → leaves.
+	for _, ci := range order {
+		c := &jt.cliques[ci]
+		if c.parent < 0 {
+			continue
+		}
+		par := jt.marginalizeTo(c.parent, c.sepVars)
+		// Update: multiply child by par/old, replace separator by par.
+		jt.multiplyTableIn(ci, c.sepVars, par, c.sepPot)
+		c.sepPot = par
+	}
+	// Normalize everything by Z (the root's total mass).
+	var z float64
+	for _, w := range jt.cliques[jt.root].pot {
+		z += w
+	}
+	if z <= 0 {
+		return errors.New("junction: zero partition function")
+	}
+	for i := range jt.cliques {
+		c := &jt.cliques[i]
+		for j := range c.pot {
+			c.pot[j] /= z
+		}
+		for j := range c.sepPot {
+			c.sepPot[j] /= z
+		}
+	}
+	return nil
+}
+
+// topoOrder returns clique indices root-first.
+func (jt *JTree) topoOrder() []int {
+	out := make([]int, 0, len(jt.cliques))
+	var walk func(i int)
+	walk = func(i int) {
+		out = append(out, i)
+		for _, ch := range jt.cliques[i].children {
+			walk(ch)
+		}
+	}
+	walk(jt.root)
+	return out
+}
+
+// multiplyFactorIn multiplies factor f into clique ci's potential.
+func (jt *JTree) multiplyFactorIn(ci int, f Factor) {
+	c := &jt.cliques[ci]
+	pos := make([]int, len(f.Vars))
+	for k, v := range f.Vars {
+		pos[k] = indexOf(c.vars, v)
+	}
+	for idx := range c.pot {
+		fidx := 0
+		for k := range f.Vars {
+			if idx&(1<<pos[k]) != 0 {
+				fidx |= 1 << k
+			}
+		}
+		c.pot[idx] *= f.Table[fidx]
+	}
+}
+
+// marginalizeTo sums clique ci's potential down to the given variables.
+func (jt *JTree) marginalizeTo(ci int, vars []int) []float64 {
+	c := &jt.cliques[ci]
+	pos := make([]int, len(vars))
+	for k, v := range vars {
+		pos[k] = indexOf(c.vars, v)
+	}
+	out := make([]float64, 1<<len(vars))
+	for idx, w := range c.pot {
+		if w == 0 {
+			continue
+		}
+		oidx := 0
+		for k := range vars {
+			if idx&(1<<pos[k]) != 0 {
+				oidx |= 1 << k
+			}
+		}
+		out[oidx] += w
+	}
+	return out
+}
+
+// multiplyTableIn multiplies table num (over vars) — divided entry-wise by
+// den when den is non-nil — into clique ci's potential. Zero denominators
+// imply zero numerators on consistent assignments; those entries stay zero.
+func (jt *JTree) multiplyTableIn(ci int, vars []int, num, den []float64) {
+	c := &jt.cliques[ci]
+	pos := make([]int, len(vars))
+	for k, v := range vars {
+		pos[k] = indexOf(c.vars, v)
+	}
+	for idx := range c.pot {
+		tidx := 0
+		for k := range vars {
+			if idx&(1<<pos[k]) != 0 {
+				tidx |= 1 << k
+			}
+		}
+		factor := num[tidx]
+		if den != nil {
+			if den[tidx] == 0 {
+				c.pot[idx] = 0
+				continue
+			}
+			factor /= den[tidx]
+		}
+		c.pot[idx] *= factor
+	}
+}

@@ -1,0 +1,173 @@
+// Package junction implements Section 9 of the paper: PRF computation over
+// probabilistic databases with arbitrary correlations represented as Markov
+// networks over binary tuple-presence variables.
+//
+// The pipeline is self-contained: a Markov network (a list of factors) is
+// triangulated with the min-fill heuristic, its maximal cliques are
+// assembled into a junction tree via a maximum-weight spanning tree (which
+// satisfies the running-intersection property on chordal graphs), the tree
+// is calibrated with two-pass sum-product message passing, and the
+// positional probabilities Pr(r(t)=j) are extracted with the recursive
+// partial-sum dynamic program of Section 9.4:
+//
+//	Pr(S, P_S) for each separator S, where P_S is the sum of the presence
+//	indicators of higher-ranked tuples strictly below S.
+//
+// Instead of physically conditioning on X_t = 1 and re-calibrating (the
+// paper's presentation, which may split the tree), the DP simply restricts
+// its summation to assignments with X_t = 1 — mathematically identical
+// because Pr(x ∧ X_t=1) = [x_t=1]·∏Pr(C)/∏Pr(S), and structurally simpler.
+//
+// The overall complexity matches the paper: polynomial for bounded-treewidth
+// networks, O(n⁴·2^tw) for the full rank-distribution matrix.
+package junction
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/pdb"
+)
+
+// Factor is a non-negative potential over a subset of variables. Table has
+// 2^len(Vars) entries; bit k of the index is the assignment of Vars[k].
+type Factor struct {
+	// Vars lists the variable indices in scope, strictly increasing.
+	Vars []int
+	// Table holds the potential values, indexed by the bit pattern of the
+	// variable assignments (Vars[0] = least significant bit).
+	Table []float64
+}
+
+// Network is a Markov network over n binary tuple-presence variables, plus
+// the tuples' ranking scores. The joint distribution is the normalized
+// product of the factors.
+type Network struct {
+	n       int
+	scores  []float64
+	factors []Factor
+}
+
+// NewNetwork validates and builds a Markov network. Every variable must
+// appear in at least one factor (add unary factors for marginals), factor
+// tables must be non-negative with at least one positive entry overall.
+func NewNetwork(scores []float64, factors []Factor) (*Network, error) {
+	n := len(scores)
+	if n == 0 {
+		return nil, errors.New("junction: empty network")
+	}
+	covered := make([]bool, n)
+	for fi, f := range factors {
+		if len(f.Table) != 1<<len(f.Vars) {
+			return nil, fmt.Errorf("junction: factor %d has %d entries for %d variables",
+				fi, len(f.Table), len(f.Vars))
+		}
+		for i := 1; i < len(f.Vars); i++ {
+			if f.Vars[i] <= f.Vars[i-1] {
+				return nil, fmt.Errorf("junction: factor %d scope not strictly increasing", fi)
+			}
+		}
+		for _, v := range f.Vars {
+			if v < 0 || v >= n {
+				return nil, fmt.Errorf("junction: factor %d references variable %d (n=%d)", fi, v, n)
+			}
+			covered[v] = true
+		}
+		for _, p := range f.Table {
+			if p < 0 || math.IsNaN(p) || math.IsInf(p, 0) {
+				return nil, fmt.Errorf("junction: factor %d has invalid entry %v", fi, p)
+			}
+		}
+	}
+	for v, ok := range covered {
+		if !ok {
+			return nil, fmt.Errorf("junction: variable %d appears in no factor", v)
+		}
+	}
+	for _, s := range scores {
+		if math.IsNaN(s) || math.IsInf(s, 0) {
+			return nil, fmt.Errorf("junction: invalid score %v", s)
+		}
+	}
+	return &Network{n: n, scores: scores, factors: factors}, nil
+}
+
+// Len returns the number of variables (tuples).
+func (net *Network) Len() int { return net.n }
+
+// Score returns the ranking score of tuple v.
+func (net *Network) Score(v int) float64 { return net.scores[v] }
+
+// FromIndependent builds the trivial network for a tuple-independent
+// dataset: one unary factor per tuple.
+func FromIndependent(d *pdb.Dataset) (*Network, error) {
+	n := d.Len()
+	scores := make([]float64, n)
+	factors := make([]Factor, n)
+	for _, t := range d.Tuples() {
+		scores[t.ID] = t.Score
+		factors[t.ID] = Factor{Vars: []int{int(t.ID)}, Table: []float64{1 - t.Prob, t.Prob}}
+	}
+	return NewNetwork(scores, factors)
+}
+
+// sortedOrder returns variable indices by non-increasing score (ties by
+// index), the ranking order used everywhere.
+func (net *Network) sortedOrder() []int {
+	order := make([]int, net.n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		if net.scores[order[a]] != net.scores[order[b]] {
+			return net.scores[order[a]] > net.scores[order[b]]
+		}
+		return order[a] < order[b]
+	})
+	return order
+}
+
+// EnumerateWorlds lists all assignments with positive probability — the
+// brute-force oracle for tests. Refuses networks with more than
+// pdb.MaxEnumerate variables.
+func (net *Network) EnumerateWorlds() ([]pdb.World, error) {
+	if net.n > pdb.MaxEnumerate {
+		return nil, fmt.Errorf("junction: %d variables is too many to enumerate", net.n)
+	}
+	var z float64
+	weights := make([]float64, 1<<net.n)
+	for mask := 0; mask < 1<<net.n; mask++ {
+		w := 1.0
+		for _, f := range net.factors {
+			idx := 0
+			for k, v := range f.Vars {
+				if mask&(1<<v) != 0 {
+					idx |= 1 << k
+				}
+			}
+			w *= f.Table[idx]
+		}
+		weights[mask] = w
+		z += w
+	}
+	if z <= 0 {
+		return nil, errors.New("junction: all assignments have zero weight")
+	}
+	order := net.sortedOrder()
+	var worlds []pdb.World
+	for mask := 0; mask < 1<<net.n; mask++ {
+		if weights[mask] == 0 {
+			continue
+		}
+		var present []pdb.TupleID
+		for _, v := range order {
+			if mask&(1<<v) != 0 {
+				present = append(present, pdb.TupleID(v))
+			}
+		}
+		worlds = append(worlds, pdb.World{Present: present, Prob: weights[mask] / z})
+	}
+	return worlds, nil
+}

@@ -1,0 +1,286 @@
+package junction
+
+import (
+	"repro/internal/pdb"
+)
+
+// This file implements the Section 9.4 dynamic program: given the calibrated
+// junction tree, compute for each tuple t the distribution of
+//
+//	P = Σ_{u ranked above t} X_u   jointly with   X_t = 1,
+//
+// which is exactly the rank distribution: Pr(r(t)=j) = Pr(X_t=1 ∧ P=j−1).
+//
+// The recursion computes, bottom-up, Pr(S, P_S) for every separator S, where
+// P_S sums the δ-marked indicators appearing strictly below S. At a clique C
+// with parent separator S and children separators S_1..S_k:
+//
+//	Pr(C, ΣP_{S_l}) = Pr(C)·∏_l Pr(S_l, P_{S_l})/Pr(S_l)   (Markov property)
+//
+// convolved child by child, then C's own variables (C \ S, each counted at
+// exactly one clique thanks to the running-intersection property) shift the
+// partial sum, and C \ S is marginalized out. The evidence X_t = 1 is folded
+// in by restricting every summation to consistent assignments, which is
+// equivalent to the paper's "condition and re-calibrate" step but never
+// splits the tree.
+
+// rankDP computes Pr(X_target=1 ∧ P = p) for p = 0..n−1, where P counts the
+// variables marked in delta.
+func (jt *JTree) rankDP(target int, delta []bool) []float64 {
+	msg := jt.cliqueDP(jt.root, target, delta)
+	// The root has no parent separator: msg has a single assignment slot.
+	return msg[0]
+}
+
+// cliqueDP returns, for each assignment s of the clique's parent separator,
+// the vector over p of
+//
+//	Pr(S_p = s ∧ X_target=1 below ∧ P_{S_p} = p)
+//
+// (with the X_target evidence applied only if target appears in the subtree
+// strictly below or inside this clique but outside the parent separator —
+// applying it once is guaranteed because the cliques containing target form
+// a connected subtree and the restriction at every one of them is
+// consistent).
+func (jt *JTree) cliqueDP(ci, target int, delta []bool) [][]float64 {
+	c := &jt.cliques[ci]
+	nv := len(c.vars)
+	targetPos := indexOf(c.vars, target)
+
+	// acc[idx] = partial-sum vector for clique assignment idx.
+	acc := make([][]float64, 1<<nv)
+	for idx := range acc {
+		acc[idx] = []float64{1}
+	}
+
+	// Fold in children one by one.
+	for _, chi := range c.children {
+		ch := &jt.cliques[chi]
+		childMsg := jt.cliqueDP(chi, target, delta)
+		sepPos := make([]int, len(ch.sepVars))
+		for k, v := range ch.sepVars {
+			sepPos[k] = indexOf(c.vars, v)
+		}
+		for idx := range acc {
+			if acc[idx] == nil {
+				continue
+			}
+			sidx := 0
+			for k := range sepPos {
+				if idx&(1<<sepPos[k]) != 0 {
+					sidx |= 1 << k
+				}
+			}
+			den := ch.sepPot[sidx]
+			if den == 0 {
+				// Zero-probability separator assignment: the clique
+				// assignment itself has probability 0.
+				acc[idx] = nil
+				continue
+			}
+			conv := convolve(acc[idx], childMsg[sidx])
+			for p := range conv {
+				conv[p] /= den
+			}
+			acc[idx] = conv
+		}
+	}
+
+	// Multiply by the clique marginal, apply evidence, and shift by the
+	// clique's own δ-marked variables.
+	ownDeltaPos := make([]int, 0, len(c.ownVars))
+	for _, v := range c.ownVars {
+		if delta[v] {
+			ownDeltaPos = append(ownDeltaPos, indexOf(c.vars, v))
+		}
+	}
+	for idx := range acc {
+		if acc[idx] == nil {
+			continue
+		}
+		w := c.pot[idx]
+		if targetPos >= 0 && idx&(1<<targetPos) == 0 {
+			w = 0 // evidence X_target = 1
+		}
+		if w == 0 {
+			acc[idx] = nil
+			continue
+		}
+		shift := 0
+		for _, pos := range ownDeltaPos {
+			if idx&(1<<pos) != 0 {
+				shift++
+			}
+		}
+		v := acc[idx]
+		out := make([]float64, len(v)+shift)
+		for p, x := range v {
+			out[p+shift] = x * w
+		}
+		acc[idx] = out
+	}
+
+	// Marginalize out C \ S_p.
+	sepPos := make([]int, len(c.sepVars))
+	for k, v := range c.sepVars {
+		sepPos[k] = indexOf(c.vars, v)
+	}
+	out := make([][]float64, 1<<len(c.sepVars))
+	for idx, v := range acc {
+		if v == nil {
+			continue
+		}
+		sidx := 0
+		for k := range sepPos {
+			if idx&(1<<sepPos[k]) != 0 {
+				sidx |= 1 << k
+			}
+		}
+		out[sidx] = addVec(out[sidx], v)
+	}
+	for sidx := range out {
+		if out[sidx] == nil {
+			out[sidx] = []float64{0}
+		}
+	}
+	return out
+}
+
+func convolve(a, b []float64) []float64 {
+	out := make([]float64, len(a)+len(b)-1)
+	for i, x := range a {
+		if x == 0 {
+			continue
+		}
+		for j, y := range b {
+			out[i+j] += x * y
+		}
+	}
+	return out
+}
+
+func addVec(a, b []float64) []float64 {
+	if len(b) > len(a) {
+		a, b = b, a
+	}
+	out := make([]float64, len(a))
+	copy(out, a)
+	for i := range b {
+		out[i] += b[i]
+	}
+	return out
+}
+
+// RankDistribution computes the full positional-probability matrix of the
+// network: one junction-tree build plus one partial-sum DP per tuple.
+func RankDistribution(net *Network) (*pdb.RankDistribution, error) {
+	jt, err := BuildJunctionTree(net)
+	if err != nil {
+		return nil, err
+	}
+	return jt.RankDistribution(), nil
+}
+
+// RankDistribution runs the Section 9.4 DP for every tuple on an
+// already-built tree.
+func (jt *JTree) RankDistribution() *pdb.RankDistribution {
+	net := jt.net
+	n := net.n
+	order := net.sortedOrder()
+	delta := make([]bool, n)
+	dist := make([][]float64, n)
+	for i, v := range order {
+		// delta marks variables ranked strictly above v.
+		for j := range delta {
+			delta[j] = false
+		}
+		for j := 0; j < i; j++ {
+			delta[order[j]] = true
+		}
+		sums := jt.rankDP(v, delta)
+		row := make([]float64, i+1)
+		for p := 0; p < len(sums) && p <= i; p++ {
+			row[p] = sums[p] // Pr(X_v=1 ∧ P=p) = Pr(r(v)=p+1)
+		}
+		dist[v] = row
+	}
+	return &pdb.RankDistribution{Dist: dist}
+}
+
+// PRF computes Υω for every tuple of the network: the rank-distribution
+// matrix folded with the weight function.
+func PRF(net *Network, omega func(tu pdb.Tuple, rank int) float64) ([]float64, error) {
+	jt, err := BuildJunctionTree(net)
+	if err != nil {
+		return nil, err
+	}
+	rd := jt.RankDistribution()
+	out := make([]float64, net.n)
+	for v := 0; v < net.n; v++ {
+		tu := pdb.Tuple{ID: pdb.TupleID(v), Score: net.scores[v], Prob: jt.VariableMarginal(v)}
+		for j, p := range rd.Dist[v] {
+			if p != 0 {
+				out[v] += omega(tu, j+1) * p
+			}
+		}
+	}
+	return out, nil
+}
+
+// PRFe computes Υ_α for every tuple of the network via the rank
+// distribution. (No faster special-purpose algorithm is known for graphical
+// models; the paper's O(n log n) PRFe algorithms apply to and/xor trees.)
+func PRFe(net *Network, alpha complex128) ([]complex128, error) {
+	jt, err := BuildJunctionTree(net)
+	if err != nil {
+		return nil, err
+	}
+	rd := jt.RankDistribution()
+	out := make([]complex128, net.n)
+	for v := 0; v < net.n; v++ {
+		pw := alpha
+		for _, p := range rd.Dist[v] {
+			out[v] += complex(p, 0) * pw
+			pw *= alpha
+		}
+	}
+	return out, nil
+}
+
+// ExpectedRanks returns E[r(t)] for every tuple of the network, with absent
+// tuples taking rank |pw| (the E-Rank convention). Following the Section 3.3
+// decomposition, er1 comes from the rank distribution and er2 from the joint
+// distribution of (X_t, Σ_{u≠t} X_u), both computed with the Section 9.4
+// partial-sum DP — generalizing the prior expected-rank algorithms to
+// bounded-treewidth graphical models exactly as the paper remarks.
+func (jt *JTree) ExpectedRanks() []float64 {
+	net := jt.net
+	n := net.n
+	rd := jt.RankDistribution()
+	// C = E[|pw|] = Σ marginals.
+	var c float64
+	for v := 0; v < n; v++ {
+		c += jt.VariableMarginal(v)
+	}
+	out := make([]float64, n)
+	delta := make([]bool, n)
+	for v := 0; v < n; v++ {
+		// er1 = Σ_j j·Pr(r(t)=j).
+		var er1 float64
+		for j, p := range rd.Dist[v] {
+			er1 += float64(j+1) * p
+		}
+		// er2 = C − E[|pw|·δ(t∈pw)], with E[|pw|·δ] = Σ_p (p+1)·Pr(X_t=1 ∧
+		// #others = p), computed by marking every other variable.
+		for u := range delta {
+			delta[u] = u != v
+		}
+		sums := jt.rankDP(v, delta)
+		var withT float64
+		for p, q := range sums {
+			withT += float64(p+1) * q
+		}
+		out[v] = er1 + (c - withT)
+	}
+	return out
+}

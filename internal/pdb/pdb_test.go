@@ -1,0 +1,267 @@
+package pdb
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewDatasetValidation(t *testing.T) {
+	cases := []struct {
+		name   string
+		scores []float64
+		probs  []float64
+		ok     bool
+	}{
+		{"valid", []float64{3, 2, 1}, []float64{0.5, 1, 0}, true},
+		{"negative prob", []float64{1}, []float64{-0.1}, false},
+		{"prob above one", []float64{1}, []float64{1.1}, false},
+		{"nan prob", []float64{1}, []float64{math.NaN()}, false},
+		{"nan score", []float64{math.NaN()}, []float64{0.5}, false},
+		{"inf score", []float64{math.Inf(1)}, []float64{0.5}, false},
+		{"length mismatch", []float64{1, 2}, []float64{0.5}, false},
+		{"empty", nil, nil, true},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := NewDataset(c.scores, c.probs)
+			if (err == nil) != c.ok {
+				t.Fatalf("NewDataset(%v,%v) err=%v, want ok=%v", c.scores, c.probs, err, c.ok)
+			}
+		})
+	}
+}
+
+func TestSortByScoreStableAndDescending(t *testing.T) {
+	d := MustDataset([]float64{1, 5, 3, 5, 2}, []float64{0.1, 0.2, 0.3, 0.4, 0.5})
+	if d.Sorted() {
+		t.Fatal("fresh dataset should not report sorted")
+	}
+	d.SortByScore()
+	if !d.Sorted() {
+		t.Fatal("dataset should report sorted after SortByScore")
+	}
+	ts := d.Tuples()
+	for i := 1; i < len(ts); i++ {
+		if ts[i-1].Score < ts[i].Score {
+			t.Fatalf("not descending at %d: %v then %v", i, ts[i-1], ts[i])
+		}
+		if ts[i-1].Score == ts[i].Score && ts[i-1].ID > ts[i].ID {
+			t.Fatalf("tie not broken by ID at %d", i)
+		}
+	}
+	// IDs must be preserved, not rewritten.
+	if got, ok := d.ByID(0); !ok || got.Score != 1 {
+		t.Fatalf("ByID(0) = %v, %v; want score 1", got, ok)
+	}
+}
+
+func TestEnumerateWorldsProbabilitiesSumToOne(t *testing.T) {
+	d := MustDataset([]float64{10, 8, 6, 4}, []float64{0.5, 0.6, 0.4, 1.0})
+	worlds, err := EnumerateWorlds(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total float64
+	for _, w := range worlds {
+		total += w.Prob
+	}
+	if math.Abs(total-1) > 1e-12 {
+		t.Fatalf("world probabilities sum to %v, want 1", total)
+	}
+	// Tuple 3 has p=1 so it must be in every world with positive probability.
+	for _, w := range worlds {
+		if w.Rank(3) == 0 {
+			t.Fatalf("world %v missing certain tuple 3", w)
+		}
+	}
+}
+
+func TestEnumerateWorldsRefusesLargeDatasets(t *testing.T) {
+	n := MaxEnumerate + 1
+	scores := make([]float64, n)
+	probs := make([]float64, n)
+	for i := range scores {
+		scores[i] = float64(i)
+		probs[i] = 0.5
+	}
+	d := MustDataset(scores, probs)
+	if _, err := EnumerateWorlds(d); err == nil {
+		t.Fatal("expected error enumerating oversized dataset")
+	}
+}
+
+func TestWorldRankOrderMatchesScores(t *testing.T) {
+	d := MustDataset([]float64{1, 9, 5}, []float64{1, 1, 1})
+	worlds, err := EnumerateWorlds(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(worlds) != 1 {
+		t.Fatalf("want exactly 1 world for certain tuples, got %d", len(worlds))
+	}
+	w := worlds[0]
+	if w.Rank(1) != 1 || w.Rank(2) != 2 || w.Rank(0) != 3 {
+		t.Fatalf("ranks wrong: %v", w)
+	}
+}
+
+func TestRankDistributionFromWorlds(t *testing.T) {
+	// Two tuples: t0 score 10 p=0.5, t1 score 5 p=0.8.
+	d := MustDataset([]float64{10, 5}, []float64{0.5, 0.8})
+	worlds, _ := EnumerateWorlds(d)
+	rd := RankDistributionFromWorlds(worlds, 2)
+	// Pr(r(t0)=1) = 0.5; t1 rank1 iff t0 absent & t1 present = 0.5*0.8.
+	if got := rd.At(0, 1); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("Pr(r(t0)=1)=%v want 0.5", got)
+	}
+	if got := rd.At(1, 1); math.Abs(got-0.4) > 1e-12 {
+		t.Fatalf("Pr(r(t1)=1)=%v want 0.4", got)
+	}
+	if got := rd.At(1, 2); math.Abs(got-0.4) > 1e-12 {
+		t.Fatalf("Pr(r(t1)=2)=%v want 0.4", got)
+	}
+	if got := rd.PresenceProb(1); math.Abs(got-0.8) > 1e-12 {
+		t.Fatalf("presence(t1)=%v want 0.8", got)
+	}
+	// Out-of-range ranks are zero.
+	if rd.At(0, 0) != 0 || rd.At(0, 3) != 0 {
+		t.Fatal("out-of-range rank should be 0")
+	}
+}
+
+func TestSampleWorldFrequencies(t *testing.T) {
+	d := MustDataset([]float64{10, 5}, []float64{0.3, 0.9})
+	d.SortByScore()
+	rng := rand.New(rand.NewSource(42))
+	const nSamples = 200000
+	count0 := 0
+	for i := 0; i < nSamples; i++ {
+		w := SampleWorld(d, rng)
+		if w.Rank(0) > 0 {
+			count0++
+		}
+	}
+	got := float64(count0) / nSamples
+	if math.Abs(got-0.3) > 0.01 {
+		t.Fatalf("sampled presence of t0 = %v, want ~0.3", got)
+	}
+}
+
+func TestRankByValue(t *testing.T) {
+	r := RankByValue([]float64{0.2, 0.9, 0.9, 0.1})
+	want := Ranking{1, 2, 0, 3}
+	for i := range want {
+		if r[i] != want[i] {
+			t.Fatalf("RankByValue = %v, want %v", r, want)
+		}
+	}
+	if r.Position(3) != 3 || r.Position(99) != -1 {
+		t.Fatal("Position lookup broken")
+	}
+	top2 := r.TopK(2)
+	if len(top2) != 2 || top2[0] != 1 || top2[1] != 2 {
+		t.Fatalf("TopK(2) = %v", top2)
+	}
+	if got := r.TopK(10); len(got) != 4 {
+		t.Fatalf("TopK larger than ranking should clamp, got %v", got)
+	}
+}
+
+func TestRankByValueFor(t *testing.T) {
+	ids := []TupleID{5, 7, 9}
+	vals := map[TupleID]float64{5: 1, 7: 3, 9: 2}
+	r := RankByValueFor(ids, vals)
+	if r[0] != 7 || r[1] != 9 || r[2] != 5 {
+		t.Fatalf("RankByValueFor = %v", r)
+	}
+}
+
+func TestSubsetReassignsDenseIDs(t *testing.T) {
+	d := MustDataset([]float64{3, 2, 1}, []float64{0.1, 0.2, 0.3})
+	s, orig := d.Subset([]int{2, 0})
+	if s.Len() != 2 || s.Tuple(0).ID != 0 || s.Tuple(1).ID != 1 {
+		t.Fatalf("Subset IDs not dense: %+v", s.Tuples())
+	}
+	if s.Tuple(0).Score != 1 || s.Tuple(1).Score != 3 {
+		t.Fatalf("Subset picked wrong tuples: %+v", s.Tuples())
+	}
+	if orig[0] != 2 || orig[1] != 0 {
+		t.Fatalf("original-ID map wrong: %v", orig)
+	}
+}
+
+// Property: enumerated world probabilities always sum to 1 and per-tuple
+// presence probability recovered from the distribution equals Pr(t).
+func TestQuickWorldEnumerationConsistency(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(8)
+		scores := make([]float64, n)
+		probs := make([]float64, n)
+		for i := 0; i < n; i++ {
+			scores[i] = rng.NormFloat64() * 10
+			probs[i] = rng.Float64()
+		}
+		d := MustDataset(scores, probs)
+		worlds, err := EnumerateWorlds(d)
+		if err != nil {
+			return false
+		}
+		var total float64
+		for _, w := range worlds {
+			total += w.Prob
+		}
+		if math.Abs(total-1) > 1e-9 {
+			return false
+		}
+		rd := RankDistributionFromWorlds(worlds, n)
+		for i := 0; i < n; i++ {
+			if math.Abs(rd.PresenceProb(TupleID(i))-probs[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExpectedWorldSize(t *testing.T) {
+	d := MustDataset([]float64{1, 2, 3}, []float64{0.25, 0.5, 1})
+	if got := d.ExpectedWorldSize(); math.Abs(got-1.75) > 1e-12 {
+		t.Fatalf("C=%v want 1.75", got)
+	}
+}
+
+func TestScoreAndProbMaps(t *testing.T) {
+	d := MustDataset([]float64{7, 8}, []float64{0.1, 0.2})
+	sm, pm := d.ScoreMap(), d.ProbMap()
+	if sm[0] != 7 || sm[1] != 8 || pm[0] != 0.1 || pm[1] != 0.2 {
+		t.Fatalf("maps wrong: %v %v", sm, pm)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	d := MustDataset([]float64{7, 8}, []float64{0.1, 0.2})
+	c := d.Clone()
+	c.SortByScore()
+	if d.Sorted() {
+		t.Fatal("sorting the clone mutated the original")
+	}
+	if d.Tuple(0).Score != 7 {
+		t.Fatal("clone shares backing storage with original")
+	}
+}
+
+func TestTopKFromWorld(t *testing.T) {
+	w := World{Present: []TupleID{4, 2, 7}}
+	if got := TopKFromWorld(w, 2); len(got) != 2 || got[0] != 4 || got[1] != 2 {
+		t.Fatalf("TopKFromWorld = %v", got)
+	}
+	if got := TopKFromWorld(w, 9); len(got) != 3 {
+		t.Fatalf("clamping failed: %v", got)
+	}
+}

@@ -1,0 +1,63 @@
+package pdb
+
+import "sort"
+
+// Ranking is an ordered list of tuple IDs, best first. A top-k answer is a
+// Ranking of length k; a full ranking has length n.
+type Ranking []TupleID
+
+// TopK returns the first k entries (or all of them if the ranking is shorter).
+func (r Ranking) TopK(k int) Ranking {
+	if k > len(r) {
+		k = len(r)
+	}
+	out := make(Ranking, k)
+	copy(out, r[:k])
+	return out
+}
+
+// Position returns the 0-based position of id in the ranking, or -1.
+func (r Ranking) Position(id TupleID) int {
+	for i, t := range r {
+		if t == id {
+			return i
+		}
+	}
+	return -1
+}
+
+// Contains reports whether id appears in the ranking.
+func (r Ranking) Contains(id TupleID) bool { return r.Position(id) >= 0 }
+
+// RankByValue sorts tuple IDs 0..n-1 by non-increasing value. Ties are broken
+// by ID (ascending) so results are deterministic. values is indexed by
+// TupleID.
+func RankByValue(values []float64) Ranking {
+	ids := make(Ranking, len(values))
+	for i := range ids {
+		ids[i] = TupleID(i)
+	}
+	sort.SliceStable(ids, func(a, b int) bool {
+		va, vb := values[ids[a]], values[ids[b]]
+		if va != vb {
+			return va > vb
+		}
+		return ids[a] < ids[b]
+	})
+	return ids
+}
+
+// RankByValueFor ranks an explicit set of IDs by non-increasing value taken
+// from the map, ties broken by ID.
+func RankByValueFor(ids []TupleID, value map[TupleID]float64) Ranking {
+	out := make(Ranking, len(ids))
+	copy(out, ids)
+	sort.SliceStable(out, func(a, b int) bool {
+		va, vb := value[out[a]], value[out[b]]
+		if va != vb {
+			return va > vb
+		}
+		return out[a] < out[b]
+	})
+	return out
+}

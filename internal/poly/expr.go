@@ -1,0 +1,115 @@
+package poly
+
+// Expr is a nested polynomial expression over a single variable x, as in
+// Appendix B.2: constants, the variable, sums, and products, arbitrarily
+// nested. The and/xor generating functions of Section 4.2 are exactly such
+// expressions, so Expand{Naive,DFT} provide two ways to put them in standard
+// form Σ cᵢxⁱ.
+type Expr interface {
+	// DegreeBound returns an upper bound on the degree of the expression.
+	DegreeBound() int
+	// EvalC evaluates the expression at a complex point in O(size) time.
+	EvalC(x complex128) complex128
+	// expand returns the expression in standard form via recursive
+	// polynomial arithmetic.
+	expand() Poly
+}
+
+// Const is a constant expression.
+type Const float64
+
+// Var is the variable x.
+type Var struct{}
+
+// Sum is the sum of sub-expressions.
+type Sum []Expr
+
+// Product is the product of sub-expressions.
+type Product []Expr
+
+// DegreeBound implements Expr.
+func (Const) DegreeBound() int { return 0 }
+
+// EvalC implements Expr.
+func (c Const) EvalC(complex128) complex128 { return complex(float64(c), 0) }
+
+func (c Const) expand() Poly { return Poly{float64(c)} }
+
+// DegreeBound implements Expr.
+func (Var) DegreeBound() int { return 1 }
+
+// EvalC implements Expr.
+func (Var) EvalC(x complex128) complex128 { return x }
+
+func (Var) expand() Poly { return Poly{0, 1} }
+
+// DegreeBound implements Expr.
+func (s Sum) DegreeBound() int {
+	d := 0
+	for _, e := range s {
+		if ed := e.DegreeBound(); ed > d {
+			d = ed
+		}
+	}
+	return d
+}
+
+// EvalC implements Expr.
+func (s Sum) EvalC(x complex128) complex128 {
+	var acc complex128
+	for _, e := range s {
+		acc += e.EvalC(x)
+	}
+	return acc
+}
+
+func (s Sum) expand() Poly {
+	var acc Poly
+	for _, e := range s {
+		acc = Add(acc, e.expand())
+	}
+	return acc
+}
+
+// DegreeBound implements Expr.
+func (p Product) DegreeBound() int {
+	d := 0
+	for _, e := range p {
+		d += e.DegreeBound()
+	}
+	return d
+}
+
+// EvalC implements Expr.
+func (p Product) EvalC(x complex128) complex128 {
+	acc := complex(1, 0)
+	for _, e := range p {
+		acc *= e.EvalC(x)
+	}
+	return acc
+}
+
+func (p Product) expand() Poly {
+	ps := make([]Poly, 0, len(p))
+	for _, e := range p {
+		ps = append(ps, e.expand())
+	}
+	return MultiProduct(ps)
+}
+
+// ExpandNaive expands a nested expression to standard form with recursive
+// polynomial arithmetic (products via MultiProduct).
+func ExpandNaive(e Expr) Poly { return e.expand() }
+
+// ExpandDFT expands a nested expression with Algorithm 2 of Appendix B.2:
+// evaluate the expression at deg+1 roots of unity (O(n) each, O(n²) total)
+// and recover the coefficients with one inverse DFT. For expressions whose
+// intermediate products blow up, this is asymptotically O(n²) regardless of
+// nesting structure.
+func ExpandDFT(e Expr) Poly {
+	return InterpolateDFT(e.DegreeBound(), e.EvalC)
+}
+
+// Lin returns the expression a + b·x, the ubiquitous factor of the paper's
+// generating functions (e.g. 1−p+p·x for an independent tuple).
+func Lin(a, b float64) Expr { return Sum{Const(a), Product{Const(b), Var{}}} }

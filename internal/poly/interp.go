@@ -1,0 +1,73 @@
+package poly
+
+import "math"
+
+// Appendix B.2, Algorithm 1: expand a nested polynomial expression by
+// evaluating it at n+1 distinct real points and solving the Vandermonde
+// system. The appendix cites the O(n²) Björck-Pereyra solver; the standard
+// equivalent implemented here goes through Newton's divided differences and
+// a Newton-to-monomial basis conversion, also O(n²).
+//
+// Real-point interpolation is numerically delicate at high degree (the
+// Vandermonde system's conditioning grows exponentially), which is exactly
+// why the appendix's Algorithm 2 — roots of unity plus an inverse DFT, see
+// InterpolateDFT — is "much easier to implement" and better behaved. Both
+// are provided; tests pin the degree range where the real-point method is
+// trustworthy.
+
+// InterpolateNewton recovers the degree-(len(xs)−1) polynomial through the
+// points (xs[i], ys[i]) in O(n²) via divided differences. The xs must be
+// pairwise distinct.
+func InterpolateNewton(xs, ys []float64) Poly {
+	n := len(xs)
+	if n == 0 || len(ys) != n {
+		return nil
+	}
+	// Divided differences in place: a[i] = f[x_0..x_i].
+	a := make([]float64, n)
+	copy(a, ys)
+	for k := 1; k < n; k++ {
+		for i := n - 1; i >= k; i-- {
+			a[i] = (a[i] - a[i-1]) / (xs[i] - xs[i-k])
+		}
+	}
+	// Newton form → monomial coefficients:
+	// p(x) = a_0 + (x−x_0)(a_1 + (x−x_1)(a_2 + …)), expanded by Horner.
+	coeff := make(Poly, 1, n)
+	coeff[0] = a[n-1]
+	for i := n - 2; i >= 0; i-- {
+		// coeff ← coeff·(x − xs[i]) + a[i].
+		next := make(Poly, len(coeff)+1)
+		for j, c := range coeff {
+			next[j+1] += c
+			next[j] -= c * xs[i]
+		}
+		next[0] += a[i]
+		coeff = next
+	}
+	return coeff
+}
+
+// ChebyshevNodes returns n distinct points in [−1, 1] clustered toward the
+// endpoints — the numerically preferred sample points for real-point
+// interpolation.
+func ChebyshevNodes(n int) []float64 {
+	xs := make([]float64, n)
+	for i := 0; i < n; i++ {
+		xs[i] = math.Cos(math.Pi * (float64(i) + 0.5) / float64(n))
+	}
+	return xs
+}
+
+// ExpandVandermonde expands a nested expression to standard form with
+// Appendix B.2's Algorithm 1: evaluate at deg+1 real (Chebyshev) points and
+// interpolate. Reliable up to degree ≈ 25; beyond that prefer ExpandDFT.
+func ExpandVandermonde(e Expr) Poly {
+	deg := e.DegreeBound()
+	xs := ChebyshevNodes(deg + 1)
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = real(e.EvalC(complex(x, 0)))
+	}
+	return InterpolateNewton(xs, ys)
+}

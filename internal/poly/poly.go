@@ -1,0 +1,263 @@
+// Package poly provides the polynomial machinery behind the paper's
+// generating-function algorithms (Section 4) and the expansion algorithms of
+// Appendix B: naive and FFT-based products, divide-and-conquer multi-products
+// (Appendix B.1), truncated products for PRFω(h), and DFT-based expansion of
+// nested polynomial expressions (Appendix B.2).
+package poly
+
+import (
+	"container/heap"
+	"math/cmplx"
+
+	"repro/internal/fft"
+)
+
+// Poly is a dense univariate polynomial with real coefficients, lowest degree
+// first: Poly{a0, a1, a2} represents a0 + a1·x + a2·x².
+// The zero polynomial is represented by an empty (or all-zero) slice.
+type Poly []float64
+
+// fftThreshold is the coefficient-count product above which Mul switches from
+// the schoolbook product to the FFT product.
+const fftThreshold = 1 << 14
+
+// Trim removes trailing (near-)zero coefficients, returning the canonical
+// representation. Exact zeros only: numerical noise is the caller's business.
+func (p Poly) Trim() Poly {
+	n := len(p)
+	for n > 0 && p[n-1] == 0 {
+		n--
+	}
+	return p[:n]
+}
+
+// Degree returns the degree of p, with -1 for the zero polynomial.
+func (p Poly) Degree() int { return len(p.Trim()) - 1 }
+
+// Clone returns a copy of p.
+func (p Poly) Clone() Poly {
+	q := make(Poly, len(p))
+	copy(q, p)
+	return q
+}
+
+// Add returns a+b.
+func Add(a, b Poly) Poly {
+	if len(b) > len(a) {
+		a, b = b, a
+	}
+	out := make(Poly, len(a))
+	copy(out, a)
+	for i := range b {
+		out[i] += b[i]
+	}
+	return out
+}
+
+// Scale returns c·p as a new polynomial.
+func (p Poly) Scale(c float64) Poly {
+	out := make(Poly, len(p))
+	for i := range p {
+		out[i] = c * p[i]
+	}
+	return out
+}
+
+// MulNaive returns a·b by the O(|a|·|b|) schoolbook product.
+func MulNaive(a, b Poly) Poly {
+	if len(a) == 0 || len(b) == 0 {
+		return nil
+	}
+	out := make(Poly, len(a)+len(b)-1)
+	for i, ai := range a {
+		if ai == 0 {
+			continue
+		}
+		for j, bj := range b {
+			out[i+j] += ai * bj
+		}
+	}
+	return out
+}
+
+// MulFFT returns a·b via a complex FFT convolution.
+func MulFFT(a, b Poly) Poly {
+	if len(a) == 0 || len(b) == 0 {
+		return nil
+	}
+	ca := make([]complex128, len(a))
+	cb := make([]complex128, len(b))
+	for i, v := range a {
+		ca[i] = complex(v, 0)
+	}
+	for i, v := range b {
+		cb[i] = complex(v, 0)
+	}
+	cc := fft.Convolve(ca, cb)
+	out := make(Poly, len(cc))
+	for i, v := range cc {
+		out[i] = real(v)
+	}
+	return out
+}
+
+// Mul returns a·b, choosing the schoolbook or FFT product by size.
+func Mul(a, b Poly) Poly {
+	if len(a)*len(b) >= fftThreshold && len(a) > 16 && len(b) > 16 {
+		return MulFFT(a, b)
+	}
+	return MulNaive(a, b)
+}
+
+// MulTrunc returns (a·b) mod x^n, i.e. only coefficients 0..n-1. This is the
+// workhorse of the PRFω(h) algorithms, which never need terms beyond x^h.
+func MulTrunc(a, b Poly, n int) Poly {
+	if len(a) == 0 || len(b) == 0 || n <= 0 {
+		return nil
+	}
+	la, lb := len(a), len(b)
+	if la > n {
+		la = n
+	}
+	if lb > n {
+		lb = n
+	}
+	outLen := la + lb - 1
+	if outLen > n {
+		outLen = n
+	}
+	out := make(Poly, outLen)
+	for i := 0; i < la; i++ {
+		ai := a[i]
+		if ai == 0 {
+			continue
+		}
+		maxJ := outLen - i
+		if maxJ > lb {
+			maxJ = lb
+		}
+		for j := 0; j < maxJ; j++ {
+			out[i+j] += ai * b[j]
+		}
+	}
+	return out
+}
+
+// Truncate returns p mod x^n.
+func (p Poly) Truncate(n int) Poly {
+	if n >= len(p) {
+		return p.Clone()
+	}
+	if n <= 0 {
+		return nil
+	}
+	out := make(Poly, n)
+	copy(out, p[:n])
+	return out
+}
+
+// Eval evaluates p at the real point x by Horner's rule.
+func (p Poly) Eval(x float64) float64 {
+	var acc float64
+	for i := len(p) - 1; i >= 0; i-- {
+		acc = acc*x + p[i]
+	}
+	return acc
+}
+
+// EvalC evaluates p at the complex point x by Horner's rule.
+func (p Poly) EvalC(x complex128) complex128 {
+	var acc complex128
+	for i := len(p) - 1; i >= 0; i-- {
+		acc = acc*x + complex(p[i], 0)
+	}
+	return acc
+}
+
+// Derivative returns p'.
+func (p Poly) Derivative() Poly {
+	if len(p) <= 1 {
+		return nil
+	}
+	out := make(Poly, len(p)-1)
+	for i := 1; i < len(p); i++ {
+		out[i-1] = float64(i) * p[i]
+	}
+	return out
+}
+
+// polyHeap orders polynomials by length for smallest-first merging.
+type polyHeap []Poly
+
+func (h polyHeap) Len() int            { return len(h) }
+func (h polyHeap) Less(i, j int) bool  { return len(h[i]) < len(h[j]) }
+func (h polyHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *polyHeap) Push(x interface{}) { *h = append(*h, x.(Poly)) }
+func (h *polyHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	p := old[n-1]
+	*h = old[:n-1]
+	return p
+}
+
+// MultiProduct computes ∏ ps[i] with the divide-and-conquer strategy of
+// Appendix B.1: always merging the two currently-smallest factors (a Huffman
+// merge), with FFT products for large factors. Total work is
+// O(D log D log m) where D is the output degree, versus O(D²) for the naive
+// left-to-right product.
+func MultiProduct(ps []Poly) Poly {
+	if len(ps) == 0 {
+		return Poly{1}
+	}
+	h := make(polyHeap, 0, len(ps))
+	for _, p := range ps {
+		if len(p) == 0 {
+			return nil // a zero factor annihilates the product
+		}
+		h = append(h, p)
+	}
+	heap.Init(&h)
+	for h.Len() > 1 {
+		a := heap.Pop(&h).(Poly)
+		b := heap.Pop(&h).(Poly)
+		heap.Push(&h, Mul(a, b))
+	}
+	return h[0]
+}
+
+// MultiProductNaive computes ∏ ps[i] by left-to-right schoolbook products,
+// the O(D²) baseline of Appendix B (used by ablation benchmarks).
+func MultiProductNaive(ps []Poly) Poly {
+	acc := Poly{1}
+	for _, p := range ps {
+		acc = MulNaive(acc, p)
+		if len(acc) == 0 {
+			return nil
+		}
+	}
+	return acc
+}
+
+// InterpolateDFT recovers the coefficients of a polynomial of degree ≤ deg
+// from the ability to evaluate it at arbitrary complex points, using
+// Algorithm 2 of Appendix B.2: evaluate at the (deg+1)-th roots of unity
+// u^k = e^{-2πik/(deg+1)} and apply the inverse DFT (F⁻¹ = F*/(n+1)).
+func InterpolateDFT(deg int, eval func(x complex128) complex128) Poly {
+	n := deg + 1
+	if n <= 0 {
+		return nil
+	}
+	vals := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		// u^k with u = e^{-2πi/n}: the same kernel as the forward DFT,
+		// so the inverse DFT recovers the coefficients directly.
+		vals[k] = eval(cmplx.Exp(complex(0, -2*3.141592653589793238462643383279502884*float64(k)/float64(n))))
+	}
+	coeffs := fft.Inverse(vals)
+	out := make(Poly, n)
+	for i, c := range coeffs {
+		out[i] = real(c)
+	}
+	return out
+}

@@ -1,0 +1,351 @@
+package poly
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func polyEq(t *testing.T, got, want Poly, tol float64, msg string) {
+	t.Helper()
+	g, w := got.Trim(), want.Trim()
+	maxLen := len(g)
+	if len(w) > maxLen {
+		maxLen = len(w)
+	}
+	for i := 0; i < maxLen; i++ {
+		var gv, wv float64
+		if i < len(g) {
+			gv = g[i]
+		}
+		if i < len(w) {
+			wv = w[i]
+		}
+		if math.Abs(gv-wv) > tol {
+			t.Fatalf("%s: coefficient %d: got %v want %v (full: %v vs %v)", msg, i, gv, wv, g, w)
+		}
+	}
+}
+
+func randPoly(rng *rand.Rand, n int) Poly {
+	p := make(Poly, n)
+	for i := range p {
+		p[i] = rng.NormFloat64()
+	}
+	return p
+}
+
+func TestMulNaiveBasic(t *testing.T) {
+	// (1+x)(1-x) = 1-x².
+	got := MulNaive(Poly{1, 1}, Poly{1, -1})
+	polyEq(t, got, Poly{1, 0, -1}, 1e-12, "(1+x)(1-x)")
+}
+
+func TestMulFFTMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, tc := range []struct{ la, lb int }{{1, 1}, {3, 4}, {17, 31}, {100, 57}} {
+		a, b := randPoly(rng, tc.la), randPoly(rng, tc.lb)
+		polyEq(t, MulFFT(a, b), MulNaive(a, b), 1e-7, "fft vs naive")
+	}
+}
+
+func TestMulEmptyOperands(t *testing.T) {
+	if got := MulNaive(nil, Poly{1}); got != nil {
+		t.Fatalf("nil * p = %v", got)
+	}
+	if got := Mul(Poly{1, 2}, nil); got != nil {
+		t.Fatalf("p * nil = %v", got)
+	}
+}
+
+func TestMulTruncMatchesFullTruncated(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 20; trial++ {
+		a, b := randPoly(rng, 1+rng.Intn(20)), randPoly(rng, 1+rng.Intn(20))
+		n := 1 + rng.Intn(25)
+		full := MulNaive(a, b).Truncate(n)
+		polyEq(t, MulTrunc(a, b, n), full, 1e-12, "MulTrunc")
+	}
+	if got := MulTrunc(Poly{1}, Poly{1}, 0); got != nil { // nolint
+		t.Fatalf("MulTrunc with n=0 should be nil, got %v", got)
+	}
+}
+
+func TestAddAndScale(t *testing.T) {
+	polyEq(t, Add(Poly{1, 2}, Poly{3, 4, 5}), Poly{4, 6, 5}, 0, "Add")
+	polyEq(t, Poly{1, -2}.Scale(3), Poly{3, -6}, 0, "Scale")
+}
+
+func TestTrimAndDegree(t *testing.T) {
+	if d := (Poly{0, 0, 0}).Degree(); d != -1 {
+		t.Fatalf("zero poly degree %d", d)
+	}
+	if d := (Poly{1, 2, 0}).Degree(); d != 1 {
+		t.Fatalf("degree %d want 1", d)
+	}
+}
+
+func TestEvalHorner(t *testing.T) {
+	p := Poly{1, 2, 3} // 1 + 2x + 3x²
+	if got := p.Eval(2); got != 17 {
+		t.Fatalf("Eval(2)=%v want 17", got)
+	}
+	if got := p.EvalC(complex(0, 1)); math.Abs(real(got)-(-2)) > 1e-12 || math.Abs(imag(got)-2) > 1e-12 {
+		// 1 + 2i + 3i² = -2 + 2i.
+		t.Fatalf("EvalC(i)=%v want -2+2i", got)
+	}
+}
+
+func TestDerivative(t *testing.T) {
+	polyEq(t, Poly{5, 1, 2, 3}.Derivative(), Poly{1, 4, 9}, 0, "Derivative")
+	if got := (Poly{5}).Derivative(); got != nil {
+		t.Fatalf("derivative of constant = %v", got)
+	}
+}
+
+func TestMultiProductMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 10; trial++ {
+		m := 1 + rng.Intn(8)
+		ps := make([]Poly, m)
+		for i := range ps {
+			ps[i] = randPoly(rng, 1+rng.Intn(6))
+		}
+		polyEq(t, MultiProduct(ps), MultiProductNaive(ps), 1e-6, "MultiProduct")
+	}
+	polyEq(t, MultiProduct(nil), Poly{1}, 0, "empty product")
+	if got := MultiProduct([]Poly{{1, 1}, nil}); got != nil {
+		t.Fatalf("product with zero factor = %v", got)
+	}
+}
+
+func TestMultiProductManyLinearFactors(t *testing.T) {
+	// ∏_{i=1..64} (1 + x) = Σ C(64,j) x^j.
+	ps := make([]Poly, 64)
+	for i := range ps {
+		ps[i] = Poly{1, 1}
+	}
+	got := MultiProduct(ps)
+	want := make(Poly, 65)
+	want[0] = 1
+	for j := 1; j <= 64; j++ {
+		want[j] = want[j-1] * float64(64-j+1) / float64(j)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("binomial product has %d coefficients, want %d", len(got), len(want))
+	}
+	for j := range want {
+		if rel := math.Abs(got[j]-want[j]) / want[j]; rel > 1e-9 {
+			t.Fatalf("C(64,%d): got %v want %v (rel err %g)", j, got[j], want[j], rel)
+		}
+	}
+}
+
+func TestInterpolateDFTRecoversCoefficients(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for trial := 0; trial < 10; trial++ {
+		p := randPoly(rng, 1+rng.Intn(30))
+		got := InterpolateDFT(len(p)-1, p.EvalC)
+		polyEq(t, got, p, 1e-8, "InterpolateDFT")
+	}
+}
+
+func TestExprExpandBothWays(t *testing.T) {
+	// ((1 + x + x²)(x² + 2x³) + x³(2 + 3x⁴))(1 + 2x), the Appendix B example.
+	x2 := Product{Var{}, Var{}}
+	x3 := Product{Var{}, Var{}, Var{}}
+	x4 := Product{Var{}, Var{}, Var{}, Var{}}
+	e := Product{
+		Sum{
+			Product{
+				Sum{Const(1), Var{}, x2},
+				Sum{x2, Product{Const(2), x3}},
+			},
+			Product{x3, Sum{Const(2), Product{Const(3), x4}}},
+		},
+		Sum{Const(1), Product{Const(2), Var{}}},
+	}
+	naive := ExpandNaive(e)
+	dft := ExpandDFT(e)
+	polyEq(t, dft, naive, 1e-8, "expr naive vs DFT")
+	// Spot-check one coefficient by direct algebra:
+	// (1+x+x²)(x²+2x³) = x² +3x³ +3x⁴ +2x⁵; plus x³(2+3x⁴)=2x³+3x⁷
+	// → x²+5x³+3x⁴+2x⁵+3x⁷; times (1+2x):
+	// x²+7x³+13x⁴+8x⁵+4x⁶+3x⁷+6x⁸.
+	want := Poly{0, 0, 1, 7, 13, 8, 4, 3, 6}
+	polyEq(t, naive, want, 1e-9, "expr value")
+}
+
+func TestLinHelper(t *testing.T) {
+	e := Lin(0.3, 0.7)
+	polyEq(t, ExpandNaive(e), Poly{0.3, 0.7}, 1e-12, "Lin")
+	if e.DegreeBound() != 1 {
+		t.Fatalf("Lin degree bound %d", e.DegreeBound())
+	}
+}
+
+// Property: multiplication is commutative and distributes over addition.
+func TestQuickRingAxioms(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, b, c := randPoly(rng, 1+rng.Intn(12)), randPoly(rng, 1+rng.Intn(12)), randPoly(rng, 1+rng.Intn(12))
+		ab := MulNaive(a, b)
+		ba := MulNaive(b, a)
+		for i := range ab {
+			if math.Abs(ab[i]-ba[i]) > 1e-9 {
+				return false
+			}
+		}
+		lhs := MulNaive(a, Add(b, c))
+		rhs := Add(MulNaive(a, b), MulNaive(a, c))
+		maxLen := len(lhs)
+		if len(rhs) > maxLen {
+			maxLen = len(rhs)
+		}
+		for i := 0; i < maxLen; i++ {
+			var lv, rv float64
+			if i < len(lhs) {
+				lv = lhs[i]
+			}
+			if i < len(rhs) {
+				rv = rhs[i]
+			}
+			if math.Abs(lv-rv) > 1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: evaluation commutes with multiplication.
+func TestQuickEvalHomomorphism(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, b := randPoly(rng, 1+rng.Intn(10)), randPoly(rng, 1+rng.Intn(10))
+		x := rng.NormFloat64()
+		lhs := MulNaive(a, b).Eval(x)
+		rhs := a.Eval(x) * b.Eval(x)
+		return math.Abs(lhs-rhs) <= 1e-6*(1+math.Abs(lhs))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInterpolateNewtonRecoversPolynomials(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 20; trial++ {
+		p := randPoly(rng, 1+rng.Intn(15))
+		xs := ChebyshevNodes(len(p))
+		ys := make([]float64, len(xs))
+		for i, x := range xs {
+			ys[i] = p.Eval(x)
+		}
+		got := InterpolateNewton(xs, ys)
+		polyEq(t, got, p, 1e-7, "InterpolateNewton")
+	}
+	if got := InterpolateNewton(nil, nil); got != nil {
+		t.Fatalf("empty interpolation: %v", got)
+	}
+	if got := InterpolateNewton([]float64{1, 2}, []float64{1}); got != nil {
+		t.Fatalf("mismatched lengths: %v", got)
+	}
+}
+
+func TestChebyshevNodesDistinctInRange(t *testing.T) {
+	xs := ChebyshevNodes(20)
+	seen := map[float64]bool{}
+	for _, x := range xs {
+		if x < -1 || x > 1 {
+			t.Fatalf("node %v out of range", x)
+		}
+		if seen[x] {
+			t.Fatalf("duplicate node %v", x)
+		}
+		seen[x] = true
+	}
+}
+
+func TestExpandVandermondeMatchesNaive(t *testing.T) {
+	// The Appendix B example expression.
+	x2 := Product{Var{}, Var{}}
+	x3 := Product{Var{}, Var{}, Var{}}
+	e := Product{
+		Sum{
+			Product{Sum{Const(1), Var{}, x2}, Sum{x2, Product{Const(2), x3}}},
+			Product{x3, Sum{Const(2), Product{Const(3), Product{x2, x2}}}},
+		},
+		Sum{Const(1), Product{Const(2), Var{}}},
+	}
+	polyEq(t, ExpandVandermonde(e), ExpandNaive(e), 1e-6, "ExpandVandermonde")
+}
+
+// All three expansion algorithms of Appendix B agree on random expressions.
+func TestQuickExpansionAlgorithmsAgree(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := randExpr(rng, 0)
+		if e.DegreeBound() > 20 {
+			return true // keep the Vandermonde path in its reliable range
+		}
+		naive := ExpandNaive(e)
+		dft := ExpandDFT(e)
+		vand := ExpandVandermonde(e)
+		maxLen := len(naive)
+		if len(dft) > maxLen {
+			maxLen = len(dft)
+		}
+		if len(vand) > maxLen {
+			maxLen = len(vand)
+		}
+		// Scale tolerance by the coefficient magnitude.
+		scale := 1.0
+		for _, c := range naive {
+			if math.Abs(c) > scale {
+				scale = math.Abs(c)
+			}
+		}
+		at := func(p Poly, i int) float64 {
+			if i < len(p) {
+				return p[i]
+			}
+			return 0
+		}
+		for i := 0; i < maxLen; i++ {
+			if math.Abs(at(naive, i)-at(dft, i)) > 1e-6*scale {
+				return false
+			}
+			if math.Abs(at(naive, i)-at(vand, i)) > 1e-5*scale {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// randExpr builds a small random nested expression.
+func randExpr(rng *rand.Rand, depth int) Expr {
+	if depth >= 3 || rng.Float64() < 0.3 {
+		if rng.Intn(2) == 0 {
+			return Const(rng.NormFloat64())
+		}
+		return Var{}
+	}
+	n := 1 + rng.Intn(3)
+	kids := make([]Expr, n)
+	for i := range kids {
+		kids[i] = randExpr(rng, depth+1)
+	}
+	if rng.Intn(2) == 0 {
+		return Sum(kids)
+	}
+	return Product(kids)
+}

@@ -1,0 +1,233 @@
+// Package rankdist implements the distance measures between (top-k) rankings
+// used throughout the paper's evaluation: the normalized Kendall tau distance
+// for top-k lists of Fagin, Kumar and Sivakumar ("Comparing top-k lists",
+// SODA 2003) in the K̂ (optimistic, p=0) variant the paper adopts in
+// Section 3.2, plus the classical full-list Kendall tau, Spearman's footrule
+// for top-k lists, and the intersection metric.
+package rankdist
+
+import (
+	"fmt"
+
+	"repro/internal/pdb"
+)
+
+// KendallTopK computes the paper's normalized Kendall distance between two
+// top-k lists. For every unordered pair {i, j} of K1 ∪ K2, K̂(i,j) = 1 when
+// the two underlying full rankings can be *inferred* to order i and j
+// oppositely, and 0 otherwise (the optimistic p=0 convention):
+//
+//   - both in both lists: 1 iff their order differs;
+//   - both in K1, only i in K2: 1 iff K1 ranks j above i (the full list 2
+//     must rank i above j, because j missed the top-k and i did not);
+//   - i only in K1, j only in K2: always 1;
+//   - both missing from one of the lists entirely: 0 (nothing inferable).
+//
+// The raw count is divided by k² so the distance lies in [0,1]; 0 means
+// identical lists and 1 means disjoint lists. Lists shorter than k are
+// allowed (k defaults to the longer length); duplicate IDs within one list
+// are a programming error and cause a panic.
+func KendallTopK(k1, k2 pdb.Ranking, k int) float64 {
+	if k <= 0 {
+		k = len(k1)
+		if len(k2) > k {
+			k = len(k2)
+		}
+	}
+	if k == 0 {
+		return 0
+	}
+	pos1 := positions(k1)
+	pos2 := positions(k2)
+
+	// Union of the two lists.
+	union := make([]pdb.TupleID, 0, len(pos1)+len(pos2))
+	for _, id := range k1 {
+		union = append(union, id)
+	}
+	for _, id := range k2 {
+		if _, ok := pos1[id]; !ok {
+			union = append(union, id)
+		}
+	}
+
+	var raw int
+	for a := 0; a < len(union); a++ {
+		for b := a + 1; b < len(union); b++ {
+			i, j := union[a], union[b]
+			pi1, in1i := pos1[i]
+			pj1, in1j := pos1[j]
+			pi2, in2i := pos2[i]
+			pj2, in2j := pos2[j]
+			switch {
+			case in1i && in1j && in2i && in2j:
+				if (pi1 < pj1) != (pi2 < pj2) {
+					raw++
+				}
+			case in1i && in1j: // both in K1, at most one in K2
+				// The one present in K2 is known to rank above the
+				// absent one in full list 2.
+				if in2i && pj1 < pi1 {
+					raw++
+				}
+				if in2j && pi1 < pj1 {
+					raw++
+				}
+			case in2i && in2j: // both in K2, at most one in K1
+				if in1i && pj2 < pi2 {
+					raw++
+				}
+				if in1j && pi2 < pj2 {
+					raw++
+				}
+			case in1i && in2j, in1j && in2i:
+				// i appears only in one list, j only in the other:
+				// each list ranks its own member above the other's.
+				raw++
+			default:
+				// Both only in the same list: case 4, contributes 0.
+			}
+		}
+	}
+	return float64(raw) / float64(k*k)
+}
+
+func positions(r pdb.Ranking) map[pdb.TupleID]int {
+	m := make(map[pdb.TupleID]int, len(r))
+	for i, id := range r {
+		if _, dup := m[id]; dup {
+			panic(fmt.Sprintf("rankdist: duplicate tuple %d in ranking", id))
+		}
+		m[id] = i
+	}
+	return m
+}
+
+// KendallFull computes the classical normalized Kendall tau distance between
+// two full rankings over the same element set: the fraction of the C(n,2)
+// pairs ordered oppositely. Panics if the rankings are not permutations of
+// the same set.
+func KendallFull(r1, r2 pdb.Ranking) float64 {
+	if len(r1) != len(r2) {
+		panic("rankdist: full rankings differ in length")
+	}
+	n := len(r1)
+	if n < 2 {
+		return 0
+	}
+	pos2 := positions(r2)
+	seq := make([]int, n)
+	for i, id := range r1 {
+		p, ok := pos2[id]
+		if !ok {
+			panic(fmt.Sprintf("rankdist: tuple %d missing from second ranking", id))
+		}
+		seq[i] = p
+	}
+	inv := countInversions(seq)
+	return float64(inv) / float64(n*(n-1)/2)
+}
+
+// countInversions counts inversions via merge sort in O(n log n).
+func countInversions(a []int) int64 {
+	buf := make([]int, len(a))
+	tmp := make([]int, len(a))
+	copy(buf, a)
+	return mergeCount(buf, tmp, 0, len(buf))
+}
+
+func mergeCount(a, tmp []int, lo, hi int) int64 {
+	if hi-lo <= 1 {
+		return 0
+	}
+	mid := (lo + hi) / 2
+	inv := mergeCount(a, tmp, lo, mid) + mergeCount(a, tmp, mid, hi)
+	i, j, k := lo, mid, lo
+	for i < mid && j < hi {
+		if a[i] <= a[j] {
+			tmp[k] = a[i]
+			i++
+		} else {
+			tmp[k] = a[j]
+			inv += int64(mid - i)
+			j++
+		}
+		k++
+	}
+	for i < mid {
+		tmp[k] = a[i]
+		i++
+		k++
+	}
+	for j < hi {
+		tmp[k] = a[j]
+		j++
+		k++
+	}
+	copy(a[lo:hi], tmp[lo:hi])
+	return inv
+}
+
+// FootruleTopK computes the normalized Spearman footrule for top-k lists:
+// elements absent from a list are charged position k+1 (the "location
+// parameter ℓ = k+1" convention of Fagin et al.), and the result is divided
+// by the maximum value k(k+1) so it lies in [0,1].
+func FootruleTopK(k1, k2 pdb.Ranking, k int) float64 {
+	if k <= 0 {
+		k = len(k1)
+		if len(k2) > k {
+			k = len(k2)
+		}
+	}
+	if k == 0 {
+		return 0
+	}
+	pos1 := positions(k1)
+	pos2 := positions(k2)
+	union := make(map[pdb.TupleID]struct{}, len(pos1)+len(pos2))
+	for id := range pos1 {
+		union[id] = struct{}{}
+	}
+	for id := range pos2 {
+		union[id] = struct{}{}
+	}
+	var sum int
+	for id := range union {
+		p1, ok1 := pos1[id]
+		if !ok1 {
+			p1 = k
+		}
+		p2, ok2 := pos2[id]
+		if !ok2 {
+			p2 = k
+		}
+		d := p1 - p2
+		if d < 0 {
+			d = -d
+		}
+		sum += d
+	}
+	return float64(sum) / float64(k*(k+1))
+}
+
+// Intersection computes 1 − |K1 ∩ K2| / k, the (complement of the) overlap
+// of the two top-k answers. 0 means identical sets, 1 means disjoint.
+func Intersection(k1, k2 pdb.Ranking, k int) float64 {
+	if k <= 0 {
+		k = len(k1)
+		if len(k2) > k {
+			k = len(k2)
+		}
+	}
+	if k == 0 {
+		return 0
+	}
+	pos1 := positions(k1)
+	shared := 0
+	for _, id := range k2 {
+		if _, ok := pos1[id]; ok {
+			shared++
+		}
+	}
+	return 1 - float64(shared)/float64(k)
+}

@@ -1,0 +1,191 @@
+package rankdist
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/pdb"
+)
+
+func r(ids ...pdb.TupleID) pdb.Ranking { return pdb.Ranking(ids) }
+
+func TestKendallTopKIdentical(t *testing.T) {
+	if d := KendallTopK(r(1, 2, 3), r(1, 2, 3), 3); d != 0 {
+		t.Fatalf("identical lists distance %v", d)
+	}
+}
+
+func TestKendallTopKDisjointIsOne(t *testing.T) {
+	if d := KendallTopK(r(1, 2, 3), r(4, 5, 6), 3); d != 1 {
+		t.Fatalf("disjoint lists distance %v, want 1", d)
+	}
+}
+
+func TestKendallTopKReversed(t *testing.T) {
+	// Same elements fully reversed: all C(3,2)=3 pairs flipped, /k² = 3/9.
+	if d := KendallTopK(r(1, 2, 3), r(3, 2, 1), 3); math.Abs(d-3.0/9.0) > 1e-12 {
+		t.Fatalf("reversed distance %v, want 1/3", d)
+	}
+}
+
+func TestKendallTopKPartialOverlap(t *testing.T) {
+	// K1 = [a b], K2 = [b c], k=2.
+	// Pairs over {a,b,c}: (a,b): both in K1 (a<b), only b in K2 → K1 says a
+	// above b, but full list 2 must put b above a (a missed top-k) → 1.
+	// (a,c): a only in K1, c only in K2 → 1. (b,c): both in K2, only b in
+	// K1 → list 1 must place b above c, K2 agrees (b before c) → 0.
+	// Total 2/k² = 0.5.
+	if d := KendallTopK(r(1, 2), r(2, 3), 2); math.Abs(d-0.5) > 1e-12 {
+		t.Fatalf("partial overlap distance %v, want 0.5", d)
+	}
+}
+
+func TestKendallTopKSymmetric(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 1 + rng.Intn(8)
+		a := randomTopK(rng, k, 20)
+		b := randomTopK(rng, k, 20)
+		return math.Abs(KendallTopK(a, b, k)-KendallTopK(b, a, k)) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKendallTopKRange(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 1 + rng.Intn(8)
+		a := randomTopK(rng, k, 15)
+		b := randomTopK(rng, k, 15)
+		d := KendallTopK(a, b, k)
+		return d >= 0 && d <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Paper claim (§3.2): if the Kendall distance is δ, the two top-k answers
+// share at least a 1−√δ fraction of tuples.
+func TestKendallTopKOverlapBound(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 2 + rng.Intn(8)
+		a := randomTopK(rng, k, 25)
+		b := randomTopK(rng, k, 25)
+		d := KendallTopK(a, b, k)
+		overlap := 1 - Intersection(a, b, k)
+		return overlap >= 1-math.Sqrt(d)-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func randomTopK(rng *rand.Rand, k, universe int) pdb.Ranking {
+	perm := rng.Perm(universe)
+	out := make(pdb.Ranking, k)
+	for i := 0; i < k; i++ {
+		out[i] = pdb.TupleID(perm[i])
+	}
+	return out
+}
+
+func TestKendallTopKDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on duplicate ID")
+		}
+	}()
+	KendallTopK(r(1, 1), r(1, 2), 2)
+}
+
+func TestKendallTopKEmpty(t *testing.T) {
+	if d := KendallTopK(nil, nil, 0); d != 0 {
+		t.Fatalf("empty lists distance %v", d)
+	}
+}
+
+func TestKendallFull(t *testing.T) {
+	if d := KendallFull(r(1, 2, 3, 4), r(1, 2, 3, 4)); d != 0 {
+		t.Fatalf("identical full distance %v", d)
+	}
+	if d := KendallFull(r(1, 2, 3, 4), r(4, 3, 2, 1)); d != 1 {
+		t.Fatalf("reversed full distance %v, want 1", d)
+	}
+	// One adjacent swap in n=4: 1 / C(4,2) = 1/6.
+	if d := KendallFull(r(1, 2, 3, 4), r(2, 1, 3, 4)); math.Abs(d-1.0/6.0) > 1e-12 {
+		t.Fatalf("single swap distance %v, want 1/6", d)
+	}
+}
+
+func TestKendallFullMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on mismatched sets")
+		}
+	}()
+	KendallFull(r(1, 2), r(1, 3))
+}
+
+func TestCountInversionsAgainstNaive(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(40)
+		a := make([]int, n)
+		for i := range a {
+			a[i] = rng.Intn(10)
+		}
+		var naive int64
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if a[i] > a[j] {
+					naive++
+				}
+			}
+		}
+		return countInversions(a) == naive
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFootruleTopK(t *testing.T) {
+	if d := FootruleTopK(r(1, 2), r(1, 2), 2); d != 0 {
+		t.Fatalf("identical footrule %v", d)
+	}
+	if d := FootruleTopK(r(1, 2), r(3, 4), 2); d != 1 {
+		t.Fatalf("disjoint footrule %v, want 1", d)
+	}
+	// [1,2] vs [2,1]: |0-1| + |1-0| = 2, / k(k+1)=6 → 1/3.
+	if d := FootruleTopK(r(1, 2), r(2, 1), 2); math.Abs(d-1.0/3.0) > 1e-12 {
+		t.Fatalf("swap footrule %v, want 1/3", d)
+	}
+}
+
+func TestIntersectionMetric(t *testing.T) {
+	if d := Intersection(r(1, 2, 3), r(1, 2, 3), 3); d != 0 {
+		t.Fatalf("identical intersection %v", d)
+	}
+	if d := Intersection(r(1, 2, 3), r(4, 5, 6), 3); d != 1 {
+		t.Fatalf("disjoint intersection %v", d)
+	}
+	if d := Intersection(r(1, 2, 3), r(3, 4, 5), 3); math.Abs(d-2.0/3.0) > 1e-12 {
+		t.Fatalf("one-shared intersection %v, want 2/3", d)
+	}
+}
+
+// Footrule bounds Kendall for full lists (Diaconis-Graham): K ≤ F ≤ 2K in
+// unnormalized form. We sanity-check the top-k variants stay within [0,1]
+// and agree on extremes.
+func TestMetricsAgreeOnExtremes(t *testing.T) {
+	a, b := r(1, 2, 3, 4), r(5, 6, 7, 8)
+	if KendallTopK(a, b, 4) != 1 || FootruleTopK(a, b, 4) != 1 || Intersection(a, b, 4) != 1 {
+		t.Fatal("disjoint lists should be at distance 1 under all metrics")
+	}
+}

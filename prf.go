@@ -1,0 +1,461 @@
+// Package prf is a from-scratch Go implementation of
+//
+//	Jian Li, Barna Saha, Amol Deshpande.
+//	"A Unified Approach to Ranking in Probabilistic Databases." VLDB 2009.
+//
+// It provides the paper's parameterized ranking functions — PRF, PRFω(h) and
+// PRFe(α) — together with every substrate they rest on: the possible-worlds
+// model for tuple-independent relations, probabilistic and/xor trees for
+// correlated data, junction trees over Markov networks for arbitrary
+// correlations, the generating-function ranking algorithms, the DFT-based
+// approximation of weight functions by sums of complex exponentials, the
+// parameter-learning procedures, and all prior ranking semantics the paper
+// compares against (U-Top, U-Rank, PT(h)/Global-top-k, expected ranks,
+// expected score, k-selection, consensus top-k).
+//
+// # Quick start
+//
+//	d, _ := prf.NewDataset(
+//	    []float64{120, 130, 80},   // scores
+//	    []float64{0.4, 0.7, 0.3},  // existence probabilities
+//	)
+//	top := prf.RankPRFe(d, 0.95).TopK(2)
+//
+// The package is a thin, documented facade over the internal packages; see
+// DESIGN.md for the architecture and EXPERIMENTS.md for the reproduction of
+// the paper's evaluation.
+package prf
+
+import (
+	"math/rand"
+
+	"repro/internal/andxor"
+	"repro/internal/baselines"
+	"repro/internal/core"
+	"repro/internal/dftapprox"
+	"repro/internal/junction"
+	"repro/internal/learn"
+	"repro/internal/pdb"
+	"repro/internal/rankdist"
+)
+
+// Base model types (Section 3.1).
+type (
+	// Tuple is an uncertain tuple: a ranking score plus an existence
+	// probability.
+	Tuple = pdb.Tuple
+	// TupleID identifies a tuple within a dataset (dense 0..n-1).
+	TupleID = pdb.TupleID
+	// Dataset is a tuple-independent probabilistic relation.
+	Dataset = pdb.Dataset
+	// World is one possible world: present tuples in ranked order plus the
+	// world's probability.
+	World = pdb.World
+	// Ranking is an ordered list of tuple IDs, best first.
+	Ranking = pdb.Ranking
+	// RankDistributionMatrix holds Pr(r(t)=j) for every tuple and rank.
+	RankDistributionMatrix = pdb.RankDistribution
+	// WeightFunc is the paper's ω(t, i) weight function.
+	WeightFunc = core.WeightFunc
+	// ExpTerm is one u·αⁱ term of an exponential-sum weight function.
+	ExpTerm = core.ExpTerm
+)
+
+// NewDataset builds a dataset from parallel score/probability slices,
+// assigning IDs 0..n-1 in input order.
+func NewDataset(scores, probs []float64) (*Dataset, error) {
+	return pdb.NewDataset(scores, probs)
+}
+
+// FromTuples builds a dataset from tuples, reassigning dense IDs.
+func FromTuples(ts []Tuple) (*Dataset, error) { return pdb.FromTuples(ts) }
+
+// EnumerateWorlds lists all possible worlds of a small tuple-independent
+// dataset (≤ pdb.MaxEnumerate tuples) — the brute-force semantics reference.
+func EnumerateWorlds(d *Dataset) ([]World, error) { return pdb.EnumerateWorlds(d) }
+
+// SampleWorld draws one possible world of an independent dataset.
+func SampleWorld(d *Dataset, rng *rand.Rand) World { return pdb.SampleWorld(d, rng) }
+
+// ---------------------------------------------------------------------------
+// Ranking functions on tuple-independent datasets (Sections 4.1 and 4.3).
+// ---------------------------------------------------------------------------
+
+// RankDistribution computes Pr(r(t)=j) for all tuples and ranks with the
+// generating-function Algorithm 1 (O(n²)).
+func RankDistribution(d *Dataset) *RankDistributionMatrix { return core.RankDistribution(d) }
+
+// RankDistributionTrunc computes Pr(r(t)=j) for ranks j ≤ h only (O(n·h)).
+func RankDistributionTrunc(d *Dataset, h int) *RankDistributionMatrix {
+	return core.RankDistributionTrunc(d, h)
+}
+
+// PRF evaluates Υω(t) for an arbitrary weight function in O(n²) time and
+// O(n) space. Results are indexed by TupleID.
+func PRF(d *Dataset, omega WeightFunc) []float64 { return core.PRF(d, omega) }
+
+// PRFOmega evaluates the PRFω(h) family: w[j] is the weight of rank j+1 and
+// ranks beyond len(w) weigh zero. O(n·h + n log n).
+func PRFOmega(d *Dataset, w []float64) []float64 { return core.PRFOmega(d, w) }
+
+// PTh evaluates Pr(r(t) ≤ h) — the probabilistic-threshold / Global-top-k
+// ranking function — for every tuple in O(n·h).
+func PTh(d *Dataset, h int) []float64 { return core.PTh(d, h) }
+
+// PRFe evaluates Υ_α(t) for every tuple with one linear scan (Equation 3).
+// See PRFeLog for the numerically robust variant at scale.
+func PRFe(d *Dataset, alpha complex128) []complex128 { return core.PRFe(d, alpha) }
+
+// PRFeLog evaluates log|Υ_α(t)|, the underflow-free form used for ranking.
+func PRFeLog(d *Dataset, alpha complex128) []float64 { return core.PRFeLog(d, alpha) }
+
+// RankPRFe returns the full PRFe(α) ranking for real α ∈ [0, 1].
+func RankPRFe(d *Dataset, alpha float64) Ranking { return core.RankPRFe(d, alpha) }
+
+// PRFeCombo evaluates a linear combination Σ u_l·Υ_{α_l}(t) of PRFe
+// functions — the Section 5.1 approximate-PRFω backend. O(n·L).
+func PRFeCombo(d *Dataset, terms []ExpTerm) []complex128 { return core.PRFeCombo(d, terms) }
+
+// TopK ranks all tuples by non-increasing value and returns the best k IDs.
+func TopK(values []float64, k int) Ranking { return core.TopK(values, k) }
+
+// RankByValue returns the full ranking by non-increasing value (values are
+// indexed by TupleID; ties break by ID).
+func RankByValue(values []float64) Ranking { return pdb.RankByValue(values) }
+
+// RealParts extracts real components from complex ranking values.
+func RealParts(vals []complex128) []float64 { return core.RealParts(vals) }
+
+// AbsParts extracts magnitudes from complex ranking values.
+func AbsParts(vals []complex128) []float64 { return core.AbsParts(vals) }
+
+// CrossingPoint finds the unique α at which the tuples at sorted positions
+// i < j swap PRFe order, if any (Theorem 4).
+func CrossingPoint(d *Dataset, i, j int) (float64, bool) { return core.CrossingPoint(d, i, j) }
+
+// PRFeCurve evaluates Υ_α(t) for every tuple over a grid of α values
+// (Figure 6 / Example 7).
+func PRFeCurve(d *Dataset, alphas []float64) [][]float64 { return core.PRFeCurve(d, alphas) }
+
+// ---------------------------------------------------------------------------
+// Probabilistic and/xor trees (Sections 3.1, 4.2, 4.3, 4.4).
+// ---------------------------------------------------------------------------
+
+type (
+	// Tree is a validated probabilistic and/xor tree.
+	Tree = andxor.Tree
+	// TreeNode is a node under construction (leaf, ∧ or ∨).
+	TreeNode = andxor.Node
+	// Alternative is one (score, probability) choice of an x-tuple or an
+	// uncertain-score tuple.
+	Alternative = andxor.Alternative
+)
+
+// NewLeaf returns a leaf node with the given score.
+func NewLeaf(score float64) *TreeNode { return andxor.NewLeaf(score) }
+
+// NewKeyedLeaf returns a leaf carrying a possible-worlds key (leaves sharing
+// a key must be mutually exclusive; enforced at NewTree).
+func NewKeyedLeaf(key string, score float64) *TreeNode { return andxor.NewKeyedLeaf(key, score) }
+
+// NewAnd returns a ∧ (co-existence) node.
+func NewAnd(children ...*TreeNode) *TreeNode { return andxor.NewAnd(children...) }
+
+// NewXor returns a ∨ (mutual-exclusion) node with per-child probabilities.
+func NewXor(probs []float64, children ...*TreeNode) *TreeNode {
+	return andxor.NewXor(probs, children...)
+}
+
+// NewTree validates the node structure (probability and key constraints)
+// and returns the finished tree.
+func NewTree(root *TreeNode) (*Tree, error) { return andxor.New(root) }
+
+// XTuples builds the classic x-tuple model: groups of mutually exclusive
+// alternatives under a ∧ root.
+func XTuples(groups [][]Alternative) (*Tree, error) { return andxor.XTuples(groups) }
+
+// IndependentTree wraps an independent dataset as a height-2 and/xor tree.
+func IndependentTree(d *Dataset) (*Tree, error) { return andxor.Independent(d) }
+
+// TreeFromWorlds encodes an explicit set of possible worlds as a tree
+// (Figure 2 of the paper).
+func TreeFromWorlds(worlds [][]Alternative, probs []float64, keys [][]string) (*Tree, [][]TupleID, error) {
+	return andxor.FromWorlds(worlds, probs, keys)
+}
+
+// TreeRankDistribution computes Pr(r(t)=j) on a correlated dataset with the
+// bivariate generating-function Algorithm 2.
+func TreeRankDistribution(t *Tree) *RankDistributionMatrix { return andxor.RankDistribution(t) }
+
+// TreeRankDistributionTrunc truncates the computation to ranks ≤ h.
+func TreeRankDistributionTrunc(t *Tree, h int) *RankDistributionMatrix {
+	return andxor.RankDistributionTrunc(t, h)
+}
+
+// TreePRF evaluates Υω on a correlated dataset.
+func TreePRF(t *Tree, omega func(tu Tuple, rank int) float64) []float64 {
+	return andxor.PRF(t, omega)
+}
+
+// TreePRFOmega evaluates PRFω(h) on a correlated dataset.
+func TreePRFOmega(t *Tree, w []float64) []float64 { return andxor.PRFOmega(t, w) }
+
+// TreePTh evaluates PT(h) on a correlated dataset.
+func TreePTh(t *Tree, h int) []float64 { return andxor.PTh(t, h) }
+
+// TreePRFe evaluates Υ_α on a correlated dataset with the incremental
+// Algorithm 3 (O(Σ depth(tᵢ) + n log n)).
+func TreePRFe(t *Tree, alpha complex128) []complex128 { return andxor.PRFeValues(t, alpha) }
+
+// TreeRankPRFe returns the PRFe(α) ranking of the tree's tuples.
+func TreeRankPRFe(t *Tree, alpha float64) Ranking { return andxor.RankPRFe(t, alpha) }
+
+// TreePRFeCombo evaluates a linear combination of PRFe functions on a tree.
+func TreePRFeCombo(t *Tree, us, alphas []complex128) []complex128 {
+	return andxor.PRFeCombo(t, us, alphas)
+}
+
+// TreeExpectedRanks returns E[r(t)] on a correlated dataset.
+func TreeExpectedRanks(t *Tree) []float64 { return andxor.ExpectedRanks(t) }
+
+// TreeSizeDistribution returns Pr(|pw| = i) (Example 2 of the paper).
+func TreeSizeDistribution(t *Tree) []float64 { return andxor.SizeDistribution(t) }
+
+// PRFUncertainScores evaluates Υω per original tuple when scores carry
+// discrete uncertainty (Section 4.4): alternatives become xor groups and
+// per-alternative values are summed. Uses the specialized O(N²) sweep over
+// the N alternatives (the paper's stated bound); the generic tree algorithm
+// remains available through the Tree API.
+func PRFUncertainScores(groups [][]Alternative, omega func(tu Tuple, rank int) float64) ([]float64, error) {
+	return andxor.PRFUncertainFast(groups, omega)
+}
+
+// PRFeUncertainScores is the PRFe(α) version of PRFUncertainScores,
+// running in O(N log N).
+func PRFeUncertainScores(groups [][]Alternative, alpha complex128) ([]complex128, error) {
+	return andxor.PRFeUncertainFast(groups, alpha)
+}
+
+// ---------------------------------------------------------------------------
+// Prior ranking semantics (Section 3.2) and consensus answers (Section 6).
+// ---------------------------------------------------------------------------
+
+// EScore returns Pr(t)·score(t) per tuple.
+func EScore(d *Dataset) []float64 { return baselines.EScore(d) }
+
+// ByProbability returns Pr(t) per tuple.
+func ByProbability(d *Dataset) []float64 { return baselines.ByProbability(d) }
+
+// URank returns the distinct-tuples U-Rank top-k answer.
+func URank(d *Dataset, k int) Ranking { return baselines.URank(d, k) }
+
+// URankTree is U-Rank on a correlated dataset.
+func URankTree(t *Tree, k int) Ranking { return baselines.URankTree(t, k) }
+
+// ERank returns E[r(t)] per tuple (lower is better); pair with ERankRanking.
+func ERank(d *Dataset) []float64 { return baselines.ERank(d) }
+
+// ERankRanking converts expected ranks into a best-first ranking.
+func ERankRanking(expectedRanks []float64) Ranking { return baselines.ERankRanking(expectedRanks) }
+
+// UTopK returns the exact U-Top answer for independent tuples: the k-set
+// with the highest probability of being exactly the top-k, plus that
+// probability. O(n log n).
+func UTopK(d *Dataset, k int) (Ranking, float64) { return baselines.UTopK(d, k) }
+
+// UTopKMonteCarloTree estimates the U-Top answer of a correlated dataset by
+// world sampling.
+func UTopKMonteCarloTree(t *Tree, k, samples int, rng *rand.Rand) Ranking {
+	return baselines.UTopKMonteCarlo(baselines.TreeSampler{T: t}, k, samples, rng)
+}
+
+// KSelection solves the k-selection query exactly for independent tuples
+// with non-negative scores (O(nk) dynamic program), returning the chosen set
+// and its expected best score.
+func KSelection(d *Dataset, k int) (Ranking, float64) { return baselines.KSelection(d, k) }
+
+// ConsensusTopK returns the consensus top-k answer under symmetric
+// difference (Theorem 2: identical to PT(k)'s top-k).
+func ConsensusTopK(d *Dataset, k int) Ranking { return baselines.ConsensusTopK(d, k) }
+
+// ConsensusTopKTree is ConsensusTopK on a correlated dataset.
+func ConsensusTopKTree(t *Tree, k int) Ranking { return baselines.ConsensusTopKTree(t, k) }
+
+// ExpectedSymDiff computes E[disΔ(τ, τ_pw)] in closed form.
+func ExpectedSymDiff(d *Dataset, tau Ranking) float64 { return baselines.ExpectedSymDiff(d, tau) }
+
+// ExpectedWeightedSymDiff computes E[dis_ω(τ, τ_pw)] for weighted symmetric
+// difference (Theorem 3).
+func ExpectedWeightedSymDiff(d *Dataset, tau Ranking, w []float64) float64 {
+	return baselines.ExpectedWeightedSymDiff(d, tau, w)
+}
+
+// ---------------------------------------------------------------------------
+// Approximation and learning (Section 5).
+// ---------------------------------------------------------------------------
+
+type (
+	// ApproxOptions configures the DFT approximation pipeline.
+	ApproxOptions = dftapprox.Options
+	// ApproxTerm is one exponential of the approximation.
+	ApproxTerm = dftapprox.Term
+	// AlphaResult is the outcome of LearnAlpha.
+	AlphaResult = learn.AlphaResult
+	// OmegaOptions configures LearnOmega.
+	OmegaOptions = learn.OmegaOptions
+)
+
+// DefaultApproxOptions returns the recommended DFT+DF+IS+ES configuration
+// with L terms.
+func DefaultApproxOptions(l int) ApproxOptions { return dftapprox.DefaultOptions(l) }
+
+// ApproximateWeights fits ω(i), i ∈ [0, n), by a sum of L complex
+// exponentials (Section 5.1).
+func ApproximateWeights(omega func(i int) float64, n int, opts ApproxOptions) []ApproxTerm {
+	return dftapprox.Approximate(omega, n, opts)
+}
+
+// ApproxPRFeTerms converts a weight-sequence approximation into the ExpTerm
+// form consumed by PRFeCombo (rank j uses α^j).
+func ApproxPRFeTerms(terms []ApproxTerm) []ExpTerm {
+	rw := dftapprox.TermsForRankWeights(terms)
+	out := make([]ExpTerm, len(rw))
+	for i, t := range rw {
+		out[i] = ExpTerm{U: t.U, Alpha: t.Alpha}
+	}
+	return out
+}
+
+// StepWeights returns the PT(h)-style step weight function on [0, n).
+func StepWeights(n int) func(int) float64 { return dftapprox.Step(n) }
+
+// LearnAlpha fits PRFe's α from a user-ranked sample by recursive grid
+// refinement (Section 5.2).
+func LearnAlpha(sample *Dataset, user Ranking, k, iters int) AlphaResult {
+	return learn.LearnAlpha(sample, user, k, iters)
+}
+
+// LearnOmega fits a PRFω(h) weight vector from a user-ranked sample with an
+// L2-regularized pairwise hinge loss (RankSVM objective).
+func LearnOmega(sample *Dataset, user Ranking, opts OmegaOptions) []float64 {
+	return learn.LearnOmega(sample, user, opts)
+}
+
+// ---------------------------------------------------------------------------
+// Markov networks and junction trees (Section 9).
+// ---------------------------------------------------------------------------
+
+type (
+	// MarkovNetwork is a factor graph over binary tuple-presence variables.
+	MarkovNetwork = junction.Network
+	// MarkovFactor is one potential of a Markov network.
+	MarkovFactor = junction.Factor
+	// JunctionTree is a calibrated junction tree.
+	JunctionTree = junction.JTree
+	// MarkovChain is the Section 9.3 chain special case.
+	MarkovChain = junction.Chain
+)
+
+// NewMarkovNetwork validates and builds a Markov network over the given
+// tuple scores.
+func NewMarkovNetwork(scores []float64, factors []MarkovFactor) (*MarkovNetwork, error) {
+	return junction.NewNetwork(scores, factors)
+}
+
+// BuildJunctionTree triangulates (min-fill), builds and calibrates the
+// junction tree of a Markov network.
+func BuildJunctionTree(net *MarkovNetwork) (*JunctionTree, error) {
+	return junction.BuildJunctionTree(net)
+}
+
+// NetworkRankDistribution computes Pr(r(t)=j) on an arbitrarily correlated
+// dataset via the Section 9.4 partial-sum dynamic program (polynomial for
+// bounded treewidth).
+func NetworkRankDistribution(net *MarkovNetwork) (*RankDistributionMatrix, error) {
+	return junction.RankDistribution(net)
+}
+
+// NetworkPRF evaluates Υω over a Markov network.
+func NetworkPRF(net *MarkovNetwork, omega func(tu Tuple, rank int) float64) ([]float64, error) {
+	return junction.PRF(net, omega)
+}
+
+// NetworkPRFe evaluates Υ_α over a Markov network.
+func NetworkPRFe(net *MarkovNetwork, alpha complex128) ([]complex128, error) {
+	return junction.PRFe(net, alpha)
+}
+
+// NewMarkovChain builds the Section 9.3 chain model from calibrated pairwise
+// joints Pr(Y_j, Y_{j+1}).
+func NewMarkovChain(scores []float64, pair [][2][2]float64) (*MarkovChain, error) {
+	return junction.NewChain(scores, pair)
+}
+
+// ---------------------------------------------------------------------------
+// Rank-comparison metrics (Section 3.2).
+// ---------------------------------------------------------------------------
+
+// KendallTopK is the paper's normalized Kendall distance between top-k lists
+// (Fagin et al., optimistic variant, divided by k²).
+func KendallTopK(a, b Ranking, k int) float64 { return rankdist.KendallTopK(a, b, k) }
+
+// KendallFull is the classical normalized Kendall tau over full rankings.
+func KendallFull(a, b Ranking) float64 { return rankdist.KendallFull(a, b) }
+
+// FootruleTopK is the normalized Spearman footrule for top-k lists.
+func FootruleTopK(a, b Ranking, k int) float64 { return rankdist.FootruleTopK(a, b, k) }
+
+// IntersectionMetric is 1 − |A ∩ B|/k for top-k answers.
+func IntersectionMetric(a, b Ranking, k int) float64 { return rankdist.Intersection(a, b, k) }
+
+// PRFl evaluates the PRFℓ special case ω(i) = −i (Section 3.3) for every
+// tuple: the negated expected rank restricted to worlds containing t.
+func PRFl(d *Dataset) []float64 { return core.PRFl(d) }
+
+// ExpectedRankDecomposition splits E[r(t)] into the Section 3.3 parts:
+// er1 (worlds containing t, equal to −PRFℓ) and er2 (worlds missing t).
+func ExpectedRankDecomposition(d *Dataset) (er1, er2 []float64) {
+	return core.ExpectedRankDecomposition(d)
+}
+
+// LinearWeights returns the decaying-linear weight function n−i on [0, n).
+func LinearWeights(n int) func(int) float64 { return dftapprox.LinearDecay(n) }
+
+// SmoothWeights returns the fixed smooth weight function used as the
+// paper's "sfunc" stand-in.
+func SmoothWeights(n int) func(int) float64 { return dftapprox.Smooth(n) }
+
+// LogDiscountWeights returns the IR discount ω(i) = ln2/ln(i+2) on [0, n)
+// (Section 3.3's discount-factor example).
+func LogDiscountWeights(n int) func(int) float64 { return dftapprox.LogDiscount(n) }
+
+// SpectrumSize counts distinct PRFe rankings over a uniform α grid — the
+// Section 7 observation that PRFe spans up to O(n²) rankings while PT(h)
+// spans at most n.
+func SpectrumSize(d *Dataset, gridSize int) int { return core.SpectrumSize(d, gridSize) }
+
+// TreeRankByKey aggregates PRFe values per possible-worlds key on a tree —
+// the Section 4.4 reduction on arbitrary correlated data: leaves sharing a
+// key are score alternatives of one logical tuple. Returns the keys
+// best-first with their |Υ| values.
+func TreeRankByKey(t *Tree, alpha complex128) (keys []string, values []float64) {
+	return andxor.RankByKey(t, alpha)
+}
+
+// NetworkExpectedRanks returns E[r(t)] on an arbitrarily correlated dataset
+// via the junction-tree partial-sum DP.
+func NetworkExpectedRanks(net *MarkovNetwork) ([]float64, error) {
+	jt, err := junction.BuildJunctionTree(net)
+	if err != nil {
+		return nil, err
+	}
+	return jt.ExpectedRanks(), nil
+}
+
+// LearnPRFeComboTerms learns a linear combination of PRFe functions from a
+// user-ranked sample: LearnOmega followed by the DFT compression into L
+// exponentials (the paper's two-stage recipe). The result plugs into
+// PRFeCombo for O(n·L) ranking at any scale.
+func LearnPRFeComboTerms(sample *Dataset, user Ranking, omega OmegaOptions, l int) []ExpTerm {
+	return learn.LearnPRFeCombo(sample, user, learn.ComboOptions{Omega: omega, L: l})
+}
