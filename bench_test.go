@@ -10,6 +10,7 @@ import (
 
 	prf "repro"
 	"repro/internal/andxor"
+	"repro/internal/benchwork"
 	"repro/internal/datagen"
 	"repro/internal/dftapprox"
 	"repro/internal/poly"
@@ -368,6 +369,101 @@ func benchGroups(n int) [][]prf.Alternative {
 		groups[g] = alts
 	}
 	return groups
+}
+
+// --- Prepared-evaluation engine: repeated-query workloads (BENCH_1). ---
+//
+// The workload bodies live in internal/benchwork and are shared with
+// cmd/bench, so the BENCH_N.json trajectory measures exactly these benches.
+
+// BenchmarkPreparedVsOneShot measures an α-spectrum value sweep (PRFeLog at
+// 16 grid points, the Figure 11 kernel) at n=10⁴. The one-shot path
+// rebuilds and re-sorts a view per query; the prepared path sorts once and
+// then runs pure scans; the parallel path additionally fans the sweep across
+// GOMAXPROCS goroutines. "ranked-*" are the same sweeps producing full
+// rankings (adds an O(n log n) sort-by-value per grid point to both paths).
+func BenchmarkPreparedVsOneShot(b *testing.B) {
+	d := benchwork.Dataset(10000)
+	alphas, calphas := benchwork.Grid(16)
+	b.Run("oneshot", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			benchwork.SpectrumOneShot(d, calphas)
+		}
+	})
+	b.Run("prepared", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			benchwork.SpectrumPrepared(d, calphas)
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			benchwork.SpectrumParallel(d, calphas)
+		}
+	})
+	b.Run("ranked-oneshot", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			benchwork.RankedOneShot(d, alphas)
+		}
+	})
+	b.Run("ranked-prepared", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			benchwork.RankedPrepared(d, alphas)
+		}
+	})
+	b.Run("ranked-parallel", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			benchwork.RankedParallel(d, alphas)
+		}
+	})
+}
+
+// BenchmarkPRFeComboFused compares the pre-fusion multi-pass PRFeCombo (one
+// scan of the data per term) against the fused single-pass kernel and the
+// parallel-by-term variant, at n=10⁴ with a 20-term PT(1000) approximation.
+func BenchmarkPRFeComboFused(b *testing.B) {
+	d := benchwork.Dataset(10000)
+	terms := benchwork.Terms(20)
+	v := prf.Prepare(d)
+	b.Run("multipass", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			benchwork.ComboMultiPass(v, terms)
+		}
+	})
+	b.Run("fused", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			benchwork.ComboFused(v, terms)
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			benchwork.ComboParallel(v, terms)
+		}
+	})
+	b.Run("oneshot", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			benchwork.ComboOneShot(d, terms)
+		}
+	})
+}
+
+// BenchmarkParallelSpectrum isolates the batch fan-out win: same prepared
+// view, 32-point sweep, serial loop vs RankPRFeBatch.
+func BenchmarkParallelSpectrum(b *testing.B) {
+	d := benchwork.Dataset(10000)
+	v := prf.Prepare(d)
+	alphas, _ := benchwork.Grid(32)
+	b.Run("serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, a := range alphas {
+				_ = v.RankPRFe(a)
+			}
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = v.RankPRFeBatch(alphas)
+		}
+	})
 }
 
 // Local aliases keeping the poly ablation bench self-contained.

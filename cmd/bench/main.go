@@ -1,0 +1,142 @@
+// Command bench runs the repeated-query benchmark suite behind the
+// prepared-evaluation engine and emits a machine-readable BENCH_N.json, so
+// the repository's performance trajectory is recorded PR over PR.
+//
+// Usage:
+//
+//	bench [-out BENCH_1.json] [-n 10000] [-grid 16] [-terms 20]
+//
+// The workload bodies are shared with the root bench_test.go suite via
+// internal/benchwork, so the JSON records exactly what `go test -bench`
+// measures:
+//
+//   - spectrum: PRFeLog at every point of an α grid (the Figure 11 kernel),
+//     one-shot (rebuild + re-sort per query) vs prepared (sort once) vs parallel batch;
+//   - ranked-spectrum: the same sweep producing full rankings;
+//   - combo: an L-term PRFe linear combination (the Figure 8 kernel),
+//     multi-pass (one scan per term) vs fused single-pass vs parallel-by-term
+//     vs one-shot (prepare per call).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"repro/internal/benchwork"
+	"repro/internal/core"
+)
+
+// Result is one measured benchmark case.
+type Result struct {
+	Name     string  `json:"name"`
+	Iters    int     `json:"iters"`
+	NsPerOp  float64 `json:"ns_per_op"`
+	MsPerOp  float64 `json:"ms_per_op"`
+	AllocsOp int64   `json:"allocs_per_op"`
+	BytesOp  int64   `json:"bytes_per_op"`
+}
+
+// Report is the full BENCH_N.json payload.
+type Report struct {
+	GoVersion  string             `json:"go_version"`
+	GOOS       string             `json:"goos"`
+	GOARCH     string             `json:"goarch"`
+	GOMAXPROCS int                `json:"gomaxprocs"`
+	N          int                `json:"dataset_size"`
+	GridPoints int                `json:"spectrum_grid_points"`
+	ComboTerms int                `json:"combo_terms"`
+	Results    []Result           `json:"results"`
+	Speedups   map[string]float64 `json:"speedups"`
+}
+
+func measure(name string, op func()) Result {
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			op()
+		}
+	})
+	return Result{
+		Name:     name,
+		Iters:    r.N,
+		NsPerOp:  float64(r.T.Nanoseconds()) / float64(r.N),
+		MsPerOp:  float64(r.T.Nanoseconds()) / float64(r.N) / 1e6,
+		AllocsOp: r.AllocsPerOp(),
+		BytesOp:  r.AllocedBytesPerOp(),
+	}
+}
+
+func main() {
+	var (
+		out   = flag.String("out", "BENCH_1.json", "output JSON path")
+		n     = flag.Int("n", 10000, "dataset size")
+		grid  = flag.Int("grid", 16, "α grid points for the spectrum sweep")
+		terms = flag.Int("terms", 20, "terms in the PRFe combination")
+	)
+	flag.Parse()
+
+	d := benchwork.Dataset(*n)
+	alphas, calphas := benchwork.Grid(*grid)
+	expTerms := benchwork.Terms(*terms)
+	v := core.Prepare(d)
+
+	report := Report{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		N:          *n,
+		GridPoints: *grid,
+		ComboTerms: *terms,
+		Speedups:   map[string]float64{},
+	}
+
+	add := func(name string, op func()) Result {
+		r := measure(name, op)
+		report.Results = append(report.Results, r)
+		fmt.Printf("%-28s %12.3f ms/op  (%d iters, %d allocs/op)\n",
+			r.Name, r.MsPerOp, r.Iters, r.AllocsOp)
+		return r
+	}
+
+	spOne := add("spectrum/oneshot", func() { benchwork.SpectrumOneShot(d, calphas) })
+	spPrep := add("spectrum/prepared", func() { benchwork.SpectrumPrepared(d, calphas) })
+	spPar := add("spectrum/parallel", func() { benchwork.SpectrumParallel(d, calphas) })
+
+	rkOne := add("ranked-spectrum/oneshot", func() { benchwork.RankedOneShot(d, alphas) })
+	rkPrep := add("ranked-spectrum/prepared", func() { benchwork.RankedPrepared(d, alphas) })
+	rkPar := add("ranked-spectrum/parallel", func() { benchwork.RankedParallel(d, alphas) })
+
+	cbMulti := add("combo/multipass", func() { benchwork.ComboMultiPass(v, expTerms) })
+	cbFused := add("combo/fused", func() { benchwork.ComboFused(v, expTerms) })
+	cbPar := add("combo/parallel", func() { benchwork.ComboParallel(v, expTerms) })
+	cbOne := add("combo/oneshot", func() { benchwork.ComboOneShot(d, expTerms) })
+
+	report.Speedups["spectrum prepared vs oneshot"] = spOne.NsPerOp / spPrep.NsPerOp
+	report.Speedups["spectrum parallel vs oneshot"] = spOne.NsPerOp / spPar.NsPerOp
+	report.Speedups["ranked spectrum prepared vs oneshot"] = rkOne.NsPerOp / rkPrep.NsPerOp
+	report.Speedups["ranked spectrum parallel vs oneshot"] = rkOne.NsPerOp / rkPar.NsPerOp
+	report.Speedups["combo fused vs multipass"] = cbMulti.NsPerOp / cbFused.NsPerOp
+	report.Speedups["combo fused vs oneshot"] = cbOne.NsPerOp / cbFused.NsPerOp
+	report.Speedups["combo parallel vs multipass"] = cbMulti.NsPerOp / cbPar.NsPerOp
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	fmt.Println("\nspeedups:")
+	for k, s := range report.Speedups {
+		fmt.Printf("  %-38s %.2fx\n", k, s)
+	}
+	fmt.Println("\nwrote", *out)
+}

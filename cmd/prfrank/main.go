@@ -62,17 +62,26 @@ func main() {
 		kk = d.Len()
 	}
 
+	// One prepared (sorted, struct-of-arrays) view serves every sort-based
+	// function; built lazily so the order-insensitive ones skip the sort.
+	var lazyView *core.Prepared
+	view := func() *core.Prepared {
+		if lazyView == nil {
+			lazyView = core.Prepare(d)
+		}
+		return lazyView
+	}
 	var ranking pdb.Ranking
 	values := map[pdb.TupleID]float64{}
 	switch *fn {
 	case "prfe":
-		vals := core.PRFeLog(d, complex(*alpha, 0))
+		vals := view().PRFeLog(complex(*alpha, 0))
 		ranking = pdb.RankByValue(vals).TopK(kk)
 		for id, v := range vals {
 			values[pdb.TupleID(id)] = v
 		}
 	case "pt":
-		vals := core.PTh(d, *h)
+		vals := view().PTh(*h)
 		ranking = pdb.RankByValue(vals).TopK(kk)
 		for id, v := range vals {
 			values[pdb.TupleID(id)] = v
@@ -84,19 +93,19 @@ func main() {
 			values[pdb.TupleID(id)] = v
 		}
 	case "erank":
-		vals := baselines.ERank(d)
+		vals := baselines.ERankPrepared(view())
 		ranking = baselines.ERankRanking(vals).TopK(kk)
 		for id, v := range vals {
 			values[pdb.TupleID(id)] = v
 		}
 	case "urank":
-		ranking = baselines.URank(d, kk)
+		ranking = baselines.URankPrepared(view(), kk)
 	case "utop":
-		set, p := baselines.UTopK(d, kk)
+		set, p := baselines.UTopKPrepared(view(), kk)
 		ranking = set
 		fmt.Printf("# U-Top answer probability: %g\n", p)
 	case "kselection":
-		set, v := baselines.KSelection(d, kk)
+		set, v := baselines.KSelectionPrepared(view(), kk)
 		ranking = set
 		fmt.Printf("# expected best score: %g\n", v)
 	case "prob":

@@ -55,7 +55,8 @@ func ByScore(d *pdb.Dataset) []float64 {
 }
 
 // PTh returns Pr(r(t) ≤ h) per tuple for independent tuples; the paper's
-// PT(h) returns the k tuples with the largest such values.
+// PT(h) returns the k tuples with the largest such values. On a prepared
+// view, call core.Prepared.PTh directly.
 func PTh(d *pdb.Dataset, h int) []float64 { return core.PTh(d, h) }
 
 // PThTree is PT(h) on a correlated dataset.
@@ -65,11 +66,16 @@ func PThTree(t *andxor.Tree, h int) []float64 { return andxor.PTh(t, h) }
 // the tuple maximizing Pr(r(t)=i) among tuples not already chosen at an
 // earlier position. O(nk + n log n) via truncated rank distributions.
 func URank(d *pdb.Dataset, k int) pdb.Ranking {
-	if k > d.Len() {
-		k = d.Len()
+	return URankPrepared(core.Prepare(d), k)
+}
+
+// URankPrepared is URank on a prepared view (no re-sort, no clone).
+func URankPrepared(v *core.Prepared, k int) pdb.Ranking {
+	if k > v.Len() {
+		k = v.Len()
 	}
-	rd := core.RankDistributionTrunc(d, k)
-	return uRankFromDistribution(rd, d.Len(), k)
+	rd := v.RankDistributionTrunc(k)
+	return uRankFromDistribution(rd, v.Len(), k)
 }
 
 // URankTree is U-Rank on a correlated dataset.
@@ -110,14 +116,20 @@ func uRankFromDistribution(rd *pdb.RankDistribution, n, k int) pdb.Ranking {
 // er1(tᵢ) = pᵢ·(1 + Σ_{l<i} p_l) and er2(t) = (1−p)·(C − p).
 // Lower is better; see ERankRanking.
 func ERank(d *pdb.Dataset) []float64 {
-	out := make([]float64, d.Len())
-	c := d.ExpectedWorldSize()
+	return ERankPrepared(core.Prepare(d))
+}
+
+// ERankPrepared is ERank on a prepared view (no re-sort, no clone).
+func ERankPrepared(v *core.Prepared) []float64 {
+	out := make([]float64, v.Len())
+	c := v.ExpectedWorldSize()
 	prefix := 0.0
-	for _, t := range sortedTuples(d) {
-		er1 := t.Prob * (1 + prefix)
-		er2 := (1 - t.Prob) * (c - t.Prob)
-		out[t.ID] = er1 + er2
-		prefix += t.Prob
+	for i := 0; i < v.Len(); i++ {
+		p := v.Prob(i)
+		er1 := p * (1 + prefix)
+		er2 := (1 - p) * (c - p)
+		out[v.ID(i)] = er1 + er2
+		prefix += p
 	}
 	return out
 }
@@ -136,14 +148,6 @@ func ERankRanking(expectedRanks []float64) pdb.Ranking {
 	return pdb.RankByValue(neg)
 }
 
-func sortedTuples(d *pdb.Dataset) []pdb.Tuple {
-	c := d.Clone()
-	if !c.Sorted() {
-		c.SortByScore()
-	}
-	return c.Tuples()
-}
-
 // UTopK computes the exact uncertain top-k (U-Top) answer for independent
 // tuples: the k-set with the largest probability of being exactly the top-k
 // of a random world. Returns the set ordered by score and its probability.
@@ -153,8 +157,12 @@ func sortedTuples(d *pdb.Dataset) []pdb.Tuple {
 // maximizing the odds p/(1−p) (tuples with p=1 are forced; tuples with p=0
 // never help). A second pass reconstructs the best set.
 func UTopK(d *pdb.Dataset, k int) (pdb.Ranking, float64) {
-	ts := sortedTuples(d)
-	n := len(ts)
+	return UTopKPrepared(core.Prepare(d), k)
+}
+
+// UTopKPrepared is UTopK on a prepared view (no re-sort, no clone).
+func UTopKPrepared(v *core.Prepared, k int) (pdb.Ranking, float64) {
+	n := v.Len()
 	if k <= 0 || n == 0 {
 		return nil, 0
 	}
@@ -166,12 +174,12 @@ func UTopK(d *pdb.Dataset, k int) (pdb.Ranking, float64) {
 	baseFinite := 0.0 // Σ log(1−p) over prefix tuples with p<1
 	ones := 0         // count of p=1 tuples in prefix (forced members)
 	for m := 0; m < n; m++ {
-		t := ts[m]
-		if ones <= k-1 && t.Prob > 0 && m >= k-1 {
+		p := v.Prob(m)
+		if ones <= k-1 && p > 0 && m >= k-1 {
 			// Shrink the finite-gain slots if forced members grew.
 			sel.setCapacity(k - 1 - ones)
 			if sel.len()+ones == k-1 {
-				logProb := math.Log(t.Prob) + baseFinite + sel.sum
+				logProb := math.Log(p) + baseFinite + sel.sum
 				// The (1−p) of selected members must not be charged:
 				// sel.sum already contains log p − log(1−p) per member.
 				if logProb > bestLog {
@@ -182,11 +190,11 @@ func UTopK(d *pdb.Dataset, k int) (pdb.Ranking, float64) {
 		}
 		// Add t to the prefix pool for future m.
 		switch {
-		case t.Prob >= 1:
+		case p >= 1:
 			ones++
-		case t.Prob > 0:
-			baseFinite += math.Log(1 - t.Prob)
-			sel.add(math.Log(t.Prob) - math.Log(1-t.Prob))
+		case p > 0:
+			baseFinite += math.Log(1 - p)
+			sel.add(math.Log(p) - math.Log(1-p))
 		default:
 			// p=0 tuples can never appear; they contribute log(1)=0 when
 			// excluded and are never worth selecting.
@@ -201,9 +209,9 @@ func UTopK(d *pdb.Dataset, k int) (pdb.Ranking, float64) {
 		// No size-k answer has positive probability (e.g. fewer than k
 		// tuples with p>0). Fall back to the k best-scored positive tuples.
 		out := make(pdb.Ranking, 0, k)
-		for _, t := range ts {
-			if t.Prob > 0 && len(out) < k {
-				out = append(out, t.ID)
+		for m := 0; m < n && len(out) < k; m++ {
+			if v.Prob(m) > 0 {
+				out = append(out, v.ID(m))
 			}
 		}
 		return out, 0
@@ -217,16 +225,16 @@ func UTopK(d *pdb.Dataset, k int) (pdb.Ranking, float64) {
 	var cands []cand
 	var forced []pdb.TupleID
 	for m := 0; m < bestM; m++ {
-		t := ts[m]
+		p := v.Prob(m)
 		switch {
-		case t.Prob >= 1:
-			forced = append(forced, t.ID)
-		case t.Prob > 0:
-			cands = append(cands, cand{t.ID, math.Log(t.Prob) - math.Log(1-t.Prob)})
+		case p >= 1:
+			forced = append(forced, v.ID(m))
+		case p > 0:
+			cands = append(cands, cand{v.ID(m), math.Log(p) - math.Log(1-p)})
 		}
 	}
 	sort.Slice(cands, func(i, j int) bool { return cands[i].gain > cands[j].gain })
-	members := map[pdb.TupleID]bool{ts[bestM].ID: true}
+	members := map[pdb.TupleID]bool{v.ID(bestM): true}
 	for _, id := range forced {
 		members[id] = true
 	}
@@ -234,9 +242,9 @@ func UTopK(d *pdb.Dataset, k int) (pdb.Ranking, float64) {
 		members[cands[i].id] = true
 	}
 	out := make(pdb.Ranking, 0, k)
-	for _, t := range ts {
-		if members[t.ID] {
-			out = append(out, t.ID)
+	for m := 0; m < n; m++ {
+		if members[v.ID(m)] {
+			out = append(out, v.ID(m))
 		}
 	}
 	return out, math.Exp(bestLog)
@@ -354,8 +362,13 @@ func UTopKMonteCarlo(s WorldSampler, k, samples int, rng *rand.Rand) pdb.Ranking
 // over the score-sorted order. Returns the chosen set (score order) and its
 // expected best score.
 func KSelection(d *pdb.Dataset, k int) (pdb.Ranking, float64) {
-	ts := sortedTuples(d)
-	n := len(ts)
+	return KSelectionPrepared(core.Prepare(d), k)
+}
+
+// KSelectionPrepared is KSelection on a prepared view (no re-sort, no
+// clone). The DP table is one flat allocation sliced into rows.
+func KSelectionPrepared(v *core.Prepared, k int) (pdb.Ranking, float64) {
+	n := v.Len()
 	if k > n {
 		k = n
 	}
@@ -364,11 +377,12 @@ func KSelection(d *pdb.Dataset, k int) (pdb.Ranking, float64) {
 	}
 	// g[i][j]: best value using tuples i..n−1 with j picks left.
 	g := make([][]float64, n+1)
+	flat := make([]float64, (n+1)*(k+1))
 	for i := range g {
-		g[i] = make([]float64, k+1)
+		g[i] = flat[i*(k+1) : (i+1)*(k+1) : (i+1)*(k+1)]
 	}
 	for i := n - 1; i >= 0; i-- {
-		p, s := ts[i].Prob, ts[i].Score
+		p, s := v.Prob(i), v.Score(i)
 		for j := 1; j <= k; j++ {
 			skip := g[i+1][j]
 			take := p*s + (1-p)*g[i+1][j-1]
@@ -382,10 +396,10 @@ func KSelection(d *pdb.Dataset, k int) (pdb.Ranking, float64) {
 	out := make(pdb.Ranking, 0, k)
 	j := k
 	for i := 0; i < n && j > 0; i++ {
-		p, s := ts[i].Prob, ts[i].Score
+		p, s := v.Prob(i), v.Score(i)
 		take := p*s + (1-p)*g[i+1][j-1]
 		if take >= g[i+1][j] {
-			out = append(out, ts[i].ID)
+			out = append(out, v.ID(i))
 			j--
 		}
 	}

@@ -1,0 +1,107 @@
+// Package benchwork defines the repeated-query benchmark workloads shared
+// by the root bench suite (bench_test.go) and cmd/bench, so the BENCH_N.json
+// perf trajectory measures exactly what `go test -bench` measures. Each
+// workload function performs one operation ("op" in ns/op terms); callers
+// loop it b.N times.
+package benchwork
+
+import (
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/dftapprox"
+	"repro/internal/pdb"
+)
+
+// DatasetSeed fixes the workload dataset so runs are comparable across PRs.
+const DatasetSeed = 31
+
+// Dataset returns the standard workload dataset: IIP-like, unsorted — what
+// a fresh query workload sees before any preparation.
+func Dataset(n int) *pdb.Dataset { return datagen.IIPLike(n, DatasetSeed) }
+
+// Grid returns the m-point α grid in (0, 1) used by the spectrum sweeps,
+// in both real and complex form.
+func Grid(m int) ([]float64, []complex128) {
+	alphas := make([]float64, m)
+	calphas := make([]complex128, m)
+	for i := range alphas {
+		alphas[i] = float64(i+1) / float64(m+1)
+		calphas[i] = complex(alphas[i], 0)
+	}
+	return alphas, calphas
+}
+
+// Terms returns the L-term DFT approximation of PT(1000) used by the combo
+// workloads.
+func Terms(l int) []core.ExpTerm {
+	ts := dftapprox.TermsForRankWeights(
+		dftapprox.Approximate(dftapprox.Step(1000), 1000, dftapprox.DefaultOptions(l)))
+	out := make([]core.ExpTerm, len(ts))
+	for i, t := range ts {
+		out[i] = core.ExpTerm{U: t.U, Alpha: t.Alpha}
+	}
+	return out
+}
+
+// SpectrumOneShot evaluates PRFeLog at every grid point through the
+// one-shot path (each query rebuilds and re-sorts a fresh view).
+func SpectrumOneShot(d *pdb.Dataset, calphas []complex128) {
+	for _, a := range calphas {
+		core.PRFeLog(d, a)
+	}
+}
+
+// SpectrumPrepared evaluates the same sweep preparing once.
+func SpectrumPrepared(d *pdb.Dataset, calphas []complex128) {
+	v := core.Prepare(d)
+	for _, a := range calphas {
+		v.PRFeLog(a)
+	}
+}
+
+// SpectrumParallel evaluates the sweep with the parallel batch API.
+func SpectrumParallel(d *pdb.Dataset, calphas []complex128) {
+	core.Prepare(d).PRFeLogBatch(calphas)
+}
+
+// RankedOneShot produces a full PRFe ranking per grid point, one-shot.
+func RankedOneShot(d *pdb.Dataset, alphas []float64) {
+	for _, a := range alphas {
+		core.RankPRFe(d, a)
+	}
+}
+
+// RankedPrepared produces the rankings over one prepared view.
+func RankedPrepared(d *pdb.Dataset, alphas []float64) {
+	v := core.Prepare(d)
+	for _, a := range alphas {
+		v.RankPRFe(a)
+	}
+}
+
+// RankedParallel produces the rankings with the parallel batch API.
+func RankedParallel(d *pdb.Dataset, alphas []float64) {
+	core.Prepare(d).RankPRFeBatch(alphas)
+}
+
+// ComboMultiPass evaluates the PRFe combination with the pre-fusion
+// one-scan-per-term reference kernel.
+func ComboMultiPass(v *core.Prepared, terms []core.ExpTerm) {
+	core.PRFeComboMultiPass(v, terms)
+}
+
+// ComboFused evaluates the combination with the fused single-pass kernel.
+func ComboFused(v *core.Prepared, terms []core.ExpTerm) {
+	v.PRFeCombo(terms)
+}
+
+// ComboParallel evaluates the combination with the parallel-by-term kernel.
+func ComboParallel(v *core.Prepared, terms []core.ExpTerm) {
+	v.PRFeComboParallel(terms)
+}
+
+// ComboOneShot evaluates the combination through the one-shot path
+// (prepare per call).
+func ComboOneShot(d *pdb.Dataset, terms []core.ExpTerm) {
+	core.PRFeCombo(d, terms)
+}

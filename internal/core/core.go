@@ -12,6 +12,13 @@
 //   - linear combinations of PRFe functions (Section 5.1), the evaluation
 //     backend for the DFT approximation of arbitrary PRFω functions.
 //
+// All algorithms run on a Prepared view — an immutable, score-sorted
+// struct-of-arrays snapshot of the dataset built once with Prepare. The
+// package-level one-shot functions are thin prepare-then-call wrappers kept
+// for convenience and backward compatibility; repeated-query workloads
+// (α sweeps, multi-term combinations, batch top-k) should Prepare once and
+// call the methods, which never re-clone or re-sort.
+//
 // Correlated datasets are handled by the andxor and junction packages; this
 // package is the independent-tuples fast path that the paper's Figure 11
 // timings exercise. Attribute (score) uncertainty reduces to x-tuples and
@@ -26,51 +33,19 @@ import (
 // weight. Implementations must be O(1) per call (the algorithms assume so).
 type WeightFunc func(t pdb.Tuple, rank int) float64
 
-// sortedCopy returns the dataset's tuples sorted by non-increasing score.
-// The original dataset is never mutated.
-func sortedCopy(d *pdb.Dataset) []pdb.Tuple {
-	c := d.Clone()
-	if !c.Sorted() {
-		c.SortByScore()
-	}
-	return c.Tuples()
-}
-
 // RankDistribution computes the full positional-probability matrix for a
 // tuple-independent dataset with Algorithm 1: the generating function
 // F^i(x) = (∏_{t∈T_{i−1}} (1−p+px)) · pᵢ·x is expanded incrementally, so
 // each tuple costs O(i) and the whole matrix O(n²) time and O(n²) space.
 // Use RankDistributionTrunc when only the first h positions matter.
 func RankDistribution(d *pdb.Dataset) *pdb.RankDistribution {
-	return RankDistributionTrunc(d, d.Len())
+	return Prepare(d).RankDistribution()
 }
 
 // RankDistributionTrunc computes Pr(r(t)=j) for j = 1..h only, in O(n·h)
 // time and O(n·h) space.
 func RankDistributionTrunc(d *pdb.Dataset, h int) *pdb.RankDistribution {
-	n := d.Len()
-	if h > n {
-		h = n
-	}
-	dist := make([][]float64, n)
-	ts := sortedCopy(d)
-	// g holds the coefficients of G_{i−1}(x) = ∏_{l<i}(1−p_l+p_l·x),
-	// truncated to degree h−1 (rank j needs coefficient j−1).
-	g := make([]float64, 1, h+1)
-	g[0] = 1
-	for i, t := range ts {
-		rows := i + 1
-		if rows > h {
-			rows = h
-		}
-		row := make([]float64, rows)
-		for j := 0; j < rows && j < len(g); j++ {
-			row[j] = t.Prob * g[j]
-		}
-		dist[t.ID] = row
-		g = advance(g, t.Prob, h)
-	}
-	return &pdb.RankDistribution{Dist: dist}
+	return Prepare(d).RankDistributionTrunc(h)
 }
 
 // advance multiplies the coefficient vector g by (1−p+p·x), truncating to
@@ -92,43 +67,14 @@ func advance(g []float64, p float64, maxLen int) []float64 {
 // folded into Υ on the fly instead of being stored (Equation 1).
 // The result is indexed by TupleID.
 func PRF(d *pdb.Dataset, omega WeightFunc) []float64 {
-	n := d.Len()
-	out := make([]float64, n)
-	ts := sortedCopy(d)
-	g := make([]float64, 1, n+1)
-	g[0] = 1
-	for i, t := range ts {
-		var up float64
-		for j := 0; j <= i && j < len(g); j++ {
-			if g[j] != 0 {
-				up += omega(t, j+1) * g[j]
-			}
-		}
-		out[t.ID] = t.Prob * up
-		g = advance(g, t.Prob, n)
-	}
-	return out
+	return Prepare(d).PRF(omega)
 }
 
 // PRFOmega computes Υ for the weight vector w, where w[j] is the weight of
 // rank j+1 and all ranks beyond len(w) weigh zero — the PRFω(h) family with
 // h = len(w). Runs in O(n·h + n log n) time and O(h) extra space.
 func PRFOmega(d *pdb.Dataset, w []float64) []float64 {
-	n := d.Len()
-	h := len(w)
-	out := make([]float64, n)
-	ts := sortedCopy(d)
-	g := make([]float64, 1, h+1)
-	g[0] = 1
-	for _, t := range ts {
-		var up float64
-		for j := 0; j < len(g) && j < h; j++ {
-			up += w[j] * g[j]
-		}
-		out[t.ID] = t.Prob * up
-		g = advance(g, t.Prob, h)
-	}
-	return out
+	return Prepare(d).PRFOmega(w)
 }
 
 // PTWeights returns the PT(h) weight vector: ω(i)=1 for i ≤ h (Probabilistic
@@ -144,7 +90,7 @@ func PTWeights(h int) []float64 {
 // PTh computes Pr(r(t) ≤ h) for every tuple — the PT(h) ranking function —
 // in O(n·h) time.
 func PTh(d *pdb.Dataset, h int) []float64 {
-	return PRFOmega(d, PTWeights(h))
+	return Prepare(d).PTh(h)
 }
 
 // TopK ranks all tuples by non-increasing value and returns the first k IDs.
@@ -159,8 +105,9 @@ func TopK(values []float64, k int) pdb.Ranking {
 func RankPositionProbabilities(d *pdb.Dataset, k int) [][]float64 {
 	rd := RankDistributionTrunc(d, k)
 	out := make([][]float64, d.Len())
+	flat := make([]float64, d.Len()*k)
 	for id := range out {
-		row := make([]float64, k)
+		row := flat[id*k : (id+1)*k : (id+1)*k]
 		copy(row, rd.Dist[id])
 		out[id] = row
 	}

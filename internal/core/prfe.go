@@ -1,7 +1,6 @@
 package core
 
 import (
-	"math"
 	"math/cmplx"
 
 	"repro/internal/pdb"
@@ -15,14 +14,7 @@ import (
 // ranking and complex α for linear combinations (Section 5.1). For large n
 // the running product underflows float64 — use PRFeLog for ranking at scale.
 func PRFe(d *pdb.Dataset, alpha complex128) []complex128 {
-	out := make([]complex128, d.Len())
-	prod := complex(1, 0)
-	for _, t := range sortedCopy(d) {
-		p := complex(t.Prob, 0)
-		out[t.ID] = prod * p * alpha
-		prod *= 1 - p + p*alpha
-	}
-	return out
+	return Prepare(d).PRFe(alpha)
 }
 
 // PRFeLog evaluates log|Υ_α(t)| for every tuple, the numerically robust form
@@ -32,26 +24,7 @@ func PRFe(d *pdb.Dataset, alpha complex128) []complex128 {
 // Tuples with Υ = 0 (p = 0, α = 0, or a preceding certain tuple with
 // 1−p+pα = 0) get -Inf. Works for real and complex α alike.
 func PRFeLog(d *pdb.Dataset, alpha complex128) []float64 {
-	out := make([]float64, d.Len())
-	logProd := 0.0
-	zeroed := false // a factor of exactly 0 annihilates all later products
-	logAlpha := math.Log(cmplx.Abs(alpha))
-	for _, t := range sortedCopy(d) {
-		switch {
-		case zeroed, t.Prob == 0:
-			out[t.ID] = math.Inf(-1)
-		default:
-			out[t.ID] = logProd + math.Log(t.Prob) + logAlpha
-		}
-		p := complex(t.Prob, 0)
-		f := 1 - p + p*alpha
-		if f == 0 {
-			zeroed = true
-		} else if !zeroed {
-			logProd += math.Log(cmplx.Abs(f))
-		}
-	}
-	return out
+	return Prepare(d).PRFeLog(alpha)
 }
 
 // ExpTerm is one term u·αⁱ of an exponential-sum weight function
@@ -64,19 +37,27 @@ type ExpTerm struct {
 }
 
 // PRFeCombo evaluates Υ(t) = Σ_l u_l·Υ_{α_l}(t), the linear combination of
-// PRFe functions that approximates an arbitrary PRFω function. One scan per
-// term: O(n·L + n log n) total. The returned values are the complex Υ; for a
-// real ω approximated with conjugate-closed DFT terms the imaginary parts
-// are numerical noise, so rank by real part (see RealParts).
+// PRFe functions that approximates an arbitrary PRFω function, with the
+// fused single-pass kernel: O(n·L) arithmetic over one scan of the data.
+// The returned values are the complex Υ; for a real ω approximated with
+// conjugate-closed DFT terms the imaginary parts are numerical noise, so
+// rank by real part (see RealParts).
 func PRFeCombo(d *pdb.Dataset, terms []ExpTerm) []complex128 {
-	n := d.Len()
+	return Prepare(d).PRFeCombo(terms)
+}
+
+// PRFeComboMultiPass is the pre-fusion reference implementation of
+// PRFeCombo: one full scan of the data per term, accumulating into the
+// output between scans. Retained for equivalence tests and benchmarks; new
+// code should use Prepared.PRFeCombo (fused) or PRFeComboParallel.
+func PRFeComboMultiPass(v *Prepared, terms []ExpTerm) []complex128 {
+	n := v.Len()
 	out := make([]complex128, n)
-	ts := sortedCopy(d)
 	for _, term := range terms {
 		prod := complex(1, 0)
-		for _, t := range ts {
-			p := complex(t.Prob, 0)
-			out[t.ID] += term.U * prod * p * term.Alpha
+		for i := 0; i < n; i++ {
+			p := complex(v.Prob(i), 0)
+			out[v.ID(i)] += term.U * prod * p * term.Alpha
 			prod *= 1 - p + p*term.Alpha
 		}
 	}
@@ -105,5 +86,5 @@ func AbsParts(vals []complex128) []float64 {
 // RankPRFe returns the full PRFe(α) ranking for real α ∈ [0,1] using the
 // log-space evaluation, the recommended entry point for plain PRFe ranking.
 func RankPRFe(d *pdb.Dataset, alpha float64) pdb.Ranking {
-	return pdb.RankByValue(PRFeLog(d, complex(alpha, 0)))
+	return Prepare(d).RankPRFe(alpha)
 }

@@ -12,13 +12,7 @@ import "repro/internal/pdb"
 // scan suffices: O(n log n) with the sort, O(n) pre-sorted — matching the
 // paper's observation that expected ranks cost no more than PRFℓ.
 func PRFl(d *pdb.Dataset) []float64 {
-	out := make([]float64, d.Len())
-	prefix := 0.0
-	for _, t := range sortedCopy(d) {
-		out[t.ID] = -t.Prob * (1 + prefix)
-		prefix += t.Prob
-	}
-	return out
+	return Prepare(d).PRFl()
 }
 
 // ExpectedRankDecomposition returns the two parts of the expected rank of

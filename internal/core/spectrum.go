@@ -1,8 +1,6 @@
 package core
 
 import (
-	"math"
-
 	"repro/internal/pdb"
 )
 
@@ -10,23 +8,16 @@ import (
 // as α sweeps from 0 to 1 (Theorem 4): for independent tuples, any two tuples
 // swap relative order at most once, so the sweep resembles a bubble sort from
 // the Pr(r(t)=1) order (α→0) towards the Pr(t) order (α=1).
+//
+// The one-shot functions below wrap the Prepared methods; sweep-heavy
+// callers should Prepare once and use the batch methods directly.
 
 // PRFeCurve evaluates Υ_α(t) for every tuple over a grid of real α values:
 // curve[i][a] is the PRFe value of the tuple with ID i at alphas[a]
 // (Figure 6 / Example 7). Intended for small datasets; uses the direct
-// product evaluation.
+// product evaluation, parallel across grid points.
 func PRFeCurve(d *pdb.Dataset, alphas []float64) [][]float64 {
-	out := make([][]float64, d.Len())
-	for i := range out {
-		out[i] = make([]float64, len(alphas))
-	}
-	for a, alpha := range alphas {
-		vals := PRFe(d, complex(alpha, 0))
-		for i, v := range vals {
-			out[i][a] = real(v)
-		}
-	}
-	return out
+	return Prepare(d).PRFeCurve(alphas)
 }
 
 // CrossingPoint finds the unique β ∈ (0,1) at which tuples with sorted
@@ -39,43 +30,7 @@ func PRFeCurve(d *pdb.Dataset, alphas []float64) [][]float64 {
 // α (the proof of Theorem 4), so a bisection on log ρ converges to the unique
 // root.
 func CrossingPoint(d *pdb.Dataset, i, j int) (float64, bool) {
-	if i == j {
-		return 0, false
-	}
-	if i > j {
-		i, j = j, i
-	}
-	ts := sortedCopy(d)
-	pi, pj := ts[i].Prob, ts[j].Prob
-	if pi <= 0 || pj <= 0 {
-		return 0, false
-	}
-	logRho := func(alpha float64) float64 {
-		v := math.Log(pj) - math.Log(pi)
-		for l := i; l < j; l++ {
-			f := 1 - ts[l].Prob + ts[l].Prob*alpha
-			if f <= 0 {
-				return math.Inf(-1)
-			}
-			v += math.Log(f)
-		}
-		return v
-	}
-	const eps = 1e-12
-	lo, hi := eps, 1.0
-	flo, fhi := logRho(lo), logRho(hi)
-	if flo == fhi || (flo < 0) == (fhi < 0) {
-		return 0, false // same sign at both ends: no swap in (0,1)
-	}
-	for iter := 0; iter < 200 && hi-lo > 1e-14; iter++ {
-		mid := (lo + hi) / 2
-		if (logRho(mid) < 0) == (flo < 0) {
-			lo = mid
-		} else {
-			hi = mid
-		}
-	}
-	return (lo + hi) / 2, true
+	return Prepare(d).CrossingPoint(i, j)
 }
 
 // SpectrumSize counts the number of distinct PRFe rankings encountered on a
@@ -83,20 +38,7 @@ func CrossingPoint(d *pdb.Dataset, i, j int) (float64, bool) {
 // of crossing pairs (O(n²)); PT(h) by contrast can reach at most n distinct
 // rankings, which is why PRFe spans a richer spectrum (end of Section 7).
 func SpectrumSize(d *pdb.Dataset, gridSize int) int {
-	if gridSize < 2 {
-		gridSize = 2
-	}
-	var prev pdb.Ranking
-	count := 0
-	for a := 1; a <= gridSize; a++ {
-		alpha := float64(a) / float64(gridSize)
-		r := RankPRFe(d, alpha)
-		if prev == nil || !sameRanking(prev, r) {
-			count++
-			prev = r
-		}
-	}
-	return count
+	return Prepare(d).SpectrumSize(gridSize)
 }
 
 func sameRanking(a, b pdb.Ranking) bool {

@@ -20,19 +20,21 @@ func runFig11(cfg Config) error {
 	// Part (i): PRFe, PT(100), U-Rank(k), E-Rank on IIP datasets of growing
 	// size.
 	header(cfg.Out, "Figure 11(i) — execution time vs number of tuples (IIP)")
-	fmt.Fprintf(cfg.Out, "%10s %12s %12s %12s %12s\n", "n", "PRFe(.95)", "PT(100)", "U-Rank(100)", "E-Rank")
+	fmt.Fprintf(cfg.Out, "%10s %12s %12s %12s %12s %12s\n", "n", "prepare", "PRFe(.95)", "PT(100)", "U-Rank(100)", "E-Rank")
 	for _, base := range []int{200000, 400000, 600000, 800000, 1000000} {
 		n := cfg.scaled(base, 1000)
 		d := datagen.IIPLike(n, cfg.Seed)
-		d.SortByScore()
 		h := 100
 		k := 100
-		tPRFe := timeIt(func() { core.PRFeLog(d, complex(0.95, 0)) })
-		tPT := timeIt(func() { core.PTh(d, h) })
-		tUR := timeIt(func() { baselines.URank(d, k) })
-		tER := timeIt(func() { baselines.ERank(d) })
-		fmt.Fprintf(cfg.Out, "%10d %12s %12s %12s %12s\n", n,
-			fmtDur(tPRFe), fmtDur(tPT), fmtDur(tUR), fmtDur(tER))
+		// One sort for the whole row; every kernel below is a pure scan.
+		var v *core.Prepared
+		tPrep := timeIt(func() { v = core.Prepare(d) })
+		tPRFe := timeIt(func() { v.PRFeLog(complex(0.95, 0)) })
+		tPT := timeIt(func() { v.PTh(h) })
+		tUR := timeIt(func() { baselines.URankPrepared(v, k) })
+		tER := timeIt(func() { baselines.ERankPrepared(v) })
+		fmt.Fprintf(cfg.Out, "%10d %12s %12s %12s %12s %12s\n", n,
+			fmtDur(tPrep), fmtDur(tPRFe), fmtDur(tPT), fmtDur(tUR), fmtDur(tER))
 	}
 
 	// Part (ii): exact PT(h) vs L-term PRFe approximations.
@@ -45,8 +47,8 @@ func runFig11(cfg Config) error {
 			h = n / 2
 		}
 		d := datagen.IIPLike(n, cfg.Seed)
-		d.SortByScore()
-		tExact := timeIt(func() { core.PTh(d, h) })
+		v := core.Prepare(d)
+		tExact := timeIt(func() { v.PTh(h) })
 		times := make(map[int]string)
 		for _, l := range []int{20, 50, 100} {
 			terms := dftapprox.TermsForRankWeights(
@@ -55,7 +57,8 @@ func runFig11(cfg Config) error {
 			for i, t := range terms {
 				coreTerms[i] = core.ExpTerm{U: t.U, Alpha: t.Alpha}
 			}
-			times[l] = fmtDur(timeIt(func() { core.PRFeCombo(d, coreTerms) }))
+			// Fused single-pass combination over the shared view.
+			times[l] = fmtDur(timeIt(func() { v.PRFeCombo(coreTerms) }))
 		}
 		fmt.Fprintf(cfg.Out, "%10d %8d %12s %10s %10s %10s\n",
 			n, h, fmtDur(tExact), times[20], times[50], times[100])

@@ -21,12 +21,13 @@ func init() {
 func runFig6(cfg Config) error {
 	// The Example 7 database: (t1:100,.4) (t2:80,.6) (t3:50,.5) (t4:30,.9).
 	d := pdb.MustDataset([]float64{100, 80, 50, 30}, []float64{0.4, 0.6, 0.5, 0.9})
+	v := core.Prepare(d) // one sorted view for the curves and crossings
 	header(cfg.Out, "Figure 6 — Υα(ti) for Example 7")
 	alphas := make([]float64, 21)
 	for i := range alphas {
 		alphas[i] = float64(i) / 20
 	}
-	curves := core.PRFeCurve(d, alphas)
+	curves := v.PRFeCurve(alphas)
 	fmt.Fprintf(cfg.Out, "%6s %10s %10s %10s %10s   ranking\n", "alpha", "f1", "f2", "f3", "f4")
 	for a, alpha := range alphas {
 		vals := make([]float64, 4)
@@ -40,7 +41,7 @@ func runFig6(cfg Config) error {
 	fmt.Fprintln(cfg.Out, "\nCrossing points (Theorem 4: each pair crosses at most once):")
 	for i := 0; i < 4; i++ {
 		for j := i + 1; j < 4; j++ {
-			if beta, ok := core.CrossingPoint(d, i, j); ok {
+			if beta, ok := v.CrossingPoint(i, j); ok {
 				fmt.Fprintf(cfg.Out, "  sorted positions (%d,%d): crossing at α=%.4f\n", i+1, j+1, beta)
 			} else {
 				fmt.Fprintf(cfg.Out, "  sorted positions (%d,%d): no crossing (domination)\n", i+1, j+1)
@@ -69,14 +70,15 @@ func runFig7(cfg Config) error {
 		if kk > n/2 {
 			kk = n / 2
 		}
-		// Reference rankings.
+		// Reference rankings, all off one shared prepared view.
+		v := core.Prepare(d)
 		score := pdb.RankByValue(baselines.ByScore(d))
 		prob := pdb.RankByValue(baselines.ByProbability(d))
 		eScore := pdb.RankByValue(baselines.EScore(d))
-		pt := pdb.RankByValue(core.PTh(d, kk))
-		uRank := baselines.URank(d, kk)
-		eRank := baselines.ERankRanking(baselines.ERank(d))
-		uTop, _ := baselines.UTopK(d, kk)
+		pt := pdb.RankByValue(v.PTh(kk))
+		uRank := baselines.URankPrepared(v, kk)
+		eRank := baselines.ERankRanking(baselines.ERankPrepared(v))
+		uTop, _ := baselines.UTopKPrepared(v, kk)
 		refs := []struct {
 			name string
 			r    pdb.Ranking
@@ -91,11 +93,12 @@ func runFig7(cfg Config) error {
 			fmt.Fprintf(cfg.Out, " %9s", ref.name)
 		}
 		fmt.Fprintln(cfg.Out)
+		// The whole α sweep runs in parallel over the shared view.
+		sweep := v.RankPRFeBatch(alphas)
 		for j, alpha := range alphas {
-			prfe := core.RankPRFe(d, alpha)
 			fmt.Fprintf(cfg.Out, "%4d %8.5f", is[j], alpha)
 			for _, ref := range refs {
-				fmt.Fprintf(cfg.Out, " %9.4f", kendall(prfe, ref.r, kk))
+				fmt.Fprintf(cfg.Out, " %9.4f", kendall(sweep[j], ref.r, kk))
 			}
 			fmt.Fprintln(cfg.Out)
 		}

@@ -15,15 +15,16 @@ func init() {
 		runFig8)
 }
 
-// comboRanking ranks a dataset by the real part of a linear combination of
-// PRFe functions derived from sequence-approximation terms.
-func comboRanking(d *pdb.Dataset, terms []dftapprox.Term) pdb.Ranking {
+// comboRanking ranks a prepared view by the real part of a linear
+// combination of PRFe functions derived from sequence-approximation terms,
+// using the fused single-pass kernel.
+func comboRanking(v *core.Prepared, terms []dftapprox.Term) pdb.Ranking {
 	rankTerms := dftapprox.TermsForRankWeights(terms)
 	coreTerms := make([]core.ExpTerm, len(rankTerms))
 	for i, t := range rankTerms {
 		coreTerms[i] = core.ExpTerm{U: t.U, Alpha: t.Alpha}
 	}
-	vals := core.PRFeCombo(d, coreTerms)
+	vals := v.PRFeCombo(coreTerms)
 	return pdb.RankByValue(core.RealParts(vals))
 }
 
@@ -34,7 +35,8 @@ func runFig8(cfg Config) error {
 	h := cfg.scaled(1000, 50)
 	k := h
 	d := datagen.IIPLike(n, cfg.Seed)
-	exact := pdb.RankByValue(core.PTh(d, h))
+	v := core.Prepare(d) // one sort amortized over every L and variant below
+	exact := pdb.RankByValue(v.PTh(h))
 	step := dftapprox.Step(h)
 
 	header(cfg.Out, fmt.Sprintf("Figure 8(i) — approximating PT(%d), IIP-%d, k=%d", h, n, k))
@@ -47,7 +49,7 @@ func runFig8(cfg Config) error {
 		fmt.Fprintf(cfg.Out, "%6d", l)
 		for _, opt := range dftapprox.VariantOptions(l) {
 			terms := dftapprox.Approximate(step, h, opt)
-			r := comboRanking(d, terms)
+			r := comboRanking(v, terms)
 			fmt.Fprintf(cfg.Out, " %14.4f", kendall(exact, r, k))
 		}
 		fmt.Fprintln(cfg.Out)
@@ -56,6 +58,7 @@ func runFig8(cfg Config) error {
 	// Part (ii): three weight functions, two dataset sizes.
 	n2 := cfg.scaled(1000000, 5000)
 	d2 := datagen.IIPLike(n2, cfg.Seed+7)
+	v2 := core.Prepare(d2)
 	header(cfg.Out, fmt.Sprintf("Figure 8(ii) — #terms vs quality, IIP-%d and IIP-%d", n, n2))
 	funcs := []struct {
 		name  string
@@ -71,12 +74,12 @@ func runFig8(cfg Config) error {
 		// All three weight functions vanish beyond h, so the exact ranking
 		// is an O(n·h) PRFω(h) evaluation.
 		wv := weightVector(f.omega, h)
-		exact1 := pdb.RankByValue(core.PRFOmega(d, wv))
-		exact2 := pdb.RankByValue(core.PRFOmega(d2, wv))
+		exact1 := pdb.RankByValue(v.PRFOmega(wv))
+		exact2 := pdb.RankByValue(v2.PRFOmega(wv))
 		for _, l := range []int{10, 20, 40, 80} {
 			terms := dftapprox.Approximate(f.omega, h, dftapprox.DefaultOptions(l))
-			r1 := comboRanking(d, terms)
-			r2 := comboRanking(d2, terms)
+			r1 := comboRanking(v, terms)
+			r2 := comboRanking(v2, terms)
 			fmt.Fprintf(cfg.Out, "%10s %6d %14.4f %14.4f\n", f.name, l,
 				kendall(exact1, r1, k), kendall(exact2, r2, k))
 		}

@@ -20,11 +20,13 @@ func init() {
 // top-k set).
 func baselineRankings(d *pdb.Dataset, k, h int) (labels []string, ranks []pdb.Ranking) {
 	labels = []string{"E-Score", fmt.Sprintf("PT(%d)", h), "U-Rank", "E-Rank", "U-Top"}
+	// All five semantics share one prepared (sorted) view of the dataset.
+	v := core.Prepare(d)
 	eScore := pdb.RankByValue(baselines.EScore(d))
-	pt := pdb.RankByValue(core.PTh(d, h))
-	uRank := baselines.URank(d, k)
-	eRank := baselines.ERankRanking(baselines.ERank(d))
-	uTop, _ := baselines.UTopK(d, k)
+	pt := pdb.RankByValue(v.PTh(h))
+	uRank := baselines.URankPrepared(v, k)
+	eRank := baselines.ERankRanking(baselines.ERankPrepared(v))
+	uTop, _ := baselines.UTopKPrepared(v, k)
 	ranks = []pdb.Ranking{eScore, pt, uRank, eRank, uTop}
 	return labels, ranks
 }

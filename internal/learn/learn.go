@@ -51,9 +51,10 @@ func LearnAlpha(sample *pdb.Dataset, user pdb.Ranking, k, iters int) AlphaResult
 		iters = 6
 	}
 	evals := 0
+	v := core.Prepare(sample) // sort once; the search evaluates many α
 	dist := func(alpha float64) float64 {
 		evals++
-		r := core.RankPRFe(sample, alpha)
+		r := v.RankPRFe(alpha)
 		return rankdist.KendallTopK(user.TopK(k), r.TopK(k), k)
 	}
 	lo, hi := 0.0, 1.0
@@ -124,7 +125,7 @@ func LearnOmega(sample *pdb.Dataset, user pdb.Ranking, opts OmegaOptions) []floa
 	}
 
 	// Features: x_t[i] = Pr(r(t) = i+1) computed on the sample alone.
-	rd := core.RankDistributionTrunc(sample, h)
+	rd := core.Prepare(sample).RankDistributionTrunc(h)
 	feat := make([][]float64, n)
 	for id := 0; id < n; id++ {
 		row := make([]float64, h)
@@ -193,9 +194,11 @@ func GridScanAlpha(sample *pdb.Dataset, user pdb.Ranking, k, gridSize int) (alph
 	alphas = make([]float64, gridSize)
 	dists = make([]float64, gridSize)
 	for i := 0; i < gridSize; i++ {
-		a := float64(i+1) / float64(gridSize)
-		r := core.RankPRFe(sample, a)
-		alphas[i] = a
+		alphas[i] = float64(i+1) / float64(gridSize)
+	}
+	// One prepared view, grid evaluated in parallel across GOMAXPROCS.
+	rs := core.Prepare(sample).RankPRFeBatch(alphas)
+	for i, r := range rs {
 		dists[i] = rankdist.KendallTopK(user.TopK(k), r.TopK(k), k)
 	}
 	return alphas, dists

@@ -1,0 +1,89 @@
+package pdb
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// ByID must return the correct tuple before and after re-sorting (the lazy
+// ID→position index is rebuilt whenever the order changes), and must still
+// reject unknown IDs.
+func TestByIDSurvivesSorting(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n := 200
+	scores := make([]float64, n)
+	probs := make([]float64, n)
+	for i := range scores {
+		scores[i] = float64(rng.Intn(50)) // ties force real reordering
+		probs[i] = rng.Float64()
+	}
+	d := MustDataset(scores, probs)
+
+	check := func(stage string) {
+		t.Helper()
+		for id := 0; id < n; id++ {
+			tu, ok := d.ByID(TupleID(id))
+			if !ok {
+				t.Fatalf("%s: ByID(%d) not found", stage, id)
+			}
+			if tu.ID != TupleID(id) || tu.Score != scores[id] || tu.Prob != probs[id] {
+				t.Fatalf("%s: ByID(%d) = %+v, want score %v prob %v",
+					stage, id, tu, scores[id], probs[id])
+			}
+		}
+		if _, ok := d.ByID(TupleID(n)); ok {
+			t.Fatalf("%s: ByID(%d) should not exist", stage, n)
+		}
+		if _, ok := d.ByID(TupleID(-1)); ok {
+			t.Fatalf("%s: ByID(-1) should not exist", stage)
+		}
+	}
+
+	check("insertion order")
+	d.SortByScore()
+	check("after SortByScore")
+	// A clone must answer independently of the original's cached index.
+	c := d.Clone()
+	c.SortByScore()
+	if tu, ok := c.ByID(0); !ok || tu.ID != 0 {
+		t.Fatalf("clone ByID(0) = %+v, %v", tu, ok)
+	}
+	check("original after clone lookups")
+}
+
+// Concurrent first use must be safe: the lazy index build is guarded
+// (meaningful under go test -race).
+func TestByIDConcurrentFirstUse(t *testing.T) {
+	d := MustDataset([]float64{3, 1, 2}, []float64{0.5, 0.5, 0.5})
+	d.SortByScore() // drop any cached index
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for id := 0; id < 3; id++ {
+				if tu, ok := d.ByID(TupleID(id)); !ok || tu.ID != TupleID(id) {
+					t.Errorf("ByID(%d) = %+v, %v", id, tu, ok)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func BenchmarkByID(b *testing.B) {
+	n := 10000
+	scores := make([]float64, n)
+	probs := make([]float64, n)
+	for i := range scores {
+		scores[i] = float64(n - i)
+		probs[i] = 0.5
+	}
+	d := MustDataset(scores, probs)
+	d.ByID(0) // warm the index outside the timer
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.ByID(TupleID(i % n))
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"sync"
 )
 
 // TupleID identifies a tuple within a Dataset. IDs are dense indices assigned
@@ -45,6 +46,11 @@ type Tuple struct {
 type Dataset struct {
 	tuples []Tuple
 	sorted bool
+	// mu guards byID: the index is built lazily on the first ByID call and
+	// discarded whenever the order changes, and ByID must stay safe for
+	// concurrent readers (it was a pure read before the index existed).
+	mu   sync.Mutex
+	byID map[TupleID]int
 }
 
 // ErrEmptyDataset is returned by operations that require at least one tuple.
@@ -115,13 +121,25 @@ func (d *Dataset) Tuples() []Tuple { return d.tuples }
 func (d *Dataset) Tuple(i int) Tuple { return d.tuples[i] }
 
 // ByID returns the tuple with the given ID regardless of current order.
+// The first call after a reorder builds an ID→position index, so lookups are
+// amortized O(1). Safe for concurrent use as long as no goroutine is
+// mutating the dataset's order at the same time (the same contract as every
+// other read method).
 func (d *Dataset) ByID(id TupleID) (Tuple, bool) {
-	for _, t := range d.tuples {
-		if t.ID == id {
-			return t, true
+	d.mu.Lock()
+	if d.byID == nil {
+		d.byID = make(map[TupleID]int, len(d.tuples))
+		for i, t := range d.tuples {
+			d.byID[t.ID] = i
 		}
 	}
-	return Tuple{}, false
+	m := d.byID
+	d.mu.Unlock()
+	i, ok := m[id]
+	if !ok {
+		return Tuple{}, false
+	}
+	return d.tuples[i], true
 }
 
 // SortByScore sorts the tuples in non-increasing score order, breaking ties
@@ -135,6 +153,9 @@ func (d *Dataset) SortByScore() {
 		return d.tuples[i].ID < d.tuples[j].ID
 	})
 	d.sorted = true
+	d.mu.Lock()
+	d.byID = nil // positions changed; rebuild lazily on next ByID
+	d.mu.Unlock()
 }
 
 // Sorted reports whether SortByScore has been called since the last mutation.

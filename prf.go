@@ -78,6 +78,47 @@ func EnumerateWorlds(d *Dataset) ([]World, error) { return pdb.EnumerateWorlds(d
 func SampleWorld(d *Dataset, rng *rand.Rand) World { return pdb.SampleWorld(d, rng) }
 
 // ---------------------------------------------------------------------------
+// Prepared evaluation (the repeated-query fast path).
+// ---------------------------------------------------------------------------
+
+// Prepared is an immutable, score-sorted view of a dataset in
+// struct-of-arrays layout. Build it once with Prepare, then call its kernel
+// methods (PRF, PRFOmega, PTh, PRFe, PRFeLog, PRFeCombo,
+// RankDistributionTrunc, …) and parallel batch methods (RankPRFeBatch,
+// PRFeLogBatch, TopKPRFeBatch, PRFeCurve, PRFeComboParallel) — none of them
+// re-clones or re-sorts, so an α-spectrum sweep or a multi-term PRFe
+// combination pays the O(n log n) sort exactly once. Safe for concurrent
+// use.
+type Prepared = core.Prepared
+
+// Prepare builds the sorted struct-of-arrays view of a dataset. The dataset
+// is never mutated; the one-shot package functions below are thin
+// prepare-then-call wrappers over the same kernels.
+func Prepare(d *Dataset) *Prepared { return core.Prepare(d) }
+
+// ParallelTopK answers many independent top-k queries (one value vector per
+// query, each indexed by TupleID) across GOMAXPROCS goroutines.
+func ParallelTopK(valueBatch [][]float64, k int) []Ranking {
+	return core.ParallelTopK(valueBatch, k)
+}
+
+// URankPrepared is URank on a prepared view (no re-sort, no clone).
+func URankPrepared(v *Prepared, k int) Ranking { return baselines.URankPrepared(v, k) }
+
+// ERankPrepared is ERank on a prepared view (no re-sort, no clone).
+func ERankPrepared(v *Prepared) []float64 { return baselines.ERankPrepared(v) }
+
+// UTopKPrepared is UTopK on a prepared view (no re-sort, no clone).
+func UTopKPrepared(v *Prepared, k int) (Ranking, float64) {
+	return baselines.UTopKPrepared(v, k)
+}
+
+// KSelectionPrepared is KSelection on a prepared view (no re-sort, no clone).
+func KSelectionPrepared(v *Prepared, k int) (Ranking, float64) {
+	return baselines.KSelectionPrepared(v, k)
+}
+
+// ---------------------------------------------------------------------------
 // Ranking functions on tuple-independent datasets (Sections 4.1 and 4.3).
 // ---------------------------------------------------------------------------
 
