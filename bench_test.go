@@ -446,8 +446,10 @@ func BenchmarkPRFeComboFused(b *testing.B) {
 	})
 }
 
-// BenchmarkParallelSpectrum isolates the batch fan-out win: same prepared
-// view, 32-point sweep, serial loop vs RankPRFeBatch.
+// BenchmarkParallelSpectrum isolates the ranked-sweep strategies over one
+// shared prepared view, 32-point sweep: serial re-sort per α, per-α
+// parallel fan-out, and the kinetic sweep (sort once, advance by
+// Theorem 4 crossings — what RankPRFeBatch picks for a monotone grid).
 func BenchmarkParallelSpectrum(b *testing.B) {
 	d := benchwork.Dataset(10000)
 	v := prf.Prepare(d)
@@ -461,7 +463,73 @@ func BenchmarkParallelSpectrum(b *testing.B) {
 	})
 	b.Run("parallel", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			_ = v.RankPRFeBatch(alphas)
+			_ = v.RankPRFeBatchParallel(alphas)
+		}
+	})
+	b.Run("kinetic", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = v.RankPRFeSweep(alphas)
+		}
+	})
+}
+
+// BenchmarkCrossingPoint compares the Theorem 4 crossing-point solvers on a
+// fixed mixed-span pair set: the incremental Newton/secant solver with the
+// hoisted α-independent terms vs the original full-pass bisection.
+func BenchmarkCrossingPoint(b *testing.B) {
+	d := benchwork.Dataset(10000)
+	v := prf.Prepare(d)
+	pairs := benchwork.CrossingPairs(10000, 64)
+	b.Run("incremental", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			benchwork.CrossingIncremental(v, pairs)
+		}
+	})
+	b.Run("reference", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			benchwork.CrossingReference(v, pairs)
+		}
+	})
+}
+
+// BenchmarkCorrelatedPRFe covers the correlated-data trajectory: PRFe on
+// and/xor trees (x-tuple and deep-correlation shapes) and the Markov-chain
+// partial-sum DP.
+func BenchmarkCorrelatedPRFe(b *testing.B) {
+	xorTree := benchwork.XTupleTree(10000)
+	deepTree := benchwork.DeepTree(10000)
+	chain := benchwork.MarkovChain(200)
+	b.Run("andxor-xor", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			benchwork.TreePRFe(xorTree)
+		}
+	})
+	b.Run("andxor-high", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			benchwork.TreePRFe(deepTree)
+		}
+	})
+	b.Run("junction-chain", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			benchwork.ChainPRFe(chain)
+		}
+	})
+}
+
+// BenchmarkExactSpectrum measures the exact kinetic spectrum enumeration
+// (every crossing event popped and counted) against the sampled grid count
+// on a dataset small enough for the full event walk.
+func BenchmarkExactSpectrum(b *testing.B) {
+	d := benchwork.Dataset(300)
+	v := prf.Prepare(d)
+	b.Run("exact", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = v.SpectrumSize()
+		}
+	})
+	b.Run("grid64", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = v.SpectrumSizeGrid(64)
 		}
 	})
 }

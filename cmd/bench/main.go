@@ -4,18 +4,26 @@
 //
 // Usage:
 //
-//	bench [-out BENCH_1.json] [-n 10000] [-grid 16] [-terms 20]
+//	bench [-out BENCH_2.json] [-n 10000] [-grid 16] [-terms 20]
 //
 // The workload bodies are shared with the root bench_test.go suite via
 // internal/benchwork, so the JSON records exactly what `go test -bench`
 // measures:
 //
 //   - spectrum: PRFeLog at every point of an α grid (the Figure 11 kernel),
-//     one-shot (rebuild + re-sort per query) vs prepared (sort once) vs parallel batch;
-//   - ranked-spectrum: the same sweep producing full rankings;
+//     one-shot (rebuild + re-sort per query) vs prepared (sort once) vs
+//     parallel batch;
+//   - ranked-spectrum: the same sweep producing full rankings — one-shot vs
+//     prepared (re-sort per α) vs parallel vs the kinetic sweep (sort once,
+//     advance by Theorem 4 adjacent-pair crossings);
+//   - crossing: the Theorem 4 crossing-point solver, incremental
+//     Newton/secant vs the bisection reference, over mixed-span pairs;
 //   - combo: an L-term PRFe linear combination (the Figure 8 kernel),
 //     multi-pass (one scan per term) vs fused single-pass vs parallel-by-term
-//     vs one-shot (prepare per call).
+//     vs one-shot (prepare per call);
+//   - correlated: PRFe and PRFe-combination evaluation on and/xor trees
+//     (Syn-XOR x-tuples and Syn-HIGH deep correlation) and the Section 9.3
+//     Markov-chain DP — the correlated-data trajectory workloads.
 package main
 
 import (
@@ -72,10 +80,11 @@ func measure(name string, op func()) Result {
 
 func main() {
 	var (
-		out   = flag.String("out", "BENCH_1.json", "output JSON path")
-		n     = flag.Int("n", 10000, "dataset size")
-		grid  = flag.Int("grid", 16, "α grid points for the spectrum sweep")
-		terms = flag.Int("terms", 20, "terms in the PRFe combination")
+		out    = flag.String("out", "BENCH_2.json", "output JSON path")
+		n      = flag.Int("n", 10000, "dataset size")
+		grid   = flag.Int("grid", 16, "α grid points for the spectrum sweep")
+		terms  = flag.Int("terms", 20, "terms in the PRFe combination")
+		chainN = flag.Int("chain", 200, "Markov-chain length (cubic DP: keep small)")
 	)
 	flag.Parse()
 
@@ -83,6 +92,10 @@ func main() {
 	alphas, calphas := benchwork.Grid(*grid)
 	expTerms := benchwork.Terms(*terms)
 	v := core.Prepare(d)
+	pairs := benchwork.CrossingPairs(*n, 64)
+	xorTree := benchwork.XTupleTree(*n)
+	deepTree := benchwork.DeepTree(*n)
+	chain := benchwork.MarkovChain(*chainN)
 
 	report := Report{
 		GoVersion:  runtime.Version(),
@@ -110,16 +123,28 @@ func main() {
 	rkOne := add("ranked-spectrum/oneshot", func() { benchwork.RankedOneShot(d, alphas) })
 	rkPrep := add("ranked-spectrum/prepared", func() { benchwork.RankedPrepared(d, alphas) })
 	rkPar := add("ranked-spectrum/parallel", func() { benchwork.RankedParallel(d, alphas) })
+	rkKin := add("ranked-spectrum/kinetic", func() { benchwork.RankedKinetic(d, alphas) })
+
+	crRef := add("crossing/reference", func() { benchwork.CrossingReference(v, pairs) })
+	crInc := add("crossing/incremental", func() { benchwork.CrossingIncremental(v, pairs) })
 
 	cbMulti := add("combo/multipass", func() { benchwork.ComboMultiPass(v, expTerms) })
 	cbFused := add("combo/fused", func() { benchwork.ComboFused(v, expTerms) })
 	cbPar := add("combo/parallel", func() { benchwork.ComboParallel(v, expTerms) })
 	cbOne := add("combo/oneshot", func() { benchwork.ComboOneShot(d, expTerms) })
 
+	add("correlated/andxor-xor-prfe", func() { benchwork.TreePRFe(xorTree) })
+	add("correlated/andxor-high-prfe", func() { benchwork.TreePRFe(deepTree) })
+	add("correlated/andxor-xor-combo", func() { benchwork.TreeCombo(xorTree, expTerms) })
+	add("correlated/junction-chain-prfe", func() { benchwork.ChainPRFe(chain) })
+
 	report.Speedups["spectrum prepared vs oneshot"] = spOne.NsPerOp / spPrep.NsPerOp
 	report.Speedups["spectrum parallel vs oneshot"] = spOne.NsPerOp / spPar.NsPerOp
 	report.Speedups["ranked spectrum prepared vs oneshot"] = rkOne.NsPerOp / rkPrep.NsPerOp
 	report.Speedups["ranked spectrum parallel vs oneshot"] = rkOne.NsPerOp / rkPar.NsPerOp
+	report.Speedups["ranked spectrum kinetic vs oneshot"] = rkOne.NsPerOp / rkKin.NsPerOp
+	report.Speedups["ranked spectrum kinetic vs prepared"] = rkPrep.NsPerOp / rkKin.NsPerOp
+	report.Speedups["crossing incremental vs reference"] = crRef.NsPerOp / crInc.NsPerOp
 	report.Speedups["combo fused vs multipass"] = cbMulti.NsPerOp / cbFused.NsPerOp
 	report.Speedups["combo fused vs oneshot"] = cbOne.NsPerOp / cbFused.NsPerOp
 	report.Speedups["combo parallel vs multipass"] = cbMulti.NsPerOp / cbPar.NsPerOp

@@ -6,9 +6,13 @@
 package benchwork
 
 import (
+	"math/rand"
+
+	"repro/internal/andxor"
 	"repro/internal/core"
 	"repro/internal/datagen"
 	"repro/internal/dftapprox"
+	"repro/internal/junction"
 	"repro/internal/pdb"
 )
 
@@ -79,9 +83,137 @@ func RankedPrepared(d *pdb.Dataset, alphas []float64) {
 	}
 }
 
-// RankedParallel produces the rankings with the parallel batch API.
+// RankedParallel produces the rankings with the per-α parallel batch path
+// (the non-kinetic arm of the dispatcher).
 func RankedParallel(d *pdb.Dataset, alphas []float64) {
-	core.Prepare(d).RankPRFeBatch(alphas)
+	core.Prepare(d).RankPRFeBatchParallel(alphas)
+}
+
+// RankedKinetic produces the rankings with the kinetic sweep: one sort at
+// the first grid point, then the α axis is walked by adjacent-pair
+// crossings with a certification pass per grid point (the RankPRFeBatch
+// dispatcher's grid arm).
+func RankedKinetic(d *pdb.Dataset, alphas []float64) {
+	core.Prepare(d).RankPRFeSweep(alphas)
+}
+
+// CrossingPairs returns a deterministic set of sorted-position pairs for
+// the crossing-point workloads, spread across span lengths. Datasets too
+// small to form a pair yield an empty set.
+func CrossingPairs(n, count int) [][2]int {
+	if n < 2 {
+		return nil
+	}
+	maxSpan := n / 4
+	if maxSpan < 1 {
+		maxSpan = 1
+	}
+	rng := rand.New(rand.NewSource(DatasetSeed + 7))
+	pairs := make([][2]int, 0, count)
+	for len(pairs) < count {
+		i := rng.Intn(n)
+		j := i + 1 + rng.Intn(maxSpan)
+		if j >= n {
+			continue
+		}
+		pairs = append(pairs, [2]int{i, j})
+	}
+	return pairs
+}
+
+// CrossingIncremental exercises the optimized CrossingPoint solver
+// (hoisted α-independent terms, safeguarded Newton over a single
+// incremental pass) on every pair.
+func CrossingIncremental(v *core.Prepared, pairs [][2]int) {
+	for _, p := range pairs {
+		v.CrossingPoint(p[0], p[1])
+	}
+}
+
+// CrossingReference exercises the pre-optimization bisection reference on
+// every pair.
+func CrossingReference(v *core.Prepared, pairs [][2]int) {
+	for _, p := range pairs {
+		v.CrossingPointReference(p[0], p[1])
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Correlated-data workloads (and/xor trees, junction chains).
+// ---------------------------------------------------------------------------
+
+// XTupleTree returns the Syn-XOR correlated workload: an x-tuple and/xor
+// tree with n leaves.
+func XTupleTree(n int) *andxor.Tree {
+	t, err := datagen.SynXOR(n, DatasetSeed)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// DeepTree returns the Syn-HIGH correlated workload: a deep, highly
+// correlated and/xor tree with n leaves.
+func DeepTree(n int) *andxor.Tree {
+	t, err := datagen.SynHIGH(n, DatasetSeed)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// TreePRFe evaluates PRFe(0.95) on a correlated tree with the incremental
+// Algorithm 3 backend (one op).
+func TreePRFe(t *andxor.Tree) {
+	andxor.PRFeValues(t, complex(0.95, 0))
+}
+
+// TreeCombo evaluates an L-term PRFe combination on a correlated tree.
+func TreeCombo(t *andxor.Tree, terms []core.ExpTerm) {
+	us := make([]complex128, len(terms))
+	alphas := make([]complex128, len(terms))
+	for i, term := range terms {
+		us[i], alphas[i] = term.U, term.Alpha
+	}
+	andxor.PRFeCombo(t, us, alphas)
+}
+
+// MarkovChain builds a calibrated n-variable Markov chain: marginals and
+// transitions are seeded, and each pairwise joint is constructed from the
+// running marginal so adjacent tables agree by construction. A chain needs
+// at least two variables, so smaller n is clamped to 2.
+func MarkovChain(n int) *junction.Chain {
+	if n < 2 {
+		n = 2
+	}
+	rng := rand.New(rand.NewSource(DatasetSeed + 13))
+	scores := make([]float64, n)
+	for i := range scores {
+		scores[i] = rng.Float64() * 10000
+	}
+	pair := make([][2][2]float64, n-1)
+	m := 0.6 // running Pr(Y_j = 1)
+	for j := 0; j < n-1; j++ {
+		q1 := 0.2 + 0.6*rng.Float64() // Pr(Y_{j+1}=1 | Y_j=1)
+		q0 := 0.2 + 0.6*rng.Float64() // Pr(Y_{j+1}=1 | Y_j=0)
+		pair[j] = [2][2]float64{
+			{(1 - m) * (1 - q0), (1 - m) * q0},
+			{m * (1 - q1), m * q1},
+		}
+		m = m*q1 + (1-m)*q0
+	}
+	c, err := junction.NewChain(scores, pair)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// ChainPRFe evaluates PRFe(0.95) on a Markov chain with the Section 9.3
+// partial-sum DP backend (one op). The DP is cubic in n, so chain
+// workloads stay small.
+func ChainPRFe(c *junction.Chain) {
+	junction.PRFeChain(c, complex(0.95, 0))
 }
 
 // ComboMultiPass evaluates the PRFe combination with the pre-fusion

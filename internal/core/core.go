@@ -19,6 +19,14 @@
 // (α sweeps, multi-term combinations, batch top-k) should Prepare once and
 // call the methods, which never re-clone or re-sort.
 //
+// Dense α-spectrum workloads additionally ride the kinetic spectrum engine
+// (sweep.go): per Theorem 4 the PRFe ranking evolves along α purely by
+// adjacent transpositions, so a Sweep maintains it incrementally — an event
+// queue of pair-crossing times for the exact spectrum enumeration
+// (SpectrumSize), and insertion-certified grid stepping behind
+// RankPRFeBatch/TopKPRFeBatch for monotone α grids — instead of re-sorting
+// at every grid point.
+//
 // Correlated datasets are handled by the andxor and junction packages; this
 // package is the independent-tuples fast path that the paper's Figure 11
 // timings exercise. Attribute (score) uncertainty reduces to x-tuples and

@@ -373,8 +373,11 @@ func TestCrossingPointExample7(t *testing.T) {
 
 func TestSpectrumSizeGrowsBeyondTwo(t *testing.T) {
 	d := example7()
-	if got := SpectrumSize(d, 200); got < 3 {
-		t.Fatalf("spectrum size %d, want ≥ 3 distinct rankings", got)
+	if got := SpectrumSizeGrid(d, 200); got < 3 {
+		t.Fatalf("sampled spectrum size %d, want ≥ 3 distinct rankings", got)
+	}
+	if exact, grid := SpectrumSize(d), SpectrumSizeGrid(d, 200); exact < grid {
+		t.Fatalf("exact spectrum %d smaller than sampled %d", exact, grid)
 	}
 }
 

@@ -215,7 +215,17 @@ func (v *Prepared) PRFe(alpha complex128) []complex128 {
 // ranking (summed log-magnitudes never underflow). Tuples with Υ = 0 get
 // -Inf. O(n) on the prepared view.
 func (v *Prepared) PRFeLog(alpha complex128) []float64 {
-	out := make([]float64, v.Len())
+	return v.PRFeLogInto(alpha, nil)
+}
+
+// PRFeLogInto is PRFeLog writing into out (reallocated only when its
+// capacity is short) — the allocation-free form the batch paths use to keep
+// one value buffer per worker across an entire query batch.
+func (v *Prepared) PRFeLogInto(alpha complex128, out []float64) []float64 {
+	if cap(out) < v.Len() {
+		out = make([]float64, v.Len())
+	}
+	out = out[:v.Len()]
 	logProd := 0.0
 	zeroed := false // a factor of exactly 0 annihilates all later products
 	logAlpha := math.Log(cmplx.Abs(alpha))
@@ -339,7 +349,73 @@ func (v *Prepared) PRFeComboParallel(terms []ExpTerm) []complex128 {
 // CrossingPoint finds the unique β ∈ (0,1) at which the tuples at sorted
 // positions i < j swap their PRFe order, if any (Theorem 4). See the
 // package-level CrossingPoint for the contract.
+//
+// log ρ(α) is monotone increasing, so existence reduces to sign checks at
+// the two ends — and the right end is the O(1) closed form
+// log ρ(1) = log p_j − log p_i, hoisted out of the iteration entirely. The
+// root itself is found by safeguarded Newton steps where each iteration is a
+// single incremental pass over the span (see logRhoDirect), instead of the
+// former fixed-count bisection that re-walked the span and recomputed the
+// α-independent log(p_j)−log(p_i) on every probe (kept as
+// CrossingPointReference for equivalence tests and benchmarks). Pairs with
+// p_i = p_j exactly are reported as non-crossing: their curves meet only at
+// the boundary α = 1, not inside (0,1).
 func (v *Prepared) CrossingPoint(i, j int) (float64, bool) {
+	if i == j {
+		return 0, false
+	}
+	if i > j {
+		i, j = j, i
+	}
+	pi, pj := v.probs[i], v.probs[j]
+	if pi <= 0 || pj <= 0 {
+		return 0, false
+	}
+	logDiff := math.Log(pj) - math.Log(pi)
+	if !(logDiff > 0) {
+		return 0, false // ρ(1) ≤ 1: position j never overtakes i in (0,1)
+	}
+	glo, _ := logRhoDirect(v.probs, i, j, logDiff, crossEps, false)
+	if glo >= 0 {
+		return 0, false // ρ > 1 across all of (0,1): j dominates throughout
+	}
+	return newtonRootDirect(v.probs, i, j, logDiff, crossEps, 1), true
+}
+
+// newtonRootDirect is the safeguarded Newton iteration over the direct
+// evaluator, for one-off crossing queries outside a Sweep (which carries
+// its own evaluation state; see Sweep.newton).
+func newtonRootDirect(probs []float64, i, j int, logDiff, lo, hi float64) float64 {
+	x := 0.5 * (lo + hi)
+	for iter := 0; iter < 80 && hi-lo > 1e-14; iter++ {
+		g, dg := logRhoDirect(probs, i, j, logDiff, x, true)
+		if g == 0 {
+			return x
+		}
+		if g < 0 {
+			lo = x
+		} else {
+			hi = x
+		}
+		if dg > 0 {
+			if nx := x - g/dg; nx > lo && nx < hi {
+				if math.Abs(nx-x) <= 1e-14 {
+					return nx // converged; the far bracket side may still be distant
+				}
+				x = nx
+				continue
+			}
+		}
+		x = 0.5 * (lo + hi)
+	}
+	return 0.5 * (lo + hi)
+}
+
+// CrossingPointReference is the pre-optimization crossing finder: plain
+// bisection where every probe recomputes the full O(j−i) log-sum including
+// the α-independent log(p_j)−log(p_i). Kept as the equivalence reference
+// and benchmark baseline for CrossingPoint.
+func (v *Prepared) CrossingPointReference(i, j int) (float64, bool) {
 	if i == j {
 		return 0, false
 	}
@@ -361,8 +437,7 @@ func (v *Prepared) CrossingPoint(i, j int) (float64, bool) {
 		}
 		return r
 	}
-	const eps = 1e-12
-	lo, hi := eps, 1.0
+	lo, hi := crossEps, 1.0
 	flo, fhi := logRho(lo), logRho(hi)
 	if flo == fhi || (flo < 0) == (fhi < 0) {
 		return 0, false // same sign at both ends: no swap in (0,1)
@@ -382,16 +457,31 @@ func (v *Prepared) CrossingPoint(i, j int) (float64, bool) {
 // Parallel batch evaluation over the shared immutable view.
 // ---------------------------------------------------------------------------
 
-// parallelFor runs fn(0..jobs-1) across at most GOMAXPROCS goroutines.
-// Each index runs exactly once; the call returns when all are done.
-func parallelFor(jobs int, fn func(j int)) {
+// parallelWorkers returns the worker count parallelForWorkers will use for
+// the given job count — callers size per-worker scratch with it.
+func parallelWorkers(jobs int) int {
 	workers := runtime.GOMAXPROCS(0)
 	if workers > jobs {
 		workers = jobs
 	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// parallelForWorkers runs fn(worker, 0..jobs-1) across the given number of
+// goroutines — callers obtain it from parallelWorkers(jobs) once and size
+// any per-worker scratch with the same value, so a concurrent GOMAXPROCS
+// change between sizing and dispatch cannot send a worker index out of
+// range. Each job index runs exactly once; the worker index lets callers
+// reuse per-worker scratch buffers across the jobs a worker drains instead
+// of allocating fresh buffers per job. The call returns when all jobs are
+// done.
+func parallelForWorkers(workers, jobs int, fn func(worker, job int)) {
 	if workers <= 1 {
 		for j := 0; j < jobs; j++ {
-			fn(j)
+			fn(0, j)
 		}
 		return
 	}
@@ -399,18 +489,24 @@ func parallelFor(jobs int, fn func(j int)) {
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			for {
 				j := int(atomic.AddInt64(&next, 1)) - 1
 				if j >= jobs {
 					return
 				}
-				fn(j)
+				fn(worker, j)
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
+}
+
+// parallelFor runs fn(0..jobs-1) across at most GOMAXPROCS goroutines.
+// Each index runs exactly once; the call returns when all are done.
+func parallelFor(jobs int, fn func(j int)) {
+	parallelForWorkers(parallelWorkers(jobs), jobs, func(_, j int) { fn(j) })
 }
 
 // PRFeLogBatch evaluates PRFeLog for every α in parallel. out[a] is indexed
@@ -423,29 +519,67 @@ func (v *Prepared) PRFeLogBatch(alphas []complex128) [][]float64 {
 	return out
 }
 
-// RankPRFeBatch computes the full PRFe(α) ranking for every α of a grid in
-// parallel — the spectrum-sweep workhorse. out[a] equals RankPRFe(alphas[a]).
+// RankPRFeBatch computes the full PRFe(α) ranking for every α of a batch —
+// the spectrum-sweep workhorse. out[a] equals RankPRFe(alphas[a]),
+// bit-for-bit. When the batch is a strictly increasing grid inside (0, 1] —
+// the Theorem 4 domain — it runs the kinetic sweep: one sort at alphas[0],
+// then crossing events instead of a re-sort per grid point. Any other batch
+// falls back to per-α evaluation parallelized across GOMAXPROCS workers.
 func (v *Prepared) RankPRFeBatch(alphas []float64) []pdb.Ranking {
+	if len(alphas) >= 2 && gridForSweep(alphas) {
+		return v.RankPRFeSweep(alphas)
+	}
+	return v.RankPRFeBatchParallel(alphas)
+}
+
+// RankPRFeBatchParallel evaluates each α independently across GOMAXPROCS
+// workers — the non-kinetic batch path, used for batches that are not
+// monotone α grids. Each worker owns one value buffer for its whole share
+// of the batch, so the per-query allocations are the output rankings alone.
+func (v *Prepared) RankPRFeBatchParallel(alphas []float64) []pdb.Ranking {
 	out := make([]pdb.Ranking, len(alphas))
-	parallelFor(len(alphas), func(a int) {
-		out[a] = v.RankPRFe(alphas[a])
+	workers := parallelWorkers(len(alphas))
+	vals := make([][]float64, workers)
+	parallelForWorkers(workers, len(alphas), func(w, a int) {
+		vals[w] = v.PRFeLogInto(complex(alphas[a], 0), vals[w])
+		out[a] = pdb.RankByValue(vals[w])
 	})
 	return out
 }
 
-// TopKPRFeBatch answers many PRFe top-k queries against the shared view in
-// parallel. out[a] equals RankPRFe(alphas[a]).TopK(k).
+// TopKPRFeBatch answers many PRFe top-k queries against the shared view.
+// out[a] equals RankPRFe(alphas[a]).TopK(k), bit-for-bit. Monotone α grids
+// in (0, 1] ride the kinetic sweep; other batches run per-α in parallel.
 func (v *Prepared) TopKPRFeBatch(alphas []float64, k int) []pdb.Ranking {
+	if len(alphas) >= 2 && gridForSweep(alphas) {
+		return v.TopKPRFeSweep(alphas, k)
+	}
+	return v.TopKPRFeBatchParallel(alphas, k)
+}
+
+// TopKPRFeBatchParallel is the non-kinetic top-k batch path: per-α
+// evaluation across workers, where each worker reuses one value buffer and
+// one full-ranking scratch for all its queries — only the k-length answers
+// are fresh allocations.
+func (v *Prepared) TopKPRFeBatchParallel(alphas []float64, k int) []pdb.Ranking {
 	out := make([]pdb.Ranking, len(alphas))
-	parallelFor(len(alphas), func(a int) {
-		out[a] = v.RankPRFe(alphas[a]).TopK(k)
+	workers := parallelWorkers(len(alphas))
+	vals := make([][]float64, workers)
+	ranks := make([]pdb.Ranking, workers)
+	parallelForWorkers(workers, len(alphas), func(w, a int) {
+		vals[w] = v.PRFeLogInto(complex(alphas[a], 0), vals[w])
+		ranks[w] = pdb.RankByValueInto(vals[w], ranks[w])
+		out[a] = ranks[w].TopK(k)
 	})
 	return out
 }
 
-// PRFeCurve evaluates Υ_α(t) over a grid of real α values in parallel:
-// curve[id][a] is the (real) PRFe value of tuple id at alphas[a]
-// (Figure 6 / Example 7). The matrix is one flat allocation.
+// PRFeCurve evaluates Υ_α(t) over a grid of real α values: curve[id][a] is
+// the (real) PRFe value of tuple id at alphas[a] (Figure 6 / Example 7).
+// The grid is split across GOMAXPROCS workers and each worker advances all
+// its running products through one fused scan of the tuple arrays — the
+// data is read once per worker instead of once per grid point. The matrix
+// is one flat allocation; values are bit-identical to per-α PRFe.
 func (v *Prepared) PRFeCurve(alphas []float64) [][]float64 {
 	n := v.Len()
 	m := len(alphas)
@@ -454,44 +588,34 @@ func (v *Prepared) PRFeCurve(alphas []float64) [][]float64 {
 	for i := range out {
 		out[i] = flat[i*m : (i+1)*m : (i+1)*m]
 	}
-	parallelFor(m, func(a int) {
-		vals := v.PRFe(complex(alphas[a], 0))
-		for id, val := range vals {
-			out[id][a] = real(val)
+	if n == 0 || m == 0 {
+		return out
+	}
+	workers := parallelWorkers(m)
+	per := (m + workers - 1) / workers
+	parallelFor(workers, func(w int) {
+		lo := w * per
+		hi := lo + per
+		if hi > m {
+			hi = m
+		}
+		if lo >= hi {
+			return
+		}
+		as := alphas[lo:hi]
+		prods := make([]float64, len(as))
+		for c := range prods {
+			prods[c] = 1
+		}
+		for i, p := range v.probs {
+			row := out[v.ids[i]]
+			for c, a := range as {
+				row[lo+c] = prods[c] * p * a
+				prods[c] *= 1 - p + p*a
+			}
 		}
 	})
 	return out
-}
-
-// SpectrumSize counts distinct PRFe rankings on a uniform α grid over
-// (0, 1], evaluating the grid in parallel (Section 7 / Theorem 4). Grid
-// points are processed in bounded windows so peak memory stays
-// O(window·n) regardless of gridSize.
-func (v *Prepared) SpectrumSize(gridSize int) int {
-	if gridSize < 2 {
-		gridSize = 2
-	}
-	window := 4 * runtime.GOMAXPROCS(0)
-	alphas := make([]float64, 0, window)
-	count := 0
-	var prev pdb.Ranking
-	for lo := 1; lo <= gridSize; lo += window {
-		hi := lo + window - 1
-		if hi > gridSize {
-			hi = gridSize
-		}
-		alphas = alphas[:0]
-		for a := lo; a <= hi; a++ {
-			alphas = append(alphas, float64(a)/float64(gridSize))
-		}
-		for _, r := range v.RankPRFeBatch(alphas) {
-			if prev == nil || !sameRanking(prev, r) {
-				count++
-				prev = r
-			}
-		}
-	}
-	return count
 }
 
 // ParallelTopK ranks many independent value vectors (each indexed by

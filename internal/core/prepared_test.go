@@ -147,7 +147,7 @@ func gnarlyDataset(rng *rand.Rand, n int) *pdb.Dataset {
 	scores := make([]float64, n)
 	probs := make([]float64, n)
 	for i := 0; i < n; i++ {
-		scores[i] = float64(rng.Intn(n / 2)) // many ties
+		scores[i] = float64(rng.Intn(n/2 + 1)) // many ties
 		switch rng.Intn(10) {
 		case 0:
 			probs[i] = 0
@@ -325,7 +325,10 @@ func TestParallelBatchesMatchSerial(t *testing.T) {
 		}
 	}
 
-	if got, want := v.SpectrumSize(64), SpectrumSize(d, 64); got != want {
+	if got, want := v.SpectrumSizeGrid(64), SpectrumSizeGrid(d, 64); got != want {
+		t.Fatalf("SpectrumSizeGrid: prepared %d vs one-shot %d", got, want)
+	}
+	if got, want := v.SpectrumSize(), SpectrumSize(d); got != want {
 		t.Fatalf("SpectrumSize: prepared %d vs one-shot %d", got, want)
 	}
 }

@@ -4,18 +4,19 @@ import (
 	"repro/internal/pdb"
 )
 
-// This file implements the Section 7 analysis of how PRFe(α) rankings evolve
-// as α sweeps from 0 to 1 (Theorem 4): for independent tuples, any two tuples
-// swap relative order at most once, so the sweep resembles a bubble sort from
-// the Pr(r(t)=1) order (α→0) towards the Pr(t) order (α=1).
-//
-// The one-shot functions below wrap the Prepared methods; sweep-heavy
-// callers should Prepare once and use the batch methods directly.
+// This file holds the one-shot entry points for the Section 7 analysis of
+// how PRFe(α) rankings evolve as α sweeps from 0 to 1 (Theorem 4): for
+// independent tuples, any two tuples swap relative order at most once, so
+// the sweep resembles a bubble sort from the Pr(r(t)=1) order (α→0) towards
+// the Pr(t) order (α=1). The kinetic spectrum engine in sweep.go turns that
+// structure into an event-driven incremental ranking maintenance scheme;
+// the functions below wrap the Prepared methods built on it. Sweep-heavy
+// callers should Prepare once and use the Prepared/Sweep APIs directly.
 
 // PRFeCurve evaluates Υ_α(t) for every tuple over a grid of real α values:
 // curve[i][a] is the PRFe value of the tuple with ID i at alphas[a]
-// (Figure 6 / Example 7). Intended for small datasets; uses the direct
-// product evaluation, parallel across grid points.
+// (Figure 6 / Example 7). The grid is evaluated by fused scans split across
+// workers; see Prepared.PRFeCurve.
 func PRFeCurve(d *pdb.Dataset, alphas []float64) [][]float64 {
 	return Prepare(d).PRFeCurve(alphas)
 }
@@ -23,22 +24,34 @@ func PRFeCurve(d *pdb.Dataset, alphas []float64) [][]float64 {
 // CrossingPoint finds the unique β ∈ (0,1) at which tuples with sorted
 // positions i < j (score order, 0-based) swap their PRFe order, if any
 // (Theorem 4). It returns (β, true) when the pair ranks differently at the
-// two extremes, and (0, false) when one tuple dominates the other across all
-// of (0,1]. Both tuples must have positive probability.
+// two ends of (0,1), and (0, false) when one tuple dominates the other
+// across all of it. Both tuples must have positive probability.
 //
 // The ratio ρ_{j,i}(α) = (p_j/p_i)·∏_{l=i}^{j−1}(1−p_l+p_l·α) is monotone in
-// α (the proof of Theorem 4), so a bisection on log ρ converges to the unique
-// root.
+// α (the proof of Theorem 4), so existence is a sign test at the two ends
+// and the unique root is located by a safeguarded Newton iteration; see
+// Prepared.CrossingPoint.
 func CrossingPoint(d *pdb.Dataset, i, j int) (float64, bool) {
 	return Prepare(d).CrossingPoint(i, j)
 }
 
-// SpectrumSize counts the number of distinct PRFe rankings encountered on a
-// grid sweep of α over (0, 1]. Per Theorem 4 this is at most 1 + the number
-// of crossing pairs (O(n²)); PT(h) by contrast can reach at most n distinct
-// rankings, which is why PRFe spans a richer spectrum (end of Section 7).
-func SpectrumSize(d *pdb.Dataset, gridSize int) int {
-	return Prepare(d).SpectrumSize(gridSize)
+// SpectrumSize counts the number of distinct PRFe rankings the dataset
+// passes through as α sweeps (0, 1) — exactly, by running the kinetic sweep
+// over the whole interval and counting distinct crossing times. Per
+// Theorem 4 this is at most 1 + the number of crossing pairs (O(n²)); PT(h)
+// by contrast spans at most n distinct rankings, which is why PRFe spans a
+// richer spectrum (end of Section 7). See Prepared.SpectrumSize for cost
+// caveats, and SpectrumSizeGrid for the cheaper sampled variant.
+func SpectrumSize(d *pdb.Dataset) int {
+	return Prepare(d).SpectrumSize()
+}
+
+// SpectrumSizeGrid counts the distinct PRFe rankings encountered on a
+// uniform grid sweep of α over (0, 1] — the sampled spectrum, which misses
+// any ranking that lives entirely between two grid points. Kept alongside
+// the exact SpectrumSize for comparison.
+func SpectrumSizeGrid(d *pdb.Dataset, gridSize int) int {
+	return Prepare(d).SpectrumSizeGrid(gridSize)
 }
 
 func sameRanking(a, b pdb.Ranking) bool {

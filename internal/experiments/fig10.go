@@ -58,8 +58,8 @@ func runFig10(cfg Config) error {
 		fmt.Fprintf(cfg.Out, " %10s", d.name)
 	}
 	fmt.Fprintln(cfg.Out)
-	// Independence-assuming sweeps: one prepared view per dataset, the whole
-	// α grid evaluated in parallel.
+	// Independence-assuming sweeps: one prepared view per dataset; the
+	// monotone α grid rides the kinetic sweep (sort once, then crossings).
 	indepSweeps := make([][]pdb.Ranking, len(ds))
 	for i, d := range ds {
 		indepSweeps[i] = core.Prepare(d.tree.Dataset()).RankPRFeBatch(alphas)

@@ -52,27 +52,36 @@ func LearnAlpha(sample *pdb.Dataset, user pdb.Ranking, k, iters int) AlphaResult
 	}
 	evals := 0
 	v := core.Prepare(sample) // sort once; the search evaluates many α
+	userTop := user.TopK(k)
 	dist := func(alpha float64) float64 {
 		evals++
 		r := v.RankPRFe(alpha)
-		return rankdist.KendallTopK(user.TopK(k), r.TopK(k), k)
+		return rankdist.KendallTopK(userTop, r.TopK(k), k)
 	}
 	lo, hi := 0.0, 1.0
 	bestAlpha, bestDist := 1.0, dist(1)
 	if d0 := dist(1e-9); d0 < bestDist {
 		bestAlpha, bestDist = 1e-9, d0
 	}
+	probes := make([]float64, 9)
 	for it := 0; it < iters; it++ {
 		step := (hi - lo) / 10
 		if step < 1e-12 {
 			break
 		}
+		// Each refinement round probes nine ascending α values — a monotone
+		// grid, so one kinetic sweep answers the whole round off a single
+		// sort instead of nine independent re-sorts.
+		for i := range probes {
+			probes[i] = lo + float64(i+1)*step
+		}
+		tops := v.TopKPRFeBatch(probes, k)
+		evals += len(probes)
 		bestI := 0
 		bestLocal := math.Inf(1)
-		for i := 1; i <= 9; i++ {
-			a := lo + float64(i)*step
-			if d := dist(a); d < bestLocal {
-				bestLocal, bestI = d, i
+		for i, top := range tops {
+			if d := rankdist.KendallTopK(userTop, top, k); d < bestLocal {
+				bestLocal, bestI = d, i+1
 			}
 		}
 		a := lo + float64(bestI)*step
@@ -196,10 +205,12 @@ func GridScanAlpha(sample *pdb.Dataset, user pdb.Ranking, k, gridSize int) (alph
 	for i := 0; i < gridSize; i++ {
 		alphas[i] = float64(i+1) / float64(gridSize)
 	}
-	// One prepared view, grid evaluated in parallel across GOMAXPROCS.
-	rs := core.Prepare(sample).RankPRFeBatch(alphas)
-	for i, r := range rs {
-		dists[i] = rankdist.KendallTopK(user.TopK(k), r.TopK(k), k)
+	// One prepared view; the monotone grid rides the kinetic sweep (sort
+	// once, advance by crossings), and only the top-k prefixes materialize.
+	tops := core.Prepare(sample).TopKPRFeBatch(alphas, k)
+	userTop := user.TopK(k)
+	for i, top := range tops {
+		dists[i] = rankdist.KendallTopK(userTop, top, k)
 	}
 	return alphas, dists
 }

@@ -169,6 +169,29 @@ func TestRankByValue(t *testing.T) {
 	}
 }
 
+func TestRankByValueNaNAndInto(t *testing.T) {
+	// NaN must order deterministically (below every number, ties by ID) so
+	// the comparator remains a strict weak ordering for caller vectors.
+	nan := math.NaN()
+	r := RankByValue([]float64{nan, 0.5, nan, math.Inf(-1), 0.7})
+	want := Ranking{4, 1, 3, 0, 2}
+	for i := range want {
+		if r[i] != want[i] {
+			t.Fatalf("RankByValue with NaN = %v, want %v", r, want)
+		}
+	}
+	// Buffer reuse must not change results.
+	buf := make(Ranking, 0, 8)
+	buf = RankByValueInto([]float64{1, 3, 2}, buf)
+	if buf[0] != 1 || buf[1] != 2 || buf[2] != 0 {
+		t.Fatalf("RankByValueInto = %v", buf)
+	}
+	again := RankByValueInto([]float64{9, 8}, buf)
+	if len(again) != 2 || again[0] != 0 || again[1] != 1 || &again[0] != &buf[0] {
+		t.Fatalf("RankByValueInto should reuse the buffer, got %v", again)
+	}
+}
+
 func TestRankByValueFor(t *testing.T) {
 	ids := []TupleID{5, 7, 9}
 	vals := map[TupleID]float64{5: 1, 7: 3, 9: 2}

@@ -1,6 +1,9 @@
 package pdb
 
-import "sort"
+import (
+	"math"
+	"slices"
+)
 
 // Ranking is an ordered list of tuple IDs, best first. A top-k answer is a
 // Ranking of length k; a full ranking has length n.
@@ -33,18 +36,53 @@ func (r Ranking) Contains(id TupleID) bool { return r.Position(id) >= 0 }
 // by ID (ascending) so results are deterministic. values is indexed by
 // TupleID.
 func RankByValue(values []float64) Ranking {
-	ids := make(Ranking, len(values))
-	for i := range ids {
-		ids[i] = TupleID(i)
+	return RankByValueInto(values, nil)
+}
+
+// RankByValueInto is RankByValue ranking into out, which is reallocated only
+// when its capacity is short — the allocation-free form for callers that
+// rank many value vectors through one reusable buffer. (value desc, ID asc,
+// NaN after every number) is a strict total order — IDs are unique — so the
+// comparison-based sort is fully determined and the generic pdqsort can be
+// used without a stability requirement; it avoids the reflection-based
+// swapper of sort.SliceStable entirely, which both speeds the sort up and
+// drops its allocations. The explicit NaN arm keeps the comparator a valid
+// strict weak ordering even for caller-supplied vectors containing NaN
+// (the ranking kernels themselves never produce one).
+func RankByValueInto(values []float64, out Ranking) Ranking {
+	if cap(out) < len(values) {
+		out = make(Ranking, len(values))
 	}
-	sort.SliceStable(ids, func(a, b int) bool {
-		va, vb := values[ids[a]], values[ids[b]]
+	out = out[:len(values)]
+	for i := range out {
+		out[i] = TupleID(i)
+	}
+	slices.SortFunc(out, func(a, b TupleID) int {
+		va, vb := values[a], values[b]
 		if va != vb {
-			return va > vb
+			if va > vb {
+				return -1
+			}
+			if vb > va {
+				return 1
+			}
+			// At least one side is NaN; NaN ranks below every number.
+			if an, bn := math.IsNaN(va), math.IsNaN(vb); an != bn {
+				if bn {
+					return -1
+				}
+				return 1
+			}
 		}
-		return ids[a] < ids[b]
+		if a < b {
+			return -1
+		}
+		if a > b {
+			return 1
+		}
+		return 0
 	})
-	return ids
+	return out
 }
 
 // RankByValueFor ranks an explicit set of IDs by non-increasing value taken
@@ -52,12 +90,21 @@ func RankByValue(values []float64) Ranking {
 func RankByValueFor(ids []TupleID, value map[TupleID]float64) Ranking {
 	out := make(Ranking, len(ids))
 	copy(out, ids)
-	sort.SliceStable(out, func(a, b int) bool {
-		va, vb := value[out[a]], value[out[b]]
+	slices.SortStableFunc(out, func(a, b TupleID) int {
+		va, vb := value[a], value[b]
 		if va != vb {
-			return va > vb
+			if va > vb {
+				return -1
+			}
+			return 1
 		}
-		return out[a] < out[b]
+		if a < b {
+			return -1
+		}
+		if a > b {
+			return 1
+		}
+		return 0
 	})
 	return out
 }

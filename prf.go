@@ -102,6 +102,20 @@ func ParallelTopK(valueBatch [][]float64, k int) []Ranking {
 	return core.ParallelTopK(valueBatch, k)
 }
 
+// Sweep is the kinetic spectrum engine (Theorem 4): an event-driven sorted
+// list that maintains the PRFe(α) ranking incrementally as α moves upward
+// through (0, 1], paying one sort up front and O(log n) per adjacent-pair
+// crossing instead of a re-sort per queried α. Build one with NewSweep and
+// query it at non-decreasing α values. Unlike Prepared, a Sweep carries
+// mutable cursor state and must not be shared across goroutines.
+type Sweep = core.Sweep
+
+// NewSweep builds a kinetic sweep over the prepared view positioned at
+// alpha ∈ (0, 1]. The batch APIs (RankPRFeBatch, TopKPRFeBatch) construct
+// sweeps automatically for monotone α grids; reach for NewSweep directly
+// when advancing α incrementally yourself.
+func NewSweep(v *Prepared, alpha float64) *Sweep { return v.NewSweep(alpha) }
+
 // URankPrepared is URank on a prepared view (no re-sort, no clone).
 func URankPrepared(v *Prepared, k int) Ranking { return baselines.URankPrepared(v, k) }
 
@@ -470,10 +484,16 @@ func SmoothWeights(n int) func(int) float64 { return dftapprox.Smooth(n) }
 // (Section 3.3's discount-factor example).
 func LogDiscountWeights(n int) func(int) float64 { return dftapprox.LogDiscount(n) }
 
-// SpectrumSize counts distinct PRFe rankings over a uniform α grid — the
-// Section 7 observation that PRFe spans up to O(n²) rankings while PT(h)
-// spans at most n.
-func SpectrumSize(d *Dataset, gridSize int) int { return core.SpectrumSize(d, gridSize) }
+// SpectrumSize counts the distinct PRFe rankings the dataset passes through
+// as α sweeps (0, 1) — exactly, by counting the kinetic sweep's crossing
+// events — the Section 7 observation that PRFe spans up to O(n²) rankings
+// while PT(h) spans at most n. Use SpectrumSizeGrid for the cheaper sampled
+// count on a uniform grid.
+func SpectrumSize(d *Dataset) int { return core.SpectrumSize(d) }
+
+// SpectrumSizeGrid counts distinct PRFe rankings over a uniform α grid —
+// the sampled spectrum, which misses rankings that live between grid points.
+func SpectrumSizeGrid(d *Dataset, gridSize int) int { return core.SpectrumSizeGrid(d, gridSize) }
 
 // TreeRankByKey aggregates PRFe values per possible-worlds key on a tree —
 // the Section 4.4 reduction on arbitrary correlated data: leaves sharing a

@@ -319,8 +319,11 @@ func TestPublicAPIPRFlAndWeights(t *testing.T) {
 	if ld := prf.LogDiscountWeights(10); math.Abs(ld(0)-1) > 1e-12 {
 		t.Fatal("log discount wrong")
 	}
-	if got := prf.SpectrumSize(d, 50); got < 1 {
-		t.Fatalf("spectrum size %d", got)
+	if got := prf.SpectrumSizeGrid(d, 50); got < 1 {
+		t.Fatalf("sampled spectrum size %d", got)
+	}
+	if exact := prf.SpectrumSize(d); exact < prf.SpectrumSizeGrid(d, 50) {
+		t.Fatalf("exact spectrum %d below sampled count", exact)
 	}
 }
 
