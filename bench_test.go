@@ -514,6 +514,55 @@ func BenchmarkCorrelatedPRFe(b *testing.B) {
 			benchwork.ChainPRFe(chain)
 		}
 	})
+	b.Run("junction-chain-dp", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			benchwork.ChainPRFeDP(chain)
+		}
+	})
+}
+
+// BenchmarkCorrelatedPrepared covers the PR 3 prepared engine for correlated
+// data: α sweeps and term combinations on and/xor trees via PreparedTree
+// (sort + evaluation state amortized), the Markov-chain product-tree sweep,
+// and the junction-tree prepared path (build + DP once, fold per α).
+func BenchmarkCorrelatedPrepared(b *testing.B) {
+	xorTree := benchwork.XTupleTree(10000)
+	preparedXor := benchwork.PrepareTree(xorTree)
+	chain := benchwork.MarkovChain(200)
+	net := benchwork.ChainNetwork(benchwork.MarkovChain(100))
+	_, calphas := benchwork.Grid(16)
+	_, netCalphas := benchwork.Grid(8)
+	terms := benchwork.Terms(20)
+	b.Run("andxor-sweep-oneshot", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			benchwork.TreeSweepOneShot(xorTree, calphas)
+		}
+	})
+	b.Run("andxor-sweep-prepared", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			benchwork.TreeSweepPrepared(xorTree, calphas)
+		}
+	})
+	b.Run("andxor-combo-prepared", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			benchwork.TreeComboPrepared(preparedXor, terms)
+		}
+	})
+	b.Run("chain-sweep-prepared", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			benchwork.ChainSweepPrepared(chain, calphas)
+		}
+	})
+	b.Run("network-sweep-oneshot", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			benchwork.NetworkSweepOneShot(net, netCalphas)
+		}
+	})
+	b.Run("network-sweep-prepared", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			benchwork.NetworkSweepPrepared(net, netCalphas)
+		}
+	})
 }
 
 // BenchmarkExactSpectrum measures the exact kinetic spectrum enumeration

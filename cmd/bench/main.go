@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	bench [-out BENCH_2.json] [-n 10000] [-grid 16] [-terms 20]
+//	bench [-out BENCH_3.json] [-n 10000] [-grid 16] [-terms 20] [-smoke]
 //
 // The workload bodies are shared with the root bench_test.go suite via
 // internal/benchwork, so the JSON records exactly what `go test -bench`
@@ -21,9 +21,15 @@
 //   - combo: an L-term PRFe linear combination (the Figure 8 kernel),
 //     multi-pass (one scan per term) vs fused single-pass vs parallel-by-term
 //     vs one-shot (prepare per call);
-//   - correlated: PRFe and PRFe-combination evaluation on and/xor trees
-//     (Syn-XOR x-tuples and Syn-HIGH deep correlation) and the Section 9.3
-//     Markov-chain DP — the correlated-data trajectory workloads.
+//   - correlated: PRFe, α sweeps and PRFe combinations on and/xor trees
+//     (Syn-XOR x-tuples and Syn-HIGH deep correlation), the Section 9.3
+//     Markov chain (product-tree prepared path vs the Θ(n³) partial-sum DP)
+//     and the Section 9.4 junction tree (prepared: build + DP once, fold per
+//     α — vs one-shot: rebuild + re-run per α). The `correlated/prepared/*`
+//     workloads are the PR 3 prepared-engine arms.
+//
+// -smoke runs every workload body exactly once at tiny sizes and writes no
+// file — the CI guard that keeps the bench workloads compiling and running.
 package main
 
 import (
@@ -57,6 +63,7 @@ type Report struct {
 	N          int                `json:"dataset_size"`
 	GridPoints int                `json:"spectrum_grid_points"`
 	ComboTerms int                `json:"combo_terms"`
+	ChainN     int                `json:"chain_length"`
 	Results    []Result           `json:"results"`
 	Speedups   map[string]float64 `json:"speedups"`
 }
@@ -80,13 +87,18 @@ func measure(name string, op func()) Result {
 
 func main() {
 	var (
-		out    = flag.String("out", "BENCH_2.json", "output JSON path")
+		out    = flag.String("out", "BENCH_3.json", "output JSON path")
 		n      = flag.Int("n", 10000, "dataset size")
-		grid   = flag.Int("grid", 16, "α grid points for the spectrum sweep")
+		grid   = flag.Int("grid", 16, "α grid points for the spectrum sweeps")
 		terms  = flag.Int("terms", 20, "terms in the PRFe combination")
-		chainN = flag.Int("chain", 200, "Markov-chain length (cubic DP: keep small)")
+		chainN = flag.Int("chain", 200, "Markov-chain length (the DP arm is cubic: keep small)")
+		smoke  = flag.Bool("smoke", false, "run every workload once at tiny sizes, write nothing")
 	)
 	flag.Parse()
+
+	if *smoke {
+		*n, *grid, *terms, *chainN = 400, 4, 6, 32
+	}
 
 	d := benchwork.Dataset(*n)
 	alphas, calphas := benchwork.Grid(*grid)
@@ -96,6 +108,19 @@ func main() {
 	xorTree := benchwork.XTupleTree(*n)
 	deepTree := benchwork.DeepTree(*n)
 	chain := benchwork.MarkovChain(*chainN)
+	// The one-shot junction arm re-triangulates and re-runs the Θ(n³) DP per
+	// grid point, so the generic-network sweep runs on a shorter chain and a
+	// sub-grid to keep the suite's wall clock sane.
+	netN := *chainN / 2
+	if netN < 2 {
+		netN = 2
+	}
+	net := benchwork.ChainNetwork(benchwork.MarkovChain(netN))
+	netGrid := *grid / 2
+	if netGrid < 1 {
+		netGrid = 1
+	}
+	_, netCalphas := benchwork.Grid(netGrid)
 
 	report := Report{
 		GoVersion:  runtime.Version(),
@@ -105,13 +130,19 @@ func main() {
 		N:          *n,
 		GridPoints: *grid,
 		ComboTerms: *terms,
+		ChainN:     *chainN,
 		Speedups:   map[string]float64{},
 	}
 
 	add := func(name string, op func()) Result {
+		if *smoke {
+			op()
+			fmt.Printf("%-40s ok\n", name)
+			return Result{Name: name}
+		}
 		r := measure(name, op)
 		report.Results = append(report.Results, r)
-		fmt.Printf("%-28s %12.3f ms/op  (%d iters, %d allocs/op)\n",
+		fmt.Printf("%-40s %12.3f ms/op  (%d iters, %d allocs/op)\n",
 			r.Name, r.MsPerOp, r.Iters, r.AllocsOp)
 		return r
 	}
@@ -135,8 +166,24 @@ func main() {
 
 	add("correlated/andxor-xor-prfe", func() { benchwork.TreePRFe(xorTree) })
 	add("correlated/andxor-high-prfe", func() { benchwork.TreePRFe(deepTree) })
-	add("correlated/andxor-xor-combo", func() { benchwork.TreeCombo(xorTree, expTerms) })
-	add("correlated/junction-chain-prfe", func() { benchwork.ChainPRFe(chain) })
+	axSwOne := add("correlated/andxor-xor-sweep-oneshot", func() { benchwork.TreeSweepOneShot(xorTree, calphas) })
+	axSwPrep := add("correlated/prepared/andxor-xor-sweep", func() { benchwork.TreeSweepPrepared(xorTree, calphas) })
+	hiSwOne := add("correlated/andxor-high-sweep-oneshot", func() { benchwork.TreeSweepOneShot(deepTree, calphas) })
+	hiSwPrep := add("correlated/prepared/andxor-high-sweep", func() { benchwork.TreeSweepPrepared(deepTree, calphas) })
+	axCbOne := add("correlated/andxor-xor-combo", func() { benchwork.TreeCombo(xorTree, expTerms) })
+	preparedXorTree := benchwork.PrepareTree(xorTree)
+	axCbPrep := add("correlated/prepared/andxor-xor-combo", func() { benchwork.TreeComboPrepared(preparedXorTree, expTerms) })
+
+	chDP := add("correlated/junction-chain-prfe-dp", func() { benchwork.ChainPRFeDP(chain) })
+	chFast := add("correlated/junction-chain-prfe", func() { benchwork.ChainPRFe(chain) })
+	chSweep := add("correlated/prepared/chain-sweep", func() { benchwork.ChainSweepPrepared(chain, calphas) })
+	netOne := add("correlated/junction-network-sweep-oneshot", func() { benchwork.NetworkSweepOneShot(net, netCalphas) })
+	netPrep := add("correlated/prepared/network-sweep", func() { benchwork.NetworkSweepPrepared(net, netCalphas) })
+
+	if *smoke {
+		fmt.Println("\nsmoke ok: all workloads ran")
+		return
+	}
 
 	report.Speedups["spectrum prepared vs oneshot"] = spOne.NsPerOp / spPrep.NsPerOp
 	report.Speedups["spectrum parallel vs oneshot"] = spOne.NsPerOp / spPar.NsPerOp
@@ -148,6 +195,13 @@ func main() {
 	report.Speedups["combo fused vs multipass"] = cbMulti.NsPerOp / cbFused.NsPerOp
 	report.Speedups["combo fused vs oneshot"] = cbOne.NsPerOp / cbFused.NsPerOp
 	report.Speedups["combo parallel vs multipass"] = cbMulti.NsPerOp / cbPar.NsPerOp
+	report.Speedups["andxor xor sweep prepared vs oneshot"] = axSwOne.NsPerOp / axSwPrep.NsPerOp
+	report.Speedups["andxor high sweep prepared vs oneshot"] = hiSwOne.NsPerOp / hiSwPrep.NsPerOp
+	report.Speedups["andxor combo prepared vs oneshot"] = axCbOne.NsPerOp / axCbPrep.NsPerOp
+	report.Speedups["chain prfe product-tree vs DP"] = chDP.NsPerOp / chFast.NsPerOp
+	report.Speedups["chain sweep prepared vs per-query DP"] =
+		chDP.NsPerOp * float64(*grid) / chSweep.NsPerOp
+	report.Speedups["network sweep prepared vs oneshot"] = netOne.NsPerOp / netPrep.NsPerOp
 
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
@@ -161,7 +215,7 @@ func main() {
 	}
 	fmt.Println("\nspeedups:")
 	for k, s := range report.Speedups {
-		fmt.Printf("  %-38s %.2fx\n", k, s)
+		fmt.Printf("  %-42s %.2fx\n", k, s)
 	}
 	fmt.Println("\nwrote", *out)
 }

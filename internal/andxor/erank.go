@@ -68,28 +68,7 @@ func evalDual(n *Node, pos []int, target int, xAll bool) dualBi {
 
 // ExpectedRanks returns E[r(t)] for every leaf, where absent tuples take
 // rank |pw| in their world (the Cormode et al. convention). O(n²) total.
+// One-shot wrapper over PreparedTree.ERank.
 func ExpectedRanks(t *Tree) []float64 {
-	n := t.Len()
-	out := make([]float64, n)
-	order := t.sortedLeafOrder()
-	pos := make([]int, n)
-	for i, id := range order {
-		pos[id] = i
-	}
-	// C = E[|pw|] = Σ leaf marginals.
-	var c float64
-	for id := 0; id < n; id++ {
-		c += t.leaves[id].marginal
-	}
-	for i, id := range order {
-		// er1: B(x) = Σ_j Pr(r=j)·x^{j−1} ⇒ Σ_j j·Pr(r=j) = B'(1)+B(1).
-		d1 := evalDual(t.root, pos, i, false)
-		er1 := d1.db + d1.b
-		// er2: with all other leaves x, B(x) = Σ_j Pr(t ∧ j others)·x^j ⇒
-		// E[|pw|·δ(t∈pw)] = B'(1)+B(1), and er2 = C − that.
-		d2 := evalDual(t.root, pos, i, true)
-		er2 := c - (d2.db + d2.b)
-		out[id] = er1 + er2
-	}
-	return out
+	return PrepareTree(t).ERank()
 }

@@ -1,8 +1,6 @@
 package andxor
 
 import (
-	"math/cmplx"
-
 	"repro/internal/pdb"
 )
 
@@ -90,6 +88,12 @@ func (e *prfeEval) initNode(n *Node) (vAA, vA0 complex128) {
 	}
 }
 
+// reset restores the all-leaves-1 labeling by re-running the bottom-up
+// initialization over the existing buffers — the same arithmetic as a fresh
+// newPRFeEval, with zero allocations. (∧-node product/zero state is only read
+// for ∧ nodes, so stale entries at other indices are harmless.)
+func (e *prfeEval) reset() { e.initNode(e.t.root) }
+
 func andValue(prod complex128, zeros int) complex128 {
 	if zeros > 0 {
 		return 0
@@ -142,24 +146,11 @@ func (e *prfeEval) setLeaf(l *Node, newAA, newA0 complex128) {
 
 // PRFeValues computes Υ_α for every leaf with the incremental Algorithm 3.
 // α may be complex; for ranking with real α use RankPRFe or take AbsParts.
+// One-shot convenience: prepares the tree and evaluates once. Anything that
+// queries the same tree more than once (α grids, term combinations) should
+// hold a PreparedTree instead.
 func PRFeValues(t *Tree, alpha complex128) []complex128 {
-	out := make([]complex128, t.Len())
-	if t.Len() == 0 {
-		return out
-	}
-	e := newPRFeEval(t)
-	order := t.sortedLeafOrder()
-	rootIdx := t.root.idx
-	for i, id := range order {
-		if i > 0 {
-			// Previous target leaf: y → x, i.e. values (α, α).
-			e.setLeaf(t.leaves[order[i-1]], alpha, alpha)
-		}
-		// Current target leaf: 1 → y, i.e. values (α, 0).
-		e.setLeaf(t.leaves[id], alpha, 0)
-		out[id] = e.vAA[rootIdx] - e.vA0[rootIdx]
-	}
-	return out
+	return PrepareTree(t).PRFe(alpha)
 }
 
 // PRFeValuesNaive recomputes the whole tree for every tuple — the O(n²)
@@ -214,25 +205,13 @@ func evalScalar(n *Node, pos []int, i int, x, y complex128) complex128 {
 
 // PRFeCombo evaluates a linear combination Σ_l u_l·Υ_{α_l} on the tree, the
 // correlated-data backend of the Section 5.1 approximation: one incremental
-// pass per term.
+// pass per term over a shared prepared view.
 func PRFeCombo(t *Tree, us, alphas []complex128) []complex128 {
-	out := make([]complex128, t.Len())
-	for l := range us {
-		vals := PRFeValues(t, alphas[l])
-		for i, v := range vals {
-			out[i] += us[l] * v
-		}
-	}
-	return out
+	return PrepareTree(t).PRFeCombo(us, alphas)
 }
 
 // RankPRFe returns the PRFe(α) ranking of the tree's leaves for real α,
 // ranking by |Υ| as the paper's top-k definition prescribes.
 func RankPRFe(t *Tree, alpha float64) pdb.Ranking {
-	vals := PRFeValues(t, complex(alpha, 0))
-	abs := make([]float64, len(vals))
-	for i, v := range vals {
-		abs[i] = cmplx.Abs(v)
-	}
-	return pdb.RankByValue(abs)
+	return PrepareTree(t).RankPRFe(alpha)
 }

@@ -11,7 +11,16 @@
 //     Algorithm 3), with division-free ∧-node updates;
 //   - expected ranks on trees via derivative evaluation;
 //   - the Section 4.4 reduction of attribute (score) uncertainty to xor
-//     groups of alternatives.
+//     groups of alternatives;
+//   - PreparedTree, the repeated-query fast path: the ranked leaf order and
+//     the incremental evaluation state are built once and reused, with
+//     parallel batch APIs over the shared view.
+//
+// Complexity bounds (n leaves, m nodes, dᵢ the depth of leaf i, Table 3 of
+// the paper): one PRFe evaluation is O(n log n + m + Σdᵢ) — O(Σdᵢ) after
+// preparation — versus O(n·m) for the naive re-evaluation; the full rank
+// distribution (Algorithm 2) is O(n³) worst case and O(n²·h) truncated to
+// ranks ≤ h; expected ranks are O(n·m).
 //
 // And/xor trees generalize x-tuples, block-independent-disjoint tables and
 // p-or-sets, and can encode any finite set of possible worlds (Figure 2).

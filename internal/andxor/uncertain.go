@@ -88,11 +88,7 @@ func RankUncertainScores(groups [][]Alternative, alpha float64) ([]int, error) {
 	if err != nil {
 		return nil, err
 	}
-	abs := make([]float64, len(vals))
-	for i, v := range vals {
-		abs[i] = cmplx.Abs(v)
-	}
-	r := pdb.RankByValue(abs)
+	r := pdb.RankByAbs(vals)
 	out := make([]int, len(r))
 	for i, id := range r {
 		out[i] = int(id)

@@ -163,57 +163,114 @@ func DeepTree(n int) *andxor.Tree {
 }
 
 // TreePRFe evaluates PRFe(0.95) on a correlated tree with the incremental
-// Algorithm 3 backend (one op).
+// Algorithm 3 backend, one-shot: each op pays the leaf sort and the
+// evaluation buffers (one op).
 func TreePRFe(t *andxor.Tree) {
 	andxor.PRFeValues(t, complex(0.95, 0))
 }
 
-// TreeCombo evaluates an L-term PRFe combination on a correlated tree.
-func TreeCombo(t *andxor.Tree, terms []core.ExpTerm) {
-	us := make([]complex128, len(terms))
-	alphas := make([]complex128, len(terms))
+// comboTerms splits ExpTerms into the parallel u/α slices the tree combo
+// APIs take.
+func comboTerms(terms []core.ExpTerm) (us, alphas []complex128) {
+	us = make([]complex128, len(terms))
+	alphas = make([]complex128, len(terms))
 	for i, term := range terms {
 		us[i], alphas[i] = term.U, term.Alpha
 	}
+	return us, alphas
+}
+
+// TreeCombo evaluates an L-term PRFe combination on a correlated tree
+// through the one-shot path (prepare per call).
+func TreeCombo(t *andxor.Tree, terms []core.ExpTerm) {
+	us, alphas := comboTerms(terms)
 	andxor.PRFeCombo(t, us, alphas)
 }
 
-// MarkovChain builds a calibrated n-variable Markov chain: marginals and
-// transitions are seeded, and each pairwise joint is constructed from the
-// running marginal so adjacent tables agree by construction. A chain needs
-// at least two variables, so smaller n is clamped to 2.
+// PrepareTree builds the prepared view of a tree — hoisted out of the
+// prepared-combo workload so the op measures evaluation, not preparation,
+// mirroring how combo/fused holds one core.Prepared.
+func PrepareTree(t *andxor.Tree) *andxor.PreparedTree { return andxor.PrepareTree(t) }
+
+// TreeComboPrepared evaluates the combination over an already-prepared tree:
+// the sort and the Algorithm 3 state are amortized across the terms.
+func TreeComboPrepared(pt *andxor.PreparedTree, terms []core.ExpTerm) {
+	us, alphas := comboTerms(terms)
+	pt.PRFeCombo(us, alphas)
+}
+
+// TreeSweepOneShot evaluates PRFe at every grid point through the per-query
+// path: each α re-prepares the tree (sort + buffers), exactly what a naive
+// α sweep on correlated data costs.
+func TreeSweepOneShot(t *andxor.Tree, calphas []complex128) {
+	for _, a := range calphas {
+		andxor.PRFeValues(t, a)
+	}
+	// (one op = the whole grid)
+}
+
+// TreeSweepPrepared evaluates the same sweep preparing once: the batch API
+// reuses the cached leaf order and pooled evaluation state across the grid.
+func TreeSweepPrepared(t *andxor.Tree, calphas []complex128) {
+	andxor.PrepareTree(t).PRFeBatch(calphas)
+}
+
+// MarkovChain builds the standard calibrated n-variable Markov-chain
+// workload (datagen.MarkovChainLike at the shared benchmark seed).
 func MarkovChain(n int) *junction.Chain {
-	if n < 2 {
-		n = 2
-	}
-	rng := rand.New(rand.NewSource(DatasetSeed + 13))
-	scores := make([]float64, n)
-	for i := range scores {
-		scores[i] = rng.Float64() * 10000
-	}
-	pair := make([][2][2]float64, n-1)
-	m := 0.6 // running Pr(Y_j = 1)
-	for j := 0; j < n-1; j++ {
-		q1 := 0.2 + 0.6*rng.Float64() // Pr(Y_{j+1}=1 | Y_j=1)
-		q0 := 0.2 + 0.6*rng.Float64() // Pr(Y_{j+1}=1 | Y_j=0)
-		pair[j] = [2][2]float64{
-			{(1 - m) * (1 - q0), (1 - m) * q0},
-			{m * (1 - q1), m * q1},
-		}
-		m = m*q1 + (1-m)*q0
-	}
-	c, err := junction.NewChain(scores, pair)
+	return datagen.MarkovChainLike(n, DatasetSeed+13)
+}
+
+// ChainPRFe evaluates PRFe(0.95) on a Markov chain (one op). Since the
+// prepared engine this is the product-tree path, O(n log n) per α; the
+// pre-optimization Θ(n³) DP arm is ChainPRFeDP.
+func ChainPRFe(c *junction.Chain) {
+	junction.PRFeChain(c, complex(0.95, 0))
+}
+
+// ChainPRFeDP evaluates the same query with the Section 9.3 partial-sum DP
+// backend — the pre-optimization reference (cubic in n, so chain workloads
+// stay small).
+func ChainPRFeDP(c *junction.Chain) {
+	junction.PRFeChainDP(c, complex(0.95, 0))
+}
+
+// ChainSweepPrepared evaluates PRFe at every grid point over one prepared
+// chain: the conditional tables and score order are cached and the grid
+// fans out over pooled product trees.
+func ChainSweepPrepared(c *junction.Chain, calphas []complex128) {
+	junction.PrepareChain(c).PRFeBatch(calphas)
+}
+
+// ChainNetwork converts the chain into a general Markov network for the
+// junction-tree workloads.
+func ChainNetwork(c *junction.Chain) *junction.Network {
+	net, err := c.Network()
 	if err != nil {
 		panic(err)
 	}
-	return c
+	return net
 }
 
-// ChainPRFe evaluates PRFe(0.95) on a Markov chain with the Section 9.3
-// partial-sum DP backend (one op). The DP is cubic in n, so chain
-// workloads stay small.
-func ChainPRFe(c *junction.Chain) {
-	junction.PRFeChain(c, complex(0.95, 0))
+// NetworkSweepOneShot evaluates PRFe at every grid point on a general
+// network through the per-query path: each α re-triangulates, re-calibrates
+// and re-runs the full partial-sum DP.
+func NetworkSweepOneShot(net *junction.Network, calphas []complex128) {
+	for _, a := range calphas {
+		if _, err := junction.PRFe(net, a); err != nil {
+			panic(err)
+		}
+	}
+}
+
+// NetworkSweepPrepared evaluates the same sweep preparing once: one
+// junction-tree build, one DP pass, then a cheap fold per grid point.
+func NetworkSweepPrepared(net *junction.Network, calphas []complex128) {
+	pn, err := junction.PrepareNetwork(net)
+	if err != nil {
+		panic(err)
+	}
+	pn.PRFeBatch(calphas)
 }
 
 // ComboMultiPass evaluates the PRFe combination with the pre-fusion

@@ -5,9 +5,8 @@ import (
 	"math/cmplx"
 	"runtime"
 	"sort"
-	"sync"
-	"sync/atomic"
 
+	"repro/internal/par"
 	"repro/internal/pdb"
 )
 
@@ -457,57 +456,16 @@ func (v *Prepared) CrossingPointReference(i, j int) (float64, bool) {
 // Parallel batch evaluation over the shared immutable view.
 // ---------------------------------------------------------------------------
 
-// parallelWorkers returns the worker count parallelForWorkers will use for
-// the given job count — callers size per-worker scratch with it.
-func parallelWorkers(jobs int) int {
-	workers := runtime.GOMAXPROCS(0)
-	if workers > jobs {
-		workers = jobs
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	return workers
-}
+// parallelWorkers, parallelForWorkers and parallelFor are thin aliases over
+// internal/par, the fan-out primitive shared with the correlated-data
+// prepared engines (andxor.PreparedTree, junction.PreparedNetwork).
+func parallelWorkers(jobs int) int { return par.Workers(jobs) }
 
-// parallelForWorkers runs fn(worker, 0..jobs-1) across the given number of
-// goroutines — callers obtain it from parallelWorkers(jobs) once and size
-// any per-worker scratch with the same value, so a concurrent GOMAXPROCS
-// change between sizing and dispatch cannot send a worker index out of
-// range. Each job index runs exactly once; the worker index lets callers
-// reuse per-worker scratch buffers across the jobs a worker drains instead
-// of allocating fresh buffers per job. The call returns when all jobs are
-// done.
 func parallelForWorkers(workers, jobs int, fn func(worker, job int)) {
-	if workers <= 1 {
-		for j := 0; j < jobs; j++ {
-			fn(0, j)
-		}
-		return
-	}
-	var next int64
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func(worker int) {
-			defer wg.Done()
-			for {
-				j := int(atomic.AddInt64(&next, 1)) - 1
-				if j >= jobs {
-					return
-				}
-				fn(worker, j)
-			}
-		}(w)
-	}
-	wg.Wait()
+	par.ForWorkers(workers, jobs, fn)
 }
 
-// parallelFor runs fn(0..jobs-1) across at most GOMAXPROCS goroutines.
-// Each index runs exactly once; the call returns when all are done.
-func parallelFor(jobs int, fn func(j int)) {
-	parallelForWorkers(parallelWorkers(jobs), jobs, func(_, j int) { fn(j) })
-}
+func parallelFor(jobs int, fn func(j int)) { par.For(jobs, fn) }
 
 // PRFeLogBatch evaluates PRFeLog for every α in parallel. out[a] is indexed
 // by TupleID, exactly as PRFeLog(alphas[a]) would return.

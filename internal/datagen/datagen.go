@@ -1,7 +1,7 @@
 // Package datagen generates the Section 8 evaluation workloads:
 //
 //   - IIPLike, a synthetic stand-in for the International Ice Patrol iceberg
-//     sightings dataset (see DESIGN.md §4 for the substitution argument):
+//     sightings dataset (see DESIGN.md §5 for the substitution argument):
 //     scores are drift durations drawn from a heavy-tailed mixture,
 //     probabilities are the paper's own confidence-level conversion —
 //     {0.8, 0.7, 0.6, 0.5, 0.4, 0.3, 0.4} plus a small Gaussian tie-breaking
@@ -10,7 +10,9 @@
 //     [0, 10000], probabilities uniform in [0, 1]);
 //   - SynXOR / SynLOW / SynMED / SynHIGH, random probabilistic and/xor trees
 //     with the paper's height (L), degree (d) and ∨-to-∧ proportion (X/A)
-//     parameters.
+//     parameters;
+//   - MarkovChainLike, a calibrated Markov chain of presence indicators
+//     (the Section 9.3 correlated workload).
 //
 // All generators are deterministic in their seed.
 package datagen
@@ -20,6 +22,7 @@ import (
 	"math/rand"
 
 	"repro/internal/andxor"
+	"repro/internal/junction"
 	"repro/internal/pdb"
 )
 
@@ -182,4 +185,38 @@ func SynMED(n int, seed int64) (*andxor.Tree, error) {
 // SynHIGH generates the Syn-HIGH dataset (L=5, X/A=1, d=10).
 func SynHIGH(n int, seed int64) (*andxor.Tree, error) {
 	return SynTree(n, TreeParams{Height: 5, MaxDegree: 10, XorShare: 0.5}, seed)
+}
+
+// MarkovChainLike builds a calibrated n-variable Markov chain of
+// tuple-presence indicators (the Section 9.3 correlated workload): scores
+// are uniform in [0, 10000], and each pairwise joint Pr(Y_j, Y_{j+1}) is
+// constructed from seeded transition probabilities and the running marginal,
+// so adjacent tables agree by construction. A chain needs at least two
+// variables, so smaller n is clamped to 2. Deterministic in the seed.
+func MarkovChainLike(n int, seed int64) *junction.Chain {
+	if n < 2 {
+		n = 2
+	}
+	rng := rand.New(rand.NewSource(seed))
+	scores := make([]float64, n)
+	for i := range scores {
+		scores[i] = rng.Float64() * 10000
+	}
+	pair := make([][2][2]float64, n-1)
+	m := 0.6 // running Pr(Y_j = 1)
+	for j := 0; j < n-1; j++ {
+		q1 := 0.2 + 0.6*rng.Float64() // Pr(Y_{j+1}=1 | Y_j=1)
+		q0 := 0.2 + 0.6*rng.Float64() // Pr(Y_{j+1}=1 | Y_j=0)
+		pair[j] = [2][2]float64{
+			{(1 - m) * (1 - q0), (1 - m) * q0},
+			{m * (1 - q1), m * q1},
+		}
+		m = m*q1 + (1-m)*q0
+	}
+	c, err := junction.NewChain(scores, pair)
+	if err != nil {
+		// The construction calibrates by design; failure is a bug here.
+		panic(err)
+	}
+	return c
 }

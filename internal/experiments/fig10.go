@@ -60,15 +60,18 @@ func runFig10(cfg Config) error {
 	fmt.Fprintln(cfg.Out)
 	// Independence-assuming sweeps: one prepared view per dataset; the
 	// monotone α grid rides the kinetic sweep (sort once, then crossings).
+	// Correlation-aware sweeps: one PreparedTree per dataset; the grid reuses
+	// the cached leaf order and pooled Algorithm 3 state.
 	indepSweeps := make([][]pdb.Ranking, len(ds))
+	awareSweeps := make([][]pdb.Ranking, len(ds))
 	for i, d := range ds {
 		indepSweeps[i] = core.Prepare(d.tree.Dataset()).RankPRFeBatch(alphas)
+		awareSweeps[i] = andxor.PrepareTree(d.tree).RankPRFeBatch(alphas)
 	}
 	for a, alpha := range alphas {
 		fmt.Fprintf(cfg.Out, "%6.2f", alpha)
-		for i, d := range ds {
-			aware := andxor.RankPRFe(d.tree, alpha)
-			fmt.Fprintf(cfg.Out, " %10.4f", kendall(aware, indepSweeps[i][a], k))
+		for i := range ds {
+			fmt.Fprintf(cfg.Out, " %10.4f", kendall(awareSweeps[i][a], indepSweeps[i][a], k))
 		}
 		fmt.Fprintln(cfg.Out)
 	}
@@ -88,7 +91,8 @@ func runFig10(cfg Config) error {
 	fmt.Fprintf(cfg.Out, "%10s %12s %12s %12s\n", "dataset", "PRFe(0.9)", fmt.Sprintf("PT(%d)", k2), "U-Rank")
 	for _, d := range ds2 {
 		v := core.Prepare(d.tree.Dataset())
-		prfeDist := kendall(andxor.RankPRFe(d.tree, 0.9), v.RankPRFe(0.9), k2)
+		pt := andxor.PrepareTree(d.tree)
+		prfeDist := kendall(pt.RankPRFe(0.9), v.RankPRFe(0.9), k2)
 		ptDist := kendall(
 			pdb.RankByValue(andxor.PTh(d.tree, k2)),
 			pdb.RankByValue(v.PTh(k2)), k2)

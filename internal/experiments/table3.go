@@ -8,6 +8,7 @@ import (
 	"repro/internal/andxor"
 	"repro/internal/core"
 	"repro/internal/datagen"
+	"repro/internal/junction"
 	"repro/internal/pdb"
 )
 
@@ -93,6 +94,20 @@ func runTable3(cfg Config) error {
 				if err == nil {
 					andxor.PTh(tree, 50)
 				}
+			},
+		},
+		{
+			name: "Chain PRFe product tree (prepared)", bound: "O(n log n)",
+			sizes: []int{4000, 8000, 16000, 32000},
+			run: func(n int) {
+				junction.PrepareChain(datagen.MarkovChainLike(n, cfg.Seed)).PRFe(complex(0.9, 0))
+			},
+		},
+		{
+			name: "Chain PRFe partial-sum DP (§9.3)", bound: "O(n³)",
+			sizes: []int{50, 100, 200, 400},
+			run: func(n int) {
+				junction.PRFeChainDP(datagen.MarkovChainLike(n, cfg.Seed), complex(0.9, 0))
 			},
 		},
 	}

@@ -182,16 +182,23 @@ func (c *Chain) partialSumDP(target int, delta []bool) []float64 {
 	return out
 }
 
-// PRFeChain evaluates Υ_α per tuple with the chain DP backend.
+// PRFeChain evaluates Υ_α per tuple. One-shot prepare-then-call wrapper over
+// the PreparedChain product-tree algorithm (O(n log n) per α); the former
+// Θ(n³) rank-distribution backend is kept as PRFeChainDP, the cross-check
+// oracle and pre-optimization benchmark arm.
 func PRFeChain(c *Chain, alpha complex128) []complex128 {
+	return PrepareChain(c).PRFe(alpha)
+}
+
+// PRFeChainDP evaluates Υ_α per tuple with the Section 9.3 partial-sum DP:
+// the full rank distribution (Θ(n³)) folded with powers of α. Kept as the
+// reference kernel PreparedChain.PRFe is certified against, and as the
+// baseline arm of the correlated benchmark workloads.
+func PRFeChainDP(c *Chain, alpha complex128) []complex128 {
 	rd := c.RankDistribution()
 	out := make([]complex128, c.Len())
 	for v := 0; v < c.Len(); v++ {
-		pw := alpha
-		for _, p := range rd.Dist[v] {
-			out[v] += complex(p, 0) * pw
-			pw *= alpha
-		}
+		out[v] = prfeFold(rd.Dist[v], alpha)
 	}
 	return out
 }

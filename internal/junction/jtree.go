@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // clique is a node of the junction tree.
@@ -30,6 +31,11 @@ type JTree struct {
 	cliques []clique
 	root    int
 	tw      int
+
+	// layouts caches the query-independent DP index maps (see rankdp.go);
+	// built lazily, exactly once, by layoutsOnce.
+	layouts    []cliqueLayout
+	layoutOnce sync.Once
 }
 
 // Treewidth returns the treewidth of the triangulation (max clique size −1).

@@ -20,6 +20,15 @@
 //
 // The overall complexity matches the paper: polynomial for bounded-treewidth
 // networks, O(n⁴·2^tw) for the full rank-distribution matrix.
+//
+// Two prepared views serve repeated queries. PreparedNetwork builds and
+// calibrates the junction tree once, caches the rank-distribution matrix on
+// first use (so PRFe over an α grid costs one DP pass plus an O(n²) fold
+// per point) and pools the DP buffers. PreparedChain exploits the
+// Section 9.3 chain structure further: a segment tree of 2×2 transfer
+// matrices shares all prefix/suffix sub-products across the n tuples,
+// evaluating PRFe for the whole tuple set in O(n log n) per α instead of the
+// Θ(n³) partial-sum DP (kept as PRFeChainDP, the certification reference).
 package junction
 
 import (

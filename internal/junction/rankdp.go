@@ -1,6 +1,8 @@
 package junction
 
 import (
+	"math/bits"
+
 	"repro/internal/pdb"
 )
 
@@ -23,11 +25,113 @@ import (
 // in by restricting every summation to consistent assignments, which is
 // equivalent to the paper's "condition and re-calibrate" step but never
 // splits the tree.
+//
+// The DP runs over a dpEval, which separates the query-independent indexing
+// (cliqueLayout: assignment→separator maps, own-variable bit positions —
+// built once per tree) from the per-evaluation buffers (the acc/msg arrays —
+// reused across every tuple of a rank-distribution pass, and pooled by
+// PreparedNetwork across queries). Assignments ruled out by a zero clique
+// potential or by the X_t = 1 evidence are skipped up front rather than
+// materialized and discarded, which matters on wide cliques where evidence
+// kills half of the 2^|C| assignments before any convolution runs.
+
+// cliqueLayout caches the query-independent index maps of one clique's DP
+// step.
+type cliqueLayout struct {
+	// sepMap maps a clique assignment to the induced assignment of the
+	// parent separator.
+	sepMap []int
+	// childSep maps, per child, a clique assignment to the induced
+	// assignment of that child's separator.
+	childSep [][]int
+	// ownPos holds the bit positions (within vars) of the clique's own
+	// variables, aligned with ownVars.
+	ownPos []int
+}
+
+// layoutsOnce builds (once) and returns the per-clique layouts.
+func (jt *JTree) layoutsOnce() []cliqueLayout {
+	jt.layoutOnce.Do(func() {
+		ls := make([]cliqueLayout, len(jt.cliques))
+		for ci := range jt.cliques {
+			c := &jt.cliques[ci]
+			nv := len(c.vars)
+			l := &ls[ci]
+			l.sepMap = sepIndexMap(c.vars, c.sepVars, nv)
+			l.childSep = make([][]int, len(c.children))
+			for k, chi := range c.children {
+				l.childSep[k] = sepIndexMap(c.vars, jt.cliques[chi].sepVars, nv)
+			}
+			l.ownPos = make([]int, len(c.ownVars))
+			for k, v := range c.ownVars {
+				l.ownPos[k] = indexOf(c.vars, v)
+			}
+		}
+		jt.layouts = ls
+	})
+	return jt.layouts
+}
+
+// sepIndexMap precomputes, for every assignment of vars, the induced
+// assignment of sepVars ⊆ vars.
+func sepIndexMap(vars, sepVars []int, nv int) []int {
+	pos := make([]int, len(sepVars))
+	for k, v := range sepVars {
+		pos[k] = indexOf(vars, v)
+	}
+	m := make([]int, 1<<nv)
+	for idx := range m {
+		sidx := 0
+		for k := range pos {
+			if idx&(1<<pos[k]) != 0 {
+				sidx |= 1 << k
+			}
+		}
+		m[idx] = sidx
+	}
+	return m
+}
+
+// dpEval is one evaluation state for the partial-sum DP: per-clique
+// assignment (acc) and separator-message (msg) buffers whose top-level
+// arrays are allocated once and reused for every rankDP call. A dpEval is
+// not safe for concurrent use; PreparedNetwork pools them per worker.
+type dpEval struct {
+	jt      *JTree
+	layouts []cliqueLayout
+	acc     [][][]float64
+	msg     [][][]float64
+	delta   []bool
+}
+
+// newDPEval sizes the buffers for the tree.
+func (jt *JTree) newDPEval() *dpEval {
+	e := &dpEval{
+		jt:      jt,
+		layouts: jt.layoutsOnce(),
+		acc:     make([][][]float64, len(jt.cliques)),
+		msg:     make([][][]float64, len(jt.cliques)),
+		delta:   make([]bool, jt.net.n),
+	}
+	for ci := range jt.cliques {
+		c := &jt.cliques[ci]
+		e.acc[ci] = make([][]float64, 1<<len(c.vars))
+		e.msg[ci] = make([][]float64, 1<<len(c.sepVars))
+	}
+	return e
+}
+
+// unitVec and zeroVec are shared read-only seed vectors: the DP only ever
+// replaces acc/msg entries, never writes through them.
+var (
+	unitVec = []float64{1}
+	zeroVec = []float64{0}
+)
 
 // rankDP computes Pr(X_target=1 ∧ P = p) for p = 0..n−1, where P counts the
-// variables marked in delta.
-func (jt *JTree) rankDP(target int, delta []bool) []float64 {
-	msg := jt.cliqueDP(jt.root, target, delta)
+// variables marked in e.delta.
+func (e *dpEval) rankDP(target int) []float64 {
+	msg := e.cliqueDP(e.jt.root, target)
 	// The root has no parent separator: msg has a single assignment slot.
 	return msg[0]
 }
@@ -42,35 +146,36 @@ func (jt *JTree) rankDP(target int, delta []bool) []float64 {
 // applying it once is guaranteed because the cliques containing target form
 // a connected subtree and the restriction at every one of them is
 // consistent).
-func (jt *JTree) cliqueDP(ci, target int, delta []bool) [][]float64 {
+func (e *dpEval) cliqueDP(ci, target int) [][]float64 {
+	jt := e.jt
 	c := &jt.cliques[ci]
-	nv := len(c.vars)
+	l := &e.layouts[ci]
 	targetPos := indexOf(c.vars, target)
+	acc := e.acc[ci]
 
-	// acc[idx] = partial-sum vector for clique assignment idx.
-	acc := make([][]float64, 1<<nv)
+	// Seed consistent assignments with the empty partial sum. Assignments
+	// with a zero clique potential, or inconsistent with the X_target = 1
+	// evidence, are dropped here — before any child message is convolved
+	// into them — instead of being materialized and nilled at the multiply
+	// step.
 	for idx := range acc {
-		acc[idx] = []float64{1}
+		if c.pot[idx] == 0 || (targetPos >= 0 && idx&(1<<targetPos) == 0) {
+			acc[idx] = nil
+			continue
+		}
+		acc[idx] = unitVec
 	}
 
 	// Fold in children one by one.
-	for _, chi := range c.children {
+	for k, chi := range c.children {
 		ch := &jt.cliques[chi]
-		childMsg := jt.cliqueDP(chi, target, delta)
-		sepPos := make([]int, len(ch.sepVars))
-		for k, v := range ch.sepVars {
-			sepPos[k] = indexOf(c.vars, v)
-		}
+		childMsg := e.cliqueDP(chi, target)
+		sep := l.childSep[k]
 		for idx := range acc {
 			if acc[idx] == nil {
 				continue
 			}
-			sidx := 0
-			for k := range sepPos {
-				if idx&(1<<sepPos[k]) != 0 {
-					sidx |= 1 << k
-				}
-			}
+			sidx := sep[idx]
 			den := ch.sepPot[sidx]
 			if den == 0 {
 				// Zero-probability separator assignment: the clique
@@ -86,12 +191,12 @@ func (jt *JTree) cliqueDP(ci, target int, delta []bool) [][]float64 {
 		}
 	}
 
-	// Multiply by the clique marginal, apply evidence, and shift by the
-	// clique's own δ-marked variables.
-	ownDeltaPos := make([]int, 0, len(c.ownVars))
-	for _, v := range c.ownVars {
-		if delta[v] {
-			ownDeltaPos = append(ownDeltaPos, indexOf(c.vars, v))
+	// Multiply by the clique marginal and shift by the clique's own δ-marked
+	// variables.
+	ownDeltaMask := 0
+	for k, v := range c.ownVars {
+		if e.delta[v] {
+			ownDeltaMask |= 1 << l.ownPos[k]
 		}
 	}
 	for idx := range acc {
@@ -99,19 +204,7 @@ func (jt *JTree) cliqueDP(ci, target int, delta []bool) [][]float64 {
 			continue
 		}
 		w := c.pot[idx]
-		if targetPos >= 0 && idx&(1<<targetPos) == 0 {
-			w = 0 // evidence X_target = 1
-		}
-		if w == 0 {
-			acc[idx] = nil
-			continue
-		}
-		shift := 0
-		for _, pos := range ownDeltaPos {
-			if idx&(1<<pos) != 0 {
-				shift++
-			}
-		}
+		shift := bits.OnesCount(uint(idx & ownDeltaMask))
 		v := acc[idx]
 		out := make([]float64, len(v)+shift)
 		for p, x := range v {
@@ -121,26 +214,20 @@ func (jt *JTree) cliqueDP(ci, target int, delta []bool) [][]float64 {
 	}
 
 	// Marginalize out C \ S_p.
-	sepPos := make([]int, len(c.sepVars))
-	for k, v := range c.sepVars {
-		sepPos[k] = indexOf(c.vars, v)
+	out := e.msg[ci]
+	for sidx := range out {
+		out[sidx] = nil
 	}
-	out := make([][]float64, 1<<len(c.sepVars))
 	for idx, v := range acc {
 		if v == nil {
 			continue
 		}
-		sidx := 0
-		for k := range sepPos {
-			if idx&(1<<sepPos[k]) != 0 {
-				sidx |= 1 << k
-			}
-		}
+		sidx := l.sepMap[idx]
 		out[sidx] = addVec(out[sidx], v)
 	}
 	for sidx := range out {
 		if out[sidx] == nil {
-			out[sidx] = []float64{0}
+			out[sidx] = zeroVec
 		}
 	}
 	return out
@@ -172,32 +259,39 @@ func addVec(a, b []float64) []float64 {
 }
 
 // RankDistribution computes the full positional-probability matrix of the
-// network: one junction-tree build plus one partial-sum DP per tuple.
+// network. One-shot wrapper: prepares the network (junction-tree build and
+// calibration) and runs the DP once. Anything that queries the same network
+// more than once should hold a PreparedNetwork instead.
 func RankDistribution(net *Network) (*pdb.RankDistribution, error) {
-	jt, err := BuildJunctionTree(net)
+	pn, err := PrepareNetwork(net)
 	if err != nil {
 		return nil, err
 	}
-	return jt.RankDistribution(), nil
+	return pn.RankDistribution(), nil
 }
 
 // RankDistribution runs the Section 9.4 DP for every tuple on an
-// already-built tree.
+// already-built tree — the per-query reference kernel behind
+// PreparedNetwork.RankDistribution.
 func (jt *JTree) RankDistribution() *pdb.RankDistribution {
-	net := jt.net
+	return jt.newDPEval().rankDistribution()
+}
+
+// rankDistribution runs the full per-tuple DP over this evaluation state.
+func (e *dpEval) rankDistribution() *pdb.RankDistribution {
+	net := e.jt.net
 	n := net.n
 	order := net.sortedOrder()
-	delta := make([]bool, n)
 	dist := make([][]float64, n)
 	for i, v := range order {
 		// delta marks variables ranked strictly above v.
-		for j := range delta {
-			delta[j] = false
+		for j := range e.delta {
+			e.delta[j] = false
 		}
 		for j := 0; j < i; j++ {
-			delta[order[j]] = true
+			e.delta[order[j]] = true
 		}
-		sums := jt.rankDP(v, delta)
+		sums := e.rankDP(v)
 		row := make([]float64, i+1)
 		for p := 0; p < len(sums) && p <= i; p++ {
 			row[p] = sums[p] // Pr(X_v=1 ∧ P=p) = Pr(r(v)=p+1)
@@ -208,43 +302,40 @@ func (jt *JTree) RankDistribution() *pdb.RankDistribution {
 }
 
 // PRF computes Υω for every tuple of the network: the rank-distribution
-// matrix folded with the weight function.
+// matrix folded with the weight function. One-shot prepare-then-call
+// wrapper.
 func PRF(net *Network, omega func(tu pdb.Tuple, rank int) float64) ([]float64, error) {
-	jt, err := BuildJunctionTree(net)
+	pn, err := PrepareNetwork(net)
 	if err != nil {
 		return nil, err
 	}
-	rd := jt.RankDistribution()
-	out := make([]float64, net.n)
-	for v := 0; v < net.n; v++ {
-		tu := pdb.Tuple{ID: pdb.TupleID(v), Score: net.scores[v], Prob: jt.VariableMarginal(v)}
-		for j, p := range rd.Dist[v] {
-			if p != 0 {
-				out[v] += omega(tu, j+1) * p
-			}
-		}
-	}
-	return out, nil
+	return pn.PRF(omega), nil
 }
 
 // PRFe computes Υ_α for every tuple of the network via the rank
-// distribution. (No faster special-purpose algorithm is known for graphical
-// models; the paper's O(n log n) PRFe algorithms apply to and/xor trees.)
+// distribution. One-shot prepare-then-call wrapper. (No faster
+// special-purpose algorithm is known for general graphical models; the
+// paper's O(n log n) PRFe algorithms apply to and/xor trees, and
+// PreparedChain serves the Markov-chain special case.)
 func PRFe(net *Network, alpha complex128) ([]complex128, error) {
-	jt, err := BuildJunctionTree(net)
+	pn, err := PrepareNetwork(net)
 	if err != nil {
 		return nil, err
 	}
-	rd := jt.RankDistribution()
-	out := make([]complex128, net.n)
-	for v := 0; v < net.n; v++ {
-		pw := alpha
-		for _, p := range rd.Dist[v] {
-			out[v] += complex(p, 0) * pw
-			pw *= alpha
-		}
+	return pn.PRFe(alpha), nil
+}
+
+// prfeFold folds one rank-distribution row with powers of α — the shared
+// kernel of every PRFe-from-rank-distribution path, so prepared and
+// one-shot results are bit-for-bit identical.
+func prfeFold(row []float64, alpha complex128) complex128 {
+	var out complex128
+	pw := alpha
+	for _, p := range row {
+		out += complex(p, 0) * pw
+		pw *= alpha
 	}
-	return out, nil
+	return out
 }
 
 // ExpectedRanks returns E[r(t)] for every tuple of the network, with absent
@@ -254,16 +345,26 @@ func PRFe(net *Network, alpha complex128) ([]complex128, error) {
 // partial-sum DP — generalizing the prior expected-rank algorithms to
 // bounded-treewidth graphical models exactly as the paper remarks.
 func (jt *JTree) ExpectedRanks() []float64 {
-	net := jt.net
-	n := net.n
-	rd := jt.RankDistribution()
+	e := jt.newDPEval()
+	return e.expectedRanks(e.rankDistribution(), nil)
+}
+
+// expectedRanks folds er1 from the rank distribution and computes er2 with
+// one all-but-v marked DP per tuple. marg, when non-nil, supplies cached
+// variable marginals.
+func (e *dpEval) expectedRanks(rd *pdb.RankDistribution, marg []float64) []float64 {
+	jt := e.jt
+	n := jt.net.n
 	// C = E[|pw|] = Σ marginals.
 	var c float64
 	for v := 0; v < n; v++ {
-		c += jt.VariableMarginal(v)
+		if marg != nil {
+			c += marg[v]
+		} else {
+			c += jt.VariableMarginal(v)
+		}
 	}
 	out := make([]float64, n)
-	delta := make([]bool, n)
 	for v := 0; v < n; v++ {
 		// er1 = Σ_j j·Pr(r(t)=j).
 		var er1 float64
@@ -272,10 +373,10 @@ func (jt *JTree) ExpectedRanks() []float64 {
 		}
 		// er2 = C − E[|pw|·δ(t∈pw)], with E[|pw|·δ] = Σ_p (p+1)·Pr(X_t=1 ∧
 		// #others = p), computed by marking every other variable.
-		for u := range delta {
-			delta[u] = u != v
+		for u := range e.delta {
+			e.delta[u] = u != v
 		}
-		sums := jt.rankDP(v, delta)
+		sums := e.rankDP(v)
 		var withT float64
 		for p, q := range sums {
 			withT += float64(p+1) * q

@@ -15,12 +15,13 @@
 //   - LearnOmega fits a PRFω(h) weight vector with an L2-regularized
 //     pairwise hinge loss — the RankSVM objective the paper optimizes with
 //     SVM-light — minimized by deterministic subgradient descent
-//     (stdlib-only substitute; see DESIGN.md §4).
+//     (stdlib-only substitute; see DESIGN.md §5).
 package learn
 
 import (
 	"math"
 
+	"repro/internal/andxor"
 	"repro/internal/core"
 	"repro/internal/dftapprox"
 	"repro/internal/pdb"
@@ -38,12 +39,37 @@ type AlphaResult struct {
 	Evaluations int
 }
 
+// prfeView is what the α search needs from a prepared model: single-α full
+// rankings and batched top-k queries. Both core.Prepared (independent
+// tuples) and andxor.PreparedTree (correlated data) satisfy it.
+type prfeView interface {
+	RankPRFe(alpha float64) pdb.Ranking
+	TopKPRFeBatch(alphas []float64, k int) []pdb.Ranking
+}
+
 // LearnAlpha fits α by recursive grid refinement on [0,1] (Section 5.2): at
 // each of iters rounds the current interval is probed at nine interior
 // points, and the interval shrinks to the two grid cells around the best
 // probe. k is the top-k length used by the Kendall distance (defaults to the
 // user ranking's length).
 func LearnAlpha(sample *pdb.Dataset, user pdb.Ranking, k, iters int) AlphaResult {
+	// Sort once; the search evaluates many α — each refinement round's nine
+	// ascending probes are a monotone grid, so one kinetic sweep answers the
+	// whole round off a single sort instead of nine independent re-sorts.
+	return learnAlphaOn(core.Prepare(sample), user, k, iters)
+}
+
+// LearnAlphaTree fits α from a user-ranked sample of *correlated* data: the
+// same recursive grid refinement as LearnAlpha, with every candidate ranking
+// evaluated by the incremental and/xor Algorithm 3 on one shared
+// PreparedTree — the tree is indexed once and each refinement round's
+// nine-point grid runs as one parallel batch.
+func LearnAlphaTree(sample *andxor.Tree, user pdb.Ranking, k, iters int) AlphaResult {
+	return learnAlphaOn(andxor.PrepareTree(sample), user, k, iters)
+}
+
+// learnAlphaOn is the shared grid-refinement search over any prepared view.
+func learnAlphaOn(v prfeView, user pdb.Ranking, k, iters int) AlphaResult {
 	if k <= 0 {
 		k = len(user)
 	}
@@ -51,7 +77,6 @@ func LearnAlpha(sample *pdb.Dataset, user pdb.Ranking, k, iters int) AlphaResult
 		iters = 6
 	}
 	evals := 0
-	v := core.Prepare(sample) // sort once; the search evaluates many α
 	userTop := user.TopK(k)
 	dist := func(alpha float64) float64 {
 		evals++
@@ -69,9 +94,6 @@ func LearnAlpha(sample *pdb.Dataset, user pdb.Ranking, k, iters int) AlphaResult
 		if step < 1e-12 {
 			break
 		}
-		// Each refinement round probes nine ascending α values — a monotone
-		// grid, so one kinetic sweep answers the whole round off a single
-		// sort instead of nine independent re-sorts.
 		for i := range probes {
 			probes[i] = lo + float64(i+1)*step
 		}

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"repro/internal/andxor"
 	"repro/internal/baselines"
 	"repro/internal/core"
 	"repro/internal/pdb"
@@ -188,5 +189,33 @@ func TestLearnPRFeComboRecoversPTh(t *testing.T) {
 func TestLearnPRFeComboDegenerate(t *testing.T) {
 	if terms := LearnPRFeCombo(pdb.MustDataset(nil, nil), nil, ComboOptions{}); terms != nil {
 		t.Fatalf("empty sample: %v", terms)
+	}
+}
+
+// When the user ranking IS a tree PRFe ranking, LearnAlphaTree must recover
+// it on the correlated sample — the prepared-tree arm of the α search.
+func TestLearnAlphaTreeRecoversPRFe(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	groups := make([][]andxor.Alternative, 60)
+	for g := range groups {
+		alts := make([]andxor.Alternative, 1+rng.Intn(3))
+		rem := 1.0
+		for i := range alts {
+			p := rng.Float64() * rem
+			rem -= p
+			alts[i] = andxor.Alternative{Score: rng.Float64() * 1000, Prob: p}
+		}
+		groups[g] = alts
+	}
+	sample, err := andxor.XTuples(groups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, trueAlpha := range []float64{0.4, 0.9} {
+		user := andxor.RankPRFe(sample, trueAlpha)
+		res := LearnAlphaTree(sample, user, 30, 8)
+		if res.Distance > 1e-9 {
+			t.Fatalf("α*=%v: learned α=%v with distance %v, want 0", trueAlpha, res.Alpha, res.Distance)
+		}
 	}
 }

@@ -2,6 +2,7 @@ package pdb
 
 import (
 	"math"
+	"math/cmplx"
 	"slices"
 )
 
@@ -37,6 +38,16 @@ func (r Ranking) Contains(id TupleID) bool { return r.Position(id) >= 0 }
 // TupleID.
 func RankByValue(values []float64) Ranking {
 	return RankByValueInto(values, nil)
+}
+
+// RankByAbs ranks by non-increasing magnitude |v| — the paper's top-k
+// convention for complex PRFe values. Ties break by ID.
+func RankByAbs(vals []complex128) Ranking {
+	abs := make([]float64, len(vals))
+	for i, v := range vals {
+		abs[i] = cmplx.Abs(v)
+	}
+	return RankByValue(abs)
 }
 
 // RankByValueInto is RankByValue ranking into out, which is reallocated only

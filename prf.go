@@ -238,6 +238,21 @@ func TreeFromWorlds(worlds [][]Alternative, probs []float64, keys [][]string) (*
 	return andxor.FromWorlds(worlds, probs, keys)
 }
 
+// PreparedTree is an immutable prepared view of an and/xor tree — the
+// correlated-data leg of the prepared-evaluation engine. Build it once with
+// PrepareTree, then call its kernel methods (PRFe, PRFeCombo, RankPRFe,
+// ERank) and parallel batch methods (PRFeBatch, RankPRFeBatch,
+// TopKPRFeBatch): the ranked leaf order and the incremental Algorithm 3
+// evaluation state are paid once and reused, so α-spectrum sweeps and
+// multi-term combinations on trees stop re-sorting and re-allocating per
+// query. Safe for concurrent use.
+type PreparedTree = andxor.PreparedTree
+
+// PrepareTree builds the prepared view of an and/xor tree. The tree is never
+// mutated; the one-shot tree functions below are thin prepare-then-call
+// wrappers over the same kernels.
+func PrepareTree(t *Tree) *PreparedTree { return andxor.PrepareTree(t) }
+
 // TreeRankDistribution computes Pr(r(t)=j) on a correlated dataset with the
 // bivariate generating-function Algorithm 2.
 func TreeRankDistribution(t *Tree) *RankDistributionMatrix { return andxor.RankDistribution(t) }
@@ -390,6 +405,13 @@ func LearnAlpha(sample *Dataset, user Ranking, k, iters int) AlphaResult {
 	return learn.LearnAlpha(sample, user, k, iters)
 }
 
+// LearnAlphaTree fits PRFe's α from a user-ranked sample of correlated data:
+// the grid-refinement search of LearnAlpha running on one shared
+// PreparedTree.
+func LearnAlphaTree(sample *Tree, user Ranking, k, iters int) AlphaResult {
+	return learn.LearnAlphaTree(sample, user, k, iters)
+}
+
 // LearnOmega fits a PRFω(h) weight vector from a user-ranked sample with an
 // L2-regularized pairwise hinge loss (RankSVM objective).
 func LearnOmega(sample *Dataset, user Ranking, opts OmegaOptions) []float64 {
@@ -445,6 +467,29 @@ func NetworkPRFe(net *MarkovNetwork, alpha complex128) ([]complex128, error) {
 func NewMarkovChain(scores []float64, pair [][2][2]float64) (*MarkovChain, error) {
 	return junction.NewChain(scores, pair)
 }
+
+// PreparedNetwork is an immutable prepared view of a Markov network: the
+// junction tree is built and calibrated once, the rank-distribution matrix
+// is cached on first use, and the partial-sum DP buffers are pooled, so
+// repeated ranking queries (PRF, PRFe, PRFeBatch over an α grid, ERank)
+// stop re-triangulating and re-running the DP. Safe for concurrent use.
+type PreparedNetwork = junction.PreparedNetwork
+
+// PrepareNetwork builds the prepared view of a Markov network. The one-shot
+// Network* functions are thin prepare-then-call wrappers over its methods.
+func PrepareNetwork(net *MarkovNetwork) (*PreparedNetwork, error) {
+	return junction.PrepareNetwork(net)
+}
+
+// PreparedChain is an immutable prepared view of a Markov chain serving
+// repeated PRFe queries with the product-tree algorithm: a segment tree of
+// 2×2 transfer matrices shares all prefix/suffix sub-products across the n
+// tuples, so one α costs O(n log n) instead of the Θ(n³) rank-distribution
+// DP (kept as the PRFeChainDP reference). Safe for concurrent use.
+type PreparedChain = junction.PreparedChain
+
+// PrepareChain builds the prepared view of a Markov chain.
+func PrepareChain(c *MarkovChain) *PreparedChain { return junction.PrepareChain(c) }
 
 // ---------------------------------------------------------------------------
 // Rank-comparison metrics (Section 3.2).
@@ -504,13 +549,13 @@ func TreeRankByKey(t *Tree, alpha complex128) (keys []string, values []float64) 
 }
 
 // NetworkExpectedRanks returns E[r(t)] on an arbitrarily correlated dataset
-// via the junction-tree partial-sum DP.
+// via the junction-tree partial-sum DP (prepare-then-call wrapper).
 func NetworkExpectedRanks(net *MarkovNetwork) ([]float64, error) {
-	jt, err := junction.BuildJunctionTree(net)
+	pn, err := junction.PrepareNetwork(net)
 	if err != nil {
 		return nil, err
 	}
-	return jt.ExpectedRanks(), nil
+	return pn.ERank(), nil
 }
 
 // LearnPRFeComboTerms learns a linear combination of PRFe functions from a
