@@ -5,6 +5,7 @@
 package prf_test
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -468,7 +469,7 @@ func BenchmarkParallelSpectrum(b *testing.B) {
 	})
 	b.Run("kinetic", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			_ = v.RankPRFeSweep(alphas)
+			_, _ = v.RankPRFeSweep(context.Background(), alphas)
 		}
 	})
 }

@@ -27,6 +27,10 @@
 //     and the Section 9.4 junction tree (prepared: build + DP once, fold per
 //     α — vs one-shot: rebuild + re-run per α). The `correlated/prepared/*`
 //     workloads are the PR 3 prepared-engine arms.
+//   - engine: the unified Ranker engine (PR 4). ONE generic sweep body runs
+//     against all four backends through Engine.RankBatch dispatch; the
+//     independent arms are paired with direct prepared-view calls so the
+//     `engine * overhead` entries certify dispatch cost (acceptance: ≤ 5%).
 //
 // -smoke runs every workload body exactly once at tiny sizes and writes no
 // file — the CI guard that keeps the bench workloads compiling and running.
@@ -87,7 +91,7 @@ func measure(name string, op func()) Result {
 
 func main() {
 	var (
-		out    = flag.String("out", "BENCH_3.json", "output JSON path")
+		out    = flag.String("out", "BENCH_4.json", "output JSON path")
 		n      = flag.Int("n", 10000, "dataset size")
 		grid   = flag.Int("grid", 16, "α grid points for the spectrum sweeps")
 		terms  = flag.Int("terms", 20, "terms in the PRFe combination")
@@ -180,6 +184,27 @@ func main() {
 	netOne := add("correlated/junction-network-sweep-oneshot", func() { benchwork.NetworkSweepOneShot(net, netCalphas) })
 	netPrep := add("correlated/prepared/network-sweep", func() { benchwork.NetworkSweepPrepared(net, netCalphas) })
 
+	// Unified-engine arms: one generic sweep body, four backends. The
+	// independent arms pair engine dispatch against the direct prepared
+	// calls; preparation is hoisted on both sides so the pairs measure
+	// exactly the dispatch overhead.
+	netAlphas := make([]float64, len(netCalphas))
+	for i, ca := range netCalphas {
+		netAlphas[i] = real(ca)
+	}
+	engIndep := benchwork.NewEngine(v)
+	engTree := benchwork.NewEngine(preparedXorTree)
+	engChain := benchwork.NewEngine(benchwork.PrepareChain(chain))
+	engNet := benchwork.NewEngine(benchwork.PrepareNetwork(net))
+	dirRank := add("engine/direct-rank-sweep", func() { benchwork.DirectRankSweep(v, alphas) })
+	engRank := add("engine/rank-sweep", func() { benchwork.EngineRankSweep(engIndep, alphas) })
+	dirTopK := add("engine/direct-topk-sweep", func() { benchwork.DirectTopKSweep(v, alphas, 10) })
+	engTopK := add("engine/topk-sweep", func() { benchwork.EngineTopKSweep(engIndep, alphas, 10) })
+	add("engine/tree-rank-sweep", func() { benchwork.EngineRankSweep(engTree, alphas) })
+	add("engine/chain-rank-sweep", func() { benchwork.EngineRankSweep(engChain, alphas) })
+	add("engine/network-rank-sweep", func() { benchwork.EngineRankSweep(engNet, netAlphas) })
+	add("engine/tree-value-sweep", func() { benchwork.EngineValueSweep(engTree, alphas) })
+
 	if *smoke {
 		fmt.Println("\nsmoke ok: all workloads ran")
 		return
@@ -202,6 +227,10 @@ func main() {
 	report.Speedups["chain sweep prepared vs per-query DP"] =
 		chDP.NsPerOp * float64(*grid) / chSweep.NsPerOp
 	report.Speedups["network sweep prepared vs oneshot"] = netOne.NsPerOp / netPrep.NsPerOp
+	// Dispatch-overhead ratios (engine time / direct time): the api_redesign
+	// acceptance criterion is ≤ 1.05 on the ranked and top-k α-sweep pairs.
+	report.Speedups["engine rank sweep overhead (engine/direct)"] = engRank.NsPerOp / dirRank.NsPerOp
+	report.Speedups["engine topk sweep overhead (engine/direct)"] = engTopK.NsPerOp / dirTopK.NsPerOp
 
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {

@@ -10,30 +10,39 @@
 //	prfrank -in data.csv -func pt -h 100 -k 10
 //	prfrank -in xdata.csv -func urank -k 10      # with a group column
 //
-// Functions: prfe (default), pt, escore, erank, urank, utop, kselection,
-// prob, score, consensus. With a group column only prfe, pt, erank and
-// urank are available (the rest have no published correlated algorithm).
+// Functions: prfe (default), pt, erank, escore, urank, utop, kselection,
+// prob, score, consensus.
+//
+// The PRF-family functions (prfe, pt, erank) run through the unified Ranker
+// engine, so one code path serves both the independent and the x-tuple
+// model — the engine dispatches to the model's fastest kernel. The
+// remaining baseline semantics are independent-model only, except urank
+// which also has a tree algorithm. With -values, PRFe prints |Υ_α| for both
+// models.
 package main
 
 import (
 	"bufio"
+	"context"
 	"encoding/csv"
 	"flag"
 	"fmt"
 	"io"
+	"math/cmplx"
 	"os"
 	"strconv"
 
 	"repro/internal/andxor"
 	"repro/internal/baselines"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/pdb"
 )
 
 func main() {
 	var (
 		in       = flag.String("in", "-", "input CSV of score,probability rows (\"-\" for stdin)")
-		fn       = flag.String("func", "prfe", "ranking function: prfe|pt|escore|erank|urank|utop|kselection|prob|score|consensus")
+		fn       = flag.String("func", "prfe", "ranking function: prfe|pt|erank|escore|urank|utop|kselection|prob|score|consensus")
 		alpha    = flag.Float64("alpha", 0.95, "PRFe parameter α")
 		h        = flag.Int("h", 100, "PT(h) depth")
 		k        = flag.Int("k", 10, "answer size")
@@ -41,29 +50,159 @@ func main() {
 	)
 	flag.Parse()
 
-	d, groups, tree, err := readInput(*in)
-	if err != nil {
+	if err := run(*in, *fn, *alpha, *h, *k, *withVals); err != nil {
 		fmt.Fprintln(os.Stderr, "prfrank:", err)
 		os.Exit(1)
 	}
-	if tree != nil {
-		if err := rankTree(tree, groups, *fn, *alpha, *h, *k, *withVals); err != nil {
-			fmt.Fprintln(os.Stderr, "prfrank:", err)
-			os.Exit(1)
-		}
-		return
-	}
-	if d.Len() == 0 {
-		fmt.Fprintln(os.Stderr, "prfrank: empty input")
-		os.Exit(1)
-	}
-	kk := *k
-	if kk > d.Len() {
-		kk = d.Len()
+}
+
+func run(in, fn string, alpha float64, h, k int, withVals bool) error {
+	d, labels, tree, err := readInput(in)
+	if err != nil {
+		return err
 	}
 
-	// One prepared (sorted, struct-of-arrays) view serves every sort-based
-	// function; built lazily so the order-insensitive ones skip the sort.
+	// Tuple lookup for printing.
+	var (
+		n        int
+		idHeader string
+		describe func(id pdb.TupleID) (name string, tu pdb.Tuple)
+	)
+	if tree != nil {
+		n = tree.Len()
+		idHeader = "group"
+		describe = func(id pdb.TupleID) (string, pdb.Tuple) { return labels[id], tree.Leaf(id) }
+	} else {
+		if d.Len() == 0 {
+			return fmt.Errorf("empty input")
+		}
+		n = d.Len()
+		idHeader = "tuple"
+		describe = func(id pdb.TupleID) (string, pdb.Tuple) {
+			tu, _ := d.ByID(id)
+			return strconv.Itoa(int(id)), tu
+		}
+	}
+	if k > n {
+		k = n
+	}
+
+	var ranking pdb.Ranking
+	values := map[pdb.TupleID]float64{}
+	note := ""
+
+	if q, unified := queryFor(fn, alpha, h, k); unified {
+		// One unified engine serves the PRF family on either model (built
+		// here so the baseline functions below skip the prepare).
+		var eng *engine.Engine
+		if tree != nil {
+			eng = engine.New(andxor.PrepareTree(tree))
+		} else {
+			eng = engine.New(core.Prepare(d))
+		}
+		ctx := context.Background()
+		if withVals {
+			vq := q
+			vq.Output = engine.OutputValues
+			vres, err := eng.Rank(ctx, vq)
+			if err != nil {
+				return err
+			}
+			// For the real-valued metrics the printed values determine the
+			// ranking, so derive it locally (identical in order to the
+			// engine's own ranking) and keep the heavy kernel to one run.
+			// PRFe's ranking comes from the engine instead: its raw Υ values
+			// can underflow to 0 where the engine's log-domain ranking still
+			// distinguishes tuples, and the extra ranking query is one cheap
+			// evaluation on every backend.
+			switch {
+			case vres.Values != nil && q.Metric == engine.MetricERank:
+				ranking = baselines.ERankRanking(vres.Values).TopK(k)
+			case vres.Values != nil:
+				ranking = pdb.RankByValue(vres.Values).TopK(k)
+			default:
+				res, err := eng.Rank(ctx, q)
+				if err != nil {
+					return err
+				}
+				ranking = res.Ranking
+			}
+			for id := 0; id < n; id++ {
+				if vres.Values != nil {
+					values[pdb.TupleID(id)] = vres.Values[id]
+				} else {
+					values[pdb.TupleID(id)] = cmplx.Abs(vres.Complex[id])
+				}
+			}
+		} else {
+			res, err := eng.Rank(ctx, q)
+			if err != nil {
+				return err
+			}
+			ranking = res.Ranking
+		}
+	} else {
+		// Baseline semantics outside the PRF family keep their
+		// model-specific algorithms.
+		ranking, values, note, err = baseline(fn, d, tree, k)
+		if err != nil {
+			return err
+		}
+	}
+
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	if note != "" {
+		fmt.Fprintln(w, note)
+	}
+	fmt.Fprintf(w, "%-6s %-10s %-12s %-12s", "rank", idHeader, "score", "prob")
+	if withVals {
+		fmt.Fprintf(w, " %-14s", "value")
+	}
+	fmt.Fprintln(w)
+	for pos, id := range ranking {
+		name, tu := describe(id)
+		fmt.Fprintf(w, "%-6d %-10s %-12g %-12g", pos+1, name, tu.Score, tu.Prob)
+		if withVals {
+			if v, ok := values[id]; ok {
+				fmt.Fprintf(w, " %-14g", v)
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// queryFor maps the PRF-family function names onto unified-engine queries;
+// unified is false for the baseline semantics.
+func queryFor(fn string, alpha float64, h, k int) (engine.Query, bool) {
+	q := engine.Query{Output: engine.OutputTopK, K: k}
+	switch fn {
+	case "prfe":
+		q.Metric = engine.MetricPRFe
+		q.Alpha = alpha
+	case "pt":
+		q.Metric = engine.MetricPTh
+		q.H = h
+	case "erank":
+		q.Metric = engine.MetricERank
+	default:
+		return engine.Query{}, false
+	}
+	return q, true
+}
+
+// baseline evaluates the pre-PRF semantics, which have no unified engine
+// metric: most exist only for the independent model, urank also for trees.
+func baseline(fn string, d *pdb.Dataset, tree *andxor.Tree, k int) (pdb.Ranking, map[pdb.TupleID]float64, string, error) {
+	values := map[pdb.TupleID]float64{}
+	if tree != nil {
+		if fn == "urank" {
+			return baselines.URankTree(tree, k), values, "", nil
+		}
+		return nil, nil, "", fmt.Errorf("function %q is not available with a group column (use prfe|pt|erank|urank)", fn)
+	}
+	// Built lazily so the order-insensitive functions skip the sort.
 	var lazyView *core.Prepared
 	view := func() *core.Prepared {
 		if lazyView == nil {
@@ -71,78 +210,31 @@ func main() {
 		}
 		return lazyView
 	}
-	var ranking pdb.Ranking
-	values := map[pdb.TupleID]float64{}
-	switch *fn {
-	case "prfe":
-		vals := view().PRFeLog(complex(*alpha, 0))
-		ranking = pdb.RankByValue(vals).TopK(kk)
+	byValue := func(vals []float64) pdb.Ranking {
 		for id, v := range vals {
 			values[pdb.TupleID(id)] = v
 		}
-	case "pt":
-		vals := view().PTh(*h)
-		ranking = pdb.RankByValue(vals).TopK(kk)
-		for id, v := range vals {
-			values[pdb.TupleID(id)] = v
-		}
+		return pdb.RankByValue(vals).TopK(k)
+	}
+	switch fn {
 	case "escore":
-		vals := baselines.EScore(d)
-		ranking = pdb.RankByValue(vals).TopK(kk)
-		for id, v := range vals {
-			values[pdb.TupleID(id)] = v
-		}
-	case "erank":
-		vals := baselines.ERankPrepared(view())
-		ranking = baselines.ERankRanking(vals).TopK(kk)
-		for id, v := range vals {
-			values[pdb.TupleID(id)] = v
-		}
+		return byValue(baselines.EScore(d)), values, "", nil
 	case "urank":
-		ranking = baselines.URankPrepared(view(), kk)
+		return baselines.URankPrepared(view(), k), values, "", nil
 	case "utop":
-		set, p := baselines.UTopKPrepared(view(), kk)
-		ranking = set
-		fmt.Printf("# U-Top answer probability: %g\n", p)
+		set, p := baselines.UTopKPrepared(view(), k)
+		return set, values, fmt.Sprintf("# U-Top answer probability: %g", p), nil
 	case "kselection":
-		set, v := baselines.KSelectionPrepared(view(), kk)
-		ranking = set
-		fmt.Printf("# expected best score: %g\n", v)
+		set, v := baselines.KSelectionPrepared(view(), k)
+		return set, values, fmt.Sprintf("# expected best score: %g", v), nil
 	case "prob":
-		vals := baselines.ByProbability(d)
-		ranking = pdb.RankByValue(vals).TopK(kk)
-		for id, v := range vals {
-			values[pdb.TupleID(id)] = v
-		}
+		return byValue(baselines.ByProbability(d)), values, "", nil
 	case "score":
-		vals := baselines.ByScore(d)
-		ranking = pdb.RankByValue(vals).TopK(kk)
-		for id, v := range vals {
-			values[pdb.TupleID(id)] = v
-		}
+		return byValue(baselines.ByScore(d)), values, "", nil
 	case "consensus":
-		ranking = baselines.ConsensusTopK(d, kk)
+		return baselines.ConsensusTopK(d, k), values, "", nil
 	default:
-		fmt.Fprintf(os.Stderr, "prfrank: unknown function %q\n", *fn)
-		os.Exit(1)
-	}
-
-	w := bufio.NewWriter(os.Stdout)
-	defer w.Flush()
-	fmt.Fprintf(w, "%-6s %-8s %-12s %-12s", "rank", "tuple", "score", "prob")
-	if *withVals {
-		fmt.Fprintf(w, " %-14s", "value")
-	}
-	fmt.Fprintln(w)
-	for pos, id := range ranking {
-		t, _ := d.ByID(id)
-		fmt.Fprintf(w, "%-6d %-8d %-12g %-12g", pos+1, id, t.Score, t.Prob)
-		if *withVals {
-			if v, ok := values[id]; ok {
-				fmt.Fprintf(w, " %-14g", v)
-			}
-		}
-		fmt.Fprintln(w)
+		return nil, nil, "", fmt.Errorf("unknown function %q", fn)
 	}
 }
 
@@ -228,58 +320,6 @@ func readInput(path string) (*pdb.Dataset, []string, *andxor.Tree, error) {
 		return nil, nil, nil, err
 	}
 	return nil, leafLabels, tree, nil
-}
-
-// rankTree handles the grouped (x-tuples) path.
-func rankTree(tree *andxor.Tree, labels []string, fn string, alpha float64, h, k int, withVals bool) error {
-	n := tree.Len()
-	if k > n {
-		k = n
-	}
-	var ranking pdb.Ranking
-	values := map[pdb.TupleID]float64{}
-	switch fn {
-	case "prfe":
-		vals := core.AbsParts(andxor.PRFeValues(tree, complex(alpha, 0)))
-		ranking = pdb.RankByValue(vals).TopK(k)
-		for id, v := range vals {
-			values[pdb.TupleID(id)] = v
-		}
-	case "pt":
-		vals := andxor.PTh(tree, h)
-		ranking = pdb.RankByValue(vals).TopK(k)
-		for id, v := range vals {
-			values[pdb.TupleID(id)] = v
-		}
-	case "erank":
-		vals := andxor.ExpectedRanks(tree)
-		ranking = baselines.ERankRanking(vals).TopK(k)
-		for id, v := range vals {
-			values[pdb.TupleID(id)] = v
-		}
-	case "urank":
-		ranking = baselines.URankTree(tree, k)
-	default:
-		return fmt.Errorf("function %q is not available with a group column (use prfe|pt|erank|urank)", fn)
-	}
-	w := bufio.NewWriter(os.Stdout)
-	defer w.Flush()
-	fmt.Fprintf(w, "%-6s %-10s %-12s %-12s", "rank", "group", "score", "prob")
-	if withVals {
-		fmt.Fprintf(w, " %-14s", "value")
-	}
-	fmt.Fprintln(w)
-	for pos, id := range ranking {
-		t := tree.Leaf(id)
-		fmt.Fprintf(w, "%-6d %-10s %-12g %-12g", pos+1, labels[id], t.Score, t.Prob)
-		if withVals {
-			if v, ok := values[id]; ok {
-				fmt.Fprintf(w, " %-14g", v)
-			}
-		}
-		fmt.Fprintln(w)
-	}
-	return nil
 }
 
 func isNumeric(s string) bool {

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -12,6 +13,8 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
+
 	// Example 7 from the paper: four tuples trading score against
 	// probability. t1 has the best score but the lowest probability.
 	d, err := prf.NewDataset(
@@ -27,12 +30,25 @@ func main() {
 		fmt.Printf("  t%d: %3.0f  %.1f\n", t.ID+1, t.Score, t.Prob)
 	}
 
+	// The unified engine answers every PRF-family query through one
+	// declarative API; the same Query would run unchanged on an and/xor
+	// tree, a junction network or a Markov chain backend.
+	eng := prf.EngineFor(d)
+
 	// PRFe(α) spans a spectrum of rankings: risk-seeking (α→0 favors the
 	// chance of being the single best tuple) to conservative (α=1 ranks by
-	// probability alone).
+	// probability alone). The monotone grid rides the kinetic sweep.
 	fmt.Println("\nPRFe rankings across α:")
-	for _, alpha := range []float64{0.01, 0.5, 0.75, 1.0} {
-		fmt.Printf("  α=%.2f: %v\n", alpha, names(prf.RankPRFe(d, alpha)))
+	batch, err := eng.RankBatch(ctx, prf.Query{
+		Metric: prf.MetricPRFe,
+		Alphas: []float64{0.01, 0.5, 0.75, 1.0},
+		Output: prf.OutputRanking,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, res := range batch {
+		fmt.Printf("  α=%.2f: %v\n", res.Alpha, names(res.Ranking))
 	}
 
 	// Exact rank distributions via the generating-function Algorithm 1.

@@ -1,6 +1,7 @@
 package andxor
 
 import (
+	"context"
 	"math/cmplx"
 	"sync"
 
@@ -94,16 +95,24 @@ func (pt *PreparedTree) PRFe(alpha complex128) []complex128 {
 // GOMAXPROCS goroutines; each worker drains its share of the grid with one
 // pooled evaluation state. out[a] equals PRFe(alphas[a]) bit-for-bit.
 func (pt *PreparedTree) PRFeBatch(alphas []complex128) [][]complex128 {
+	out, err := pt.prfeBatchCtx(context.Background(), alphas)
+	pdb.MustNoErr(err) // Background never cancels
+	return out
+}
+
+// prfeBatchCtx is PRFeBatch with cooperative cancellation between grid
+// points — the engine's QueryPRFeBatch arm.
+func (pt *PreparedTree) prfeBatchCtx(ctx context.Context, alphas []complex128) ([][]complex128, error) {
 	out := make([][]complex128, len(alphas))
 	if pt.Len() == 0 {
 		for a := range out {
 			out[a] = make([]complex128, 0)
 		}
-		return out
+		return out, nil
 	}
 	workers := par.Workers(len(alphas))
 	evals := make([]*prfeEval, workers)
-	par.ForWorkers(workers, len(alphas), func(w, a int) {
+	err := par.ForWorkersCtx(ctx, workers, len(alphas), func(w, a int) {
 		if evals[w] == nil {
 			evals[w] = pt.getEval()
 		} else {
@@ -117,7 +126,10 @@ func (pt *PreparedTree) PRFeBatch(alphas []complex128) [][]complex128 {
 			pt.putEval(e)
 		}
 	}
-	return out
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // PRFeCombo evaluates a linear combination Σ_l u_l·Υ_{α_l} on the tree — the
@@ -146,7 +158,7 @@ func (pt *PreparedTree) RankPRFe(alpha float64) pdb.Ranking {
 // parallel. out[a] equals RankPRFe(alphas[a]) bit-for-bit.
 func (pt *PreparedTree) RankPRFeBatch(alphas []float64) []pdb.Ranking {
 	out := make([]pdb.Ranking, len(alphas))
-	pt.rankBatch(alphas, func(a int, r pdb.Ranking) { out[a] = r })
+	pdb.MustNoErr(pt.rankBatch(context.Background(), alphas, func(a int, r pdb.Ranking) { out[a] = r }))
 	return out
 }
 
@@ -155,20 +167,21 @@ func (pt *PreparedTree) RankPRFeBatch(alphas []float64) []pdb.Ranking {
 // RankPRFe(alphas[a]).TopK(k).
 func (pt *PreparedTree) TopKPRFeBatch(alphas []float64, k int) []pdb.Ranking {
 	out := make([]pdb.Ranking, len(alphas))
-	pt.rankBatch(alphas, func(a int, r pdb.Ranking) { out[a] = r.TopK(k) })
+	pdb.MustNoErr(pt.rankBatch(context.Background(), alphas, func(a int, r pdb.Ranking) { out[a] = r.TopK(k) }))
 	return out
 }
 
 // rankBatch runs the parallel per-α ranking loop behind RankPRFeBatch and
 // TopKPRFeBatch, reusing one evaluation state and one value buffer per
-// worker across the whole grid.
-func (pt *PreparedTree) rankBatch(alphas []float64, emit func(a int, r pdb.Ranking)) {
+// worker across the whole grid. Cancellation is honored between grid
+// points.
+func (pt *PreparedTree) rankBatch(ctx context.Context, alphas []float64, emit func(a int, r pdb.Ranking)) error {
 	n := pt.Len()
 	workers := par.Workers(len(alphas))
 	evals := make([]*prfeEval, workers)
 	vals := make([][]complex128, workers)
 	abs := make([][]float64, workers)
-	par.ForWorkers(workers, len(alphas), func(w, a int) {
+	err := par.ForWorkersCtx(ctx, workers, len(alphas), func(w, a int) {
 		if n == 0 {
 			emit(a, pdb.Ranking{})
 			return
@@ -191,6 +204,7 @@ func (pt *PreparedTree) rankBatch(alphas []float64, emit func(a int, r pdb.Ranki
 			pt.putEval(e)
 		}
 	}
+	return err
 }
 
 // ERank returns E[r(t)] for every leaf (the Cormode et al. convention:

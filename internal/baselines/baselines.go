@@ -119,20 +119,10 @@ func ERank(d *pdb.Dataset) []float64 {
 	return ERankPrepared(core.Prepare(d))
 }
 
-// ERankPrepared is ERank on a prepared view (no re-sort, no clone).
-func ERankPrepared(v *core.Prepared) []float64 {
-	out := make([]float64, v.Len())
-	c := v.ExpectedWorldSize()
-	prefix := 0.0
-	for i := 0; i < v.Len(); i++ {
-		p := v.Prob(i)
-		er1 := p * (1 + prefix)
-		er2 := (1 - p) * (c - p)
-		out[v.ID(i)] = er1 + er2
-		prefix += p
-	}
-	return out
-}
+// ERankPrepared is ERank on a prepared view (no re-sort, no clone). The
+// kernel itself lives on the view (core.Prepared.ERank) so the unified
+// Ranker engine can serve E-Rank queries without importing this package.
+func ERankPrepared(v *core.Prepared) []float64 { return v.ERank() }
 
 // ERankTree returns E[r(t)] on a correlated dataset (O(n²) via derivative
 // evaluation of the tree's generating function).

@@ -6,12 +6,14 @@
 package benchwork
 
 import (
+	"context"
 	"math/rand"
 
 	"repro/internal/andxor"
 	"repro/internal/core"
 	"repro/internal/datagen"
 	"repro/internal/dftapprox"
+	"repro/internal/engine"
 	"repro/internal/junction"
 	"repro/internal/pdb"
 )
@@ -94,7 +96,9 @@ func RankedParallel(d *pdb.Dataset, alphas []float64) {
 // crossings with a certification pass per grid point (the RankPRFeBatch
 // dispatcher's grid arm).
 func RankedKinetic(d *pdb.Dataset, alphas []float64) {
-	core.Prepare(d).RankPRFeSweep(alphas)
+	if _, err := core.Prepare(d).RankPRFeSweep(context.Background(), alphas); err != nil {
+		panic(err)
+	}
 }
 
 // CrossingPairs returns a deterministic set of sorted-position pairs for
@@ -271,6 +275,71 @@ func NetworkSweepPrepared(net *junction.Network, calphas []complex128) {
 		panic(err)
 	}
 	pn.PRFeBatch(calphas)
+}
+
+// ---------------------------------------------------------------------------
+// Unified-engine workloads: ONE generic body serves all four backends
+// through Engine dispatch, replacing the former per-backend sweep
+// specializations, and is measured against the direct prepared-view calls
+// to certify the dispatch overhead.
+// ---------------------------------------------------------------------------
+
+// NewEngine wraps any prepared backend in the unified engine — hoisted out
+// of the benchmark loops so ops measure dispatch + evaluation, not
+// preparation.
+func NewEngine(r engine.Ranker) *engine.Engine { return engine.New(r) }
+
+// PrepareChain builds the prepared chain view (hoisted like PrepareTree).
+func PrepareChain(c *junction.Chain) *junction.PreparedChain { return junction.PrepareChain(c) }
+
+// PrepareNetwork builds the prepared network view.
+func PrepareNetwork(net *junction.Network) *junction.PreparedNetwork {
+	pn, err := junction.PrepareNetwork(net)
+	if err != nil {
+		panic(err)
+	}
+	return pn
+}
+
+// EngineRankSweep produces full PRFe rankings over an α grid through
+// Engine.RankBatch — the backend-agnostic arm (one op = the whole grid).
+func EngineRankSweep(e *engine.Engine, alphas []float64) {
+	if _, err := e.RankBatch(context.Background(), engine.Query{
+		Metric: engine.MetricPRFe, Alphas: alphas, Output: engine.OutputRanking,
+	}); err != nil {
+		panic(err)
+	}
+}
+
+// EngineTopKSweep answers PRFe top-k over an α grid through
+// Engine.RankBatch.
+func EngineTopKSweep(e *engine.Engine, alphas []float64, k int) {
+	if _, err := e.RankBatch(context.Background(), engine.Query{
+		Metric: engine.MetricPRFe, Alphas: alphas, Output: engine.OutputTopK, K: k,
+	}); err != nil {
+		panic(err)
+	}
+}
+
+// EngineValueSweep evaluates PRFe values over an α grid through
+// Engine.RankBatch.
+func EngineValueSweep(e *engine.Engine, alphas []float64) {
+	if _, err := e.RankBatch(context.Background(), engine.Query{
+		Metric: engine.MetricPRFe, Alphas: alphas, Output: engine.OutputValues,
+	}); err != nil {
+		panic(err)
+	}
+}
+
+// DirectRankSweep is the direct prepared-view call EngineRankSweep is
+// measured against (same kernel, no engine dispatch).
+func DirectRankSweep(v *core.Prepared, alphas []float64) {
+	v.RankPRFeBatch(alphas)
+}
+
+// DirectTopKSweep is the direct arm of EngineTopKSweep.
+func DirectTopKSweep(v *core.Prepared, alphas []float64, k int) {
+	v.TopKPRFeBatch(alphas, k)
 }
 
 // ComboMultiPass evaluates the PRFe combination with the pre-fusion

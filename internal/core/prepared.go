@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"math/cmplx"
 	"runtime"
@@ -253,6 +254,24 @@ func (v *Prepared) RankPRFe(alpha float64) pdb.Ranking {
 	return pdb.RankByValue(v.PRFeLog(complex(alpha, 0)))
 }
 
+// ERank returns E[r(t)] for every tuple (the Cormode et al. convention:
+// absent tuples take rank |pw|) with one prefix-sum scan over the prepared
+// view — the Section 3.3 closed form er1 + er2. baselines.ERankPrepared is
+// a thin wrapper over this kernel.
+func (v *Prepared) ERank() []float64 {
+	out := make([]float64, v.Len())
+	c := v.ExpectedWorldSize()
+	prefix := 0.0
+	for i := 0; i < v.Len(); i++ {
+		p := v.probs[i]
+		er1 := p * (1 + prefix)
+		er2 := (1 - p) * (c - p)
+		out[v.ids[i]] = er1 + er2
+		prefix += p
+	}
+	return out
+}
+
 // PRFl evaluates the PRFℓ special case ω(i) = −i via one prefix-sum scan.
 func (v *Prepared) PRFl() []float64 {
 	out := make([]float64, v.Len())
@@ -485,7 +504,9 @@ func (v *Prepared) PRFeLogBatch(alphas []complex128) [][]float64 {
 // falls back to per-α evaluation parallelized across GOMAXPROCS workers.
 func (v *Prepared) RankPRFeBatch(alphas []float64) []pdb.Ranking {
 	if len(alphas) >= 2 && gridForSweep(alphas) {
-		return v.RankPRFeSweep(alphas)
+		out, err := v.RankPRFeSweep(context.Background(), alphas)
+		pdb.MustNoErr(err) // grid pre-checked and ctx never cancels
+		return out
 	}
 	return v.RankPRFeBatchParallel(alphas)
 }
@@ -495,14 +516,25 @@ func (v *Prepared) RankPRFeBatch(alphas []float64) []pdb.Ranking {
 // monotone α grids. Each worker owns one value buffer for its whole share
 // of the batch, so the per-query allocations are the output rankings alone.
 func (v *Prepared) RankPRFeBatchParallel(alphas []float64) []pdb.Ranking {
+	out, err := v.rankPRFeParallelCtx(context.Background(), alphas)
+	pdb.MustNoErr(err) // Background never cancels
+	return out
+}
+
+// rankPRFeParallelCtx is the single body behind RankPRFeBatchParallel and
+// the engine's non-grid QueryRankPRFeBatch arm.
+func (v *Prepared) rankPRFeParallelCtx(ctx context.Context, alphas []float64) ([]pdb.Ranking, error) {
 	out := make([]pdb.Ranking, len(alphas))
 	workers := parallelWorkers(len(alphas))
 	vals := make([][]float64, workers)
-	parallelForWorkers(workers, len(alphas), func(w, a int) {
+	err := par.ForWorkersCtx(ctx, workers, len(alphas), func(w, a int) {
 		vals[w] = v.PRFeLogInto(complex(alphas[a], 0), vals[w])
 		out[a] = pdb.RankByValue(vals[w])
 	})
-	return out
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // TopKPRFeBatch answers many PRFe top-k queries against the shared view.
@@ -510,7 +542,9 @@ func (v *Prepared) RankPRFeBatchParallel(alphas []float64) []pdb.Ranking {
 // in (0, 1] ride the kinetic sweep; other batches run per-α in parallel.
 func (v *Prepared) TopKPRFeBatch(alphas []float64, k int) []pdb.Ranking {
 	if len(alphas) >= 2 && gridForSweep(alphas) {
-		return v.TopKPRFeSweep(alphas, k)
+		out, err := v.TopKPRFeSweep(context.Background(), alphas, k)
+		pdb.MustNoErr(err) // grid pre-checked and ctx never cancels
+		return out
 	}
 	return v.TopKPRFeBatchParallel(alphas, k)
 }
@@ -520,16 +554,27 @@ func (v *Prepared) TopKPRFeBatch(alphas []float64, k int) []pdb.Ranking {
 // one full-ranking scratch for all its queries — only the k-length answers
 // are fresh allocations.
 func (v *Prepared) TopKPRFeBatchParallel(alphas []float64, k int) []pdb.Ranking {
+	out, err := v.topKPRFeParallelCtx(context.Background(), alphas, k)
+	pdb.MustNoErr(err) // Background never cancels
+	return out
+}
+
+// topKPRFeParallelCtx is the single body behind TopKPRFeBatchParallel and
+// the engine's non-grid QueryTopKPRFeBatch arm.
+func (v *Prepared) topKPRFeParallelCtx(ctx context.Context, alphas []float64, k int) ([]pdb.Ranking, error) {
 	out := make([]pdb.Ranking, len(alphas))
 	workers := parallelWorkers(len(alphas))
 	vals := make([][]float64, workers)
 	ranks := make([]pdb.Ranking, workers)
-	parallelForWorkers(workers, len(alphas), func(w, a int) {
+	err := par.ForWorkersCtx(ctx, workers, len(alphas), func(w, a int) {
 		vals[w] = v.PRFeLogInto(complex(alphas[a], 0), vals[w])
 		ranks[w] = pdb.RankByValueInto(vals[w], ranks[w])
 		out[a] = ranks[w].TopK(k)
 	})
-	return out
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // PRFeCurve evaluates Υ_α(t) over a grid of real α values: curve[id][a] is

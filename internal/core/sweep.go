@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"slices"
@@ -439,16 +441,18 @@ func closedFormRoot(probs []float64, i, j int, lo, hi float64) (float64, bool) {
 // order, applying adjacent transpositions and re-testing the pairs each swap
 // makes newly adjacent. This is the pure kinetic path — O(log n) per
 // crossing, no value evaluation — used by SpectrumSize; RankingAt adds the
-// certification pass on top. target must be ≥ Alpha() and ≤ 1.
-func (s *Sweep) AdvanceTo(target float64) {
-	if target < s.alpha {
-		panic(fmt.Sprintf("core: Sweep.AdvanceTo(%v) moves backwards from %v", target, s.alpha))
+// certification pass on top. target must be ≥ Alpha() and ≤ 1; violations
+// are reported as errors (a Sweep only moves upward through α).
+func (s *Sweep) AdvanceTo(target float64) error {
+	if math.IsNaN(target) || target < s.alpha {
+		return fmt.Errorf("core: Sweep.AdvanceTo(%v) moves backwards from %v", target, s.alpha)
 	}
 	if target > 1 {
-		panic(fmt.Sprintf("core: Sweep.AdvanceTo(%v) beyond α = 1", target))
+		return fmt.Errorf("core: Sweep.AdvanceTo(%v) beyond α = 1", target)
 	}
 	s.advanceBounded(target, math.MaxInt)
 	s.alpha = target
+	return nil
 }
 
 // advanceBounded pops events up to target, applying at most budget of them.
@@ -509,31 +513,39 @@ func (s *Sweep) clearEvents(targetBucket int) {
 }
 
 // RankingAt advances to alpha and returns the certified full ranking there —
-// bit-for-bit the ranking Prepared.RankPRFe(alpha) returns.
-func (s *Sweep) RankingAt(alpha float64) pdb.Ranking {
+// bit-for-bit the ranking Prepared.RankPRFe(alpha) returns. alpha must be
+// ≥ Alpha() and inside (0, 1].
+func (s *Sweep) RankingAt(alpha float64) (pdb.Ranking, error) {
 	out := make(pdb.Ranking, len(s.perm))
-	s.rankingInto(alpha, out)
-	return out
+	if err := s.rankingInto(alpha, out); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // TopKAt advances to alpha and returns the certified top-k ranking there.
-func (s *Sweep) TopKAt(alpha float64, k int) pdb.Ranking {
+func (s *Sweep) TopKAt(alpha float64, k int) (pdb.Ranking, error) {
 	if k > len(s.perm) {
 		k = len(s.perm)
 	}
+	if err := s.advanceAndCertify(alpha); err != nil {
+		return nil, err
+	}
 	out := make(pdb.Ranking, k)
-	s.advanceAndCertify(alpha)
 	for i := 0; i < k; i++ {
 		out[i] = s.v.ids[s.perm[i]]
 	}
-	return out
+	return out, nil
 }
 
-func (s *Sweep) rankingInto(alpha float64, out pdb.Ranking) {
-	s.advanceAndCertify(alpha)
+func (s *Sweep) rankingInto(alpha float64, out pdb.Ranking) error {
+	if err := s.advanceAndCertify(alpha); err != nil {
+		return err
+	}
 	for k, pos := range s.perm {
 		out[k] = s.v.ids[pos]
 	}
+	return nil
 }
 
 // advanceAndCertify is the certified grid step. In event mode it advances
@@ -543,21 +555,22 @@ func (s *Sweep) rankingInto(alpha float64, out pdb.Ranking) {
 // so the certification pass itself applies them — amortized O(1) per
 // crossing with no root-solving, predicting nothing and observing
 // everything.
-func (s *Sweep) advanceAndCertify(alpha float64) {
+func (s *Sweep) advanceAndCertify(alpha float64) error {
 	if alpha < s.alpha {
-		panic(fmt.Sprintf("core: Sweep queried at %v after advancing to %v", alpha, s.alpha))
+		return fmt.Errorf("core: Sweep queried at %v after advancing to %v", alpha, s.alpha)
 	}
 	if !(alpha > 0 && alpha <= 1) {
-		panic(fmt.Sprintf("core: Sweep queried at alpha %v outside (0,1]", alpha))
+		return fmt.Errorf("core: Sweep queried at alpha %v outside (0,1]", alpha)
 	}
 	if s.deferred {
 		s.alpha = alpha
 		s.certifyDeferred(alpha)
-		return
+		return nil
 	}
 	complete := s.advanceBounded(alpha, 4*len(s.perm)+64)
 	s.alpha = alpha
 	s.certify(alpha, !complete)
+	return nil
 }
 
 // certifyDeferred is the deferred-mode grid step: re-evaluate the values at
@@ -1030,38 +1043,62 @@ func gridForSweep(alphas []float64) bool {
 	return true
 }
 
+// errSweepGrid reports a batch handed to a sweep kernel that is not a
+// strictly increasing α grid inside (0, 1] — the Theorem 4 domain.
+// RankPRFeBatch is the forgiving dispatcher that falls back to the parallel
+// per-α path instead of erroring.
+var errSweepGrid = errors.New("core: kinetic sweep needs a strictly increasing α grid in (0,1]")
+
 // RankPRFeSweep computes the full PRFe ranking at every point of a strictly
 // increasing α grid in (0, 1] with one kinetic sweep: sort once at
 // alphas[0], then advance by crossing events. out[a] is bit-for-bit
-// RankPRFe(alphas[a]). Panics if alphas is not such a grid — RankPRFeBatch
-// is the forgiving dispatcher that falls back to the parallel per-α path.
-func (v *Prepared) RankPRFeSweep(alphas []float64) []pdb.Ranking {
+// RankPRFe(alphas[a]). The sweep is serial along the grid, so cancellation
+// is honored between grid points.
+func (v *Prepared) RankPRFeSweep(ctx context.Context, alphas []float64) ([]pdb.Ranking, error) {
 	if !gridForSweep(alphas) {
-		panic("core: RankPRFeSweep needs a strictly increasing α grid in (0,1]")
+		return nil, errSweepGrid
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	out := make([]pdb.Ranking, len(alphas))
 	s := v.newSweep(alphas[0], true)
 	n := v.Len()
 	for a, alpha := range alphas {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		out[a] = make(pdb.Ranking, n)
-		s.rankingInto(alpha, out[a])
+		if err := s.rankingInto(alpha, out[a]); err != nil {
+			return nil, err
+		}
 	}
-	return out
+	return out, nil
 }
 
 // TopKPRFeSweep answers PRFe top-k at every point of a strictly increasing
 // α grid in (0, 1] with one kinetic sweep. out[a] is bit-for-bit
-// RankPRFe(alphas[a]).TopK(k).
-func (v *Prepared) TopKPRFeSweep(alphas []float64, k int) []pdb.Ranking {
+// RankPRFe(alphas[a]).TopK(k). Cancellation is honored between grid points.
+func (v *Prepared) TopKPRFeSweep(ctx context.Context, alphas []float64, k int) ([]pdb.Ranking, error) {
 	if !gridForSweep(alphas) {
-		panic("core: TopKPRFeSweep needs a strictly increasing α grid in (0,1]")
+		return nil, errSweepGrid
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	out := make([]pdb.Ranking, len(alphas))
 	s := v.newSweep(alphas[0], true)
 	for a, alpha := range alphas {
-		out[a] = s.TopKAt(alpha, k)
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		top, err := s.TopKAt(alpha, k)
+		if err != nil {
+			return nil, err
+		}
+		out[a] = top
 	}
-	return out
+	return out, nil
 }
 
 // SpectrumSize counts the distinct PRFe rankings the view passes through as
@@ -1079,7 +1116,7 @@ func (v *Prepared) SpectrumSize() int {
 		return 1
 	}
 	s := v.NewSweep(spectrumEps)
-	s.AdvanceTo(1)
+	pdb.MustNoErr(s.AdvanceTo(1)) // 1 ≥ spectrumEps and ≤ 1: cannot fail
 	return 1 + s.DistinctCrossingTimes()
 }
 
@@ -1101,7 +1138,7 @@ func (v *Prepared) SpectrumSizeGrid(gridSize int) int {
 	prev := make(pdb.Ranking, n)
 	count := 0
 	for a := 1; a <= gridSize; a++ {
-		s.rankingInto(float64(a)/float64(gridSize), cur)
+		pdb.MustNoErr(s.rankingInto(float64(a)/float64(gridSize), cur)) // uniform grid in (0,1]: cannot fail
 		if a == 1 || !sameRanking(prev, cur) {
 			count++
 			prev, cur = cur, prev

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"sort"
@@ -106,7 +107,10 @@ func TestSweepMatchesReferenceEverywhere(t *testing.T) {
 			d := shape.mk(rng, n)
 			v := Prepare(d)
 			for gi, alphas := range sweepGrids(rng) {
-				got := v.RankPRFeSweep(alphas)
+				got, err := v.RankPRFeSweep(context.Background(), alphas)
+				if err != nil {
+					t.Fatalf("%s n=%d grid=%d: RankPRFeSweep: %v", shape.name, n, gi, err)
+				}
 				want := refRankings(v, alphas)
 				for a := range alphas {
 					if !sameRanking(got[a], want[a]) {
@@ -115,7 +119,10 @@ func TestSweepMatchesReferenceEverywhere(t *testing.T) {
 					}
 				}
 				k := n/3 + 1
-				gotK := v.TopKPRFeSweep(alphas, k)
+				gotK, err := v.TopKPRFeSweep(context.Background(), alphas, k)
+				if err != nil {
+					t.Fatalf("%s n=%d grid=%d: TopKPRFeSweep: %v", shape.name, n, gi, err)
+				}
 				for a := range alphas {
 					if !sameRanking(gotK[a], want[a].TopK(k)) {
 						t.Fatalf("%s n=%d grid=%d: sweep top-%d differs at α=%v",
@@ -169,19 +176,26 @@ func TestSweepManualAdvance(t *testing.T) {
 		t.Fatalf("fresh sweep state: alpha=%v len=%d", s.Alpha(), s.Len())
 	}
 	for _, alpha := range []float64{0.05, 0.3, 0.3, 0.77, 1} {
-		if r := s.RankingAt(alpha); !sameRanking(r, v.RankPRFe(alpha)) {
+		r, err := s.RankingAt(alpha)
+		if err != nil {
+			t.Fatalf("RankingAt(%v): %v", alpha, err)
+		}
+		if !sameRanking(r, v.RankPRFe(alpha)) {
 			t.Fatalf("manual sweep differs at α=%v", alpha)
 		}
 	}
 	if s.Crossings() < s.DistinctCrossingTimes() {
 		t.Fatalf("crossings %d < distinct times %d", s.Crossings(), s.DistinctCrossingTimes())
 	}
-	defer func() {
-		if recover() == nil {
-			t.Fatal("moving a sweep backwards must panic")
-		}
-	}()
-	s.AdvanceTo(0.5)
+	if err := s.AdvanceTo(0.5); err == nil {
+		t.Fatal("moving a sweep backwards must error")
+	}
+	if err := s.AdvanceTo(1.5); err == nil {
+		t.Fatal("advancing beyond α = 1 must error")
+	}
+	if _, err := s.RankingAt(0.2); err == nil {
+		t.Fatal("querying behind the cursor must error")
+	}
 }
 
 // TestSpectrumSizeExactVsBruteForce verifies the event-counting spectrum
@@ -300,7 +314,10 @@ func TestSweepSeriesEvaluatorAgainstDirect(t *testing.T) {
 	for i := range alphas {
 		alphas[i] = 0.55 + 0.45*float64(i+1)/float64(len(alphas)) // α ∈ (0.55, 1]
 	}
-	got := v.RankPRFeSweep(alphas)
+	got, err := v.RankPRFeSweep(context.Background(), alphas)
+	if err != nil {
+		t.Fatalf("RankPRFeSweep: %v", err)
+	}
 	for a, alpha := range alphas {
 		if !sameRanking(got[a], v.RankPRFe(alpha)) {
 			t.Fatalf("series-path sweep differs from reference at α=%v", alpha)
@@ -320,7 +337,10 @@ func TestSweepConcurrentBatches(t *testing.T) {
 	go func() { v.TopKPRFeBatch(grid, 9); done <- struct{}{} }()
 	go func() { v.SpectrumSizeGrid(40); done <- struct{}{} }()
 	want := refRankings(v, grid)
-	got := v.RankPRFeSweep(grid)
+	got, err := v.RankPRFeSweep(context.Background(), grid)
+	if err != nil {
+		t.Fatalf("RankPRFeSweep: %v", err)
+	}
 	for a := range grid {
 		if !sameRanking(got[a], want[a]) {
 			t.Fatalf("concurrent sweep differs at α=%v", grid[a])

@@ -1,6 +1,7 @@
 package junction
 
 import (
+	"context"
 	"sort"
 	"sync"
 
@@ -118,16 +119,28 @@ func (pn *PreparedNetwork) PRFe(alpha complex128) []complex128 {
 // per-α folds fan out across GOMAXPROCS goroutines. out[a] equals
 // PRFe(alphas[a]) bit-for-bit.
 func (pn *PreparedNetwork) PRFeBatch(alphas []complex128) [][]complex128 {
+	out, err := pn.prfeBatchCtx(context.Background(), alphas)
+	pdb.MustNoErr(err)
+	return out
+}
+
+// prfeBatchCtx is PRFeBatch with cooperative cancellation between grid
+// points — the single fold-loop body shared with the engine's
+// QueryPRFeBatch arm.
+func (pn *PreparedNetwork) prfeBatchCtx(ctx context.Context, alphas []complex128) ([][]complex128, error) {
 	rd := pn.RankDistribution()
 	out := make([][]complex128, len(alphas))
-	par.For(len(alphas), func(a int) {
+	err := par.ForCtx(ctx, len(alphas), func(a int) {
 		row := make([]complex128, pn.Len())
 		for v := range row {
 			row[v] = prfeFold(rd.Dist[v], alphas[a])
 		}
 		out[a] = row
 	})
-	return out
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // RankPRFe returns the PRFe(α) ranking of the network's tuples for real α,
@@ -179,6 +192,22 @@ type PreparedChain struct {
 	m     [][2]float64    // m[j][y] = Pr(Y_j = y)
 	cond  [][2][2]float64 // cond[j][a][b] = Pr(Y_{j+1}=b | Y_j=a); zero rows for zero marginals
 	pool  sync.Pool       // *chainEval
+
+	rdOnce sync.Once // guards rd: the Θ(n³) chain DP runs at most once
+	rd     *pdb.RankDistribution
+
+	erMu sync.Mutex // guards er: n more partial-sum DPs, also run at most once
+	er   []float64
+}
+
+// RankDistribution returns the chain's positional-probability matrix,
+// computing it with the Section 9.3 partial-sum DP (Θ(n³)) on first use and
+// serving the cached immutable matrix afterwards. The ω-based ranking
+// functions (PRF, PRFω(h), PT(h), E-Rank) fold this matrix; PRFe does not
+// need it — the product-tree algorithm stays O(n log n) per α.
+func (pc *PreparedChain) RankDistribution() *pdb.RankDistribution {
+	pc.rdOnce.Do(func() { pc.rd = pc.c.RankDistribution() })
+	return pc.rd
 }
 
 // PrepareChain builds the prepared view of a chain. The chain is never
@@ -333,10 +362,18 @@ func (pc *PreparedChain) PRFe(alpha complex128) []complex128 {
 // GOMAXPROCS goroutines with one pooled product tree per worker. out[a]
 // equals PRFe(alphas[a]) bit-for-bit.
 func (pc *PreparedChain) PRFeBatch(alphas []complex128) [][]complex128 {
+	out, err := pc.prfeBatchCtx(context.Background(), alphas)
+	pdb.MustNoErr(err)
+	return out
+}
+
+// prfeBatchCtx is PRFeBatch with cooperative cancellation between grid
+// points.
+func (pc *PreparedChain) prfeBatchCtx(ctx context.Context, alphas []complex128) ([][]complex128, error) {
 	out := make([][]complex128, len(alphas))
 	workers := par.Workers(len(alphas))
 	evals := make([]*chainEval, workers)
-	par.ForWorkers(workers, len(alphas), func(w, a int) {
+	err := par.ForWorkersCtx(ctx, workers, len(alphas), func(w, a int) {
 		if evals[w] == nil {
 			evals[w] = pc.getEval()
 		}
@@ -349,7 +386,10 @@ func (pc *PreparedChain) PRFeBatch(alphas []complex128) [][]complex128 {
 			pc.putEval(e)
 		}
 	}
-	return out
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // RankPRFe returns the PRFe(α) ranking of the chain's tuples for real α,
@@ -364,21 +404,28 @@ func (pc *PreparedChain) RankPRFe(alpha float64) pdb.Ranking {
 // fresh allocations.
 func (pc *PreparedChain) RankPRFeBatch(alphas []float64) []pdb.Ranking {
 	out := make([]pdb.Ranking, len(alphas))
+	pdb.MustNoErr(pc.rankBatchCtx(context.Background(), alphas, func(a int, r pdb.Ranking) { out[a] = r }))
+	return out
+}
+
+// rankBatchCtx is the cancellation-aware per-α ranking loop shared by the
+// full-ranking and top-k batch paths.
+func (pc *PreparedChain) rankBatchCtx(ctx context.Context, alphas []float64, emit func(a int, r pdb.Ranking)) error {
 	workers := par.Workers(len(alphas))
 	evals := make([]*chainEval, workers)
 	vals := make([][]complex128, workers)
-	par.ForWorkers(workers, len(alphas), func(w, a int) {
+	err := par.ForWorkersCtx(ctx, workers, len(alphas), func(w, a int) {
 		if evals[w] == nil {
 			evals[w] = pc.getEval()
 			vals[w] = make([]complex128, pc.Len())
 		}
 		pc.prfeInto(evals[w], complex(alphas[a], 0), vals[w])
-		out[a] = pdb.RankByAbs(vals[w])
+		emit(a, pdb.RankByAbs(vals[w]))
 	})
 	for _, e := range evals {
 		if e != nil {
 			pc.putEval(e)
 		}
 	}
-	return out
+	return err
 }

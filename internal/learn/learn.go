@@ -19,11 +19,14 @@
 package learn
 
 import (
+	"context"
+	"fmt"
 	"math"
 
 	"repro/internal/andxor"
 	"repro/internal/core"
 	"repro/internal/dftapprox"
+	"repro/internal/engine"
 	"repro/internal/pdb"
 	"repro/internal/rankdist"
 )
@@ -39,14 +42,6 @@ type AlphaResult struct {
 	Evaluations int
 }
 
-// prfeView is what the α search needs from a prepared model: single-α full
-// rankings and batched top-k queries. Both core.Prepared (independent
-// tuples) and andxor.PreparedTree (correlated data) satisfy it.
-type prfeView interface {
-	RankPRFe(alpha float64) pdb.Ranking
-	TopKPRFeBatch(alphas []float64, k int) []pdb.Ranking
-}
-
 // LearnAlpha fits α by recursive grid refinement on [0,1] (Section 5.2): at
 // each of iters rounds the current interval is probed at nine interior
 // points, and the interval shrinks to the two grid cells around the best
@@ -56,7 +51,7 @@ func LearnAlpha(sample *pdb.Dataset, user pdb.Ranking, k, iters int) AlphaResult
 	// Sort once; the search evaluates many α — each refinement round's nine
 	// ascending probes are a monotone grid, so one kinetic sweep answers the
 	// whole round off a single sort instead of nine independent re-sorts.
-	return learnAlphaOn(core.Prepare(sample), user, k, iters)
+	return mustAlpha(LearnAlphaRanker(context.Background(), core.Prepare(sample), user, k, iters))
 }
 
 // LearnAlphaTree fits α from a user-ranked sample of *correlated* data: the
@@ -65,11 +60,30 @@ func LearnAlpha(sample *pdb.Dataset, user pdb.Ranking, k, iters int) AlphaResult
 // PreparedTree — the tree is indexed once and each refinement round's
 // nine-point grid runs as one parallel batch.
 func LearnAlphaTree(sample *andxor.Tree, user pdb.Ranking, k, iters int) AlphaResult {
-	return learnAlphaOn(andxor.PrepareTree(sample), user, k, iters)
+	return mustAlpha(LearnAlphaRanker(context.Background(), andxor.PrepareTree(sample), user, k, iters))
 }
 
-// learnAlphaOn is the shared grid-refinement search over any prepared view.
-func learnAlphaOn(v prfeView, user pdb.Ranking, k, iters int) AlphaResult {
+// mustAlpha adapts the error-returning generic search to the legacy
+// panicking wrappers (which accept only in-process data and a background
+// context, so an error means caller misuse exactly as before).
+func mustAlpha(res AlphaResult, err error) AlphaResult {
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+// LearnAlphaRanker is the α-learning search over any unified-engine backend
+// (core.Prepared, andxor.PreparedTree, junction.PreparedNetwork,
+// junction.PreparedChain): one generic recursive grid refinement replaces
+// the former per-backend specializations. Every refinement round's
+// nine-point probe grid runs as one batch through the backend's fastest
+// sweep kernel, the context aborts long searches promptly, and a malformed
+// user ranking (duplicate or out-of-range IDs) surfaces as an error.
+func LearnAlphaRanker(ctx context.Context, r engine.Ranker, user pdb.Ranking, k, iters int) (AlphaResult, error) {
+	if err := pdb.CheckRankingIDs(user, r.Len()); err != nil {
+		return AlphaResult{}, fmt.Errorf("learn: invalid user ranking: %w", err)
+	}
 	if k <= 0 {
 		k = len(user)
 	}
@@ -78,14 +92,23 @@ func learnAlphaOn(v prfeView, user pdb.Ranking, k, iters int) AlphaResult {
 	}
 	evals := 0
 	userTop := user.TopK(k)
-	dist := func(alpha float64) float64 {
+	dist := func(alpha float64) (float64, error) {
 		evals++
-		r := v.RankPRFe(alpha)
-		return rankdist.KendallTopK(userTop, r.TopK(k), k)
+		rk, err := r.QueryRankPRFe(ctx, alpha)
+		if err != nil {
+			return 0, err
+		}
+		return rankdist.KendallTopK(userTop, rk.TopK(k), k), nil
 	}
 	lo, hi := 0.0, 1.0
-	bestAlpha, bestDist := 1.0, dist(1)
-	if d0 := dist(1e-9); d0 < bestDist {
+	bestAlpha := 1.0
+	bestDist, err := dist(1)
+	if err != nil {
+		return AlphaResult{}, err
+	}
+	if d0, err := dist(1e-9); err != nil {
+		return AlphaResult{}, err
+	} else if d0 < bestDist {
 		bestAlpha, bestDist = 1e-9, d0
 	}
 	probes := make([]float64, 9)
@@ -97,7 +120,10 @@ func learnAlphaOn(v prfeView, user pdb.Ranking, k, iters int) AlphaResult {
 		for i := range probes {
 			probes[i] = lo + float64(i+1)*step
 		}
-		tops := v.TopKPRFeBatch(probes, k)
+		tops, err := r.QueryTopKPRFeBatch(ctx, probes, k)
+		if err != nil {
+			return AlphaResult{}, err
+		}
 		evals += len(probes)
 		bestI := 0
 		bestLocal := math.Inf(1)
@@ -114,7 +140,7 @@ func learnAlphaOn(v prfeView, user pdb.Ranking, k, iters int) AlphaResult {
 		newHi := math.Min(hi, lo+float64(bestI+1)*step)
 		lo, hi = newLo, newHi
 	}
-	return AlphaResult{Alpha: bestAlpha, Distance: bestDist, Evaluations: evals}
+	return AlphaResult{Alpha: bestAlpha, Distance: bestDist, Evaluations: evals}, nil
 }
 
 // OmegaOptions configures LearnOmega.
@@ -216,6 +242,21 @@ func RankWithOmega(d *pdb.Dataset, w []float64) pdb.Ranking {
 // exhaustive reference LearnAlpha is checked against, and the data series
 // behind the Figure 7-style distance-vs-α curves.
 func GridScanAlpha(sample *pdb.Dataset, user pdb.Ranking, k, gridSize int) (alphas, dists []float64) {
+	alphas, dists, err := GridScanAlphaRanker(context.Background(), core.Prepare(sample), user, k, gridSize)
+	if err != nil {
+		panic(err)
+	}
+	return alphas, dists
+}
+
+// GridScanAlphaRanker is GridScanAlpha over any unified-engine backend: the
+// monotone grid rides the backend's fastest batch kernel (the kinetic sweep
+// on independent data — sort once, advance by crossings), and only the
+// top-k prefixes materialize.
+func GridScanAlphaRanker(ctx context.Context, r engine.Ranker, user pdb.Ranking, k, gridSize int) (alphas, dists []float64, err error) {
+	if err := pdb.CheckRankingIDs(user, r.Len()); err != nil {
+		return nil, nil, fmt.Errorf("learn: invalid user ranking: %w", err)
+	}
 	if k <= 0 {
 		k = len(user)
 	}
@@ -227,14 +268,15 @@ func GridScanAlpha(sample *pdb.Dataset, user pdb.Ranking, k, gridSize int) (alph
 	for i := 0; i < gridSize; i++ {
 		alphas[i] = float64(i+1) / float64(gridSize)
 	}
-	// One prepared view; the monotone grid rides the kinetic sweep (sort
-	// once, advance by crossings), and only the top-k prefixes materialize.
-	tops := core.Prepare(sample).TopKPRFeBatch(alphas, k)
+	tops, err := r.QueryTopKPRFeBatch(ctx, alphas, k)
+	if err != nil {
+		return nil, nil, err
+	}
 	userTop := user.TopK(k)
 	for i, top := range tops {
 		dists[i] = rankdist.KendallTopK(userTop, top, k)
 	}
-	return alphas, dists
+	return alphas, dists, nil
 }
 
 // ComboOptions configures LearnPRFeCombo.

@@ -1,6 +1,7 @@
 package learn
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -8,6 +9,9 @@ import (
 	"repro/internal/andxor"
 	"repro/internal/baselines"
 	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/engine"
+	"repro/internal/junction"
 	"repro/internal/pdb"
 	"repro/internal/rankdist"
 )
@@ -217,5 +221,80 @@ func TestLearnAlphaTreeRecoversPRFe(t *testing.T) {
 		if res.Distance > 1e-9 {
 			t.Fatalf("α*=%v: learned α=%v with distance %v, want 0", trueAlpha, res.Alpha, res.Distance)
 		}
+	}
+}
+
+// TestLearnAlphaRankerAllBackends runs the generic α search against every
+// unified-engine backend: when the user ranking is that backend's own
+// PRFe(α*) ranking, the search must recover a near-zero distance.
+func TestLearnAlphaRankerAllBackends(t *testing.T) {
+	chain := datagen.MarkovChainLike(40, 11)
+	net, err := chain.Network()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pn, err := junction.PrepareNetwork(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := datagen.SynXOR(80, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	backends := map[string]engine.Ranker{
+		"independent": core.Prepare(randDataset(rng, 120)),
+		"tree":        andxor.PrepareTree(tree),
+		"network":     pn,
+		"chain":       junction.PrepareChain(chain),
+	}
+	ctx := context.Background()
+	for name, r := range backends {
+		user, err := r.QueryRankPRFe(ctx, 0.85)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		res, err := LearnAlphaRanker(ctx, r, user, 10, 6)
+		if err != nil {
+			t.Fatalf("%s: LearnAlphaRanker: %v", name, err)
+		}
+		if res.Distance > 0.05 {
+			t.Errorf("%s: learned α=%v distance %v, want ≈0", name, res.Alpha, res.Distance)
+		}
+	}
+}
+
+// TestLearnAlphaRankerValidatesAndCancels: malformed user rankings error
+// instead of panicking, and a canceled context aborts the search.
+func TestLearnAlphaRankerValidatesAndCancels(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	r := core.Prepare(randDataset(rng, 50))
+	ctx := context.Background()
+	if _, err := LearnAlphaRanker(ctx, r, pdb.Ranking{1, 1}, 2, 3); err == nil {
+		t.Error("duplicate user IDs must error")
+	}
+	if _, err := LearnAlphaRanker(ctx, r, pdb.Ranking{1, 99}, 2, 3); err == nil {
+		t.Error("out-of-range user ID must error")
+	}
+	canceled, cancel := context.WithCancel(ctx)
+	cancel()
+	user, _ := r.QueryRankPRFe(ctx, 0.5)
+	if _, err := LearnAlphaRanker(canceled, r, user, 5, 3); err == nil {
+		t.Error("canceled context must abort the search")
+	}
+	if _, _, err := GridScanAlphaRanker(canceled, r, user, 5, 16); err == nil {
+		t.Error("canceled context must abort the grid scan")
+	}
+}
+
+// TestLearnAlphaEmptyUserRanking pins the legacy degenerate-input contract:
+// an empty user ranking (k defaults to 0) must return normally, not panic —
+// top-0 queries are valid and every distance is 0.
+func TestLearnAlphaEmptyUserRanking(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	d := randDataset(rng, 30)
+	res := LearnAlpha(d, pdb.Ranking{}, 0, 2)
+	if res.Distance != 0 {
+		t.Fatalf("empty user ranking: distance %v, want 0", res.Distance)
 	}
 }

@@ -5,6 +5,7 @@
 package par
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -59,4 +60,63 @@ func ForWorkers(workers, jobs int, fn func(worker, job int)) {
 // runs exactly once; the call returns when all are done.
 func For(jobs int, fn func(j int)) {
 	ForWorkers(Workers(jobs), jobs, func(_, j int) { fn(j) })
+}
+
+// ForWorkersCtx is ForWorkers with cooperative cancellation: every worker
+// re-checks the context before claiming its next job, so a canceled batch
+// stops after at most one in-flight job per worker instead of draining the
+// whole queue. It returns ctx.Err() if the context was canceled (some jobs
+// may then never have run) and nil once every job completed. A nil context
+// behaves like context.Background().
+//
+// Cancellation granularity is one job: fn itself is never interrupted, so
+// callers batching long-running work should keep individual jobs small
+// (one grid point, one tuple block) for prompt aborts.
+func ForWorkersCtx(ctx context.Context, workers, jobs int, fn func(worker, job int)) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	done := ctx.Done()
+	if done == nil {
+		ForWorkers(workers, jobs, fn)
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if workers <= 1 {
+		for j := 0; j < jobs; j++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			fn(0, j)
+		}
+		return nil
+	}
+	var next int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(worker int) {
+			defer wg.Done()
+			for ctx.Err() == nil {
+				j := int(atomic.AddInt64(&next, 1)) - 1
+				if j >= jobs {
+					return
+				}
+				fn(worker, j)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil && int(atomic.LoadInt64(&next)) < jobs {
+		return err
+	}
+	return nil
+}
+
+// ForCtx is For with cooperative cancellation: fn(0..jobs-1) across at most
+// GOMAXPROCS goroutines, aborting between jobs once ctx is canceled.
+func ForCtx(ctx context.Context, jobs int, fn func(j int)) error {
+	return ForWorkersCtx(ctx, Workers(jobs), jobs, func(_, j int) { fn(j) })
 }

@@ -1,0 +1,90 @@
+package par
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestForWorkersRunsEveryJobOnce(t *testing.T) {
+	for _, jobs := range []int{0, 1, 7, 100} {
+		counts := make([]int32, jobs)
+		ForWorkers(Workers(jobs), jobs, func(_, j int) {
+			atomic.AddInt32(&counts[j], 1)
+		})
+		for j, c := range counts {
+			if c != 1 {
+				t.Fatalf("jobs=%d: job %d ran %d times", jobs, j, c)
+			}
+		}
+	}
+}
+
+func TestForCtxNilAndBackgroundRunEverything(t *testing.T) {
+	var ran int32
+	if err := ForWorkersCtx(nil, 4, 32, func(_, _ int) { atomic.AddInt32(&ran, 1) }); err != nil {
+		t.Fatalf("nil ctx: %v", err)
+	}
+	if err := ForCtx(context.Background(), 32, func(int) { atomic.AddInt32(&ran, 1) }); err != nil {
+		t.Fatalf("background ctx: %v", err)
+	}
+	if ran != 64 {
+		t.Fatalf("ran %d jobs, want 64", ran)
+	}
+}
+
+func TestForCtxAlreadyCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran int32
+	err := ForCtx(ctx, 100, func(int) { atomic.AddInt32(&ran, 1) })
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran != 0 {
+		t.Fatalf("%d jobs ran after pre-canceled context", ran)
+	}
+}
+
+// TestForCtxCancelAbortsPromptly cancels mid-batch and checks that the
+// fan-out stops claiming jobs instead of draining the whole queue: with
+// slow jobs and a cancel fired by the first one, only the in-flight jobs
+// (at most one per worker) plus a small claim race can complete.
+func TestForCtxCancelAbortsPromptly(t *testing.T) {
+	const jobs = 10_000
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran int32
+	workers := Workers(jobs)
+	err := ForWorkersCtx(ctx, workers, jobs, func(_, j int) {
+		if atomic.AddInt32(&ran, 1) == 1 {
+			cancel()
+		}
+		time.Sleep(200 * time.Microsecond)
+	})
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// Each worker can have claimed at most a couple of jobs before observing
+	// the cancellation; far below the full queue.
+	if got := atomic.LoadInt32(&ran); got > int32(8*workers) {
+		t.Fatalf("%d jobs ran after cancel with %d workers; abort was not prompt", got, workers)
+	}
+}
+
+func TestForWorkersCtxSerialCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran int
+	err := ForWorkersCtx(ctx, 1, 100, func(_, j int) {
+		ran++
+		if j == 4 {
+			cancel()
+		}
+	})
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran != 5 {
+		t.Fatalf("serial path ran %d jobs after cancel at job 4, want 5", ran)
+	}
+}

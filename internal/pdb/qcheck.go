@@ -1,0 +1,165 @@
+package pdb
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// Shared validation helpers for the unified query path. Every prepared view
+// (core.Prepared, andxor.PreparedTree, junction.PreparedNetwork,
+// junction.PreparedChain) runs these on its Query* methods so malformed
+// parameters surface as errors from Engine.Rank instead of panics or silent
+// garbage deep inside a kernel.
+
+// ErrEmptyGrid reports a batch query with no α grid points.
+var ErrEmptyGrid = errors.New("pdb: empty α grid")
+
+// CheckAlpha rejects non-finite real α parameters. The PRFe kernels are
+// defined for any finite α; the paper's regime is α ∈ (0, 1].
+func CheckAlpha(alpha float64) error {
+	if math.IsNaN(alpha) || math.IsInf(alpha, 0) {
+		return fmt.Errorf("pdb: non-finite PRFe parameter α = %v", alpha)
+	}
+	return nil
+}
+
+// CheckAlphaC rejects non-finite complex α parameters.
+func CheckAlphaC(alpha complex128) error {
+	if cmplx.IsNaN(alpha) || cmplx.IsInf(alpha) {
+		return fmt.Errorf("pdb: non-finite PRFe parameter α = %v", alpha)
+	}
+	return nil
+}
+
+// CheckAlphaGrid validates every point of a real α grid.
+func CheckAlphaGrid(alphas []float64) error {
+	if len(alphas) == 0 {
+		return ErrEmptyGrid
+	}
+	for i, a := range alphas {
+		if err := CheckAlpha(a); err != nil {
+			return fmt.Errorf("grid point %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// CheckAlphaGridC validates every point of a complex α grid.
+func CheckAlphaGridC(alphas []complex128) error {
+	if len(alphas) == 0 {
+		return ErrEmptyGrid
+	}
+	for i, a := range alphas {
+		if err := CheckAlphaC(a); err != nil {
+			return fmt.Errorf("grid point %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// CheckTopK rejects negative answer sizes. k = 0 (an empty answer) and k
+// larger than the dataset are both fine — rankings truncate — and k = 0 in
+// particular keeps degenerate legacy calls working (an empty user ranking
+// fed to the α search, `prfrank -k 0`).
+func CheckTopK(k int) error {
+	if k < 0 {
+		return fmt.Errorf("pdb: top-k size %d is negative", k)
+	}
+	return nil
+}
+
+// CheckWeights rejects NaN entries in a PRFω weight vector (a NaN weight
+// would poison every tuple's value through the shared generating function).
+func CheckWeights(w []float64) error {
+	for i, x := range w {
+		if math.IsNaN(x) {
+			return fmt.Errorf("pdb: weight w[%d] is NaN", i)
+		}
+	}
+	return nil
+}
+
+// CheckDepth rejects negative PT(h) depths (h = 0 is a valid, everywhere-zero
+// query).
+func CheckDepth(h int) error {
+	if h < 0 {
+		return fmt.Errorf("pdb: PT(h) depth %d is negative", h)
+	}
+	return nil
+}
+
+// CheckCombo validates a PRFe linear combination: parallel coefficient and
+// α slices of equal non-zero length, all entries finite.
+func CheckCombo(us, alphas []complex128) error {
+	if len(us) != len(alphas) {
+		return fmt.Errorf("pdb: combo has %d coefficients but %d α terms", len(us), len(alphas))
+	}
+	if len(us) == 0 {
+		return errors.New("pdb: combo has no terms")
+	}
+	for i := range us {
+		if cmplx.IsNaN(us[i]) || cmplx.IsInf(us[i]) {
+			return fmt.Errorf("pdb: non-finite combo coefficient u[%d] = %v", i, us[i])
+		}
+		if err := CheckAlphaC(alphas[i]); err != nil {
+			return fmt.Errorf("combo term %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// MustNoErr asserts an in-package call whose preconditions were just
+// established — typically a batch fan-out run with context.Background,
+// which never cancels — cannot have failed.
+func MustNoErr(err error) {
+	if err != nil {
+		panic(err)
+	}
+}
+
+// ErrNilOmega reports a nil ω weight function handed to a PRF query.
+var ErrNilOmega = errors.New("pdb: nil ω weight function")
+
+// CtxErr is the single-query cancellation check shared by every backend's
+// Query* methods (batch paths check per job inside the par fan-out
+// instead). A nil context reads as context.Background().
+func CtxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
+}
+
+// ComboSum accumulates the linear combination Σ_l us[l]·vals[l][i] over n
+// tuples, in term order. Every backend whose PRFe-combo evaluates terms
+// separately folds through this one helper: the summation order is part of
+// the bit-for-bit contract, so it must not drift between backends.
+func ComboSum(us []complex128, vals [][]complex128, n int) []complex128 {
+	out := make([]complex128, n)
+	for l := range us {
+		for i, v := range vals[l] {
+			out[i] += us[l] * v
+		}
+	}
+	return out
+}
+
+// CheckRankingIDs validates a caller-supplied ranking against a dataset of n
+// tuples: every ID in range and no duplicates — the preconditions the rank
+// distance metrics otherwise enforce by panicking.
+func CheckRankingIDs(r Ranking, n int) error {
+	seen := make(map[TupleID]struct{}, len(r))
+	for _, id := range r {
+		if int(id) < 0 || int(id) >= n {
+			return fmt.Errorf("pdb: ranking contains tuple %d outside 0..%d", id, n-1)
+		}
+		if _, dup := seen[id]; dup {
+			return fmt.Errorf("pdb: ranking contains tuple %d twice", id)
+		}
+		seen[id] = struct{}{}
+	}
+	return nil
+}

@@ -27,12 +27,14 @@
 package prf
 
 import (
+	"context"
 	"math/rand"
 
 	"repro/internal/andxor"
 	"repro/internal/baselines"
 	"repro/internal/core"
 	"repro/internal/dftapprox"
+	"repro/internal/engine"
 	"repro/internal/junction"
 	"repro/internal/learn"
 	"repro/internal/pdb"
@@ -76,6 +78,84 @@ func EnumerateWorlds(d *Dataset) ([]World, error) { return pdb.EnumerateWorlds(d
 
 // SampleWorld draws one possible world of an independent dataset.
 func SampleWorld(d *Dataset, rng *rand.Rand) World { return pdb.SampleWorld(d, rng) }
+
+// ---------------------------------------------------------------------------
+// The unified Ranker engine: one backend-agnostic query API over all four
+// correlation models.
+// ---------------------------------------------------------------------------
+
+type (
+	// Ranker is the backend capability interface of the unified engine,
+	// satisfied by all four prepared views: Prepared (tuple-independent),
+	// PreparedTree (and/xor correlations), PreparedNetwork (arbitrary
+	// correlations) and PreparedChain (Markov chains). Its Query* methods
+	// are context-aware and error-returning, and each backend dispatches to
+	// its fastest kernel.
+	Ranker = engine.Ranker
+	// Engine executes declarative ranking queries (Query) against any
+	// Ranker: Engine.Rank for single evaluations, Engine.RankBatch for α
+	// grids. Answers are bit-for-bit identical to the legacy flat
+	// functions; the engine adds dispatch, validation and cancellation,
+	// never arithmetic. Safe for concurrent use.
+	Engine = engine.Engine
+	// Query declares one ranking computation: a Metric, its parameters and
+	// an Output form.
+	Query = engine.Query
+	// Result is the answer to one Query.
+	Result = engine.Result
+	// Metric selects the ranking function of a Query.
+	Metric = engine.Metric
+	// Output selects the answer form of a Query.
+	Output = engine.Output
+)
+
+// The PRF family as query metrics.
+const (
+	MetricPRFe      = engine.MetricPRFe      // PRFe(α)
+	MetricPRFOmega  = engine.MetricPRFOmega  // PRFω(h) weight vector
+	MetricPTh       = engine.MetricPTh       // PT(h) / Global-top-k
+	MetricPRF       = engine.MetricPRF       // arbitrary ω
+	MetricERank     = engine.MetricERank     // expected rank (lower is better)
+	MetricPRFeCombo = engine.MetricPRFeCombo // Σ u_l·PRFe(α_l)
+)
+
+// Query output forms.
+const (
+	OutputValues  = engine.OutputValues  // per-tuple values by TupleID
+	OutputRanking = engine.OutputRanking // full best-first ranking
+	OutputTopK    = engine.OutputTopK    // first K of the ranking
+)
+
+// NewEngine wraps any prepared backend in the unified query engine.
+func NewEngine(r Ranker) *Engine { return engine.New(r) }
+
+// EngineFor prepares a tuple-independent dataset and wraps it: the one-call
+// path from data to unified queries.
+func EngineFor(d *Dataset) *Engine { return engine.New(core.Prepare(d)) }
+
+// EngineForTree prepares an and/xor tree and wraps it.
+func EngineForTree(t *Tree) *Engine { return engine.New(andxor.PrepareTree(t)) }
+
+// EngineForNetwork builds and calibrates the junction tree of a Markov
+// network and wraps the prepared view.
+func EngineForNetwork(net *MarkovNetwork) (*Engine, error) {
+	pn, err := junction.PrepareNetwork(net)
+	if err != nil {
+		return nil, err
+	}
+	return engine.New(pn), nil
+}
+
+// EngineForChain prepares a Markov chain and wraps it.
+func EngineForChain(c *MarkovChain) *Engine { return engine.New(junction.PrepareChain(c)) }
+
+// LearnAlphaRanker fits PRFe's α from a user-ranked sample held in ANY
+// backend — the one generic search behind LearnAlpha and LearnAlphaTree,
+// now also covering junction networks and Markov chains. The context aborts
+// long searches; malformed user rankings surface as errors.
+func LearnAlphaRanker(ctx context.Context, r Ranker, user Ranking, k, iters int) (AlphaResult, error) {
+	return learn.LearnAlphaRanker(ctx, r, user, k, iters)
+}
 
 // ---------------------------------------------------------------------------
 // Prepared evaluation (the repeated-query fast path).
@@ -147,28 +227,47 @@ func RankDistributionTrunc(d *Dataset, h int) *RankDistributionMatrix {
 
 // PRF evaluates Υω(t) for an arbitrary weight function in O(n²) time and
 // O(n) space. Results are indexed by TupleID.
+//
+// Deprecated: kept as a working one-shot wrapper. New code should use
+// EngineFor(d).Rank with MetricPRF, which adds validation, cancellation and
+// backend portability.
 func PRF(d *Dataset, omega WeightFunc) []float64 { return core.PRF(d, omega) }
 
 // PRFOmega evaluates the PRFω(h) family: w[j] is the weight of rank j+1 and
 // ranks beyond len(w) weigh zero. O(n·h + n log n).
+//
+// Deprecated: kept as a working one-shot wrapper. New code should use
+// EngineFor(d).Rank with MetricPRFOmega.
 func PRFOmega(d *Dataset, w []float64) []float64 { return core.PRFOmega(d, w) }
 
 // PTh evaluates Pr(r(t) ≤ h) — the probabilistic-threshold / Global-top-k
 // ranking function — for every tuple in O(n·h).
+//
+// Deprecated: kept as a working one-shot wrapper. New code should use
+// EngineFor(d).Rank with MetricPTh.
 func PTh(d *Dataset, h int) []float64 { return core.PTh(d, h) }
 
 // PRFe evaluates Υ_α(t) for every tuple with one linear scan (Equation 3).
 // See PRFeLog for the numerically robust variant at scale.
+//
+// Deprecated: kept as a working one-shot wrapper. New code should use
+// EngineFor(d).Rank with MetricPRFe.
 func PRFe(d *Dataset, alpha complex128) []complex128 { return core.PRFe(d, alpha) }
 
 // PRFeLog evaluates log|Υ_α(t)|, the underflow-free form used for ranking.
 func PRFeLog(d *Dataset, alpha complex128) []float64 { return core.PRFeLog(d, alpha) }
 
 // RankPRFe returns the full PRFe(α) ranking for real α ∈ [0, 1].
+//
+// Deprecated: kept as a working one-shot wrapper. New code should use
+// EngineFor(d).Rank with MetricPRFe and OutputRanking.
 func RankPRFe(d *Dataset, alpha float64) Ranking { return core.RankPRFe(d, alpha) }
 
 // PRFeCombo evaluates a linear combination Σ u_l·Υ_{α_l}(t) of PRFe
 // functions — the Section 5.1 approximate-PRFω backend. O(n·L).
+//
+// Deprecated: kept as a working one-shot wrapper. New code should use
+// EngineFor(d).Rank with MetricPRFeCombo.
 func PRFeCombo(d *Dataset, terms []ExpTerm) []complex128 { return core.PRFeCombo(d, terms) }
 
 // TopK ranks all tuples by non-increasing value and returns the best k IDs.
@@ -263,24 +362,43 @@ func TreeRankDistributionTrunc(t *Tree, h int) *RankDistributionMatrix {
 }
 
 // TreePRF evaluates Υω on a correlated dataset.
+//
+// Deprecated: kept as a working one-shot wrapper. New code should use
+// EngineForTree(t).Rank with MetricPRF — the same Query then runs on any
+// backend.
 func TreePRF(t *Tree, omega func(tu Tuple, rank int) float64) []float64 {
 	return andxor.PRF(t, omega)
 }
 
 // TreePRFOmega evaluates PRFω(h) on a correlated dataset.
+//
+// Deprecated: kept as a working one-shot wrapper. New code should use
+// EngineForTree(t).Rank with MetricPRFOmega.
 func TreePRFOmega(t *Tree, w []float64) []float64 { return andxor.PRFOmega(t, w) }
 
 // TreePTh evaluates PT(h) on a correlated dataset.
+//
+// Deprecated: kept as a working one-shot wrapper. New code should use
+// EngineForTree(t).Rank with MetricPTh.
 func TreePTh(t *Tree, h int) []float64 { return andxor.PTh(t, h) }
 
 // TreePRFe evaluates Υ_α on a correlated dataset with the incremental
 // Algorithm 3 (O(Σ depth(tᵢ) + n log n)).
+//
+// Deprecated: kept as a working one-shot wrapper. New code should use
+// EngineForTree(t).Rank with MetricPRFe.
 func TreePRFe(t *Tree, alpha complex128) []complex128 { return andxor.PRFeValues(t, alpha) }
 
 // TreeRankPRFe returns the PRFe(α) ranking of the tree's tuples.
+//
+// Deprecated: kept as a working one-shot wrapper. New code should use
+// EngineForTree(t).Rank with MetricPRFe and OutputRanking.
 func TreeRankPRFe(t *Tree, alpha float64) Ranking { return andxor.RankPRFe(t, alpha) }
 
 // TreePRFeCombo evaluates a linear combination of PRFe functions on a tree.
+//
+// Deprecated: kept as a working one-shot wrapper. New code should use
+// EngineForTree(t).Rank with MetricPRFeCombo.
 func TreePRFeCombo(t *Tree, us, alphas []complex128) []complex128 {
 	return andxor.PRFeCombo(t, us, alphas)
 }
@@ -453,11 +571,17 @@ func NetworkRankDistribution(net *MarkovNetwork) (*RankDistributionMatrix, error
 }
 
 // NetworkPRF evaluates Υω over a Markov network.
+//
+// Deprecated: kept as a working one-shot wrapper. New code should use
+// EngineForNetwork(net) and Rank with MetricPRF.
 func NetworkPRF(net *MarkovNetwork, omega func(tu Tuple, rank int) float64) ([]float64, error) {
 	return junction.PRF(net, omega)
 }
 
 // NetworkPRFe evaluates Υ_α over a Markov network.
+//
+// Deprecated: kept as a working one-shot wrapper. New code should use
+// EngineForNetwork(net) and Rank with MetricPRFe.
 func NetworkPRFe(net *MarkovNetwork, alpha complex128) ([]complex128, error) {
 	return junction.PRFe(net, alpha)
 }

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Regenerate api.txt, the snapshot of the repository's public API (the root
+# facade package — the internal packages are not public surface). CI diffs
+# the regenerated snapshot against the committed one, so any change to the
+# exported API must be deliberate: rerun this script and commit api.txt
+# alongside the change.
+#
+# Usage:
+#   scripts/apicheck.sh          # regenerate api.txt in place
+#   scripts/apicheck.sh -check   # regenerate and fail if it differs from HEAD
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+go doc -all . > api.txt
+
+if [[ "${1:-}" == "-check" ]]; then
+  if ! git diff --exit-code -- api.txt; then
+    echo "api.txt is stale: the public API changed without updating the snapshot." >&2
+    echo "Run scripts/apicheck.sh and commit the result." >&2
+    exit 1
+  fi
+fi

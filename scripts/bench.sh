@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Run the repeated-query benchmark suite and record the perf trajectory.
-# Usage: scripts/bench.sh [OUT.json]   (default: BENCH_3.json in the repo root)
+# Usage: scripts/bench.sh [OUT.json]   (default: BENCH_4.json in the repo root)
 set -euo pipefail
 cd "$(dirname "$0")/.."
-out="${1:-BENCH_3.json}"
+out="${1:-BENCH_4.json}"
 go run ./cmd/bench -out "$out"
