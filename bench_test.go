@@ -7,6 +7,7 @@ package prf_test
 import (
 	"context"
 	"math/rand"
+	"net/http"
 	"testing"
 
 	prf "repro"
@@ -14,6 +15,7 @@ import (
 	"repro/internal/benchwork"
 	"repro/internal/datagen"
 	"repro/internal/dftapprox"
+	"repro/internal/engine"
 	"repro/internal/poly"
 )
 
@@ -562,6 +564,52 @@ func BenchmarkCorrelatedPrepared(b *testing.B) {
 	b.Run("network-sweep-prepared", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			benchwork.NetworkSweepPrepared(net, netCalphas)
+		}
+	})
+}
+
+// BenchmarkDashboard measures the PR 5 engine-level result cache on the
+// repeated-dashboard workload: one op is a full dashboard refresh (the
+// panel query mix plus a ranked α sweep), uncached vs answered from the
+// canonical-query cache (warmed; steady-state hits).
+func BenchmarkDashboard(b *testing.B) {
+	e := benchwork.NewEngine(prf.Prepare(benchwork.Dataset(10000)))
+	qs := benchwork.DashboardQueries(10)
+	sweep := benchwork.DashboardSweep(16)
+	ce := benchwork.NewCachedEngine(e, 0)
+	benchwork.CachedDashboard(ce, qs, sweep) // warm
+	b.Run("uncached", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			benchwork.EngineDashboard(e, qs, sweep)
+		}
+	})
+	b.Run("cached", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			benchwork.CachedDashboard(ce, qs, sweep)
+		}
+	})
+}
+
+// BenchmarkServeRoundTrip measures full HTTP round trips through the
+// internal/serve front end (PR 5): a PRFe top-k panel against an uncached
+// and a cached (warmed) dataset.
+func BenchmarkServeRoundTrip(b *testing.B) {
+	v := prf.Prepare(benchwork.Dataset(10000))
+	client := &http.Client{}
+	body := benchwork.ServeRankBody("bench", 0.95, 10)
+	uncached := benchwork.StartServeFixture(map[string]*engine.Engine{"bench": benchwork.NewEngine(v)}, -1)
+	defer uncached.Close()
+	cached := benchwork.StartServeFixture(map[string]*engine.Engine{"bench": benchwork.NewEngine(v)}, 0)
+	defer cached.Close()
+	benchwork.ServeRoundTrip(client, cached.URL+"/rank", body) // warm
+	b.Run("uncached", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			benchwork.ServeRoundTrip(client, uncached.URL+"/rank", body)
+		}
+	})
+	b.Run("cached", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			benchwork.ServeRoundTrip(client, cached.URL+"/rank", body)
 		}
 	})
 }

@@ -4,7 +4,10 @@
 //
 // Usage:
 //
-//	bench [-out BENCH_3.json] [-n 10000] [-grid 16] [-terms 20] [-smoke]
+//	bench [-out BENCH_5.json] [-n 10000] [-grid 16] [-terms 20]
+//	bench -smoke                      # run every workload once, tiny sizes
+//	bench -smoke -out ci.json         # quick-measured smoke report
+//	bench -diff OLD.json NEW.json     # regression gate (scripts/benchdiff.sh)
 //
 // The workload bodies are shared with the root bench_test.go suite via
 // internal/benchwork, so the JSON records exactly what `go test -bench`
@@ -24,28 +27,47 @@
 //   - correlated: PRFe, α sweeps and PRFe combinations on and/xor trees
 //     (Syn-XOR x-tuples and Syn-HIGH deep correlation), the Section 9.3
 //     Markov chain (product-tree prepared path vs the Θ(n³) partial-sum DP)
-//     and the Section 9.4 junction tree (prepared: build + DP once, fold per
-//     α — vs one-shot: rebuild + re-run per α). The `correlated/prepared/*`
-//     workloads are the PR 3 prepared-engine arms.
+//     and the Section 9.4 junction tree (prepared vs one-shot);
 //   - engine: the unified Ranker engine (PR 4). ONE generic sweep body runs
 //     against all four backends through Engine.RankBatch dispatch; the
-//     independent arms are paired with direct prepared-view calls so the
-//     `engine * overhead` entries certify dispatch cost (acceptance: ≤ 5%).
+//     `engine * overhead` entries certify dispatch cost (≤ 5%);
+//   - engine/cached: the PR 5 engine-level result cache on the
+//     repeated-dashboard workload (a panel mix re-issued per refresh) —
+//     cached refreshes must be ≥ 5x the uncached engine;
+//   - serve: HTTP round trips through the internal/serve front end, with
+//     and without the per-dataset cache.
 //
-// -smoke runs every workload body exactly once at tiny sizes and writes no
-// file — the CI guard that keeps the bench workloads compiling and running.
+// Modes beyond the full measured run:
+//
+//   - -smoke runs every workload body exactly once at tiny sizes and writes
+//     no file — the CI guard that keeps the workloads compiling and running.
+//     With -out it instead quick-measures each workload (short timed loops)
+//     and writes a smoke-sized report for the regression gate.
+//   - -diff compares two reports: dimensionless speedup ratios are the
+//     gated signal (same-machine, same-size internal ratios — they survive
+//     machine and size changes between reports), with warnings at
+//     -warn-ratio and a non-zero exit beyond -fail-ratio; absolute timings
+//     are compared warn-only and only between same-size reports. Keys
+//     containing "overhead" are lower-is-better and gate inverted. The full
+//     run embeds a quick-measured smoke section precisely so later -diff
+//     runs compare smoke against smoke, size-for-size.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"runtime"
+	"sort"
+	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/benchwork"
 	"repro/internal/core"
+	"repro/internal/engine"
 )
 
 // Result is one measured benchmark case.
@@ -58,7 +80,20 @@ type Result struct {
 	BytesOp  int64   `json:"bytes_per_op"`
 }
 
-// Report is the full BENCH_N.json payload.
+// Section is one measured run of the whole suite at one size
+// configuration.
+type Section struct {
+	N          int                `json:"dataset_size"`
+	GridPoints int                `json:"spectrum_grid_points"`
+	ComboTerms int                `json:"combo_terms"`
+	ChainN     int                `json:"chain_length"`
+	Results    []Result           `json:"results"`
+	Speedups   map[string]float64 `json:"speedups"`
+}
+
+// Report is the full BENCH_N.json payload: the full-size section inline
+// (compatible with earlier BENCH files) plus a quick-measured smoke-size
+// section for the size-for-size regression gate.
 type Report struct {
 	GoVersion  string             `json:"go_version"`
 	GOOS       string             `json:"goos"`
@@ -70,9 +105,15 @@ type Report struct {
 	ChainN     int                `json:"chain_length"`
 	Results    []Result           `json:"results"`
 	Speedups   map[string]float64 `json:"speedups"`
+	Smoke      *Section           `json:"smoke,omitempty"`
 }
 
-func measure(name string, op func()) Result {
+// measureFunc turns one workload body into a measurement; nil means smoke
+// mode (run once, no timing).
+type measureFunc func(name string, op func()) Result
+
+// fullMeasure is the stdlib benchmark harness (≈1 s per workload).
+func fullMeasure(name string, op func()) Result {
 	r := testing.Benchmark(func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
@@ -89,67 +130,61 @@ func measure(name string, op func()) Result {
 	}
 }
 
-func main() {
-	var (
-		out    = flag.String("out", "BENCH_4.json", "output JSON path")
-		n      = flag.Int("n", 10000, "dataset size")
-		grid   = flag.Int("grid", 16, "α grid points for the spectrum sweeps")
-		terms  = flag.Int("terms", 20, "terms in the PRFe combination")
-		chainN = flag.Int("chain", 200, "Markov-chain length (the DP arm is cubic: keep small)")
-		smoke  = flag.Bool("smoke", false, "run every workload once at tiny sizes, write nothing")
-	)
-	flag.Parse()
+// quickMeasure is the short harness behind the smoke report: one warm-up
+// run, then timed iterations until ~150 ms have elapsed. Coarser than
+// fullMeasure but cheap enough to run the whole suite per CI job; the
+// regression gate's tolerances account for the extra noise.
+func quickMeasure(name string, op func()) Result {
+	op() // warm-up, excluded
+	const budget = 150 * time.Millisecond
+	var iters int
+	start := time.Now()
+	for time.Since(start) < budget {
+		op()
+		iters++
+	}
+	ns := float64(time.Since(start).Nanoseconds()) / float64(iters)
+	return Result{Name: name, Iters: iters, NsPerOp: ns, MsPerOp: ns / 1e6}
+}
 
-	if *smoke {
-		*n, *grid, *terms, *chainN = 400, 4, 6, 32
+// runSuite builds every workload at the given sizes and measures (or, with
+// a nil measure, just runs) each one.
+func runSuite(n, grid, terms, chainN int, meas measureFunc) Section {
+	sec := Section{N: n, GridPoints: grid, ComboTerms: terms, ChainN: chainN, Speedups: map[string]float64{}}
+	add := func(name string, op func()) Result {
+		if meas == nil {
+			op()
+			fmt.Printf("%-44s ok\n", name)
+			return Result{Name: name}
+		}
+		r := meas(name, op)
+		sec.Results = append(sec.Results, r)
+		fmt.Printf("%-44s %12.3f ms/op  (%d iters, %d allocs/op)\n",
+			r.Name, r.MsPerOp, r.Iters, r.AllocsOp)
+		return r
 	}
 
-	d := benchwork.Dataset(*n)
-	alphas, calphas := benchwork.Grid(*grid)
-	expTerms := benchwork.Terms(*terms)
+	d := benchwork.Dataset(n)
+	alphas, calphas := benchwork.Grid(grid)
+	expTerms := benchwork.Terms(terms)
 	v := core.Prepare(d)
-	pairs := benchwork.CrossingPairs(*n, 64)
-	xorTree := benchwork.XTupleTree(*n)
-	deepTree := benchwork.DeepTree(*n)
-	chain := benchwork.MarkovChain(*chainN)
+	pairs := benchwork.CrossingPairs(n, 64)
+	xorTree := benchwork.XTupleTree(n)
+	deepTree := benchwork.DeepTree(n)
+	chain := benchwork.MarkovChain(chainN)
 	// The one-shot junction arm re-triangulates and re-runs the Θ(n³) DP per
 	// grid point, so the generic-network sweep runs on a shorter chain and a
 	// sub-grid to keep the suite's wall clock sane.
-	netN := *chainN / 2
+	netN := chainN / 2
 	if netN < 2 {
 		netN = 2
 	}
 	net := benchwork.ChainNetwork(benchwork.MarkovChain(netN))
-	netGrid := *grid / 2
+	netGrid := grid / 2
 	if netGrid < 1 {
 		netGrid = 1
 	}
 	_, netCalphas := benchwork.Grid(netGrid)
-
-	report := Report{
-		GoVersion:  runtime.Version(),
-		GOOS:       runtime.GOOS,
-		GOARCH:     runtime.GOARCH,
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		N:          *n,
-		GridPoints: *grid,
-		ComboTerms: *terms,
-		ChainN:     *chainN,
-		Speedups:   map[string]float64{},
-	}
-
-	add := func(name string, op func()) Result {
-		if *smoke {
-			op()
-			fmt.Printf("%-40s ok\n", name)
-			return Result{Name: name}
-		}
-		r := measure(name, op)
-		report.Results = append(report.Results, r)
-		fmt.Printf("%-40s %12.3f ms/op  (%d iters, %d allocs/op)\n",
-			r.Name, r.MsPerOp, r.Iters, r.AllocsOp)
-		return r
-	}
 
 	spOne := add("spectrum/oneshot", func() { benchwork.SpectrumOneShot(d, calphas) })
 	spPrep := add("spectrum/prepared", func() { benchwork.SpectrumPrepared(d, calphas) })
@@ -205,46 +240,276 @@ func main() {
 	add("engine/network-rank-sweep", func() { benchwork.EngineRankSweep(engNet, netAlphas) })
 	add("engine/tree-value-sweep", func() { benchwork.EngineValueSweep(engTree, alphas) })
 
-	if *smoke {
-		fmt.Println("\nsmoke ok: all workloads ran")
+	// Engine-level cache arms (PR 5): one dashboard refresh = the panel mix
+	// plus the ranked sweep. The cached engine is warmed before measurement
+	// so ops measure steady-state hits (the realistic repeated-dashboard
+	// regime); correctness of warm answers is certified in cache_test.go.
+	dashQs := benchwork.DashboardQueries(10)
+	dashSweep := benchwork.DashboardSweep(grid)
+	cachedEng := benchwork.NewCachedEngine(engIndep, 0)
+	benchwork.CachedDashboard(cachedEng, dashQs, dashSweep) // warm
+	dashUn := add("engine/dashboard", func() { benchwork.EngineDashboard(engIndep, dashQs, dashSweep) })
+	dashHot := add("engine/cached/dashboard", func() { benchwork.CachedDashboard(cachedEng, dashQs, dashSweep) })
+
+	// Serving-layer arms: full HTTP round trips against the in-process
+	// front end, with and without the per-dataset cache.
+	serveEngines := func() map[string]*engine.Engine {
+		return map[string]*engine.Engine{"bench": benchwork.NewEngine(v)}
+	}
+	uncachedSrv := benchwork.StartServeFixture(serveEngines(), -1)
+	defer uncachedSrv.Close()
+	cachedSrv := benchwork.StartServeFixture(serveEngines(), 0)
+	defer cachedSrv.Close()
+	client := &http.Client{}
+	rankBody := benchwork.ServeRankBody("bench", 0.95, 10)
+	batchBody := benchwork.ServeBatchBody("bench", grid)
+	benchwork.ServeRoundTrip(client, cachedSrv.URL+"/rank", rankBody) // warm
+	benchwork.ServeRoundTrip(client, cachedSrv.URL+"/rankbatch", batchBody)
+	srvUn := add("serve/rank-topk", func() { benchwork.ServeRoundTrip(client, uncachedSrv.URL+"/rank", rankBody) })
+	srvHot := add("serve/cached/rank-topk", func() { benchwork.ServeRoundTrip(client, cachedSrv.URL+"/rank", rankBody) })
+	srvBatchUn := add("serve/rankbatch-sweep", func() { benchwork.ServeRoundTrip(client, uncachedSrv.URL+"/rankbatch", batchBody) })
+	srvBatchHot := add("serve/cached/rankbatch-sweep", func() { benchwork.ServeRoundTrip(client, cachedSrv.URL+"/rankbatch", batchBody) })
+
+	if meas == nil {
+		return sec
+	}
+
+	sec.Speedups["spectrum prepared vs oneshot"] = spOne.NsPerOp / spPrep.NsPerOp
+	sec.Speedups["spectrum parallel vs oneshot"] = spOne.NsPerOp / spPar.NsPerOp
+	sec.Speedups["ranked spectrum prepared vs oneshot"] = rkOne.NsPerOp / rkPrep.NsPerOp
+	sec.Speedups["ranked spectrum parallel vs oneshot"] = rkOne.NsPerOp / rkPar.NsPerOp
+	sec.Speedups["ranked spectrum kinetic vs oneshot"] = rkOne.NsPerOp / rkKin.NsPerOp
+	sec.Speedups["ranked spectrum kinetic vs prepared"] = rkPrep.NsPerOp / rkKin.NsPerOp
+	sec.Speedups["crossing incremental vs reference"] = crRef.NsPerOp / crInc.NsPerOp
+	sec.Speedups["combo fused vs multipass"] = cbMulti.NsPerOp / cbFused.NsPerOp
+	sec.Speedups["combo fused vs oneshot"] = cbOne.NsPerOp / cbFused.NsPerOp
+	sec.Speedups["combo parallel vs multipass"] = cbMulti.NsPerOp / cbPar.NsPerOp
+	sec.Speedups["andxor xor sweep prepared vs oneshot"] = axSwOne.NsPerOp / axSwPrep.NsPerOp
+	sec.Speedups["andxor high sweep prepared vs oneshot"] = hiSwOne.NsPerOp / hiSwPrep.NsPerOp
+	sec.Speedups["andxor combo prepared vs oneshot"] = axCbOne.NsPerOp / axCbPrep.NsPerOp
+	sec.Speedups["chain prfe product-tree vs DP"] = chDP.NsPerOp / chFast.NsPerOp
+	sec.Speedups["chain sweep prepared vs per-query DP"] =
+		chDP.NsPerOp * float64(grid) / chSweep.NsPerOp
+	sec.Speedups["network sweep prepared vs oneshot"] = netOne.NsPerOp / netPrep.NsPerOp
+	// Dispatch-overhead ratios (engine time / direct time): the api_redesign
+	// acceptance criterion is ≤ 1.05 on the ranked and top-k α-sweep pairs.
+	sec.Speedups["engine rank sweep overhead (engine/direct)"] = engRank.NsPerOp / dirRank.NsPerOp
+	sec.Speedups["engine topk sweep overhead (engine/direct)"] = engTopK.NsPerOp / dirTopK.NsPerOp
+	// Cache and serving headlines (PR 5): the ci acceptance criterion is
+	// ≥ 5x on the cached dashboard.
+	sec.Speedups["engine cached dashboard vs uncached"] = dashUn.NsPerOp / dashHot.NsPerOp
+	sec.Speedups["serve cached rank vs uncached"] = srvUn.NsPerOp / srvHot.NsPerOp
+	sec.Speedups["serve cached sweep vs uncached"] = srvBatchUn.NsPerOp / srvBatchHot.NsPerOp
+	return sec
+}
+
+func main() {
+	var (
+		out       = flag.String("out", "", "output JSON path (default BENCH_5.json; in -smoke mode: no file unless set)")
+		n         = flag.Int("n", 10000, "dataset size")
+		grid      = flag.Int("grid", 16, "α grid points for the spectrum sweeps")
+		terms     = flag.Int("terms", 20, "terms in the PRFe combination")
+		chainN    = flag.Int("chain", 200, "Markov-chain length (the DP arm is cubic: keep small)")
+		smoke     = flag.Bool("smoke", false, "run every workload once at tiny sizes (with -out: quick-measure and write a report)")
+		diff      = flag.Bool("diff", false, "compare two reports: bench -diff OLD.json NEW.json")
+		warnRatio = flag.Float64("warn-ratio", 1.5, "-diff: annotate speedup regressions beyond this ratio")
+		failRatio = flag.Float64("fail-ratio", 5, "-diff: exit non-zero on speedup regressions beyond this ratio")
+	)
+	flag.Parse()
+
+	if *diff {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "bench: -diff needs exactly two report paths: bench -diff OLD.json NEW.json")
+			os.Exit(2)
+		}
+		if err := runDiff(flag.Arg(0), flag.Arg(1), *warnRatio, *failRatio); err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
 		return
 	}
 
-	report.Speedups["spectrum prepared vs oneshot"] = spOne.NsPerOp / spPrep.NsPerOp
-	report.Speedups["spectrum parallel vs oneshot"] = spOne.NsPerOp / spPar.NsPerOp
-	report.Speedups["ranked spectrum prepared vs oneshot"] = rkOne.NsPerOp / rkPrep.NsPerOp
-	report.Speedups["ranked spectrum parallel vs oneshot"] = rkOne.NsPerOp / rkPar.NsPerOp
-	report.Speedups["ranked spectrum kinetic vs oneshot"] = rkOne.NsPerOp / rkKin.NsPerOp
-	report.Speedups["ranked spectrum kinetic vs prepared"] = rkPrep.NsPerOp / rkKin.NsPerOp
-	report.Speedups["crossing incremental vs reference"] = crRef.NsPerOp / crInc.NsPerOp
-	report.Speedups["combo fused vs multipass"] = cbMulti.NsPerOp / cbFused.NsPerOp
-	report.Speedups["combo fused vs oneshot"] = cbOne.NsPerOp / cbFused.NsPerOp
-	report.Speedups["combo parallel vs multipass"] = cbMulti.NsPerOp / cbPar.NsPerOp
-	report.Speedups["andxor xor sweep prepared vs oneshot"] = axSwOne.NsPerOp / axSwPrep.NsPerOp
-	report.Speedups["andxor high sweep prepared vs oneshot"] = hiSwOne.NsPerOp / hiSwPrep.NsPerOp
-	report.Speedups["andxor combo prepared vs oneshot"] = axCbOne.NsPerOp / axCbPrep.NsPerOp
-	report.Speedups["chain prfe product-tree vs DP"] = chDP.NsPerOp / chFast.NsPerOp
-	report.Speedups["chain sweep prepared vs per-query DP"] =
-		chDP.NsPerOp * float64(*grid) / chSweep.NsPerOp
-	report.Speedups["network sweep prepared vs oneshot"] = netOne.NsPerOp / netPrep.NsPerOp
-	// Dispatch-overhead ratios (engine time / direct time): the api_redesign
-	// acceptance criterion is ≤ 1.05 on the ranked and top-k α-sweep pairs.
-	report.Speedups["engine rank sweep overhead (engine/direct)"] = engRank.NsPerOp / dirRank.NsPerOp
-	report.Speedups["engine topk sweep overhead (engine/direct)"] = engTopK.NsPerOp / dirTopK.NsPerOp
+	const smokeN, smokeGrid, smokeTerms, smokeChain = 400, 4, 6, 32
 
+	if *smoke {
+		if *out == "" {
+			runSuite(smokeN, smokeGrid, smokeTerms, smokeChain, nil)
+			fmt.Println("\nsmoke ok: all workloads ran")
+			return
+		}
+		sec := runSuite(smokeN, smokeGrid, smokeTerms, smokeChain, quickMeasure)
+		report := newReport(sec)
+		report.Smoke = &sec
+		writeReport(report, *out)
+		return
+	}
+
+	if *out == "" {
+		*out = "BENCH_5.json"
+	}
+	sec := runSuite(*n, *grid, *terms, *chainN, fullMeasure)
+	report := newReport(sec)
+	fmt.Println("\nquick-measuring the smoke-size section for the regression gate…")
+	smokeSec := runSuite(smokeN, smokeGrid, smokeTerms, smokeChain, quickMeasure)
+	report.Smoke = &smokeSec
+	writeReport(report, *out)
+}
+
+func newReport(sec Section) Report {
+	return Report{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		N:          sec.N,
+		GridPoints: sec.GridPoints,
+		ComboTerms: sec.ComboTerms,
+		ChainN:     sec.ChainN,
+		Results:    sec.Results,
+		Speedups:   sec.Speedups,
+	}
+}
+
+func writeReport(report Report, out string) {
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bench:", err)
 		os.Exit(1)
 	}
 	data = append(data, '\n')
-	if err := os.WriteFile(*out, data, 0o644); err != nil {
+	if err := os.WriteFile(out, data, 0o644); err != nil {
 		fmt.Fprintln(os.Stderr, "bench:", err)
 		os.Exit(1)
 	}
 	fmt.Println("\nspeedups:")
-	for k, s := range report.Speedups {
-		fmt.Printf("  %-42s %.2fx\n", k, s)
+	keys := sortedKeys(report.Speedups)
+	for _, k := range keys {
+		fmt.Printf("  %-44s %.2fx\n", k, report.Speedups[k])
 	}
-	fmt.Println("\nwrote", *out)
+	fmt.Println("\nwrote", out)
+}
+
+// ---------------------------------------------------------------------------
+// -diff: the benchmark regression gate.
+// ---------------------------------------------------------------------------
+
+// pickSection prefers a report's smoke section (quick-measured, smoke
+// sizes — directly comparable across reports) over its full-size body.
+func pickSection(r Report) Section {
+	if r.Smoke != nil {
+		return *r.Smoke
+	}
+	return Section{N: r.N, GridPoints: r.GridPoints, ComboTerms: r.ComboTerms,
+		ChainN: r.ChainN, Results: r.Results, Speedups: r.Speedups}
+}
+
+func loadReport(path string) (Report, error) {
+	var r Report
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return r, err
+	}
+	if err := json.Unmarshal(data, &r); err != nil {
+		return r, fmt.Errorf("%s: %w", path, err)
+	}
+	return r, nil
+}
+
+// runDiff compares the old report's section against the new one. Speedup
+// ratios gate (warn beyond warnRatio, fail beyond failRatio); absolute
+// timings warn only, and only when both sections ran the same sizes.
+func runDiff(oldPath, newPath string, warnRatio, failRatio float64) error {
+	oldRep, err := loadReport(oldPath)
+	if err != nil {
+		return err
+	}
+	newRep, err := loadReport(newPath)
+	if err != nil {
+		return err
+	}
+	oldSec, newSec := pickSection(oldRep), pickSection(newRep)
+	sameSizes := oldSec.N == newSec.N && oldSec.GridPoints == newSec.GridPoints &&
+		oldSec.ComboTerms == newSec.ComboTerms && oldSec.ChainN == newSec.ChainN
+
+	fmt.Printf("bench diff: %s (n=%d) → %s (n=%d)\n\n", oldPath, oldSec.N, newPath, newSec.N)
+	if !sameSizes {
+		// Many speedups are asymptotic (the chain product-tree arm is
+		// n³/n·log n), so comparing them across dataset sizes cannot gate
+		// hard — everything demotes to warnings. The checked-in baseline
+		// normally carries a smoke-sized section, making this path rare.
+		fmt.Println("note: section sizes differ — speedup comparison is warn-only")
+	}
+	fmt.Printf("%-46s %10s %10s %8s\n", "speedup", "old", "new", "status")
+	failed := []string{}
+	for _, key := range sortedKeys(oldSec.Speedups) {
+		oldV := oldSec.Speedups[key]
+		newV, ok := newSec.Speedups[key]
+		if !ok {
+			// A vanished key must not silently drop out of the gate: a
+			// renamed or deleted arm is exactly the kind of rot to surface.
+			fmt.Printf("::warning::bench gate: speedup %q (was %.2fx) is missing from the new report\n", key, oldV)
+			fmt.Printf("%-46s %9.2fx %10s %8s\n", key, oldV, "—", "missing")
+			continue
+		}
+		if oldV <= 0 || newV <= 0 {
+			continue
+		}
+		// "overhead" keys are lower-is-better ratios; everything else is a
+		// higher-is-better speedup.
+		regression := oldV / newV
+		if strings.Contains(key, "overhead") {
+			regression = newV / oldV
+		}
+		status := "ok"
+		switch {
+		case regression > failRatio && sameSizes:
+			status = "FAIL"
+			failed = append(failed, key)
+			fmt.Printf("::error::bench regression: %q was %.2fx, now %.2fx (>%gx off)\n",
+				key, oldV, newV, failRatio)
+		case regression > warnRatio:
+			status = "warn"
+			fmt.Printf("::warning::bench drift: %q was %.2fx, now %.2fx\n", key, oldV, newV)
+		}
+		fmt.Printf("%-46s %9.2fx %9.2fx %8s\n", key, oldV, newV, status)
+	}
+	if sameSizes {
+		oldByName := map[string]Result{}
+		for _, r := range oldSec.Results {
+			oldByName[r.Name] = r
+		}
+		fmt.Printf("\n%-46s %12s %12s %8s\n", "workload", "old ms/op", "new ms/op", "ratio")
+		for _, nr := range newSec.Results {
+			or, ok := oldByName[nr.Name]
+			if !ok || or.NsPerOp <= 0 || nr.NsPerOp <= 0 {
+				continue
+			}
+			ratio := nr.NsPerOp / or.NsPerOp
+			fmt.Printf("%-46s %12.3f %12.3f %7.2fx\n", nr.Name, or.MsPerOp, nr.MsPerOp, ratio)
+			if ratio > 3 {
+				// Absolute timings vary with hardware, so this never fails the
+				// gate — it only leaves an annotation trail.
+				fmt.Printf("::warning::bench timing drift: %q %.3f → %.3f ms/op (%.1fx)\n",
+					nr.Name, or.MsPerOp, nr.MsPerOp, ratio)
+			}
+		}
+	} else {
+		fmt.Printf("\n(timing comparison skipped: section sizes differ, n=%d vs n=%d)\n", oldSec.N, newSec.N)
+	}
+
+	if len(failed) > 0 {
+		return fmt.Errorf("%d speedup(s) regressed beyond %gx: %s",
+			len(failed), failRatio, strings.Join(failed, ", "))
+	}
+	fmt.Println("\nbench diff: no hard regressions")
+	return nil
+}
+
+func sortedKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }

@@ -293,28 +293,9 @@ func readInput(path string) (*pdb.Dataset, []string, *andxor.Tree, error) {
 		d, err := pdb.NewDataset(scores, probs)
 		return d, nil, nil, err
 	}
-	// Build x-tuple groups in first-appearance order; ungrouped rows get
-	// their own singleton group.
-	order := []string{}
-	byLabel := map[string][]andxor.Alternative{}
-	leafLabels := make([]string, 0, len(scores))
-	for i := range scores {
-		l := labels[i]
-		if l == "" {
-			l = fmt.Sprintf("_row%d", i)
-		}
-		if _, ok := byLabel[l]; !ok {
-			order = append(order, l)
-		}
-		byLabel[l] = append(byLabel[l], andxor.Alternative{Score: scores[i], Prob: probs[i]})
-	}
-	var gs [][]andxor.Alternative
-	for _, l := range order {
-		for range byLabel[l] {
-			leafLabels = append(leafLabels, l)
-		}
-		gs = append(gs, byLabel[l])
-	}
+	// The shared CSV-to-x-relation convention lives in andxor.GroupRows so
+	// this CLI and the serving layer group identically.
+	gs, leafLabels := andxor.GroupRows(scores, probs, labels)
 	tree, err := andxor.XTuples(gs)
 	if err != nil {
 		return nil, nil, nil, err

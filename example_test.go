@@ -161,6 +161,29 @@ func ExampleEngine_network() {
 	// [0 1 2]
 }
 
+// Repeated dashboards wrap the engine in the result cache: identical
+// queries after the first answer from the canonical-query LRU, bit for bit.
+// Prepared views are immutable, so the cache never invalidates.
+func ExampleNewCachedEngine() {
+	d, _ := prf.NewDataset(
+		[]float64{100, 80, 50, 30},
+		[]float64{0.4, 0.6, 0.5, 0.9},
+	)
+	cached := prf.NewCachedEngine(prf.EngineFor(d), 128)
+	q := prf.Query{Metric: prf.MetricPRFe, Alpha: 0.5, Output: prf.OutputTopK, K: 2}
+	for refresh := 0; refresh < 3; refresh++ {
+		res, _ := cached.Rank(context.Background(), q)
+		fmt.Println(res.Ranking)
+	}
+	st := cached.Stats()
+	fmt.Printf("hits=%d misses=%d\n", st.Hits, st.Misses)
+	// Output:
+	// [1 0]
+	// [1 0]
+	// [1 0]
+	// hits=2 misses=1
+}
+
 // Markov chains get the O(n log n) product-tree PRFe kernel behind the
 // same API.
 func ExampleEngine_chain() {

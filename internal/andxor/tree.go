@@ -453,6 +453,51 @@ type Alternative struct {
 	Prob  float64
 }
 
+// GroupRows turns labeled score/probability rows into x-tuple groups: rows
+// sharing a non-empty label are mutually exclusive alternatives of one
+// x-tuple (groups form in label first-appearance order), rows with an empty
+// label become singleton x-tuples at their own position. Grouping never
+// involves synthetic labels, so a user label can never merge with a
+// singleton. leafLabels gives each resulting leaf its group label, in
+// XTuples ID order; singletons get the display-only label "#row<i>" (i the
+// input row) — "#" keeps it visually apart from user labels, though a user
+// label could still spell the same string (it would only look alike, never
+// group together). This is the one shared CSV-to-x-relation convention:
+// cmd/prfrank and the serving layer's loader must group identically or the
+// same file would rank differently per surface.
+func GroupRows(scores, probs []float64, labels []string) (groups [][]Alternative, leafLabels []string) {
+	type xgroup struct {
+		label string
+		alts  []Alternative
+	}
+	var units []*xgroup
+	byLabel := map[string]*xgroup{}
+	for i := range scores {
+		alt := Alternative{Score: scores[i], Prob: probs[i]}
+		l := labels[i]
+		if l == "" {
+			units = append(units, &xgroup{label: fmt.Sprintf("#row%d", i), alts: []Alternative{alt}})
+			continue
+		}
+		u, ok := byLabel[l]
+		if !ok {
+			u = &xgroup{label: l}
+			byLabel[l] = u
+			units = append(units, u)
+		}
+		u.alts = append(u.alts, alt)
+	}
+	groups = make([][]Alternative, len(units))
+	leafLabels = make([]string, 0, len(scores))
+	for g, u := range units {
+		groups[g] = u.alts
+		for range u.alts {
+			leafLabels = append(leafLabels, u.label)
+		}
+	}
+	return groups, leafLabels
+}
+
 // XTuples builds the classic x-tuple model: a ∧ root over one ∨ node per
 // group of mutually exclusive alternatives (height 2). Leaves of group g get
 // the key "x<g>". Tuple IDs are assigned group by group in alternative

@@ -9,7 +9,7 @@
 // machinery at the complexities the paper quotes; correlated versions run on
 // probabilistic and/xor trees through the andxor package. U-Top has no
 // polynomial algorithm for correlated data, so the tree version is a
-// Monte-Carlo estimator (documented substitution, DESIGN.md §5).
+// Monte-Carlo estimator (documented substitution, DESIGN.md §6).
 package baselines
 
 import (

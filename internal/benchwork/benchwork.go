@@ -6,8 +6,14 @@
 package benchwork
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
+	"fmt"
+	"io"
 	"math/rand"
+	"net/http"
+	"net/http/httptest"
 
 	"repro/internal/andxor"
 	"repro/internal/core"
@@ -16,6 +22,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/junction"
 	"repro/internal/pdb"
+	"repro/internal/serve"
 )
 
 // DatasetSeed fixes the workload dataset so runs are comparable across PRs.
@@ -340,6 +347,121 @@ func DirectRankSweep(v *core.Prepared, alphas []float64) {
 // DirectTopKSweep is the direct arm of EngineTopKSweep.
 func DirectTopKSweep(v *core.Prepared, alphas []float64, k int) {
 	v.TopKPRFeBatch(alphas, k)
+}
+
+// ---------------------------------------------------------------------------
+// Serving-layer workloads (PR 5): the repeated-dashboard query mix behind
+// the engine-level result cache, and HTTP round trips through internal/serve.
+// ---------------------------------------------------------------------------
+
+// DashboardQueries returns the repeated-dashboard workload: the single-shot
+// query mix a monitoring dashboard re-issues on every refresh — PRFe top-k
+// boards at several α, a full ranking, a PT(h) board and an expected-rank
+// board.
+func DashboardQueries(k int) []engine.Query {
+	return []engine.Query{
+		{Metric: engine.MetricPRFe, Alpha: 0.95, Output: engine.OutputTopK, K: k},
+		{Metric: engine.MetricPRFe, Alpha: 0.5, Output: engine.OutputTopK, K: k},
+		{Metric: engine.MetricPRFe, Alpha: 0.99, Output: engine.OutputRanking},
+		{Metric: engine.MetricPTh, H: k, Output: engine.OutputRanking},
+		{Metric: engine.MetricERank, Output: engine.OutputTopK, K: k},
+	}
+}
+
+// DashboardSweep returns the dashboard's spectrum panel: a ranked PRFe
+// batch over a monotone α grid.
+func DashboardSweep(gridPoints int) engine.Query {
+	alphas, _ := Grid(gridPoints)
+	return engine.Query{Metric: engine.MetricPRFe, Alphas: alphas, Output: engine.OutputRanking}
+}
+
+// EngineDashboard renders one dashboard refresh through the uncached
+// engine: every panel re-evaluates (one op = all panels + the sweep).
+func EngineDashboard(e *engine.Engine, qs []engine.Query, sweep engine.Query) {
+	ctx := context.Background()
+	for _, q := range qs {
+		if _, err := e.Rank(ctx, q); err != nil {
+			panic(err)
+		}
+	}
+	if _, err := e.RankBatch(ctx, sweep); err != nil {
+		panic(err)
+	}
+}
+
+// CachedDashboard renders the same refresh through the cache-wrapped
+// engine: after the first refresh every panel answers from the canonical
+// (Query → Result) cache.
+func CachedDashboard(ce *engine.CachedEngine, qs []engine.Query, sweep engine.Query) {
+	ctx := context.Background()
+	for _, q := range qs {
+		if _, err := ce.Rank(ctx, q); err != nil {
+			panic(err)
+		}
+	}
+	if _, err := ce.RankBatch(ctx, sweep); err != nil {
+		panic(err)
+	}
+}
+
+// NewCachedEngine wraps an engine in the engine-level result cache —
+// hoisted like NewEngine so ops measure lookups, not construction.
+func NewCachedEngine(e *engine.Engine, capacity int) *engine.CachedEngine {
+	return engine.NewCached(e, capacity)
+}
+
+// StartServeFixture starts an in-process HTTP server over the given
+// engines, with per-dataset caching at the given capacity (negative
+// disables). Callers must Close the returned server.
+func StartServeFixture(engines map[string]*engine.Engine, cacheCapacity int) *httptest.Server {
+	s := serve.New(serve.Options{CacheCapacity: cacheCapacity})
+	for name, e := range engines {
+		if err := s.AddDataset(name, e); err != nil {
+			panic(err)
+		}
+	}
+	return httptest.NewServer(s)
+}
+
+// ServeRankBody marshals the /rank request for a PRFe top-k panel.
+func ServeRankBody(dataset string, alpha float64, k int) []byte {
+	return mustJSON(serve.RankRequest{Dataset: dataset, Query: serve.WireQuery{
+		Metric: "prfe", Alpha: alpha, Output: "topk", K: k,
+	}})
+}
+
+// ServeBatchBody marshals the /rankbatch request for a ranked α sweep.
+func ServeBatchBody(dataset string, gridPoints int) []byte {
+	alphas, _ := Grid(gridPoints)
+	return mustJSON(serve.RankRequest{Dataset: dataset, Query: serve.WireQuery{
+		Metric: "prfe", Alphas: alphas, Output: "ranking",
+	}})
+}
+
+func mustJSON(v any) []byte {
+	b, err := json.Marshal(v)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// ServeRoundTrip posts one request body and drains the response — one op of
+// the serve/* workloads. Non-200 answers panic (a benchmark must not
+// silently measure error paths).
+func ServeRoundTrip(c *http.Client, url string, body []byte) {
+	resp, err := c.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		panic(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		data, _ := io.ReadAll(resp.Body)
+		panic(fmt.Sprintf("serve round trip: status %d: %s", resp.StatusCode, data))
+	}
+	if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+		panic(err)
+	}
 }
 
 // ComboMultiPass evaluates the PRFe combination with the pre-fusion

@@ -1,7 +1,7 @@
 // Package datagen generates the Section 8 evaluation workloads:
 //
 //   - IIPLike, a synthetic stand-in for the International Ice Patrol iceberg
-//     sightings dataset (see DESIGN.md §5 for the substitution argument):
+//     sightings dataset (see DESIGN.md §6 for the substitution argument):
 //     scores are drift durations drawn from a heavy-tailed mixture,
 //     probabilities are the paper's own confidence-level conversion —
 //     {0.8, 0.7, 0.6, 0.5, 0.4, 0.3, 0.4} plus a small Gaussian tie-breaking

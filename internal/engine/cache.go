@@ -1,0 +1,322 @@
+package engine
+
+// This file is the engine-level result cache: a bounded, sharded LRU
+// memoizing canonical Query → Result over one immutable backend. Prepared
+// views never change after construction, so invalidation is creation-time
+// only — build a new CachedEngine when you build a new view — and a cache
+// hit is certified bit-for-bit identical to a fresh evaluation (the cache
+// stores the evaluation's own result slices; see cache_test.go).
+//
+// The serving layer (internal/serve) keeps one CachedEngine per loaded
+// dataset, which realizes the ROADMAP's "(dataset, canonical Query) →
+// Result" map structurally: the dataset axis is the engine instance, the
+// query axis is Query.CacheKey.
+
+import (
+	"context"
+	"hash/maphash"
+	"math"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// CacheKey returns a canonical, collision-free string encoding of the query
+// parameters that determine its Result, and reports whether the query is
+// cacheable at all. Two queries share a key if and only if Rank (or
+// RankBatch) is guaranteed to return bit-for-bit identical answers for
+// them. Floats are encoded by their IEEE-754 bit patterns, so keys are
+// exact: no two distinct α values ever alias.
+//
+// MetricPRF queries are not cacheable — their Omega field is an arbitrary
+// Go function whose behavior has no canonical encoding — and neither is a
+// query with no Metric. Everything else is.
+func (q Query) CacheKey() (string, bool) {
+	if q.Metric == 0 || q.Metric == MetricPRF || q.Omega != nil {
+		return "", false
+	}
+	// Worst case: metric+output+alpha plus 17 bytes per grid/weight/term
+	// float. One allocation for typical queries.
+	buf := make([]byte, 0, 64+17*(len(q.Alphas)+len(q.Weights)+4*len(q.Terms)))
+	buf = append(buf, 'm', byte('0'+q.Metric), 'o', byte('0'+q.Output))
+	buf = appendF64(buf, 'a', q.Alpha)
+	if q.Output == OutputTopK {
+		// K only affects top-k answers; a ranking query ignores it.
+		buf = append(buf, 'k')
+		buf = strconv.AppendInt(buf, int64(q.K), 16)
+	}
+	switch q.Metric {
+	case MetricPRFe:
+		for _, a := range q.Alphas {
+			buf = appendF64(buf, 'g', a)
+		}
+	case MetricPRFOmega:
+		for _, w := range q.Weights {
+			buf = appendF64(buf, 'w', w)
+		}
+	case MetricPTh:
+		buf = append(buf, 'h')
+		buf = strconv.AppendInt(buf, int64(q.H), 16)
+	case MetricPRFeCombo:
+		for _, t := range q.Terms {
+			buf = appendF64(buf, 'u', real(t.U))
+			buf = appendF64(buf, 'v', imag(t.U))
+			buf = appendF64(buf, 'x', real(t.Alpha))
+			buf = appendF64(buf, 'y', imag(t.Alpha))
+		}
+	}
+	return string(buf), true
+}
+
+// appendF64 appends a tagged, bit-exact encoding of f.
+func appendF64(buf []byte, tag byte, f float64) []byte {
+	buf = append(buf, tag)
+	return strconv.AppendUint(buf, math.Float64bits(f), 16)
+}
+
+// CacheStats is a point-in-time snapshot of a cache's counters. The JSON
+// form is what the serving layer's /stats endpoint reports per dataset.
+type CacheStats struct {
+	// Hits and Misses count lookups; Hits/(Hits+Misses) is the hit rate.
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
+	// Evictions counts entries dropped by the LRU bound.
+	Evictions int64 `json:"evictions"`
+	// Entries is the current number of cached results; Capacity its bound.
+	Entries  int `json:"entries"`
+	Capacity int `json:"capacity"`
+}
+
+// cacheShard is one lock domain of the cache: an intrusive-list LRU.
+type cacheShard struct {
+	mu  sync.Mutex
+	m   map[string]*cacheEntry
+	cap int
+	// Doubly linked LRU ring anchored at root (root.next = most recent).
+	root cacheEntry
+}
+
+type cacheEntry struct {
+	key        string
+	val        any
+	prev, next *cacheEntry
+}
+
+// Cache is a bounded, sharded LRU from canonical keys to immutable values.
+// It is safe for concurrent use; lookups on distinct shards never contend.
+// Values are shared between the cache and every reader — they must never be
+// mutated.
+type Cache struct {
+	shards []cacheShard
+	seed   maphash.Seed
+	hits   atomic.Int64
+	misses atomic.Int64
+	evicts atomic.Int64
+}
+
+// cacheShardCount is the fixed shard fan-out; a power of two so the hash
+// maps onto shards without division.
+const cacheShardCount = 16
+
+// DefaultCacheCapacity is the entry bound NewCache applies when asked for a
+// non-positive capacity.
+const DefaultCacheCapacity = 1024
+
+// NewCache builds a cache bounded to at least capacity entries (rounded up
+// to a multiple of the shard count; non-positive capacities take
+// DefaultCacheCapacity).
+func NewCache(capacity int) *Cache {
+	if capacity <= 0 {
+		capacity = DefaultCacheCapacity
+	}
+	perShard := (capacity + cacheShardCount - 1) / cacheShardCount
+	c := &Cache{shards: make([]cacheShard, cacheShardCount), seed: maphash.MakeSeed()}
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.m = make(map[string]*cacheEntry)
+		s.cap = perShard
+		s.root.prev = &s.root
+		s.root.next = &s.root
+	}
+	return c
+}
+
+func (c *Cache) shard(key string) *cacheShard {
+	return &c.shards[maphash.String(c.seed, key)&(cacheShardCount-1)]
+}
+
+// Get returns the cached value for key, if present, and counts the lookup.
+func (c *Cache) Get(key string) (any, bool) {
+	s := c.shard(key)
+	s.mu.Lock()
+	e, ok := s.m[key]
+	var val any
+	if ok {
+		e.unlink()
+		e.linkFront(&s.root)
+		// Copy under the lock: Put's refresh path writes e.val, so reading
+		// it after unlocking would race.
+		val = e.val
+	}
+	s.mu.Unlock()
+	if !ok {
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.hits.Add(1)
+	return val, true
+}
+
+// Put stores val under key, evicting the least-recently-used entry of the
+// key's shard when the shard is full. Storing an existing key refreshes its
+// value and recency.
+func (c *Cache) Put(key string, val any) {
+	s := c.shard(key)
+	s.mu.Lock()
+	if e, ok := s.m[key]; ok {
+		e.val = val
+		e.unlink()
+		e.linkFront(&s.root)
+		s.mu.Unlock()
+		return
+	}
+	if len(s.m) >= s.cap {
+		lru := s.root.prev
+		lru.unlink()
+		delete(s.m, lru.key)
+		c.evicts.Add(1)
+	}
+	e := &cacheEntry{key: key, val: val}
+	s.m[key] = e
+	e.linkFront(&s.root)
+	s.mu.Unlock()
+}
+
+func (e *cacheEntry) unlink() {
+	e.prev.next = e.next
+	e.next.prev = e.prev
+}
+
+func (e *cacheEntry) linkFront(root *cacheEntry) {
+	e.prev = root
+	e.next = root.next
+	root.next.prev = e
+	root.next = e
+}
+
+// Len returns the current number of cached entries.
+func (c *Cache) Len() int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += len(s.m)
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Stats snapshots the cache counters.
+func (c *Cache) Stats() CacheStats {
+	cap := 0
+	for i := range c.shards {
+		cap += c.shards[i].cap
+	}
+	return CacheStats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evicts.Load(),
+		Entries:   c.Len(),
+		Capacity:  cap,
+	}
+}
+
+// CachedEngine memoizes an Engine behind the canonical-query cache: the
+// repeated-dashboard fast path. A hit returns the stored result — the very
+// slices the first evaluation produced, so answers are bit-for-bit
+// identical to the uncached engine — which makes the results shared values:
+// callers must treat Result slices as read-only (the uncached Engine's
+// results should be treated the same way; the cache just makes aliasing
+// observable).
+//
+// Because prepared views are immutable, a CachedEngine never invalidates:
+// its lifetime is the backing view's lifetime. It is safe for concurrent
+// use. Concurrent identical misses may each evaluate once (no
+// single-flight); all of them store and return correct results.
+type CachedEngine struct {
+	e     *Engine
+	cache *Cache
+}
+
+// NewCached wraps an engine with a result cache bounded to capacity
+// entries. Zero takes DefaultCacheCapacity; a negative capacity disables
+// caching entirely (every call passes through) — the same sentinel meaning
+// the serving layer's CacheCapacity option uses.
+func NewCached(e *Engine, capacity int) *CachedEngine {
+	if capacity < 0 {
+		return &CachedEngine{e: e}
+	}
+	return &CachedEngine{e: e, cache: NewCache(capacity)}
+}
+
+// Engine returns the wrapped uncached engine.
+func (ce *CachedEngine) Engine() *Engine { return ce.e }
+
+// Stats snapshots the cache counters (all zero when caching is disabled).
+func (ce *CachedEngine) Stats() CacheStats {
+	if ce.cache == nil {
+		return CacheStats{}
+	}
+	return ce.cache.Stats()
+}
+
+// Rank and RankBatch answers live in one keyspace; a one-byte prefix keeps
+// them from colliding (a single-point Rank and a one-point batch of the
+// same α have equal CacheKeys but different result shapes).
+const (
+	rankPrefix  = "R"
+	batchPrefix = "B"
+)
+
+// Rank is Engine.Rank memoized. Errors (including context cancellation) are
+// never cached; only successful results enter the cache.
+func (ce *CachedEngine) Rank(ctx context.Context, q Query) (*Result, error) {
+	if ce.cache == nil {
+		return ce.e.Rank(ctx, q)
+	}
+	key, ok := q.CacheKey()
+	if !ok {
+		return ce.e.Rank(ctx, q)
+	}
+	key = rankPrefix + key
+	if v, hit := ce.cache.Get(key); hit {
+		return v.(*Result), nil
+	}
+	res, err := ce.e.Rank(ctx, q)
+	if err != nil {
+		return nil, err
+	}
+	ce.cache.Put(key, res)
+	return res, nil
+}
+
+// RankBatch is Engine.RankBatch memoized under the same rules as Rank.
+func (ce *CachedEngine) RankBatch(ctx context.Context, q Query) ([]Result, error) {
+	if ce.cache == nil {
+		return ce.e.RankBatch(ctx, q)
+	}
+	key, ok := q.CacheKey()
+	if !ok {
+		return ce.e.RankBatch(ctx, q)
+	}
+	key = batchPrefix + key
+	if v, hit := ce.cache.Get(key); hit {
+		return v.([]Result), nil
+	}
+	res, err := ce.e.RankBatch(ctx, q)
+	if err != nil {
+		return nil, err
+	}
+	ce.cache.Put(key, res)
+	return res, nil
+}

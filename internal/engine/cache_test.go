@@ -1,0 +1,381 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/andxor"
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/junction"
+	"repro/internal/pdb"
+)
+
+// cacheTestQueries covers every cacheable metric in every output form, plus
+// batch grids — the workload the bit-for-bit certification runs over.
+func cacheTestQueries() []Query {
+	terms := []core.ExpTerm{
+		{U: complex(1, 0), Alpha: complex(0.9, 0)},
+		{U: complex(-0.5, 0.25), Alpha: complex(0.5, 0.1)},
+	}
+	return []Query{
+		{Metric: MetricPRFe, Alpha: 0.7},
+		{Metric: MetricPRFe, Alpha: 0.7, Output: OutputRanking},
+		{Metric: MetricPRFe, Alpha: 0.7, Output: OutputTopK, K: 5},
+		{Metric: MetricPRFOmega, Weights: []float64{3, 2, 1}},
+		{Metric: MetricPRFOmega, Weights: []float64{3, 2, 1}, Output: OutputRanking},
+		{Metric: MetricPTh, H: 4},
+		{Metric: MetricPTh, H: 4, Output: OutputTopK, K: 3},
+		{Metric: MetricERank},
+		{Metric: MetricERank, Output: OutputRanking},
+		{Metric: MetricPRFeCombo, Terms: terms},
+		{Metric: MetricPRFeCombo, Terms: terms, Output: OutputRanking},
+	}
+}
+
+func cacheTestGrids() []Query {
+	grid := []float64{0.2, 0.5, 0.8}
+	return []Query{
+		{Metric: MetricPRFe, Alphas: grid},
+		{Metric: MetricPRFe, Alphas: grid, Output: OutputRanking},
+		{Metric: MetricPRFe, Alphas: grid, Output: OutputTopK, K: 4},
+	}
+}
+
+// cacheBackends returns one engine per correlation model, small enough that
+// the full query matrix stays fast.
+func cacheBackends(t *testing.T) map[string]*Engine {
+	t.Helper()
+	tree, err := datagen.SynXOR(48, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chain := datagen.MarkovChainLike(24, 11)
+	net, err := chain.Network()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pn, err := junction.PrepareNetwork(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]*Engine{
+		"independent": New(core.Prepare(datagen.IIPLike(64, 11))),
+		"tree":        New(andxor.PrepareTree(tree)),
+		"chain":       New(junction.PrepareChain(chain)),
+		"network":     New(pn),
+	}
+}
+
+// TestCachedEngineBitForBit certifies cache ≡ uncached on every backend,
+// metric and output form: the first (filling) call, and a second (hit)
+// call, both DeepEqual the uncached engine's answer.
+func TestCachedEngineBitForBit(t *testing.T) {
+	ctx := context.Background()
+	for name, e := range cacheBackends(t) {
+		t.Run(name, func(t *testing.T) {
+			ce := NewCached(e, 0)
+			for i, q := range cacheTestQueries() {
+				want, err := e.Rank(ctx, q)
+				if err != nil {
+					t.Fatalf("query %d (%v/%v): uncached: %v", i, q.Metric, q.Output, err)
+				}
+				first, err := ce.Rank(ctx, q)
+				if err != nil {
+					t.Fatalf("query %d: cached fill: %v", i, err)
+				}
+				hit, err := ce.Rank(ctx, q)
+				if err != nil {
+					t.Fatalf("query %d: cached hit: %v", i, err)
+				}
+				if !reflect.DeepEqual(first, want) || !reflect.DeepEqual(hit, want) {
+					t.Errorf("query %d (%v/%v): cached result differs from uncached", i, q.Metric, q.Output)
+				}
+				if hit != first {
+					t.Errorf("query %d: second call re-evaluated instead of hitting the cache", i)
+				}
+			}
+			for i, q := range cacheTestGrids() {
+				want, err := e.RankBatch(ctx, q)
+				if err != nil {
+					t.Fatalf("grid %d: uncached: %v", i, err)
+				}
+				first, err := ce.RankBatch(ctx, q)
+				if err != nil {
+					t.Fatalf("grid %d: cached fill: %v", i, err)
+				}
+				hit, err := ce.RankBatch(ctx, q)
+				if err != nil {
+					t.Fatalf("grid %d: cached hit: %v", i, err)
+				}
+				if !reflect.DeepEqual(first, want) || !reflect.DeepEqual(hit, want) {
+					t.Errorf("grid %d (%v): cached batch differs from uncached", i, q.Output)
+				}
+				if len(hit) > 0 && &hit[0] != &first[0] {
+					t.Errorf("grid %d: second batch call re-evaluated instead of hitting the cache", i)
+				}
+			}
+			st := ce.Stats()
+			if st.Hits == 0 || st.Misses == 0 || st.Entries == 0 {
+				t.Errorf("stats not counting: %+v", st)
+			}
+		})
+	}
+}
+
+// TestCacheKeyCanonical checks that the key separates every query that can
+// answer differently and identifies the ones that cannot.
+func TestCacheKeyCanonical(t *testing.T) {
+	distinct := append(cacheTestQueries(), cacheTestGrids()...)
+	distinct = append(distinct,
+		Query{Metric: MetricPRFe, Alpha: 0.7000001},
+		Query{Metric: MetricPRFe, Alpha: 0.7, Output: OutputTopK, K: 6},
+		Query{Metric: MetricPTh, H: 5},
+		Query{Metric: MetricPRFOmega, Weights: []float64{3, 2, 1, 0}},
+		Query{Metric: MetricPRFe, Alphas: []float64{0.2, 0.5, 0.80000001}},
+	)
+	seen := map[string]int{}
+	for i, q := range distinct {
+		key, ok := q.CacheKey()
+		if !ok {
+			t.Fatalf("query %d unexpectedly uncacheable", i)
+		}
+		if j, dup := seen[key]; dup {
+			t.Errorf("queries %d and %d collide on key %q", i, j, key)
+		}
+		seen[key] = i
+	}
+
+	// Same query → same key.
+	a := Query{Metric: MetricPRFe, Alpha: 0.3, Output: OutputRanking, K: 0}
+	b := Query{Metric: MetricPRFe, Alpha: 0.3, Output: OutputRanking, K: 99}
+	ka, _ := a.CacheKey()
+	kb, _ := b.CacheKey()
+	if ka != kb {
+		t.Errorf("K must not split non-top-k queries: %q vs %q", ka, kb)
+	}
+
+	// Uncacheable forms.
+	if _, ok := (Query{}).CacheKey(); ok {
+		t.Error("metric-less query must be uncacheable")
+	}
+	if _, ok := (Query{Metric: MetricPRF, Omega: func(pdb.Tuple, int) float64 { return 1 }}).CacheKey(); ok {
+		t.Error("MetricPRF must be uncacheable")
+	}
+}
+
+// TestCachedEngineUncacheablePassThrough runs a MetricPRF query through the
+// cache wrapper: it must answer correctly without populating the cache.
+func TestCachedEngineUncacheablePassThrough(t *testing.T) {
+	ctx := context.Background()
+	e := New(core.Prepare(datagen.IIPLike(32, 3)))
+	ce := NewCached(e, 0)
+	q := Query{Metric: MetricPRF, Omega: func(_ pdb.Tuple, rank int) float64 { return 1.0 / float64(rank) }}
+	want, err := e.Rank(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ce.Rank(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Error("pass-through result differs")
+	}
+	if st := ce.Stats(); st.Entries != 0 || st.Hits != 0 || st.Misses != 0 {
+		t.Errorf("uncacheable query touched the cache: %+v", st)
+	}
+}
+
+// TestCachedEngineDisabled: a negative capacity disables caching (the same
+// sentinel the serving layer uses) — answers stay correct, nothing is
+// stored or counted.
+func TestCachedEngineDisabled(t *testing.T) {
+	ctx := context.Background()
+	e := New(core.Prepare(datagen.IIPLike(32, 3)))
+	ce := NewCached(e, -1)
+	q := Query{Metric: MetricPRFe, Alpha: 0.9, Output: OutputTopK, K: 5}
+	want, err := e.Rank(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := ce.Rank(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ce.Rank(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, want) || !reflect.DeepEqual(b, want) {
+		t.Error("disabled cache changed answers")
+	}
+	if a == b {
+		t.Error("disabled cache memoized anyway")
+	}
+	if _, err := ce.RankBatch(ctx, Query{Metric: MetricPRFe, Alphas: []float64{0.2, 0.6}}); err != nil {
+		t.Fatal(err)
+	}
+	if st := ce.Stats(); st != (CacheStats{}) {
+		t.Errorf("disabled cache reported stats: %+v", st)
+	}
+}
+
+// TestCacheErrorsNotCached: failing queries must not populate the cache —
+// neither validation errors nor context cancellation.
+func TestCacheErrorsNotCached(t *testing.T) {
+	e := New(core.Prepare(datagen.IIPLike(32, 3)))
+	ce := NewCached(e, 0)
+	bad := Query{Metric: MetricPTh, H: -1}
+	for i := 0; i < 2; i++ {
+		if _, err := ce.Rank(context.Background(), bad); err == nil {
+			t.Fatal("invalid query must error")
+		}
+	}
+	canceled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := ce.Rank(canceled, Query{Metric: MetricPRFe, Alpha: 0.5}); err == nil {
+		t.Fatal("canceled context must error")
+	}
+	st := ce.Stats()
+	if st.Entries != 0 {
+		t.Errorf("errors were cached: %+v", st)
+	}
+	if st.Misses != 3 {
+		t.Errorf("misses = %d, want 3", st.Misses)
+	}
+
+	// The canceled query must still be answerable (and cacheable) afterwards.
+	if _, err := ce.Rank(context.Background(), Query{Metric: MetricPRFe, Alpha: 0.5}); err != nil {
+		t.Fatal(err)
+	}
+	if ce.Stats().Entries != 1 {
+		t.Error("valid retry after cancellation did not cache")
+	}
+}
+
+// TestCacheEviction: the entry bound holds under arbitrary inserts and the
+// eviction counter accounts for the overflow.
+func TestCacheEviction(t *testing.T) {
+	c := NewCache(32)
+	for i := 0; i < 500; i++ {
+		c.Put(fmt.Sprintf("key-%d", i), i)
+	}
+	st := c.Stats()
+	if st.Entries > st.Capacity {
+		t.Errorf("entries %d exceed capacity %d", st.Entries, st.Capacity)
+	}
+	if st.Capacity != 32 {
+		t.Errorf("capacity = %d, want 32", st.Capacity)
+	}
+	if st.Evictions != int64(500-st.Entries) {
+		t.Errorf("evictions %d + entries %d ≠ inserts 500", st.Evictions, st.Entries)
+	}
+	// Refreshing an existing key must not grow the cache.
+	c2 := NewCache(16)
+	c2.Put("k", 1)
+	c2.Put("k", 2)
+	if c2.Len() != 1 {
+		t.Errorf("refresh grew the cache to %d entries", c2.Len())
+	}
+	if v, ok := c2.Get("k"); !ok || v.(int) != 2 {
+		t.Errorf("refresh did not update the value: %v %v", v, ok)
+	}
+}
+
+// TestCacheLRUOrder pins the recency policy on a single-entry-per-shard
+// cache: with capacity 1 per shard, a re-used key must survive an insert
+// that lands on its shard only if it was refreshed more recently.
+func TestCacheLRUOrder(t *testing.T) {
+	c := NewCache(cacheShardCount) // one entry per shard
+	// Find two keys in the same shard.
+	base := "a"
+	var same string
+	for i := 0; ; i++ {
+		k := fmt.Sprintf("b%d", i)
+		if c.shard(k) == c.shard(base) {
+			same = k
+			break
+		}
+	}
+	c.Put(base, 1)
+	c.Put(same, 2) // evicts base (LRU in a 1-slot shard)
+	if _, ok := c.Get(base); ok {
+		t.Error("LRU entry survived over-capacity insert")
+	}
+	if v, ok := c.Get(same); !ok || v.(int) != 2 {
+		t.Error("most-recent entry was evicted")
+	}
+}
+
+// TestCachedEngineConcurrent hammers one CachedEngine with identical and
+// distinct queries from many goroutines (run with -race): every answer must
+// equal the serial reference.
+func TestCachedEngineConcurrent(t *testing.T) {
+	ctx := context.Background()
+	e := New(core.Prepare(datagen.IIPLike(256, 5)))
+	// A small capacity forces concurrent eviction alongside hits.
+	ce := NewCached(e, 8)
+	queries := []Query{
+		{Metric: MetricPRFe, Alpha: 0.9, Output: OutputTopK, K: 10},
+		{Metric: MetricPRFe, Alpha: 0.5, Output: OutputRanking},
+		{Metric: MetricPTh, H: 8},
+		{Metric: MetricERank, Output: OutputRanking},
+		{Metric: MetricPRFOmega, Weights: []float64{2, 1}},
+	}
+	want := make([]*Result, len(queries))
+	for i, q := range queries {
+		r, err := e.Rank(ctx, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = r
+	}
+	gridQ := Query{Metric: MetricPRFe, Alphas: []float64{0.1, 0.4, 0.7}, Output: OutputRanking}
+	wantGrid, err := e.RankBatch(ctx, gridQ)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const workers = 16
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 30; i++ {
+				qi := (i + w) % len(queries)
+				got, err := ce.Rank(ctx, queries[qi])
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !reflect.DeepEqual(got, want[qi]) {
+					errs <- fmt.Errorf("worker %d: query %d diverged under concurrency", w, qi)
+					return
+				}
+				if i%5 == 0 {
+					gotGrid, err := ce.RankBatch(ctx, gridQ)
+					if err != nil {
+						errs <- err
+						return
+					}
+					if !reflect.DeepEqual(gotGrid, wantGrid) {
+						errs <- fmt.Errorf("worker %d: batch diverged under concurrency", w)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

@@ -15,7 +15,7 @@
 //   - LearnOmega fits a PRFω(h) weight vector with an L2-regularized
 //     pairwise hinge loss — the RankSVM objective the paper optimizes with
 //     SVM-light — minimized by deterministic subgradient descent
-//     (stdlib-only substitute; see DESIGN.md §5).
+//     (stdlib-only substitute; see DESIGN.md §6).
 package learn
 
 import (

@@ -1,0 +1,354 @@
+// Package serve is the HTTP front end of the unified ranking engine — the
+// ROADMAP's serving layer. One Server holds a set of named, immutable
+// datasets (each already prepared into its fastest backend view and wrapped
+// in an engine.Engine), routes declarative JSON queries to the right
+// backend, enforces per-request deadlines through the engines' context
+// plumbing, and memoizes hot queries in a per-dataset engine-level cache.
+//
+// Endpoints:
+//
+//	POST /rank       {"dataset": name, "query": {...}, "timeout_ms": n}
+//	POST /rankbatch  same body; query.alphas is the α grid
+//	GET  /datasets   the loaded datasets (name, model, size, cache on/off)
+//	GET  /stats      request and per-dataset cache counters
+//	GET  /healthz    liveness
+//
+// Every error is a JSON body with a stable code and the matching HTTP
+// status: bad_request 400, unknown_dataset and not_found 404,
+// method_not_allowed 405, too_large 413, deadline_exceeded 504. Because
+// prepared views are immutable, the result cache never invalidates — a
+// dataset's cache lives exactly as long as the dataset.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/andxor"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/junction"
+)
+
+// Options configures a Server.
+type Options struct {
+	// DefaultTimeout bounds requests that carry no timeout_ms; zero means
+	// no default deadline.
+	DefaultTimeout time.Duration
+	// MaxTimeout clamps client-requested timeouts (and the default); zero
+	// means no clamp.
+	MaxTimeout time.Duration
+	// CacheCapacity is the per-dataset result-cache entry bound: 0 takes
+	// engine.DefaultCacheCapacity, negative disables caching.
+	CacheCapacity int
+	// MaxBodyBytes bounds request bodies; 0 takes 1 MiB.
+	MaxBodyBytes int64
+}
+
+const defaultMaxBody = 1 << 20
+
+// dataset is one loaded, immutable dataset with its engines.
+type dataset struct {
+	name   string
+	model  string
+	eng    *engine.Engine
+	cached *engine.CachedEngine // nil when caching is disabled
+}
+
+// Server is the HTTP front end. Datasets are registered before serving via
+// AddDataset; the Server itself is an http.Handler. Safe for concurrent
+// use.
+type Server struct {
+	opts  Options
+	mux   *http.ServeMux
+	start time.Time
+
+	mu       sync.RWMutex
+	datasets map[string]*dataset
+
+	// requests counts every /rank and /rankbatch attempt, including ones
+	// rejected before evaluation — rejected traffic must stay visible on
+	// /stats during incidents.
+	requests atomic.Int64
+}
+
+// New builds an empty server with the given options.
+func New(opts Options) *Server {
+	if opts.MaxBodyBytes <= 0 {
+		opts.MaxBodyBytes = defaultMaxBody
+	}
+	s := &Server{opts: opts, datasets: map[string]*dataset{}, start: time.Now()}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /rank", s.handleRank)
+	s.mux.HandleFunc("POST /rankbatch", s.handleRankBatch)
+	s.mux.HandleFunc("GET /datasets", s.handleDatasets)
+	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	return s
+}
+
+// endpointMethods maps every known path to its one allowed method, for the
+// JSON 405/404 fallbacks in ServeHTTP.
+var endpointMethods = map[string]string{
+	"/rank":      http.MethodPost,
+	"/rankbatch": http.MethodPost,
+	"/datasets":  http.MethodGet,
+	"/stats":     http.MethodGet,
+	"/healthz":   http.MethodGet,
+}
+
+// AddDataset registers a prepared dataset under a unique name. The model
+// label is inferred from the engine's backend. Engines must not be shared
+// across names (each name owns its cache).
+func (s *Server) AddDataset(name string, e *engine.Engine) error {
+	if name == "" {
+		return errors.New("serve: dataset name must be non-empty")
+	}
+	if e == nil || e.Ranker() == nil {
+		return fmt.Errorf("serve: dataset %q has no engine", name)
+	}
+	d := &dataset{name: name, model: modelName(e.Ranker()), eng: e}
+	if s.opts.CacheCapacity >= 0 {
+		d.cached = engine.NewCached(e, s.opts.CacheCapacity)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.datasets[name]; dup {
+		return fmt.Errorf("serve: dataset %q already registered", name)
+	}
+	s.datasets[name] = d
+	return nil
+}
+
+// modelName labels the correlation model behind a Ranker.
+func modelName(r engine.Ranker) string {
+	switch r.(type) {
+	case *core.Prepared:
+		return "independent"
+	case *andxor.PreparedTree:
+		return "andxor"
+	case *junction.PreparedNetwork:
+		return "network"
+	case *junction.PreparedChain:
+		return "chain"
+	default:
+		return "custom"
+	}
+}
+
+func (s *Server) dataset(name string) (*dataset, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	d, ok := s.datasets[name]
+	return d, ok
+}
+
+// ServeHTTP implements http.Handler. Requests the mux cannot route — wrong
+// method on a known path, unknown path — get the same JSON error shape as
+// everything else instead of net/http's plain-text defaults.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if _, pattern := s.mux.Handler(r); pattern == "" {
+		if method, known := endpointMethods[r.URL.Path]; known {
+			w.Header().Set("Allow", method)
+			writeError(w, http.StatusMethodNotAllowed, "method_not_allowed",
+				fmt.Sprintf("serve: %s %s: use %s", r.Method, r.URL.Path, method))
+			return
+		}
+		writeError(w, http.StatusNotFound, "not_found",
+			fmt.Sprintf("serve: no such endpoint %s (have /rank, /rankbatch, /datasets, /stats, /healthz)", r.URL.Path))
+		return
+	}
+	s.mux.ServeHTTP(w, r)
+}
+
+// writeError emits the uniform JSON error body.
+func writeError(w http.ResponseWriter, status int, code, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(ErrorResponse{Error: msg, Code: code})
+}
+
+// writeJSON emits a 200 with the JSON body. Encoding errors at this point
+// mean the client is gone (headers are already written); nothing to do.
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// decodeRequest parses and validates the shared request envelope, resolving
+// the dataset. A nil *dataset return means the error was already written.
+func (s *Server) decodeRequest(w http.ResponseWriter, r *http.Request) (*RankRequest, *dataset) {
+	var req RankRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge, "too_large",
+				fmt.Sprintf("serve: request body exceeds %d bytes", tooLarge.Limit))
+			return nil, nil
+		}
+		writeError(w, http.StatusBadRequest, "bad_request", "serve: malformed request JSON: "+err.Error())
+		return nil, nil
+	}
+	if req.TimeoutMS < 0 {
+		writeError(w, http.StatusBadRequest, "bad_request",
+			fmt.Sprintf("serve: negative timeout_ms %d", req.TimeoutMS))
+		return nil, nil
+	}
+	d, ok := s.dataset(req.Dataset)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown_dataset",
+			fmt.Sprintf("serve: unknown dataset %q (GET /datasets lists the loaded ones)", req.Dataset))
+		return nil, nil
+	}
+	return &req, d
+}
+
+// requestContext derives the per-request deadline context: the client's
+// timeout_ms (else the server default), clamped by MaxTimeout. A server
+// with no default and no client timeout imposes no deadline — MaxTimeout
+// only bounds deadlines that exist, it never creates one.
+func (s *Server) requestContext(r *http.Request, timeoutMS int64) (ctx context.Context, cancel context.CancelFunc) {
+	d := s.opts.DefaultTimeout
+	if timeoutMS > 0 {
+		d = time.Duration(timeoutMS) * time.Millisecond
+	}
+	if d <= 0 {
+		return context.WithCancel(r.Context())
+	}
+	if s.opts.MaxTimeout > 0 && d > s.opts.MaxTimeout {
+		d = s.opts.MaxTimeout
+	}
+	return context.WithTimeout(r.Context(), d)
+}
+
+// writeEngineError maps evaluation errors onto statuses: context deadline
+// and cancellation are 504 (the request-scoped work was cut off), anything
+// else the engines return is a query-validation failure, 400.
+func writeEngineError(w http.ResponseWriter, err error) {
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		writeError(w, http.StatusGatewayTimeout, "deadline_exceeded", "serve: "+err.Error())
+		return
+	}
+	writeError(w, http.StatusBadRequest, "bad_request", "serve: "+err.Error())
+}
+
+func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	req, d := s.decodeRequest(w, r)
+	if req == nil {
+		return
+	}
+	q, err := req.Query.ToQuery()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", err.Error())
+		return
+	}
+	ctx, cancel := s.requestContext(r, req.TimeoutMS)
+	defer cancel()
+	var res *engine.Result
+	if d.cached != nil {
+		res, err = d.cached.Rank(ctx, q)
+	} else {
+		res, err = d.eng.Rank(ctx, q)
+	}
+	if err != nil {
+		writeEngineError(w, err)
+		return
+	}
+	writeJSON(w, RankResponse{Dataset: d.name, WireResult: FromResult(res)})
+}
+
+func (s *Server) handleRankBatch(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	req, d := s.decodeRequest(w, r)
+	if req == nil {
+		return
+	}
+	q, err := req.Query.ToQuery()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", err.Error())
+		return
+	}
+	ctx, cancel := s.requestContext(r, req.TimeoutMS)
+	defer cancel()
+	var res []engine.Result
+	if d.cached != nil {
+		res, err = d.cached.RankBatch(ctx, q)
+	} else {
+		res, err = d.eng.RankBatch(ctx, q)
+	}
+	if err != nil {
+		writeEngineError(w, err)
+		return
+	}
+	writeJSON(w, BatchResponse{Dataset: d.name, Results: FromResults(res)})
+}
+
+// DatasetInfo is one row of GET /datasets.
+type DatasetInfo struct {
+	Name   string `json:"name"`
+	Model  string `json:"model"`
+	Tuples int    `json:"tuples"`
+	Cached bool   `json:"cached"`
+}
+
+func (s *Server) handleDatasets(w http.ResponseWriter, _ *http.Request) {
+	s.mu.RLock()
+	infos := make([]DatasetInfo, 0, len(s.datasets))
+	for _, d := range s.datasets {
+		infos = append(infos, DatasetInfo{
+			Name:   d.name,
+			Model:  d.model,
+			Tuples: d.eng.Ranker().Len(),
+			Cached: d.cached != nil,
+		})
+	}
+	s.mu.RUnlock()
+	sort.Slice(infos, func(i, j int) bool { return infos[i].Name < infos[j].Name })
+	writeJSON(w, infos)
+}
+
+// DatasetStats is the per-dataset block of GET /stats.
+type DatasetStats struct {
+	Model  string             `json:"model"`
+	Tuples int                `json:"tuples"`
+	Cache  *engine.CacheStats `json:"cache,omitempty"`
+}
+
+// StatsResponse is the body of GET /stats.
+type StatsResponse struct {
+	UptimeMS int64                   `json:"uptime_ms"`
+	Requests int64                   `json:"requests"`
+	Datasets map[string]DatasetStats `json:"datasets"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	resp := StatsResponse{
+		UptimeMS: time.Since(s.start).Milliseconds(),
+		Requests: s.requests.Load(),
+		Datasets: map[string]DatasetStats{},
+	}
+	s.mu.RLock()
+	for name, d := range s.datasets {
+		st := DatasetStats{Model: d.model, Tuples: d.eng.Ranker().Len()}
+		if d.cached != nil {
+			cs := d.cached.Stats()
+			st.Cache = &cs
+		}
+		resp.Datasets[name] = st
+	}
+	s.mu.RUnlock()
+	writeJSON(w, resp)
+}

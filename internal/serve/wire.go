@@ -1,0 +1,164 @@
+package serve
+
+// The wire format: JSON encodings of engine.Query and engine.Result. The
+// same conversion functions build the HTTP responses and the in-process
+// responses of `prfserve -oneshot`, so the serve smoke test can certify the
+// HTTP path against Engine.Rank byte for byte.
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/pdb"
+)
+
+// Complex is the wire form of a complex number: [real, imaginary].
+type Complex [2]float64
+
+// Term is the wire form of one u·PRFe(α) term of a combination query.
+type Term struct {
+	U     Complex `json:"u"`
+	Alpha Complex `json:"alpha"`
+}
+
+// WireQuery is the JSON form of engine.Query. Metrics are lowercase names
+// ("prfe", "prfomega", "pth", "erank", "prfecombo"); outputs are "values"
+// (the default), "ranking" and "topk". MetricPRF has no wire form — its ω
+// is an arbitrary Go function — and is rejected at parse time.
+type WireQuery struct {
+	Metric  string    `json:"metric"`
+	Output  string    `json:"output,omitempty"`
+	Alpha   float64   `json:"alpha,omitempty"`
+	Alphas  []float64 `json:"alphas,omitempty"`
+	Weights []float64 `json:"weights,omitempty"`
+	H       int       `json:"h,omitempty"`
+	K       int       `json:"k,omitempty"`
+	Terms   []Term    `json:"terms,omitempty"`
+}
+
+// metricNames maps wire names onto engine metrics.
+var metricNames = map[string]engine.Metric{
+	"prfe":      engine.MetricPRFe,
+	"prfomega":  engine.MetricPRFOmega,
+	"pth":       engine.MetricPTh,
+	"erank":     engine.MetricERank,
+	"prfecombo": engine.MetricPRFeCombo,
+}
+
+// wireMetricName inverts metricNames for responses.
+func wireMetricName(m engine.Metric) string {
+	for name, mm := range metricNames {
+		if mm == m {
+			return name
+		}
+	}
+	return m.String()
+}
+
+// ToQuery converts the wire form into the engine's declarative Query.
+func (w WireQuery) ToQuery() (engine.Query, error) {
+	var q engine.Query
+	m, ok := metricNames[w.Metric]
+	if !ok {
+		if w.Metric == "prf" {
+			return q, fmt.Errorf("serve: metric %q needs an arbitrary ω function and has no wire form; use prfomega (a weight vector) or prfecombo (an exponential-sum approximation)", w.Metric)
+		}
+		return q, fmt.Errorf("serve: unknown metric %q (want prfe|prfomega|pth|erank|prfecombo)", w.Metric)
+	}
+	q.Metric = m
+	switch w.Output {
+	case "", "values":
+		q.Output = engine.OutputValues
+	case "ranking":
+		q.Output = engine.OutputRanking
+	case "topk":
+		q.Output = engine.OutputTopK
+	default:
+		return q, fmt.Errorf("serve: unknown output %q (want values|ranking|topk)", w.Output)
+	}
+	q.Alpha = w.Alpha
+	q.Alphas = w.Alphas
+	q.Weights = w.Weights
+	q.H = w.H
+	q.K = w.K
+	if len(w.Terms) > 0 {
+		q.Terms = make([]core.ExpTerm, len(w.Terms))
+		for i, t := range w.Terms {
+			q.Terms[i] = core.ExpTerm{
+				U:     complex(t.U[0], t.U[1]),
+				Alpha: complex(t.Alpha[0], t.Alpha[1]),
+			}
+		}
+	}
+	return q, nil
+}
+
+// WireResult is the JSON form of engine.Result: exactly one of Values,
+// Complex or Ranking is set, mirroring the query's metric and output form.
+type WireResult struct {
+	Metric  string      `json:"metric"`
+	Alpha   float64     `json:"alpha,omitempty"`
+	Values  []float64   `json:"values,omitempty"`
+	Complex []Complex   `json:"complex,omitempty"`
+	Ranking pdb.Ranking `json:"ranking,omitempty"`
+}
+
+// FromResult converts one engine result into its wire form.
+func FromResult(r *engine.Result) WireResult {
+	w := WireResult{
+		Metric:  wireMetricName(r.Metric),
+		Alpha:   r.Alpha,
+		Values:  r.Values,
+		Ranking: r.Ranking,
+	}
+	if r.Complex != nil {
+		w.Complex = make([]Complex, len(r.Complex))
+		for i, c := range r.Complex {
+			w.Complex[i] = Complex{real(c), imag(c)}
+		}
+	}
+	return w
+}
+
+// FromResults converts a batch of engine results.
+func FromResults(rs []engine.Result) []WireResult {
+	out := make([]WireResult, len(rs))
+	for i := range rs {
+		out[i] = FromResult(&rs[i])
+	}
+	return out
+}
+
+// RankRequest is the body of POST /rank and POST /rankbatch.
+type RankRequest struct {
+	// Dataset names one of the server's loaded datasets.
+	Dataset string `json:"dataset"`
+	// Query declares the computation in wire form.
+	Query WireQuery `json:"query"`
+	// TimeoutMS optionally bounds this request's evaluation time; it is
+	// clamped to the server's MaxTimeout. Zero uses the server default.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// RankResponse is the body of a successful POST /rank.
+type RankResponse struct {
+	Dataset string `json:"dataset"`
+	WireResult
+}
+
+// BatchResponse is the body of a successful POST /rankbatch: one result per
+// α grid point, in grid order.
+type BatchResponse struct {
+	Dataset string       `json:"dataset"`
+	Results []WireResult `json:"results"`
+}
+
+// ErrorResponse is the body of every non-2xx answer.
+type ErrorResponse struct {
+	Error string `json:"error"`
+	// Code is a stable machine-readable discriminator: bad_request,
+	// unknown_dataset, not_found, method_not_allowed, too_large or
+	// deadline_exceeded.
+	Code string `json:"code"`
+}

@@ -28,7 +28,10 @@ package prf
 
 import (
 	"context"
+	"errors"
 	"math/rand"
+	"net/http"
+	"time"
 
 	"repro/internal/andxor"
 	"repro/internal/baselines"
@@ -39,6 +42,7 @@ import (
 	"repro/internal/learn"
 	"repro/internal/pdb"
 	"repro/internal/rankdist"
+	"repro/internal/serve"
 )
 
 // Base model types (Section 3.1).
@@ -155,6 +159,76 @@ func EngineForChain(c *MarkovChain) *Engine { return engine.New(junction.Prepare
 // long searches; malformed user rankings surface as errors.
 func LearnAlphaRanker(ctx context.Context, r Ranker, user Ranking, k, iters int) (AlphaResult, error) {
 	return learn.LearnAlphaRanker(ctx, r, user, k, iters)
+}
+
+// ---------------------------------------------------------------------------
+// Engine-level result caching and the HTTP serving layer.
+// ---------------------------------------------------------------------------
+
+type (
+	// CachedEngine memoizes an Engine behind a bounded, sharded LRU keyed
+	// by the canonical query encoding (Query.CacheKey). Prepared views are
+	// immutable, so the cache never invalidates, and a hit is bit-for-bit
+	// the first evaluation's result — treat Result slices as read-only.
+	// Safe for concurrent use.
+	CachedEngine = engine.CachedEngine
+	// CacheStats is a snapshot of a result cache's hit/miss/eviction
+	// counters (the serving layer reports it per dataset on /stats).
+	CacheStats = engine.CacheStats
+	// RankServer is the HTTP front end over the unified engine: named
+	// immutable datasets, declarative JSON queries routed to each dataset's
+	// backend, per-request deadlines, per-dataset result caches, typed
+	// error responses. It implements http.Handler.
+	RankServer = serve.Server
+	// ServeOptions configures a RankServer: default and maximum per-request
+	// timeouts, per-dataset cache capacity, request size bound.
+	ServeOptions = serve.Options
+)
+
+// DefaultCacheCapacity is the result-cache entry bound used when a
+// non-positive capacity is requested.
+const DefaultCacheCapacity = engine.DefaultCacheCapacity
+
+// NewCachedEngine wraps an engine with a result cache bounded to capacity
+// entries (zero takes DefaultCacheCapacity, negative disables caching) —
+// the repeated-dashboard fast path.
+func NewCachedEngine(e *Engine, capacity int) *CachedEngine {
+	return engine.NewCached(e, capacity)
+}
+
+// NewRankServer builds an empty serving front end. Register prepared
+// datasets with AddDataset, then serve it with Serve (or mount it on any
+// http.Server — it is an http.Handler).
+func NewRankServer(opts ServeOptions) *RankServer { return serve.New(opts) }
+
+// LoadDataset loads one dataset file into a prepared engine, ready for
+// AddDataset. Kinds: "ind" (CSV score,probability), "xrel" (CSV
+// score,probability,group — rows sharing a group are mutually exclusive
+// alternatives), "tree" (JSON and/xor spec), "chain" (JSON Markov-chain
+// spec).
+func LoadDataset(kind, path string) (*Engine, error) { return serve.LoadFile(kind, path) }
+
+// Serve runs a RankServer on addr until ctx is canceled, then shuts down
+// gracefully (in-flight requests get ten seconds to finish). A clean
+// shutdown returns nil, not http.ErrServerClosed.
+func Serve(ctx context.Context, addr string, s *RankServer) error {
+	srv := &http.Server{Addr: addr, Handler: s, ReadHeaderTimeout: 10 * time.Second}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			return err
+		}
+		if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+		return nil
+	}
 }
 
 // ---------------------------------------------------------------------------

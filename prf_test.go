@@ -1,9 +1,15 @@
 package prf_test
 
 import (
+	"context"
+	"encoding/json"
 	"math"
 	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
 	"testing"
+	"time"
 
 	prf "repro"
 )
@@ -360,5 +366,60 @@ func TestPublicAPIKeyAggregationAndNetworkERank(t *testing.T) {
 		if math.Abs(er[i]-want[i]) > 1e-9 {
 			t.Fatalf("network E-Rank %v vs closed form %v", er, want)
 		}
+	}
+}
+
+// TestServeFacade exercises the public serving surface: NewRankServer +
+// AddDataset answer HTTP queries identically to the engine, NewCachedEngine
+// memoizes, and prf.Serve shuts down cleanly on context cancellation.
+func TestServeFacade(t *testing.T) {
+	d, err := prf.NewDataset(
+		[]float64{100, 80, 50, 30},
+		[]float64{0.4, 0.6, 0.5, 0.9},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := prf.NewRankServer(prf.ServeOptions{DefaultTimeout: 5 * time.Second})
+	if err := srv.AddDataset("demo", prf.EngineFor(d)); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	resp, err := http.Post(ts.URL+"/rank", "application/json", strings.NewReader(
+		`{"dataset": "demo", "query": {"metric": "prfe", "alpha": 0.5, "output": "ranking"}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var got struct {
+		Ranking prf.Ranking `json:"ranking"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	want := prf.RankPRFe(d, 0.5)
+	if len(got.Ranking) != len(want) {
+		t.Fatalf("ranking %v, want %v", got.Ranking, want)
+	}
+	for i := range want {
+		if got.Ranking[i] != want[i] {
+			t.Fatalf("ranking %v, want %v", got.Ranking, want)
+		}
+	}
+
+	// prf.Serve: clean shutdown on ctx cancellation.
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- prf.Serve(ctx, "127.0.0.1:0", srv) }()
+	time.Sleep(50 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Serve returned %v on clean shutdown", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Serve did not shut down")
 	}
 }

@@ -6,16 +6,34 @@
 # alongside the change.
 #
 # Usage:
-#   scripts/apicheck.sh          # regenerate api.txt in place
-#   scripts/apicheck.sh -check   # regenerate and fail if it differs from HEAD
+#   scripts/apicheck.sh                # regenerate api.txt in place
+#   scripts/apicheck.sh -check         # regenerate and fail if it differs from HEAD
+#   scripts/apicheck.sh -out FILE      # write the snapshot elsewhere (no git diff)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-go doc -all . > api.txt
+out="api.txt"
+check=0
+while [ $# -gt 0 ]; do
+  case "$1" in
+    -check) check=1; shift ;;
+    -out) out="${2:?-out needs a path}"; shift 2 ;;
+    *) echo "apicheck: unknown argument $1" >&2; exit 2 ;;
+  esac
+done
 
-if [[ "${1:-}" == "-check" ]]; then
-  if ! git diff --exit-code -- api.txt; then
-    echo "api.txt is stale: the public API changed without updating the snapshot." >&2
+if [ "$check" = 1 ] && [ "$out" != "api.txt" ]; then
+  # git diff on an untracked path exits 0, which would make the gate pass
+  # vacuously — the combination is meaningless, so refuse it.
+  echo "apicheck: -check only gates the committed api.txt; drop -out" >&2
+  exit 2
+fi
+
+go doc -all . > "$out"
+
+if [ "$check" = 1 ]; then
+  if ! git diff --exit-code -- "$out"; then
+    echo "$out is stale: the public API changed without updating the snapshot." >&2
     echo "Run scripts/apicheck.sh and commit the result." >&2
     exit 1
   fi
