@@ -16,10 +16,19 @@
 // tree (JSON and/xor spec), chain (JSON Markov-chain spec).
 //
 // Endpoints: POST /rank, POST /rankbatch, GET /datasets, GET /stats,
-// GET /healthz. Example:
+// GET /healthz. POST bodies must declare Content-Type: application/json.
+// Example:
 //
-//	curl -s localhost:8080/rank -d '{"dataset": "iip",
+//	curl -s localhost:8080/rank -H 'Content-Type: application/json' \
+//	  -d '{"dataset": "iip",
 //	  "query": {"metric": "prfe", "alpha": 0.95, "output": "topk", "k": 10}}'
+//
+// Hot responses are answered from an encoded-byte cache (one Write, no
+// re-encode; -byte-cache sizes it), identical concurrent cold queries
+// collapse into one evaluation (-no-single-flight disables the latch for
+// benchmarking), responses negotiate Accept-Encoding: gzip, and
+// /rankbatch supports "stream": true (chunked per-grid-point emission)
+// and "format": "columnar" (parallel arrays for large grids).
 //
 // -oneshot evaluates one request body against Engine.Rank in-process — no
 // HTTP, no cache — and prints the byte-identical JSON the HTTP endpoint
@@ -86,6 +95,8 @@ func main() {
 		demo       = flag.Bool("demo", false, "load three synthetic demo datasets (demo-ind, demo-xrel, demo-chain)")
 		demoN      = flag.Int("demo-n", 2000, "demo dataset size")
 		cacheCap   = flag.Int("cache", engine.DefaultCacheCapacity, "result-cache entries per dataset (negative disables)")
+		byteCap    = flag.Int("byte-cache", serve.DefaultByteCacheCapacity, "response-byte-cache entries per dataset (negative disables)")
+		noFlight   = flag.Bool("no-single-flight", false, "disable the per-key latch that collapses concurrent identical cold requests")
 		timeout    = flag.Duration("timeout", 10*time.Second, "default per-request deadline (0 = none)")
 		maxTimeout = flag.Duration("max-timeout", 2*time.Minute, "upper bound on client-requested deadlines (0 = none)")
 		addrFile   = flag.String("addr-file", "", "write the bound address to this file once listening")
@@ -95,13 +106,13 @@ func main() {
 	flag.Var(&data, "data", "dataset to load, name=kind:path (kind: ind|xrel|tree|chain); repeatable")
 	flag.Parse()
 
-	if err := run(data, *listen, *demo, *demoN, *cacheCap, *timeout, *maxTimeout, *addrFile, *oneshot, *reqPath); err != nil {
+	if err := run(data, *listen, *demo, *demoN, *cacheCap, *byteCap, *noFlight, *timeout, *maxTimeout, *addrFile, *oneshot, *reqPath); err != nil {
 		fmt.Fprintln(os.Stderr, "prfserve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(data dataFlags, listen string, demo bool, demoN, cacheCap int,
+func run(data dataFlags, listen string, demo bool, demoN, cacheCap, byteCap int, noFlight bool,
 	timeout, maxTimeout time.Duration, addrFile string, oneshot bool, reqPath string) error {
 	engines := map[string]*engine.Engine{}
 	order := []string{}
@@ -138,9 +149,11 @@ func run(data dataFlags, listen string, demo bool, demoN, cacheCap int,
 	}
 
 	s := serve.New(serve.Options{
-		DefaultTimeout: timeout,
-		MaxTimeout:     maxTimeout,
-		CacheCapacity:  cacheCap,
+		DefaultTimeout:      timeout,
+		MaxTimeout:          maxTimeout,
+		CacheCapacity:       cacheCap,
+		ByteCacheCapacity:   byteCap,
+		DisableSingleFlight: noFlight,
 	})
 	for _, name := range order {
 		if err := s.AddDataset(name, engines[name]); err != nil {

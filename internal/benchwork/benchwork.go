@@ -412,9 +412,17 @@ func NewCachedEngine(e *engine.Engine, capacity int) *engine.CachedEngine {
 
 // StartServeFixture starts an in-process HTTP server over the given
 // engines, with per-dataset caching at the given capacity (negative
-// disables). Callers must Close the returned server.
+// disables) and the default wire path (byte cache + single-flight on).
+// Callers must Close the returned server.
 func StartServeFixture(engines map[string]*engine.Engine, cacheCapacity int) *httptest.Server {
-	s := serve.New(serve.Options{CacheCapacity: cacheCapacity})
+	return StartServeFixtureOpts(engines, serve.Options{CacheCapacity: cacheCapacity})
+}
+
+// StartServeFixtureOpts is StartServeFixture with full control of the serve
+// options — the bench arms use it to isolate the byte cache and the
+// single-flight latch.
+func StartServeFixtureOpts(engines map[string]*engine.Engine, opts serve.Options) *httptest.Server {
+	s := serve.New(opts)
 	for name, e := range engines {
 		if err := s.AddDataset(name, e); err != nil {
 			panic(err)
@@ -438,6 +446,29 @@ func ServeBatchBody(dataset string, gridPoints int) []byte {
 	}})
 }
 
+// ServeBatchStreamBody marshals the streamed variant of the ranked α-sweep
+// request ("stream": true — chunked per-grid-point emission).
+func ServeBatchStreamBody(dataset string, gridPoints int) []byte {
+	alphas, _ := Grid(gridPoints)
+	return mustJSON(serve.RankRequest{Dataset: dataset, Query: serve.WireQuery{
+		Metric: "prfe", Alphas: alphas, Output: "ranking",
+	}, Stream: true})
+}
+
+// ServeBatchStormBody marshals a ranked-sweep request whose α grid is
+// unique per round, so every cold-storm round presents a key neither cache
+// has seen: the grid is shifted by a round-scaled offset far below any real
+// grid spacing but well above float64 rounding at these magnitudes.
+func ServeBatchStormBody(dataset string, gridPoints, round int) []byte {
+	alphas, _ := Grid(gridPoints)
+	for i := range alphas {
+		alphas[i] += float64(round+1) * 1e-9
+	}
+	return mustJSON(serve.RankRequest{Dataset: dataset, Query: serve.WireQuery{
+		Metric: "prfe", Alphas: alphas, Output: "ranking",
+	}})
+}
+
 func mustJSON(v any) []byte {
 	b, err := json.Marshal(v)
 	if err != nil {
@@ -450,7 +481,17 @@ func mustJSON(v any) []byte {
 // the serve/* workloads. Non-200 answers panic (a benchmark must not
 // silently measure error paths).
 func ServeRoundTrip(c *http.Client, url string, body []byte) {
-	resp, err := c.Post(url, "application/json", bytes.NewReader(body))
+	// Pin the identity encoding: without this net/http silently negotiates
+	// gzip and inflates the body behind io.Copy, so every "plain" arm would
+	// actually measure compress+inflate (and lose comparability with the
+	// BENCH_5 serve arms). The gzip wire is measured by ServeRoundTripGzip.
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		panic(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Accept-Encoding", "identity")
+	resp, err := c.Do(req)
 	if err != nil {
 		panic(err)
 	}
@@ -458,6 +499,30 @@ func ServeRoundTrip(c *http.Client, url string, body []byte) {
 	if resp.StatusCode != http.StatusOK {
 		data, _ := io.ReadAll(resp.Body)
 		panic(fmt.Sprintf("serve round trip: status %d: %s", resp.StatusCode, data))
+	}
+	if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+		panic(err)
+	}
+}
+
+// ServeRoundTripGzip is ServeRoundTrip with gzip negotiated: the explicit
+// Accept-Encoding header disables net/http's transparent decompression, so
+// the op measures the compressed bytes actually crossing the wire.
+func ServeRoundTripGzip(c *http.Client, url string, body []byte) {
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		panic(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Accept-Encoding", "gzip")
+	resp, err := c.Do(req)
+	if err != nil {
+		panic(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		data, _ := io.ReadAll(resp.Body)
+		panic(fmt.Sprintf("serve gzip round trip: status %d: %s", resp.StatusCode, data))
 	}
 	if _, err := io.Copy(io.Discard, resp.Body); err != nil {
 		panic(err)

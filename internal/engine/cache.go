@@ -1,21 +1,27 @@
 package engine
 
 // This file is the engine-level result cache: a bounded, sharded LRU
-// memoizing canonical Query → Result over one immutable backend. Prepared
-// views never change after construction, so invalidation is creation-time
-// only — build a new CachedEngine when you build a new view — and a cache
-// hit is certified bit-for-bit identical to a fresh evaluation (the cache
-// stores the evaluation's own result slices; see cache_test.go).
+// memoizing canonical Query → Result over one immutable backend, plus the
+// per-key single-flight latch (FlightGroup) that collapses a thundering
+// herd of identical cold queries into one evaluation. Prepared views never
+// change after construction, so invalidation is creation-time only — build
+// a new CachedEngine when you build a new view — and a cache hit is
+// certified bit-for-bit identical to a fresh evaluation (hits return deep
+// copies of the stored result, so callers may mutate their answer without
+// corrupting later hits; see cache_test.go).
 //
 // The serving layer (internal/serve) keeps one CachedEngine per loaded
 // dataset, which realizes the ROADMAP's "(dataset, canonical Query) →
 // Result" map structurally: the dataset axis is the engine instance, the
-// query axis is Query.CacheKey.
+// query axis is Query.CacheKey. It layers its own encoded-byte cache and
+// byte-level FlightGroup on top (internal/serve/bytecache.go).
 
 import (
 	"context"
+	"errors"
 	"hash/maphash"
 	"math"
+	"slices"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -145,6 +151,21 @@ func (c *Cache) shard(key string) *cacheShard {
 	return &c.shards[maphash.String(c.seed, key)&(cacheShardCount-1)]
 }
 
+// peek returns the cached value for key without counting the lookup or
+// refreshing its recency — the double-check a single-flight leader runs
+// after winning the latch (the caller's Get already counted the lookup).
+func (c *Cache) peek(key string) (any, bool) {
+	s := c.shard(key)
+	s.mu.Lock()
+	e, ok := s.m[key]
+	var val any
+	if ok {
+		val = e.val
+	}
+	s.mu.Unlock()
+	return val, ok
+}
+
 // Get returns the cached value for key, if present, and counts the lookup.
 func (c *Cache) Get(key string) (any, bool) {
 	s := c.shard(key)
@@ -231,21 +252,114 @@ func (c *Cache) Stats() CacheStats {
 	}
 }
 
+// FlightGroup is a per-key single-flight latch: the first caller for a key
+// becomes the leader and runs fn; callers that arrive while that flight is
+// in progress wait and share the leader's result instead of re-running fn.
+// The thundering-dashboard regime — N identical cold queries landing at
+// once — thus pays one evaluation instead of N.
+//
+// Error semantics: a leader's deterministic error (validation) is shared
+// with every waiter, but a leader's context error (cancellation, deadline)
+// is the leader's own story — waiters whose contexts are still live retry
+// the flight (becoming the next leader) rather than inheriting it. A waiter
+// whose own context expires gives up with its own ctx.Err() immediately.
+// The zero FlightGroup is ready to use.
+type FlightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flight
+
+	flights atomic.Int64 // leader executions of fn
+	shared  atomic.Int64 // calls answered by waiting on another's flight
+}
+
+type flight struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
+// Do returns the result of running fn under the key's latch, deduplicating
+// concurrent callers. fn runs exactly once per flight, under the leader's
+// context (fn should close over it).
+func (g *FlightGroup) Do(ctx context.Context, key string, fn func() (any, error)) (any, error) {
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		g.mu.Lock()
+		if g.m == nil {
+			g.m = make(map[string]*flight)
+		}
+		if f, ok := g.m[key]; ok {
+			g.mu.Unlock()
+			select {
+			case <-f.done:
+				if f.err == nil {
+					g.shared.Add(1)
+					return f.val, nil
+				}
+				if errors.Is(f.err, context.Canceled) || errors.Is(f.err, context.DeadlineExceeded) {
+					continue // the leader was cut off, not the work itself
+				}
+				g.shared.Add(1)
+				return nil, f.err
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+		f := &flight{done: make(chan struct{})}
+		g.m[key] = f
+		g.mu.Unlock()
+		g.flights.Add(1)
+		f.val, f.err = fn()
+		g.mu.Lock()
+		delete(g.m, key)
+		g.mu.Unlock()
+		close(f.done)
+		return f.val, f.err
+	}
+}
+
+// Stats reports leader executions and deduplicated (shared) calls.
+func (g *FlightGroup) Stats() (flights, shared int64) {
+	return g.flights.Load(), g.shared.Load()
+}
+
+// cloneResult deep-copies a Result so cache hits never alias the stored
+// slices: a caller mutating its answer must not corrupt later hits.
+func cloneResult(r *Result) *Result {
+	out := *r
+	out.Values = slices.Clone(r.Values)
+	out.Complex = slices.Clone(r.Complex)
+	out.Ranking = slices.Clone(r.Ranking)
+	return &out
+}
+
+func cloneResults(rs []Result) []Result {
+	out := make([]Result, len(rs))
+	for i := range rs {
+		out[i] = *cloneResult(&rs[i])
+	}
+	return out
+}
+
 // CachedEngine memoizes an Engine behind the canonical-query cache: the
-// repeated-dashboard fast path. A hit returns the stored result — the very
-// slices the first evaluation produced, so answers are bit-for-bit
-// identical to the uncached engine — which makes the results shared values:
-// callers must treat Result slices as read-only (the uncached Engine's
-// results should be treated the same way; the cache just makes aliasing
-// observable).
+// repeated-dashboard fast path. A hit returns a deep copy of the stored
+// result — bit-for-bit identical to the uncached engine's answer, and safe
+// to mutate (the copy isolates the cache from its callers; cache_test.go
+// certifies both properties).
+//
+// Concurrent identical misses are collapsed by a per-key FlightGroup: one
+// caller evaluates, everyone else waits and shares the stored result, so a
+// cold storm of N equal queries costs one evaluation.
 //
 // Because prepared views are immutable, a CachedEngine never invalidates:
 // its lifetime is the backing view's lifetime. It is safe for concurrent
-// use. Concurrent identical misses may each evaluate once (no
-// single-flight); all of them store and return correct results.
+// use.
 type CachedEngine struct {
-	e     *Engine
-	cache *Cache
+	e      *Engine
+	cache  *Cache
+	flight FlightGroup
 }
 
 // NewCached wraps an engine with a result cache bounded to capacity
@@ -279,7 +393,8 @@ const (
 )
 
 // Rank is Engine.Rank memoized. Errors (including context cancellation) are
-// never cached; only successful results enter the cache.
+// never cached; only successful results enter the cache. Identical
+// concurrent misses evaluate once (single-flight).
 func (ce *CachedEngine) Rank(ctx context.Context, q Query) (*Result, error) {
 	if ce.cache == nil {
 		return ce.e.Rank(ctx, q)
@@ -290,14 +405,23 @@ func (ce *CachedEngine) Rank(ctx context.Context, q Query) (*Result, error) {
 	}
 	key = rankPrefix + key
 	if v, hit := ce.cache.Get(key); hit {
-		return v.(*Result), nil
+		return cloneResult(v.(*Result)), nil
 	}
-	res, err := ce.e.Rank(ctx, q)
+	v, err := ce.flight.Do(ctx, key, func() (any, error) {
+		if v, ok := ce.cache.peek(key); ok {
+			return v, nil // filled between our miss and winning the latch
+		}
+		res, err := ce.e.Rank(ctx, q)
+		if err != nil {
+			return nil, err
+		}
+		ce.cache.Put(key, res)
+		return res, nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	ce.cache.Put(key, res)
-	return res, nil
+	return cloneResult(v.(*Result)), nil
 }
 
 // RankBatch is Engine.RankBatch memoized under the same rules as Rank.
@@ -311,12 +435,27 @@ func (ce *CachedEngine) RankBatch(ctx context.Context, q Query) ([]Result, error
 	}
 	key = batchPrefix + key
 	if v, hit := ce.cache.Get(key); hit {
-		return v.([]Result), nil
+		return cloneResults(v.([]Result)), nil
 	}
-	res, err := ce.e.RankBatch(ctx, q)
+	v, err := ce.flight.Do(ctx, key, func() (any, error) {
+		if v, ok := ce.cache.peek(key); ok {
+			return v, nil
+		}
+		res, err := ce.e.RankBatch(ctx, q)
+		if err != nil {
+			return nil, err
+		}
+		ce.cache.Put(key, res)
+		return res, nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	ce.cache.Put(key, res)
-	return res, nil
+	return cloneResults(v.([]Result)), nil
+}
+
+// FlightStats reports the single-flight counters: leader evaluations and
+// calls that were answered by waiting on another caller's flight.
+func (ce *CachedEngine) FlightStats() (flights, shared int64) {
+	return ce.flight.Stats()
 }

@@ -2,10 +2,13 @@ package engine
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"reflect"
 	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/andxor"
 	"repro/internal/core"
@@ -94,8 +97,9 @@ func TestCachedEngineBitForBit(t *testing.T) {
 				if !reflect.DeepEqual(first, want) || !reflect.DeepEqual(hit, want) {
 					t.Errorf("query %d (%v/%v): cached result differs from uncached", i, q.Metric, q.Output)
 				}
-				if hit != first {
-					t.Errorf("query %d: second call re-evaluated instead of hitting the cache", i)
+				// Hits are deep copies: equal bit-for-bit, never aliased.
+				if hit == first {
+					t.Errorf("query %d: hit aliases the cached result", i)
 				}
 			}
 			for i, q := range cacheTestGrids() {
@@ -114,13 +118,20 @@ func TestCachedEngineBitForBit(t *testing.T) {
 				if !reflect.DeepEqual(first, want) || !reflect.DeepEqual(hit, want) {
 					t.Errorf("grid %d (%v): cached batch differs from uncached", i, q.Output)
 				}
-				if len(hit) > 0 && &hit[0] != &first[0] {
-					t.Errorf("grid %d: second batch call re-evaluated instead of hitting the cache", i)
+				if len(hit) > 0 && &hit[0] == &first[0] {
+					t.Errorf("grid %d: batch hit aliases the cached results", i)
 				}
 			}
 			st := ce.Stats()
 			if st.Hits == 0 || st.Misses == 0 || st.Entries == 0 {
 				t.Errorf("stats not counting: %+v", st)
+			}
+			// Every query ran twice: fill (miss) then hit — the hit counter is
+			// how the "hit, not re-evaluated" property is observed now that
+			// hits return copies instead of aliases.
+			wantLookups := int64(len(cacheTestQueries()) + len(cacheTestGrids()))
+			if st.Hits != wantLookups || st.Misses != wantLookups {
+				t.Errorf("hits/misses = %d/%d, want %d/%d", st.Hits, st.Misses, wantLookups, wantLookups)
 			}
 		})
 	}
@@ -308,6 +319,196 @@ func TestCacheLRUOrder(t *testing.T) {
 	}
 	if v, ok := c.Get(same); !ok || v.(int) != 2 {
 		t.Error("most-recent entry was evicted")
+	}
+}
+
+// TestCachedEngineHitIsolation certifies the aliasing fix: a caller that
+// mutates the slices of a cache hit must not corrupt what later hits see.
+func TestCachedEngineHitIsolation(t *testing.T) {
+	ctx := context.Background()
+	e := New(core.Prepare(datagen.IIPLike(64, 7)))
+	ce := NewCached(e, 0)
+	queries := []Query{
+		{Metric: MetricPRFe, Alpha: 0.8, Output: OutputRanking},
+		{Metric: MetricPTh, H: 5},
+		{Metric: MetricPRFe, Alpha: 0.6},
+	}
+	for i, q := range queries {
+		want, err := e.Rank(ctx, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ce.Rank(ctx, q); err != nil { // fill
+			t.Fatal(err)
+		}
+		victim, err := ce.Rank(ctx, q) // hit
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Vandalize every slice the caller got back.
+		for j := range victim.Ranking {
+			victim.Ranking[j] = -1
+		}
+		for j := range victim.Values {
+			victim.Values[j] = -12345
+		}
+		for j := range victim.Complex {
+			victim.Complex[j] = complex(-1, -1)
+		}
+		after, err := ce.Rank(ctx, q) // next hit must be unaffected
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(after, want) {
+			t.Errorf("query %d: mutating a hit corrupted the cache", i)
+		}
+	}
+
+	// Same for batches.
+	gq := Query{Metric: MetricPRFe, Alphas: []float64{0.2, 0.7}, Output: OutputRanking}
+	wantGrid, err := e.RankBatch(ctx, gq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ce.RankBatch(ctx, gq); err != nil {
+		t.Fatal(err)
+	}
+	victim, err := ce.RankBatch(ctx, gq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range victim {
+		for j := range victim[i].Ranking {
+			victim[i].Ranking[j] = -1
+		}
+	}
+	after, err := ce.RankBatch(ctx, gq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(after, wantGrid) {
+		t.Error("mutating a batch hit corrupted the cache")
+	}
+}
+
+// countingRanker wraps a Ranker and counts (slowed-down) batch-ranking
+// evaluations, so single-flight tests can certify "exactly one evaluation".
+type countingRanker struct {
+	Ranker
+	evals atomic.Int64
+	delay time.Duration
+}
+
+func (c *countingRanker) QueryRankPRFeBatch(ctx context.Context, alphas []float64) ([]pdb.Ranking, error) {
+	c.evals.Add(1)
+	if c.delay > 0 {
+		time.Sleep(c.delay)
+	}
+	return c.Ranker.QueryRankPRFeBatch(ctx, alphas)
+}
+
+func (c *countingRanker) QueryRankPRFe(ctx context.Context, alpha float64) (pdb.Ranking, error) {
+	c.evals.Add(1)
+	if c.delay > 0 {
+		time.Sleep(c.delay)
+	}
+	return c.Ranker.QueryRankPRFe(ctx, alpha)
+}
+
+// TestCachedEngineSingleFlight hammers one cold key from many goroutines
+// (run with -race): the backend must evaluate exactly once, and every
+// waiter must get a result DeepEqual to the leader's.
+func TestCachedEngineSingleFlight(t *testing.T) {
+	cr := &countingRanker{Ranker: core.Prepare(datagen.IIPLike(256, 13)), delay: 5 * time.Millisecond}
+	ce := NewCached(New(cr), 0)
+	q := Query{Metric: MetricPRFe, Alphas: []float64{0.1, 0.5, 0.9}, Output: OutputRanking}
+
+	const workers = 24
+	results := make([][]Result, workers)
+	errs := make([]error, workers)
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			results[w], errs[w] = ce.RankBatch(context.Background(), q)
+		}()
+	}
+	close(start)
+	wg.Wait()
+	for w := 0; w < workers; w++ {
+		if errs[w] != nil {
+			t.Fatalf("worker %d: %v", w, errs[w])
+		}
+		if !reflect.DeepEqual(results[w], results[0]) {
+			t.Fatalf("worker %d: answer diverged from the flight leader's", w)
+		}
+	}
+	if got := cr.evals.Load(); got != 1 {
+		t.Errorf("backend evaluated %d times for one cold storm, want exactly 1", got)
+	}
+	flights, shared := ce.FlightStats()
+	if flights != 1 {
+		t.Errorf("flights = %d, want 1", flights)
+	}
+	// Everyone but the leader either shared the flight or hit the cache
+	// after the flight completed.
+	st := ce.Stats()
+	if shared+st.Hits != workers-1 {
+		t.Errorf("shared %d + hits %d ≠ %d waiters", shared, st.Hits, workers-1)
+	}
+}
+
+// TestFlightGroupLeaderCancel: a leader cut off by its own context must not
+// poison waiters — a live waiter retries and becomes the next leader.
+func TestFlightGroupLeaderCancel(t *testing.T) {
+	var g FlightGroup
+	leaderCtx, cancelLeader := context.WithCancel(context.Background())
+	leaderIn := make(chan struct{})
+	leaderDone := make(chan struct{})
+	go func() {
+		defer close(leaderDone)
+		_, err := g.Do(leaderCtx, "k", func() (any, error) {
+			close(leaderIn)
+			<-leaderCtx.Done()
+			return nil, leaderCtx.Err()
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("leader error = %v, want context.Canceled", err)
+		}
+	}()
+	<-leaderIn
+
+	waiterDone := make(chan struct{})
+	go func() {
+		defer close(waiterDone)
+		v, err := g.Do(context.Background(), "k", func() (any, error) { return 42, nil })
+		if err != nil || v.(int) != 42 {
+			t.Errorf("waiter got (%v, %v), want (42, nil)", v, err)
+		}
+	}()
+	// Give the waiter a moment to join the leader's flight, then cancel.
+	time.Sleep(10 * time.Millisecond)
+	cancelLeader()
+	<-leaderDone
+	<-waiterDone
+
+	// A waiter whose own context dies while waiting gets its own ctx error.
+	blocked := make(chan struct{})
+	go func() {
+		_, _ = g.Do(context.Background(), "k2", func() (any, error) {
+			close(blocked)
+			select {} // never returns; the test only needs the waiter path
+		})
+	}()
+	<-blocked
+	wctx, wcancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer wcancel()
+	if _, err := g.Do(wctx, "k2", func() (any, error) { return nil, nil }); !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("expired waiter error = %v, want deadline exceeded", err)
 	}
 }
 

@@ -350,6 +350,53 @@ func finishRanking(r pdb.Ranking, q Query) pdb.Ranking {
 	return r
 }
 
+// DefaultStreamChunk is the grid-chunk size RankBatchStream uses when the
+// caller passes a non-positive one: small enough that the first results
+// reach the consumer promptly, large enough that monotone grids still
+// amortize the kinetic sweep's initial sort across several points.
+const DefaultStreamChunk = 8
+
+// RankBatchStream evaluates the same α grid as RankBatch but emits results
+// incrementally instead of materializing the whole batch: the grid is split
+// into consecutive chunks of up to chunk points, each chunk runs through
+// the exact batch kernels RankBatch uses, and emit is called once per chunk
+// with that chunk's results, in grid order. Every emitted Result is
+// identical to the one RankBatch would return at the same grid point (the
+// batch kernels are certified per-α against the re-sort reference, so chunk
+// boundaries never change answers). The context is honored between chunks
+// and inside the kernels; an emit error aborts the stream and is returned
+// unchanged. The serving layer's streamed /rankbatch is built on this.
+func (e *Engine) RankBatchStream(ctx context.Context, q Query, chunk int, emit func(rs []Result) error) error {
+	if e == nil || e.r == nil {
+		return errNilRanker
+	}
+	if q.Metric != MetricPRFe {
+		return fmt.Errorf("engine: RankBatchStream supports MetricPRFe α grids; %v has no grid axis", q.Metric)
+	}
+	if len(q.Alphas) == 0 {
+		return errBatchAlpha
+	}
+	if chunk <= 0 {
+		chunk = DefaultStreamChunk
+	}
+	for start := 0; start < len(q.Alphas); start += chunk {
+		end := start + chunk
+		if end > len(q.Alphas) {
+			end = len(q.Alphas)
+		}
+		sub := q
+		sub.Alphas = q.Alphas[start:end]
+		rs, err := e.RankBatch(ctx, sub)
+		if err != nil {
+			return err
+		}
+		if err := emit(rs); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // RankBatch executes a PRFe query at every point of the q.Alphas grid —
 // the α-sweep workhorse. out[a] answers grid point a exactly as Rank would
 // with Alpha = q.Alphas[a]; monotone grids in (0, 1] additionally ride the

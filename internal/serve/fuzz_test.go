@@ -1,0 +1,53 @@
+package serve
+
+// Fuzz target for the wire-form query decoder: arbitrary bytes through
+// json.Unmarshal + WireQuery.ToQuery must never panic, every rejection must
+// be a typed serve-prefixed error, and every accepted query must be
+// cacheable (the wire form cannot express MetricPRF, the only uncacheable
+// metric). Run with: go test ./internal/serve -fuzz FuzzWireQueryDecode
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func FuzzWireQueryDecode(f *testing.F) {
+	seeds := []string{
+		`{"metric":"prfe","alpha":0.5}`,
+		`{"metric":"prfe","alphas":[0.1,0.9],"output":"ranking"}`,
+		`{"metric":"prfomega","weights":[3,2,1]}`,
+		`{"metric":"pth","h":4,"output":"topk","k":3}`,
+		`{"metric":"erank"}`,
+		`{"metric":"prfecombo","terms":[{"u":[1,0],"alpha":[0.9,0]}]}`,
+		`{"metric":"prf"}`,
+		`{"metric":"nope","output":"sideways"}`,
+		`{"metric":"prfe","alpha":1e309}`,
+		`{"metric":"prfe","k":-1}`,
+		`{}`,
+		`null`,
+		`[]`,
+		`{"metric":42}`,
+		`{"metric":"prfe","terms":[{"u":[null,0]}]}`,
+		"\x00\xff",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var w WireQuery
+		if err := json.Unmarshal(data, &w); err != nil {
+			return // not a WireQuery at all; nothing to decode
+		}
+		q, err := w.ToQuery()
+		if err != nil {
+			if !strings.HasPrefix(err.Error(), "serve:") {
+				t.Fatalf("untyped decode error %q for input %q", err, data)
+			}
+			return
+		}
+		if _, ok := q.CacheKey(); !ok {
+			t.Fatalf("wire query decoded to an uncacheable engine query: %q", data)
+		}
+	})
+}

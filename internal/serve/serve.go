@@ -3,21 +3,31 @@
 // datasets (each already prepared into its fastest backend view and wrapped
 // in an engine.Engine), routes declarative JSON queries to the right
 // backend, enforces per-request deadlines through the engines' context
-// plumbing, and memoizes hot queries in a per-dataset engine-level cache.
+// plumbing, and memoizes hot queries at two layers: a per-dataset
+// engine-level result cache and, above it, a per-dataset encoded-byte cache
+// so a hot hit is one Write with no re-encode (bytecache.go). Concurrent
+// identical cold requests collapse into one evaluation + one encode through
+// per-key single-flight latches (singleflight.go), POST /rankbatch can
+// stream each grid point as it is computed (stream.go), responses negotiate
+// Accept-Encoding: gzip, and large grids can ask for a compact columnar
+// payload ("format": "columnar").
 //
 // Endpoints:
 //
 //	POST /rank       {"dataset": name, "query": {...}, "timeout_ms": n}
-//	POST /rankbatch  same body; query.alphas is the α grid
+//	POST /rankbatch  same body; query.alphas is the α grid; plus
+//	                 "stream": true and "format": "columnar"
 //	GET  /datasets   the loaded datasets (name, model, size, cache on/off)
-//	GET  /stats      request and per-dataset cache counters
+//	GET  /stats      request, cache, byte-cache and single-flight counters
 //	GET  /healthz    liveness
 //
-// Every error is a JSON body with a stable code and the matching HTTP
-// status: bad_request 400, unknown_dataset and not_found 404,
-// method_not_allowed 405, too_large 413, deadline_exceeded 504. Because
-// prepared views are immutable, the result cache never invalidates — a
-// dataset's cache lives exactly as long as the dataset.
+// POST bodies must declare Content-Type: application/json (or a +json
+// subtype). Every error is a JSON body with a stable code and the matching
+// HTTP status: bad_request 400, unknown_dataset and not_found 404,
+// method_not_allowed 405, too_large 413, unsupported_media_type 415,
+// deadline_exceeded 504. Because prepared views are immutable, neither
+// cache ever invalidates — a dataset's caches live exactly as long as the
+// dataset.
 package serve
 
 import (
@@ -25,8 +35,10 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"mime"
 	"net/http"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -48,18 +60,47 @@ type Options struct {
 	// CacheCapacity is the per-dataset result-cache entry bound: 0 takes
 	// engine.DefaultCacheCapacity, negative disables caching.
 	CacheCapacity int
+	// ByteCacheCapacity is the per-dataset response-byte-cache entry bound:
+	// 0 takes DefaultByteCacheCapacity, negative disables the byte cache
+	// (the engine-level result cache is governed by CacheCapacity alone).
+	ByteCacheCapacity int
+	// DisableSingleFlight turns off the per-key latches that collapse
+	// concurrent identical cold requests into one evaluation + encode.
+	// Exists so the load benchmark can measure the latch; leave it off in
+	// production.
+	DisableSingleFlight bool
 	// MaxBodyBytes bounds request bodies; 0 takes 1 MiB.
 	MaxBodyBytes int64
 }
 
 const defaultMaxBody = 1 << 20
 
-// dataset is one loaded, immutable dataset with its engines.
+// dataset is one loaded, immutable dataset with its engines and wire-path
+// state: the encoded-byte cache and the serve-level single-flight group
+// (the engine-level CachedEngine carries its own flight group for callers
+// that bypass HTTP).
 type dataset struct {
 	name   string
 	model  string
 	eng    *engine.Engine
 	cached *engine.CachedEngine // nil when caching is disabled
+	bytes  *byteCache           // nil when byte caching is disabled
+	flight engine.FlightGroup
+}
+
+// rank evaluates through the result cache when one is attached.
+func (d *dataset) rank(ctx context.Context, q engine.Query) (*engine.Result, error) {
+	if d.cached != nil {
+		return d.cached.Rank(ctx, q)
+	}
+	return d.eng.Rank(ctx, q)
+}
+
+func (d *dataset) rankBatch(ctx context.Context, q engine.Query) ([]engine.Result, error) {
+	if d.cached != nil {
+		return d.cached.RankBatch(ctx, q)
+	}
+	return d.eng.RankBatch(ctx, q)
 }
 
 // Server is the HTTP front end. Datasets are registered before serving via
@@ -121,6 +162,7 @@ func (s *Server) AddDataset(name string, e *engine.Engine) error {
 	if s.opts.CacheCapacity >= 0 {
 		d.cached = engine.NewCached(e, s.opts.CacheCapacity)
 	}
+	d.bytes = newByteCache(s.opts.ByteCacheCapacity)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, dup := s.datasets[name]; dup {
@@ -185,9 +227,28 @@ func writeJSON(w http.ResponseWriter, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
+// checkContentType enforces JSON request bodies on the POST endpoints: the
+// declared media type must be application/json or a +json subtype. Anything
+// else — including a missing or unparseable Content-Type — is a typed 415,
+// not a generic decode 400: a client POSTing a form or protobuf body should
+// learn what the endpoint speaks, not that its bytes failed to parse.
+func checkContentType(w http.ResponseWriter, r *http.Request) bool {
+	ct := r.Header.Get("Content-Type")
+	mt, _, err := mime.ParseMediaType(ct)
+	if err == nil && (mt == "application/json" || strings.HasSuffix(mt, "+json")) {
+		return true
+	}
+	writeError(w, http.StatusUnsupportedMediaType, "unsupported_media_type",
+		fmt.Sprintf("serve: Content-Type %q is not JSON (send application/json)", ct))
+	return false
+}
+
 // decodeRequest parses and validates the shared request envelope, resolving
 // the dataset. A nil *dataset return means the error was already written.
 func (s *Server) decodeRequest(w http.ResponseWriter, r *http.Request) (*RankRequest, *dataset) {
+	if !checkContentType(w, r) {
+		return nil, nil
+	}
 	var req RankRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes))
 	dec.DisallowUnknownFields()
@@ -250,6 +311,11 @@ func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
 	if req == nil {
 		return
 	}
+	if req.Stream || req.Format != "" {
+		writeError(w, http.StatusBadRequest, "bad_request",
+			"serve: stream and format apply to /rankbatch only")
+		return
+	}
 	q, err := req.Query.ToQuery()
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "bad_request", err.Error())
@@ -257,17 +323,18 @@ func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.requestContext(r, req.TimeoutMS)
 	defer cancel()
-	var res *engine.Result
-	if d.cached != nil {
-		res, err = d.cached.Rank(ctx, q)
-	} else {
-		res, err = d.eng.Rank(ctx, q)
+	wantGzip := acceptsGzip(r)
+	key := ""
+	if qkey, ok := q.CacheKey(); ok {
+		key = byteKey("R", wantGzip, qkey)
 	}
-	if err != nil {
-		writeEngineError(w, err)
-		return
-	}
-	writeJSON(w, RankResponse{Dataset: d.name, WireResult: FromResult(res)})
+	s.respond(ctx, w, d, key, wantGzip, func(ctx context.Context) (any, error) {
+		res, err := d.rank(ctx, q)
+		if err != nil {
+			return nil, err
+		}
+		return RankResponse{Dataset: d.name, WireResult: FromResult(res)}, nil
+	})
 }
 
 func (s *Server) handleRankBatch(w http.ResponseWriter, r *http.Request) {
@@ -281,19 +348,42 @@ func (s *Server) handleRankBatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad_request", err.Error())
 		return
 	}
-	ctx, cancel := s.requestContext(r, req.TimeoutMS)
-	defer cancel()
-	var res []engine.Result
-	if d.cached != nil {
-		res, err = d.cached.RankBatch(ctx, q)
-	} else {
-		res, err = d.eng.RankBatch(ctx, q)
-	}
-	if err != nil {
-		writeEngineError(w, err)
+	prefix := "B"
+	switch req.Format {
+	case "", "results":
+	case "columnar":
+		prefix = "C"
+	default:
+		writeError(w, http.StatusBadRequest, "bad_request",
+			fmt.Sprintf("serve: unknown format %q (want results|columnar)", req.Format))
 		return
 	}
-	writeJSON(w, BatchResponse{Dataset: d.name, Results: FromResults(res)})
+	if req.Stream {
+		if prefix == "C" {
+			writeError(w, http.StatusBadRequest, "bad_request",
+				"serve: streamed responses use the results format, not columnar")
+			return
+		}
+		s.streamBatch(w, r, d, req, q)
+		return
+	}
+	ctx, cancel := s.requestContext(r, req.TimeoutMS)
+	defer cancel()
+	wantGzip := acceptsGzip(r)
+	key := ""
+	if qkey, ok := q.CacheKey(); ok {
+		key = byteKey(prefix, wantGzip, qkey)
+	}
+	s.respond(ctx, w, d, key, wantGzip, func(ctx context.Context) (any, error) {
+		res, err := d.rankBatch(ctx, q)
+		if err != nil {
+			return nil, err
+		}
+		if prefix == "C" {
+			return FromResultsColumnar(d.name, res), nil
+		}
+		return BatchResponse{Dataset: d.name, Results: FromResults(res)}, nil
+	})
 }
 
 // DatasetInfo is one row of GET /datasets.
@@ -322,9 +412,10 @@ func (s *Server) handleDatasets(w http.ResponseWriter, _ *http.Request) {
 
 // DatasetStats is the per-dataset block of GET /stats.
 type DatasetStats struct {
-	Model  string             `json:"model"`
-	Tuples int                `json:"tuples"`
-	Cache  *engine.CacheStats `json:"cache,omitempty"`
+	Model     string             `json:"model"`
+	Tuples    int                `json:"tuples"`
+	Cache     *engine.CacheStats `json:"cache,omitempty"`
+	ByteCache *ByteCacheStats    `json:"byte_cache,omitempty"`
 }
 
 // StatsResponse is the body of GET /stats.
@@ -346,6 +437,11 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		if d.cached != nil {
 			cs := d.cached.Stats()
 			st.Cache = &cs
+		}
+		if d.bytes != nil {
+			bs := d.bytes.stats()
+			bs.Flights, bs.Shared = d.flight.Stats()
+			st.ByteCache = &bs
 		}
 		resp.Datasets[name] = st
 	}

@@ -17,6 +17,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/datagen"
 	"repro/internal/engine"
+	"repro/internal/junction"
 )
 
 const xrelCSV = `score,probability,group
@@ -58,6 +59,23 @@ func testServer(t *testing.T, opts Options) (*Server, map[string]*engine.Engine)
 		}
 		engines[name] = e
 	}
+	// A genuine Markov-network dataset so all four backends (independent,
+	// andxor, network, chain) sit behind one server.
+	net, err := junction.NewNetwork(
+		[]float64{90, 75, 60, 45},
+		[]junction.Factor{
+			{Vars: []int{0, 1}, Table: []float64{0.10, 0.30, 0.35, 0.25}},
+			{Vars: []int{1, 2}, Table: []float64{0.20, 0.25, 0.30, 0.25}},
+			{Vars: []int{3}, Table: []float64{0.45, 0.55}},
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pn, err := junction.PrepareNetwork(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engines["grid"] = engine.New(pn)
 	s := New(opts)
 	for name, e := range engines {
 		if err := s.AddDataset(name, e); err != nil {
@@ -207,8 +225,17 @@ func TestServeCacheObservable(t *testing.T) {
 	if !ok || ds.Cache == nil {
 		t.Fatalf("stats missing iip cache block: %s", statsBody)
 	}
-	if ds.Cache.Hits < 2 || ds.Cache.Misses < 1 {
+	if ds.ByteCache == nil {
+		t.Fatalf("stats missing iip byte_cache block: %s", statsBody)
+	}
+	// The byte cache sits above the engine cache: the first request misses
+	// both and fills both, the two repeats are byte-cache hits that never
+	// reach the engine layer.
+	if ds.Cache.Misses < 1 {
 		t.Errorf("cache counters off: %+v", *ds.Cache)
+	}
+	if ds.ByteCache.Hits < 2 || ds.ByteCache.Misses < 1 || ds.ByteCache.Entries < 1 || ds.ByteCache.Bytes <= 0 {
+		t.Errorf("byte-cache counters off: %+v", *ds.ByteCache)
 	}
 	if st.Requests < 3 {
 		t.Errorf("request counter off: %d", st.Requests)
@@ -418,7 +445,7 @@ func TestServeDatasets(t *testing.T) {
 	if err := json.Unmarshal(body, &infos); err != nil {
 		t.Fatal(err)
 	}
-	want := map[string]string{"chain": "chain", "iip": "independent", "sensors": "andxor", "traffic": "andxor"}
+	want := map[string]string{"chain": "chain", "grid": "network", "iip": "independent", "sensors": "andxor", "traffic": "andxor"}
 	if len(infos) != len(want) {
 		t.Fatalf("got %d datasets, want %d: %s", len(infos), len(want), body)
 	}

@@ -1,0 +1,150 @@
+package serve
+
+// The buffered response path: byte cache → per-key single-flight → encode
+// (→ gzip). Every buffered /rank and /rankbatch answer funnels through
+// Server.respond, which tries the encoded-byte cache first, then collapses
+// concurrent identical cold requests into one evaluation + one encode via
+// the dataset's flight group (reusing engine.FlightGroup — same latch
+// semantics at both layers), and only then runs the engine.
+//
+// Byte-cache keys are composed as prefix|encoding|Query.CacheKey, where the
+// prefix separates /rank ("R") from buffered /rankbatch ("B") and columnar
+// /rankbatch ("C") keyspaces, and the encoding tag ("gz"/"id") keeps the
+// gzip and identity variants of one query as distinct entries — a cache
+// that ignored encoding would serve compressed bytes to a client that
+// cannot decode them.
+
+import (
+	"bytes"
+	"compress/gzip"
+	"context"
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// gzipMinSize is the smallest body worth compressing: below this the gzip
+// header/trailer and the client's inflate outweigh the byte savings, so the
+// identity bytes are served (and cached) even when gzip was negotiated.
+const gzipMinSize = 1024
+
+// gzipPool recycles gzip writers; BestSpeed because the wire win we are
+// after is latency, and level-9's extra ratio on JSON number soup is small.
+var gzipPool = sync.Pool{
+	New: func() any {
+		zw, _ := gzip.NewWriterLevel(nil, gzip.BestSpeed)
+		return zw
+	},
+}
+
+// acceptsGzip reports whether the client's Accept-Encoding admits gzip.
+// Parsing is deliberately minimal: a gzip (or *) token accepts unless it
+// carries an explicit q=0.
+func acceptsGzip(r *http.Request) bool {
+	for _, part := range strings.Split(r.Header.Get("Accept-Encoding"), ",") {
+		token, params, _ := strings.Cut(strings.TrimSpace(part), ";")
+		token = strings.TrimSpace(token)
+		if token != "gzip" && token != "*" {
+			continue
+		}
+		q := strings.TrimSpace(params)
+		if q == "q=0" || strings.HasPrefix(q, "q=0.0") || strings.HasPrefix(q, "q=0,") {
+			return false
+		}
+		return true
+	}
+	return false
+}
+
+// byteKey composes the byte-cache / flight key for one buffered response.
+func byteKey(prefix string, wantGzip bool, qkey string) string {
+	enc := "id"
+	if wantGzip {
+		enc = "gz"
+	}
+	return prefix + "|" + enc + "|" + qkey
+}
+
+// encodeBody encodes v exactly as writeJSON would (json.Encoder, trailing
+// newline — the smoke test diffs these bytes against `prfserve -oneshot`)
+// and optionally gzips the result.
+func encodeBody(v any, wantGzip bool) (byteBody, error) {
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(v); err != nil {
+		return byteBody{}, err
+	}
+	raw := buf.Bytes()
+	if !wantGzip || len(raw) < gzipMinSize {
+		return byteBody{bytes: raw}, nil
+	}
+	var zbuf bytes.Buffer
+	zw := gzipPool.Get().(*gzip.Writer)
+	zw.Reset(&zbuf)
+	_, werr := zw.Write(raw)
+	cerr := zw.Close()
+	gzipPool.Put(zw)
+	if werr != nil {
+		return byteBody{}, werr
+	}
+	if cerr != nil {
+		return byteBody{}, cerr
+	}
+	return byteBody{bytes: zbuf.Bytes(), gzipped: true}, nil
+}
+
+// writeBody emits a cached-or-fresh encoded body as the 200 answer.
+func writeBody(w http.ResponseWriter, b byteBody) {
+	h := w.Header()
+	h.Set("Content-Type", "application/json")
+	h.Set("Vary", "Accept-Encoding")
+	if b.gzipped {
+		h.Set("Content-Encoding", "gzip")
+	}
+	h.Set("Content-Length", strconv.Itoa(len(b.bytes)))
+	_, _ = w.Write(b.bytes)
+}
+
+// respond drives the buffered hot path for one request: byte-cache get →
+// single-flight{byte-cache peek → build → encode → put} → write. build
+// evaluates the query and returns the response value to encode; it runs at
+// most once per key across all concurrent callers (unless single-flight is
+// disabled). A key of "" bypasses both the cache and the latch.
+func (s *Server) respond(ctx context.Context, w http.ResponseWriter, d *dataset, key string, wantGzip bool, build func(context.Context) (any, error)) {
+	if key != "" {
+		if body, ok := d.bytes.get(key); ok {
+			writeBody(w, body)
+			return
+		}
+	}
+	fill := func() (any, error) {
+		if body, ok := d.bytes.peek(key); ok {
+			return body, nil
+		}
+		v, err := build(ctx)
+		if err != nil {
+			return nil, err
+		}
+		body, err := encodeBody(v, wantGzip)
+		if err != nil {
+			return nil, err
+		}
+		if key != "" {
+			d.bytes.put(key, body)
+		}
+		return body, nil
+	}
+	var got any
+	var err error
+	if key == "" || s.opts.DisableSingleFlight {
+		got, err = fill()
+	} else {
+		got, err = d.flight.Do(ctx, key, fill)
+	}
+	if err != nil {
+		writeEngineError(w, err)
+		return
+	}
+	writeBody(w, got.(byteBody))
+}

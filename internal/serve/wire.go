@@ -139,6 +139,15 @@ type RankRequest struct {
 	// TimeoutMS optionally bounds this request's evaluation time; it is
 	// clamped to the server's MaxTimeout. Zero uses the server default.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Stream asks /rankbatch to emit each grid-point result as it is
+	// computed via chunked transfer encoding instead of buffering the full
+	// body. The reassembled stream is byte-identical to the buffered
+	// response. Only valid on /rankbatch with the default results format.
+	Stream bool `json:"stream,omitempty"`
+	// Format selects the /rankbatch payload shape: "" or "results" is the
+	// per-grid-point object form, "columnar" the parallel-array form for
+	// large grids. Only valid on /rankbatch.
+	Format string `json:"format,omitempty"`
 }
 
 // RankResponse is the body of a successful POST /rank.
@@ -154,11 +163,67 @@ type BatchResponse struct {
 	Results []WireResult `json:"results"`
 }
 
+// ColumnarBatch is the compact wire form of a batch: one parallel array
+// per field instead of one object per grid point, which drops the repeated
+// `{"metric":...,"alpha":...}` framing from large grids. Exactly one of
+// Values, Complex or Rankings is set; index i of every array belongs to
+// Alphas[i].
+type ColumnarBatch struct {
+	Dataset  string        `json:"dataset"`
+	Format   string        `json:"format"` // always "columnar"
+	Metric   string        `json:"metric"`
+	Alphas   []float64     `json:"alphas"`
+	Values   [][]float64   `json:"values,omitempty"`
+	Complex  [][]Complex   `json:"complex,omitempty"`
+	Rankings []pdb.Ranking `json:"rankings,omitempty"`
+}
+
+// FromResultsColumnar converts a batch of engine results into the columnar
+// wire form.
+func FromResultsColumnar(dataset string, rs []engine.Result) ColumnarBatch {
+	c := ColumnarBatch{Dataset: dataset, Format: "columnar", Alphas: make([]float64, len(rs))}
+	for i := range rs {
+		w := FromResult(&rs[i])
+		if i == 0 {
+			c.Metric = w.Metric
+		}
+		c.Alphas[i] = w.Alpha
+		switch {
+		case w.Ranking != nil:
+			c.Rankings = append(c.Rankings, w.Ranking)
+		case w.Complex != nil:
+			c.Complex = append(c.Complex, w.Complex)
+		default:
+			c.Values = append(c.Values, w.Values)
+		}
+	}
+	return c
+}
+
+// Rows maps the columnar form back onto the per-grid-point form, inverting
+// FromResultsColumnar — the equivalence certification in the tests and the
+// smoke script compares Rows() output against the buffered results array.
+func (c ColumnarBatch) Rows() []WireResult {
+	out := make([]WireResult, len(c.Alphas))
+	for i := range c.Alphas {
+		out[i] = WireResult{Metric: c.Metric, Alpha: c.Alphas[i]}
+		switch {
+		case c.Rankings != nil:
+			out[i].Ranking = c.Rankings[i]
+		case c.Complex != nil:
+			out[i].Complex = c.Complex[i]
+		default:
+			out[i].Values = c.Values[i]
+		}
+	}
+	return out
+}
+
 // ErrorResponse is the body of every non-2xx answer.
 type ErrorResponse struct {
 	Error string `json:"error"`
 	// Code is a stable machine-readable discriminator: bad_request,
-	// unknown_dataset, not_found, method_not_allowed, too_large or
-	// deadline_exceeded.
+	// unknown_dataset, not_found, method_not_allowed, too_large,
+	// unsupported_media_type or deadline_exceeded.
 	Code string `json:"code"`
 }

@@ -2,8 +2,8 @@
 # Run the repeated-query benchmark suite and record the perf trajectory.
 # The full report also embeds a quick-measured smoke-size section, which
 # scripts/benchdiff.sh uses as the size-for-size regression baseline.
-# Usage: scripts/bench.sh [OUT.json]   (default: BENCH_5.json in the repo root)
+# Usage: scripts/bench.sh [OUT.json]   (default: BENCH_6.json in the repo root)
 set -euo pipefail
 cd "$(dirname "$0")/.."
-out="${1:-BENCH_5.json}"
+out="${1:-BENCH_6.json}"
 go run ./cmd/bench -out "$out"
