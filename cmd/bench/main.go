@@ -4,11 +4,12 @@
 //
 // Usage:
 //
-//	bench [-out BENCH_6.json] [-n 10000] [-grid 16] [-terms 20]
+//	bench [-out BENCH_7.json] [-n 10000] [-grid 16] [-terms 20]
 //	bench -smoke                      # run every workload once, tiny sizes
 //	bench -smoke -out ci.json         # quick-measured smoke report
 //	bench -diff OLD.json NEW.json     # regression gate (scripts/benchdiff.sh)
 //	bench -load-conc 32 -load-dur 2s  # size the load-generator arm
+//	bench -sharded-n 100000           # size the multi-core trajectory arms
 //
 // The workload bodies are shared with the root bench_test.go suite via
 // internal/benchwork, so the JSON records exactly what `go test -bench`
@@ -42,7 +43,20 @@
 //     latch (wall time for N identical cold requests, latch on vs off);
 //   - load: a vegeta-style closed-loop load generator (QPS, p50/p95/p99
 //     latency, allocated bytes per request under -load-conc concurrent
-//     clients for -load-dur) against the in-process fixture or -load-addr.
+//     clients for -load-dur) against the in-process fixture or -load-addr —
+//     a scalar mix and a Parallelism-knob mix, each recording its effective
+//     per-request parallelism;
+//   - sharded (PR 7): the shard-parallel kernels — the fused PT(h) ladder
+//     (every rung from one generating-function pass) per-h vs fused vs
+//     sharded, the lane-split log-domain PRFe kernel vs its scalar
+//     reference, prefix-resumed ERank shards, the Query.Parallelism engine
+//     sweep and the Section 5.2 α-learning loop. The same arms run again at
+//     forced GOMAXPROCS ∈ {1, 4, NumCPU} over an n=-sharded-n dataset — the
+//     multi-core trajectory sections ("multicore" in the JSON), whose
+//     headline is the sharded ladder at full parallelism against the per-h
+//     scalar baseline at one core. Every result records the GOMAXPROCS and
+//     shard parallelism it ran at, and -diff hard-compares only
+//     like-parallelism entries.
 //
 // Modes beyond the full measured run:
 //
@@ -78,14 +92,19 @@ import (
 	"repro/internal/serve"
 )
 
-// Result is one measured benchmark case.
+// Result is one measured benchmark case. GOMAXPROCS and Parallelism record
+// the effective concurrency the arm ran at — the runtime cap and the shard
+// worker count (0 = the scalar path) — so the regression gate can refuse to
+// hard-compare entries measured at different parallelism.
 type Result struct {
-	Name     string  `json:"name"`
-	Iters    int     `json:"iters"`
-	NsPerOp  float64 `json:"ns_per_op"`
-	MsPerOp  float64 `json:"ms_per_op"`
-	AllocsOp int64   `json:"allocs_per_op"`
-	BytesOp  int64   `json:"bytes_per_op"`
+	Name        string  `json:"name"`
+	Iters       int     `json:"iters"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	MsPerOp     float64 `json:"ms_per_op"`
+	AllocsOp    int64   `json:"allocs_per_op"`
+	BytesOp     int64   `json:"bytes_per_op"`
+	GOMAXPROCS  int     `json:"gomaxprocs,omitempty"`
+	Parallelism int     `json:"parallelism,omitempty"`
 }
 
 // Section is one measured run of the whole suite at one size
@@ -119,15 +138,28 @@ type Report struct {
 	Results    []Result           `json:"results"`
 	Speedups   map[string]float64 `json:"speedups"`
 	Load       *LoadReport        `json:"load,omitempty"`
-	Smoke      *Section           `json:"smoke,omitempty"`
+	// Multicore holds the sharded-kernel trajectory: the same arm set run
+	// at forced GOMAXPROCS settings (one section per setting) over the
+	// -sharded-n dataset, recording speedup-vs-cores.
+	Multicore []Section `json:"multicore,omitempty"`
+	Smoke     *Section  `json:"smoke,omitempty"`
 }
 
 // LoadReport is the load-generator block of the report: the hot dashboard
-// mix driven at -load-conc concurrency for -load-dur.
+// mix driven at -load-conc concurrency for -load-dur, in a scalar arm and a
+// Parallelism-knob arm. Each arm records the effective per-request shard
+// parallelism it asked for (0 = the scalar path), not just the
+// process-wide GOMAXPROCS.
 type LoadReport struct {
-	Addr        string               `json:"addr"`
-	Concurrency int                  `json:"concurrency"`
-	HotMix      benchwork.LoadResult `json:"hot_mix"`
+	Addr              string               `json:"addr"`
+	Concurrency       int                  `json:"concurrency"`
+	GOMAXPROCS        int                  `json:"gomaxprocs,omitempty"`
+	HotMix            benchwork.LoadResult `json:"hot_mix"`
+	HotMixParallelism int                  `json:"hot_mix_parallelism"`
+	// ParallelMix is the same dashboard mix with the wire-level parallelism
+	// knob set on every request (the server clamps it to its own cap).
+	ParallelMix            benchwork.LoadResult `json:"parallel_mix"`
+	ParallelMixParallelism int                  `json:"parallel_mix_parallelism"`
 }
 
 // measureFunc turns one workload body into a measurement; nil means smoke
@@ -174,18 +206,24 @@ func quickMeasure(name string, op func()) Result {
 func runSuite(n, grid, terms, chainN int, meas measureFunc) Section {
 	sec := Section{N: n, GridPoints: grid, ComboTerms: terms, ChainN: chainN,
 		GOMAXPROCS: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU(), Speedups: map[string]float64{}}
-	add := func(name string, op func()) Result {
+	// addPar measures one arm and stamps the concurrency it ran at: the
+	// live GOMAXPROCS plus the arm's shard parallelism (0 = scalar path) —
+	// the like-parallelism identity the -diff gate keys on.
+	addPar := func(name string, par int, op func()) Result {
 		if meas == nil {
 			op()
 			fmt.Printf("%-44s ok\n", name)
 			return Result{Name: name}
 		}
 		r := meas(name, op)
+		r.GOMAXPROCS = runtime.GOMAXPROCS(0)
+		r.Parallelism = par
 		sec.Results = append(sec.Results, r)
 		fmt.Printf("%-44s %12.3f ms/op  (%d iters, %d allocs/op)\n",
 			r.Name, r.MsPerOp, r.Iters, r.AllocsOp)
 		return r
 	}
+	add := func(name string, op func()) Result { return addPar(name, 0, op) }
 
 	d := benchwork.Dataset(n)
 	alphas, calphas := benchwork.Grid(grid)
@@ -273,6 +311,24 @@ func runSuite(n, grid, terms, chainN int, meas measureFunc) Section {
 	benchwork.CachedDashboard(cachedEng, dashQs, dashSweep) // warm
 	dashUn := add("engine/dashboard", func() { benchwork.EngineDashboard(engIndep, dashQs, dashSweep) })
 	dashHot := add("engine/cached/dashboard", func() { benchwork.CachedDashboard(cachedEng, dashQs, dashSweep) })
+
+	// Sharded-kernel arms (PR 7), at the live GOMAXPROCS: the fused PT(h)
+	// ladder against the per-h scalar reference, the lane-split log-domain
+	// PRFe kernel, prefix-resumed ERank shards, the Query.Parallelism engine
+	// sweep and the Section 5.2 α-learning loop. The same kernel set re-runs
+	// at forced GOMAXPROCS settings in the multicore trajectory sections.
+	par := runtime.GOMAXPROCS(0)
+	hs := benchwork.Ladder(10, 10)
+	ldPerH := add("sharded/pth-ladder-perh", func() { benchwork.LadderPerH(v, hs) })
+	ldFused := addPar("sharded/pth-ladder-fused", 1, func() { benchwork.LadderFused(v, hs) })
+	ldShard := addPar("sharded/pth-ladder", par, func() { benchwork.LadderSharded(v, hs, par) })
+	lgScalar := add("sharded/prfelog-scalar", func() { benchwork.PRFeLogScalar(v, complex(0.95, 0)) })
+	lgLanes := addPar("sharded/prfelog-lanes", par, func() { benchwork.PRFeLogLanes(v, complex(0.95, 0), par) })
+	erScalar := add("sharded/erank-scalar", func() { benchwork.ERankScalar(v) })
+	erShard := addPar("sharded/erank", par, func() { benchwork.ERankShards(v, par) })
+	engPar := addPar("engine/parallel-rank-sweep", par, func() { benchwork.EngineParallelSweep(engIndep, alphas, par) })
+	learnUser := benchwork.LearnUserRanking(v)
+	add("learn/alpha-fit", func() { benchwork.LearnAlphaWorkload(v, learnUser, 10, 3) })
 
 	// Serving-layer arms: full HTTP round trips against the in-process
 	// front end. Three cache configurations isolate the layers: no caches,
@@ -369,6 +425,14 @@ func runSuite(n, grid, terms, chainN int, meas measureFunc) Section {
 	// single-flight win on the cold storm.
 	sec.Speedups["serve byte-cache sweep vs engine-cache"] = srvBatchEng.NsPerOp / srvBatchHot.NsPerOp
 	sec.Speedups["serve cached gzip sweep vs uncached"] = srvBatchUn.NsPerOp / srvBatchGz.NsPerOp
+	// Sharded-kernel headlines (PR 7): the fused ladder answers every rung
+	// from one pass; the sharded variants add per-shard prefix starts and
+	// the lane-split log kernel.
+	sec.Speedups["pth ladder fused vs per-h scalar"] = ldPerH.NsPerOp / ldFused.NsPerOp
+	sec.Speedups["pth ladder sharded vs per-h scalar"] = ldPerH.NsPerOp / ldShard.NsPerOp
+	sec.Speedups["prfe log lanes vs scalar"] = lgScalar.NsPerOp / lgLanes.NsPerOp
+	sec.Speedups["erank sharded vs scalar"] = erScalar.NsPerOp / erShard.NsPerOp
+	sec.Speedups["engine parallel sweep vs scalar sweep"] = engRank.NsPerOp / engPar.NsPerOp
 	if n > 1000 {
 		// At smoke sizes a cold evaluation is cheaper than an HTTP round
 		// trip, so the storm ratio is connection noise — recording it
@@ -379,9 +443,103 @@ func runSuite(n, grid, terms, chainN int, meas measureFunc) Section {
 	return sec
 }
 
+// multicoreSettings returns the forced-GOMAXPROCS trajectory points
+// {1, 4, NumCPU}, deduplicated and sorted — the speedup-vs-cores axis. On a
+// single-core box the 4-way point still runs (oversubscribed), so the
+// trajectory always exercises the cross-shard merge under real scheduling.
+func multicoreSettings() []int {
+	set := map[int]bool{1: true, 4: true, runtime.NumCPU(): true}
+	out := make([]int, 0, len(set))
+	for g := range set {
+		out = append(out, g)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// runMulticore measures the sharded kernel set at each forced GOMAXPROCS
+// setting over an n-element dataset — one section per setting. The scalar
+// baselines re-measure inside every section, so each section's speedups are
+// internal (both sides ran at the same GOMAXPROCS); the cross-core
+// headlines are assembled by multicoreHeadlines from the per-section
+// results.
+func runMulticore(n int, hs []int, meas measureFunc) []Section {
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+	v := core.Prepare(benchwork.Dataset(n))
+	var sections []Section
+	for _, gmp := range multicoreSettings() {
+		runtime.GOMAXPROCS(gmp)
+		fmt.Printf("\nmulticore trajectory: GOMAXPROCS=%d, n=%d, %d rungs\n", gmp, n, len(hs))
+		sec := Section{N: n, GridPoints: len(hs), GOMAXPROCS: gmp,
+			NumCPU: runtime.NumCPU(), Speedups: map[string]float64{}}
+		add := func(name string, par int, op func()) Result {
+			if meas == nil {
+				op()
+				fmt.Printf("%-44s ok\n", name)
+				return Result{Name: name}
+			}
+			r := meas(name, op)
+			r.GOMAXPROCS = gmp
+			r.Parallelism = par
+			sec.Results = append(sec.Results, r)
+			fmt.Printf("%-44s %12.3f ms/op  (%d iters, %d allocs/op)\n",
+				r.Name, r.MsPerOp, r.Iters, r.AllocsOp)
+			return r
+		}
+		ldPerH := add("sharded/pth-ladder-perh", 0, func() { benchwork.LadderPerH(v, hs) })
+		ldFused := add("sharded/pth-ladder-fused", 1, func() { benchwork.LadderFused(v, hs) })
+		ldShard := add("sharded/pth-ladder", gmp, func() { benchwork.LadderSharded(v, hs, gmp) })
+		lgScalar := add("sharded/prfelog-scalar", 0, func() { benchwork.PRFeLogScalar(v, complex(0.95, 0)) })
+		lgLanes := add("sharded/prfelog-lanes", gmp, func() { benchwork.PRFeLogLanes(v, complex(0.95, 0), gmp) })
+		erScalar := add("sharded/erank-scalar", 0, func() { benchwork.ERankScalar(v) })
+		erShard := add("sharded/erank", gmp, func() { benchwork.ERankShards(v, gmp) })
+		if meas != nil {
+			sec.Speedups["pth ladder fused vs per-h scalar"] = ldPerH.NsPerOp / ldFused.NsPerOp
+			sec.Speedups["pth ladder sharded vs per-h scalar"] = ldPerH.NsPerOp / ldShard.NsPerOp
+			sec.Speedups["prfe log lanes vs scalar"] = lgScalar.NsPerOp / lgLanes.NsPerOp
+			sec.Speedups["erank sharded vs scalar"] = erScalar.NsPerOp / erShard.NsPerOp
+		}
+		sections = append(sections, sec)
+	}
+	return sections
+}
+
+// multicoreHeadlines folds the trajectory into the report's speedup map:
+// each sharded kernel at full parallelism (the NumCPU section) against its
+// scalar baseline measured at GOMAXPROCS=1 — the headline the perf
+// trajectory gates on.
+func multicoreHeadlines(sections []Section, speedups map[string]float64) {
+	find := func(gmp int, name string) float64 {
+		for _, s := range sections {
+			if s.GOMAXPROCS != gmp {
+				continue
+			}
+			for _, r := range s.Results {
+				if r.Name == name {
+					return r.NsPerOp
+				}
+			}
+		}
+		return 0
+	}
+	top := runtime.NumCPU()
+	for _, p := range []struct{ key, scalar, sharded string }{
+		{"pth ladder sharded@numcpu vs per-h scalar@1", "sharded/pth-ladder-perh", "sharded/pth-ladder"},
+		{"prfe log lanes@numcpu vs scalar@1", "sharded/prfelog-scalar", "sharded/prfelog-lanes"},
+		{"erank sharded@numcpu vs scalar@1", "sharded/erank-scalar", "sharded/erank"},
+	} {
+		base := find(1, p.scalar)
+		fast := find(top, p.sharded)
+		if base > 0 && fast > 0 {
+			speedups[p.key] = base / fast
+		}
+	}
+}
+
 func main() {
 	var (
-		out       = flag.String("out", "", "output JSON path (default BENCH_6.json; in -smoke mode: no file unless set)")
+		out       = flag.String("out", "", "output JSON path (default BENCH_7.json; in -smoke mode: no file unless set)")
 		n         = flag.Int("n", 10000, "dataset size")
 		grid      = flag.Int("grid", 16, "α grid points for the spectrum sweeps")
 		terms     = flag.Int("terms", 20, "terms in the PRFe combination")
@@ -393,6 +551,7 @@ func main() {
 		loadConc  = flag.Int("load-conc", 32, "load arm: concurrent clients")
 		loadDur   = flag.Duration("load-dur", 2*time.Second, "load arm: run duration (0 disables the load arm)")
 		loadAddr  = flag.String("load-addr", "", "load arm: external server base URL (default: in-process fixture)")
+		shardedN  = flag.Int("sharded-n", 100000, "multi-core trajectory: dataset size for the sharded kernel arms (0 disables)")
 	)
 	flag.Parse()
 
@@ -410,24 +569,36 @@ func main() {
 
 	const smokeN, smokeGrid, smokeTerms, smokeChain = 400, 4, 6, 32
 
+	// The smoke-size multicore trajectory: a short ladder on a small
+	// dataset, still sweeping every forced-GOMAXPROCS point.
+	smokeHs := benchwork.Ladder(4, 2)
+
 	if *smoke {
 		if *out == "" {
 			runSuite(smokeN, smokeGrid, smokeTerms, smokeChain, nil)
+			runMulticore(smokeN, smokeHs, nil)
 			fmt.Println("\nsmoke ok: all workloads ran")
 			return
 		}
 		sec := runSuite(smokeN, smokeGrid, smokeTerms, smokeChain, quickMeasure)
 		report := newReport(sec)
+		report.Multicore = runMulticore(smokeN, smokeHs, quickMeasure)
+		multicoreHeadlines(report.Multicore, report.Speedups)
 		report.Smoke = &sec
 		writeReport(report, *out)
 		return
 	}
 
 	if *out == "" {
-		*out = "BENCH_6.json"
+		*out = "BENCH_7.json"
 	}
 	sec := runSuite(*n, *grid, *terms, *chainN, fullMeasure)
 	report := newReport(sec)
+	if *shardedN > 0 {
+		fmt.Printf("\nmulti-core trajectory at n=%d…\n", *shardedN)
+		report.Multicore = runMulticore(*shardedN, benchwork.Ladder(10, 10), fullMeasure)
+		multicoreHeadlines(report.Multicore, report.Speedups)
+	}
 	if *loadDur > 0 {
 		fmt.Printf("\nload arm: %d clients for %v…\n", *loadConc, *loadDur)
 		lr := runLoadArm(*loadAddr, *loadConc, *loadDur, *n, *grid)
@@ -435,10 +606,17 @@ func main() {
 		fmt.Printf("%-44s %10.0f qps  p50 %.3f ms  p95 %.3f ms  p99 %.3f ms  %d B/req (%d reqs, %d errors)\n",
 			"load/hot-mix", lr.HotMix.QPS, lr.HotMix.P50MS, lr.HotMix.P95MS, lr.HotMix.P99MS,
 			int64(lr.HotMix.AllocPerReq), lr.HotMix.Requests, lr.HotMix.Errors)
+		fmt.Printf("%-44s %10.0f qps  p50 %.3f ms  p95 %.3f ms  p99 %.3f ms  %d B/req (%d reqs, %d errors, parallelism %d)\n",
+			"load/parallel-mix", lr.ParallelMix.QPS, lr.ParallelMix.P50MS, lr.ParallelMix.P95MS, lr.ParallelMix.P99MS,
+			int64(lr.ParallelMix.AllocPerReq), lr.ParallelMix.Requests, lr.ParallelMix.Errors, lr.ParallelMixParallelism)
 	}
 	fmt.Println("\nquick-measuring the smoke-size section for the regression gate…")
 	smokeSec := runSuite(smokeN, smokeGrid, smokeTerms, smokeChain, quickMeasure)
 	report.Smoke = &smokeSec
+	// Smoke-size multicore sections ride along too (after the headline
+	// extraction above, which only reads the full-size sections), so a CI
+	// smoke run always finds a same-size like-parallelism baseline.
+	report.Multicore = append(report.Multicore, runMulticore(smokeN, smokeHs, quickMeasure)...)
 	writeReport(report, *out)
 }
 
@@ -459,11 +637,28 @@ func runLoadArm(addr string, conc int, dur time.Duration, n, grid int) LoadRepor
 		{URL: base + "/rank", Body: benchwork.ServeRankBody("bench", 0.5, 10)},
 		{URL: base + "/rankbatch", Body: benchwork.ServeBatchBody("bench", grid)},
 	}
+	// The knob mix is the same dashboard with per-request shard
+	// parallelism requested; the report records the effective value per
+	// arm, not just the process-wide GOMAXPROCS.
+	par := runtime.GOMAXPROCS(0)
+	parMix := []benchwork.LoadRequest{
+		{URL: base + "/rank", Body: benchwork.ServeRankBodyParallel("bench", 0.95, 10, par)},
+		{URL: base + "/rank", Body: benchwork.ServeRankBodyParallel("bench", 0.5, 10, par)},
+		{URL: base + "/rankbatch", Body: benchwork.ServeBatchBodyParallel("bench", grid, par)},
+	}
 	label := addr
 	if label == "" {
 		label = "in-process"
 	}
-	return LoadReport{Addr: label, Concurrency: conc, HotMix: benchwork.RunLoad(mix, conc, dur)}
+	return LoadReport{
+		Addr:                   label,
+		Concurrency:            conc,
+		GOMAXPROCS:             runtime.GOMAXPROCS(0),
+		HotMix:                 benchwork.RunLoad(mix, conc, dur),
+		HotMixParallelism:      0,
+		ParallelMix:            benchwork.RunLoad(parMix, conc, dur),
+		ParallelMixParallelism: par,
+	}
 }
 
 func newReport(sec Section) Report {
@@ -561,39 +756,36 @@ func runDiff(oldPath, newPath string, warnRatio, failRatio float64) error {
 			oldSec.GOMAXPROCS, newSec.GOMAXPROCS, oldSec.NumCPU, newSec.NumCPU)
 		sameSizes = false
 	}
-	fmt.Printf("%-46s %10s %10s %8s\n", "speedup", "old", "new", "status")
-	failed := []string{}
-	for _, key := range sortedKeys(oldSec.Speedups) {
-		oldV := oldSec.Speedups[key]
-		newV, ok := newSec.Speedups[key]
+	failed := diffSpeedups(oldSec.Speedups, newSec.Speedups, sameSizes, warnRatio, failRatio)
+
+	// Multi-core trajectory sections obey the like-parallelism rule: a new
+	// section hard-compares ONLY against the old section at the same forced
+	// GOMAXPROCS — sharded-vs-scalar ratios shift with core count, so any
+	// other pairing is apples-to-oranges and demotes to a warning.
+	oldByGmp := map[int][]Section{}
+	for _, s := range oldRep.Multicore {
+		oldByGmp[s.GOMAXPROCS] = append(oldByGmp[s.GOMAXPROCS], s)
+	}
+	for _, ns := range newRep.Multicore {
+		candidates, ok := oldByGmp[ns.GOMAXPROCS]
 		if !ok {
-			// A vanished key must not silently drop out of the gate: a
-			// renamed or deleted arm is exactly the kind of rot to surface.
-			fmt.Printf("::warning::bench gate: speedup %q (was %.2fx) is missing from the new report\n", key, oldV)
-			fmt.Printf("%-46s %9.2fx %10s %8s\n", key, oldV, "—", "missing")
+			fmt.Printf("\n::warning::bench gate: multicore section GOMAXPROCS=%d has no like-parallelism baseline — skipped\n",
+				ns.GOMAXPROCS)
 			continue
 		}
-		if oldV <= 0 || newV <= 0 {
-			continue
+		// Full reports carry both a full-size and a smoke-size section per
+		// GOMAXPROCS; prefer the same-size one so the comparison gates hard.
+		os := candidates[0]
+		for _, c := range candidates {
+			if c.N == ns.N && c.GridPoints == ns.GridPoints {
+				os = c
+				break
+			}
 		}
-		// "overhead" keys are lower-is-better ratios; everything else is a
-		// higher-is-better speedup.
-		regression := oldV / newV
-		if strings.Contains(key, "overhead") {
-			regression = newV / oldV
-		}
-		status := "ok"
-		switch {
-		case regression > failRatio && sameSizes:
-			status = "FAIL"
-			failed = append(failed, key)
-			fmt.Printf("::error::bench regression: %q was %.2fx, now %.2fx (>%gx off)\n",
-				key, oldV, newV, failRatio)
-		case regression > warnRatio:
-			status = "warn"
-			fmt.Printf("::warning::bench drift: %q was %.2fx, now %.2fx\n", key, oldV, newV)
-		}
-		fmt.Printf("%-46s %9.2fx %9.2fx %8s\n", key, oldV, newV, status)
+		mcSame := os.N == ns.N && os.GridPoints == ns.GridPoints && os.NumCPU == ns.NumCPU
+		fmt.Printf("\nmulticore GOMAXPROCS=%d (n=%d → n=%d%s):\n", ns.GOMAXPROCS, os.N, ns.N,
+			map[bool]string{true: "", false: ", sizes differ — warn-only"}[mcSame])
+		failed = append(failed, diffSpeedups(os.Speedups, ns.Speedups, mcSame, warnRatio, failRatio)...)
 	}
 	if sameSizes {
 		oldByName := map[string]Result{}
@@ -604,6 +796,15 @@ func runDiff(oldPath, newPath string, warnRatio, failRatio float64) error {
 		for _, nr := range newSec.Results {
 			or, ok := oldByName[nr.Name]
 			if !ok || or.NsPerOp <= 0 || nr.NsPerOp <= 0 {
+				continue
+			}
+			// Like-parallelism rule at the entry level too: an arm whose
+			// recorded GOMAXPROCS or shard parallelism changed is not the
+			// same measurement (legacy reports carry zeros and still match).
+			if or.GOMAXPROCS != 0 && nr.GOMAXPROCS != 0 &&
+				(or.GOMAXPROCS != nr.GOMAXPROCS || or.Parallelism != nr.Parallelism) {
+				fmt.Printf("::warning::bench gate: %q measured at unlike parallelism (GOMAXPROCS %d→%d, shards %d→%d) — timing skipped\n",
+					nr.Name, or.GOMAXPROCS, nr.GOMAXPROCS, or.Parallelism, nr.Parallelism)
 				continue
 			}
 			ratio := nr.NsPerOp / or.NsPerOp
@@ -625,6 +826,48 @@ func runDiff(oldPath, newPath string, warnRatio, failRatio float64) error {
 	}
 	fmt.Println("\nbench diff: no hard regressions")
 	return nil
+}
+
+// diffSpeedups compares one speedup map against its baseline, printing a
+// row per key and returning the keys that regressed beyond failRatio.
+// gateHard=false (differing sizes or CPU shapes) demotes everything to
+// warnings.
+func diffSpeedups(oldS, newS map[string]float64, gateHard bool, warnRatio, failRatio float64) []string {
+	fmt.Printf("%-46s %10s %10s %8s\n", "speedup", "old", "new", "status")
+	var failed []string
+	for _, key := range sortedKeys(oldS) {
+		oldV := oldS[key]
+		newV, ok := newS[key]
+		if !ok {
+			// A vanished key must not silently drop out of the gate: a
+			// renamed or deleted arm is exactly the kind of rot to surface.
+			fmt.Printf("::warning::bench gate: speedup %q (was %.2fx) is missing from the new report\n", key, oldV)
+			fmt.Printf("%-46s %9.2fx %10s %8s\n", key, oldV, "—", "missing")
+			continue
+		}
+		if oldV <= 0 || newV <= 0 {
+			continue
+		}
+		// "overhead" keys are lower-is-better ratios; everything else is a
+		// higher-is-better speedup.
+		regression := oldV / newV
+		if strings.Contains(key, "overhead") {
+			regression = newV / oldV
+		}
+		status := "ok"
+		switch {
+		case regression > failRatio && gateHard:
+			status = "FAIL"
+			failed = append(failed, key)
+			fmt.Printf("::error::bench regression: %q was %.2fx, now %.2fx (>%gx off)\n",
+				key, oldV, newV, failRatio)
+		case regression > warnRatio:
+			status = "warn"
+			fmt.Printf("::warning::bench drift: %q was %.2fx, now %.2fx\n", key, oldV, newV)
+		}
+		fmt.Printf("%-46s %9.2fx %9.2fx %8s\n", key, oldV, newV, status)
+	}
+	return failed
 }
 
 func sortedKeys(m map[string]float64) []string {

@@ -1,0 +1,119 @@
+package benchwork
+
+// Sharded-kernel workloads (PR 7): the PT(h) ladder (per-h scalar vs fused
+// vs shard-parallel), the lane-split PRFe log kernel, the prefix-resumed
+// ERank shards, the Parallelism-knob engine sweep and the Section 5.2
+// learning loop. cmd/bench runs these at forced GOMAXPROCS settings to
+// record the speedup-vs-cores trajectory.
+
+import (
+	"context"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/learn"
+	"repro/internal/pdb"
+	"repro/internal/serve"
+)
+
+// Ladder returns the PT(h) rung set {step, 2·step, …, count·step} used by
+// the ladder workloads — the Figure 9 style depth sweep.
+func Ladder(count, step int) []int {
+	hs := make([]int, count)
+	for i := range hs {
+		hs[i] = (i + 1) * step
+	}
+	return hs
+}
+
+// LadderPerH answers every rung with the scalar per-h kernel: one full
+// generating-function pass per h — the pre-sharding reference (one op = the
+// whole ladder).
+func LadderPerH(v *core.Prepared, hs []int) {
+	for _, h := range hs {
+		v.PTh(h)
+	}
+}
+
+// LadderFused answers every rung from ONE generating-function pass at the
+// deepest rung (truncation stability: coefficient j never depends on
+// coefficients beyond j), bit-for-bit equal to LadderPerH.
+func LadderFused(v *core.Prepared, hs []int) {
+	v.PThLadder(hs)
+}
+
+// LadderSharded is the fused ladder evaluated shard-parallel: per-shard
+// polynomial starts by truncated convolution, then independent spans.
+func LadderSharded(v *core.Prepared, hs []int, workers int) {
+	v.PThLadderSharded(hs, workers)
+}
+
+// PRFeLogScalar evaluates the log-domain PRFe kernel with the scalar
+// reference (two logs + a complex magnitude per element).
+func PRFeLogScalar(v *core.Prepared, alpha complex128) {
+	v.PRFeLog(alpha)
+}
+
+// PRFeLogLanes evaluates the same kernel with the lane-split sharded path:
+// renormalized (mantissa, exponent) running products in separate re/im
+// float64 lanes, one math.Log per element.
+func PRFeLogLanes(v *core.Prepared, alpha complex128, workers int) {
+	v.PRFeLogSharded(alpha, workers)
+}
+
+// ERankScalar evaluates expected rank with the sequential prefix-sum kernel.
+func ERankScalar(v *core.Prepared) {
+	v.ERank()
+}
+
+// ERankShards evaluates expected rank shard-parallel, each shard resuming
+// from the prepare-time exact prefix sums (bit-for-bit for every P).
+func ERankShards(v *core.Prepared, workers int) {
+	v.ERankSharded(workers)
+}
+
+// EngineParallelSweep is EngineRankSweep with the Query.Parallelism knob
+// set: the engine routes each grid point onto the sharded kernels and caps
+// the batch fan-out at par workers.
+func EngineParallelSweep(e *engine.Engine, alphas []float64, par int) {
+	if _, err := e.RankBatch(context.Background(), engine.Query{
+		Metric: engine.MetricPRFe, Alphas: alphas, Output: engine.OutputRanking,
+		Parallelism: par,
+	}); err != nil {
+		panic(err)
+	}
+}
+
+// ServeRankBodyParallel marshals the /rank request for a PRFe top-k panel
+// with the wire-level parallelism knob set (the server clamps it to its
+// Options.MaxParallelism).
+func ServeRankBodyParallel(dataset string, alpha float64, k, par int) []byte {
+	return mustJSON(serve.RankRequest{Dataset: dataset, Query: serve.WireQuery{
+		Metric: "prfe", Alpha: alpha, Output: "topk", K: k, Parallelism: par,
+	}})
+}
+
+// ServeBatchBodyParallel marshals the /rankbatch ranked-sweep request with
+// the parallelism knob set.
+func ServeBatchBodyParallel(dataset string, gridPoints, par int) []byte {
+	alphas, _ := Grid(gridPoints)
+	return mustJSON(serve.RankRequest{Dataset: dataset, Query: serve.WireQuery{
+		Metric: "prfe", Alphas: alphas, Output: "ranking", Parallelism: par,
+	}})
+}
+
+// LearnUserRanking fabricates the deterministic "user" preference ranking
+// for the learning workload: the PRFe(0.7) order of the sample, which the
+// α search must recover.
+func LearnUserRanking(v *core.Prepared) pdb.Ranking {
+	return v.RankPRFe(0.7)
+}
+
+// LearnAlphaWorkload fits PRFe's α to the user ranking by the Section 5.2
+// recursive grid refinement over the engine's Ranker interface — the
+// learning workload arm (one op = the full multi-round search).
+func LearnAlphaWorkload(v *core.Prepared, user pdb.Ranking, k, iters int) {
+	if _, err := learn.LearnAlphaRanker(context.Background(), v, user, k, iters); err != nil {
+		panic(err)
+	}
+}

@@ -1,0 +1,150 @@
+package core
+
+// This file holds the lane-split arithmetic behind the sharded kernels:
+// the complex128 hot loops rewritten over separate re/im float64 lanes in
+// the struct-of-arrays spirit, plus the renormalized running-product
+// representation that replaces per-element logarithm accumulation.
+//
+// Two facts make the lanes exact where it matters:
+//
+//   - Go's complex multiply is the textbook (ac−bd, ad+bc) formula, so a
+//     product whose imaginary lane is exactly zero stays exactly zero: the
+//     real lane of the lane-split loop computes bit-for-bit the same values
+//     as the complex loop for real α > 0 (prfeRealSpan).
+//   - A running product tracked as mantissa × 2^exponent (renormalized
+//     whenever the mantissa leaves [2^-512, 2^512]) never under- or
+//     overflows, and log|prod| = log|m| + e·ln2 recovers the log-domain
+//     value with one logarithm per element — versus the scalar PRFeLog
+//     path's log(p) + log(|f|) + complex magnitude per element. The
+//     regrouping costs at most ~n·ε relative error, far inside the 1e-12
+//     certification bound (see shard_test.go).
+//
+// Annihilation needs no special casing in this representation: a factor of
+// exactly 0 drives the mantissa to 0, log|0| = -Inf, and -Inf propagates
+// through the remaining finite addends — reproducing the scalar path's
+// "zeroed" flag. Likewise p = 0 tuples pick up -Inf from the precomputed
+// log p lane.
+
+import "math"
+
+// renorm rescales a single-lane renormalized product so its mantissa
+// magnitude returns to [2^-512, 2^512], accumulating the shifted powers of
+// two in e. Powers-of-two scaling is exact. A zero mantissa is left alone
+// (the product is annihilated; its logarithm is -Inf regardless of e).
+func renorm(m float64, e int64) (float64, int64) {
+	if m == 0 {
+		return m, e
+	}
+	for am := math.Abs(m); am < 0x1p-512; am = math.Abs(m) {
+		m *= 0x1p512
+		e -= 512
+	}
+	for am := math.Abs(m); am > 0x1p512; am = math.Abs(m) {
+		m *= 0x1p-512
+		e += 512
+	}
+	return m, e
+}
+
+// renormC rescales a two-lane (re/im) renormalized product by shared
+// powers of two until |m|² returns to [2^-512, 2^512].
+func renormC(mr, mi float64, e int64) (float64, float64, int64) {
+	if mr == 0 && mi == 0 {
+		return mr, mi, e
+	}
+	for mr*mr+mi*mi < 0x1p-512 {
+		mr *= 0x1p256
+		mi *= 0x1p256
+		e -= 256
+	}
+	for mr*mr+mi*mi > 0x1p512 {
+		mr *= 0x1p-256
+		mi *= 0x1p-256
+		e += 256
+	}
+	return mr, mi, e
+}
+
+// logMag returns log|m·2^e|.
+func logMag(m float64, e int64) float64 {
+	return math.Log(math.Abs(m)) + float64(e)*math.Ln2
+}
+
+// logMagC returns log|(mr+mi·i)·2^e| via the squared magnitude (one log).
+func logMagC(mr, mi float64, e int64) float64 {
+	return 0.5*math.Log(mr*mr+mi*mi) + float64(e)*math.Ln2
+}
+
+// laneBlock is the span kernels' block size: mantissa/exponent snapshots
+// live in fixed stack buffers of this many elements, splitting each block
+// into a pure-multiply pass and a pure-log/scatter pass.
+const laneBlock = 2048
+
+// prfeRealSpan is the PRFe values recurrence over positions [lo, hi) in the
+// real lane alone, valid for real α > 0 (every factor and prefix product is
+// then non-negative real, and the imaginary lane of the complex recurrence
+// is exactly +0 throughout). Bit-for-bit the complex prfeSpan.
+func (v *Prepared) prfeRealSpan(out []complex128, lo, hi int, ar, prod float64) {
+	probs, ids := v.probs, v.ids
+	for i := lo; i < hi; i++ {
+		pr := probs[i]
+		out[ids[i]] = complex(prod*pr*ar, 0)
+		prod *= 1 - pr + pr*ar
+	}
+}
+
+// prfeLogRealSpan evaluates log|Υ_α| over positions [lo, hi) for real α,
+// with base the log-magnitude of the prefix product before lo. Blocked
+// two-pass: the first pass advances the renormalized running product and
+// snapshots (mantissa, exponent) per element; the second turns snapshots
+// into outputs with a single math.Log each.
+func (v *Prepared) prfeLogRealSpan(out, logProbs []float64, lo, hi int, ar, logAlpha, base float64) {
+	probs, ids := v.probs, v.ids
+	var mbuf [laneBlock]float64
+	var ebuf [laneBlock]int64
+	m, e := 1.0, int64(0)
+	for blo := lo; blo < hi; blo += laneBlock {
+		bhi := min(blo+laneBlock, hi)
+		for i := blo; i < bhi; i++ {
+			k := i - blo
+			mbuf[k], ebuf[k] = m, e
+			pr := probs[i]
+			m *= 1 - pr + pr*ar
+			if am := math.Abs(m); am < 0x1p-512 || am > 0x1p512 {
+				m, e = renorm(m, e)
+			}
+		}
+		for i := blo; i < bhi; i++ {
+			k := i - blo
+			out[ids[i]] = base + math.Log(math.Abs(mbuf[k])) + float64(ebuf[k])*math.Ln2 + logProbs[i] + logAlpha
+		}
+	}
+}
+
+// prfeLogComplexSpan is prfeLogRealSpan for complex α: the product runs in
+// two float64 lanes with a shared exponent, and the snapshot stores the
+// squared magnitude (one log, halved, per element).
+func (v *Prepared) prfeLogComplexSpan(out, logProbs []float64, lo, hi int, ar, ai, logAlpha, base float64) {
+	probs, ids := v.probs, v.ids
+	var m2buf [laneBlock]float64
+	var ebuf [laneBlock]int64
+	mr, mi, e := 1.0, 0.0, int64(0)
+	for blo := lo; blo < hi; blo += laneBlock {
+		bhi := min(blo+laneBlock, hi)
+		for i := blo; i < bhi; i++ {
+			k := i - blo
+			m2buf[k], ebuf[k] = mr*mr+mi*mi, e
+			pr := probs[i]
+			fr := 1 - pr + pr*ar
+			fi := pr * ai
+			mr, mi = mr*fr-mi*fi, mr*fi+mi*fr
+			if mag2 := mr*mr + mi*mi; mag2 < 0x1p-512 || mag2 > 0x1p512 {
+				mr, mi, e = renormC(mr, mi, e)
+			}
+		}
+		for i := blo; i < bhi; i++ {
+			k := i - blo
+			out[ids[i]] = base + 0.5*math.Log(m2buf[k]) + float64(ebuf[k])*math.Ln2 + logProbs[i] + logAlpha
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"math/cmplx"
 	"runtime"
 	"sort"
+	"sync"
 
 	"repro/internal/par"
 	"repro/internal/pdb"
@@ -28,6 +29,44 @@ type Prepared struct {
 	ids    []pdb.TupleID // sorted position -> original tuple ID
 	scores []float64     // non-increasing
 	probs  []float64
+
+	// aux holds the lazily built prepare-time aggregates the sharded and
+	// lane-split kernels (shard.go, lanes.go) consume: per-position log
+	// probabilities and the exact sequential probability prefix sums. Built
+	// once on first parallel query; plain scans never pay for it.
+	aux shardAux
+}
+
+// shardAux is the lazily materialized sharded-kernel support data.
+type shardAux struct {
+	once sync.Once
+	// logProbs[i] = log p_i in sorted order (-Inf where p_i = 0), hoisting
+	// one of the two logarithms out of every log-domain kernel element.
+	logProbs []float64
+	// probPrefix[i] = p_0 + … + p_{i−1} accumulated in the exact sequential
+	// order the scalar prefix-sum kernels (ERank, PRFl) use, so a shard
+	// starting at position i resumes from a bit-identical partial sum.
+	// probPrefix[n] is the full Σp — bit-identical to ExpectedWorldSize().
+	probPrefix []float64
+}
+
+// shardData returns the lazily built aggregates, materializing them on
+// first use. Safe for concurrent callers.
+func (v *Prepared) shardData() *shardAux {
+	a := &v.aux
+	a.once.Do(func() {
+		n := len(v.probs)
+		a.logProbs = make([]float64, n)
+		a.probPrefix = make([]float64, n+1)
+		sum := 0.0
+		for i, p := range v.probs {
+			a.logProbs[i] = math.Log(p)
+			a.probPrefix[i] = sum
+			sum += p
+		}
+		a.probPrefix[n] = sum
+	})
+	return a
 }
 
 // Prepare builds the sorted view of a dataset. If the dataset already
@@ -525,7 +564,7 @@ func (v *Prepared) RankPRFeBatchParallel(alphas []float64) []pdb.Ranking {
 // the engine's non-grid QueryRankPRFeBatch arm.
 func (v *Prepared) rankPRFeParallelCtx(ctx context.Context, alphas []float64) ([]pdb.Ranking, error) {
 	out := make([]pdb.Ranking, len(alphas))
-	workers := parallelWorkers(len(alphas))
+	workers := par.WorkersFor(ctx, len(alphas))
 	vals := make([][]float64, workers)
 	err := par.ForWorkersCtx(ctx, workers, len(alphas), func(w, a int) {
 		vals[w] = v.PRFeLogInto(complex(alphas[a], 0), vals[w])
@@ -563,7 +602,7 @@ func (v *Prepared) TopKPRFeBatchParallel(alphas []float64, k int) []pdb.Ranking 
 // the engine's non-grid QueryTopKPRFeBatch arm.
 func (v *Prepared) topKPRFeParallelCtx(ctx context.Context, alphas []float64, k int) ([]pdb.Ranking, error) {
 	out := make([]pdb.Ranking, len(alphas))
-	workers := parallelWorkers(len(alphas))
+	workers := par.WorkersFor(ctx, len(alphas))
 	vals := make([][]float64, workers)
 	ranks := make([]pdb.Ranking, workers)
 	err := par.ForWorkersCtx(ctx, workers, len(alphas), func(w, a int) {

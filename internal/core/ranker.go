@@ -15,6 +15,12 @@ import (
 // sweep (one sort plus Theorem 4 crossings), other batches fan out per α
 // across GOMAXPROCS workers, and single queries run the fused scans
 // directly.
+//
+// A context parallelism cap (par.WithLimit, set by engine.Query.Parallelism)
+// switches single-query dispatch onto the sharded evaluation layer
+// (shard.go) with that many shards and clamps the batch fan-outs to that
+// many workers. No cap (the default) keeps the exact legacy scalar kernels,
+// preserving the engine's bit-for-bit conformance certification.
 
 // QueryPRFe evaluates Υ_α per TupleID. Identical to PRFe.
 func (v *Prepared) QueryPRFe(ctx context.Context, alpha complex128) ([]complex128, error) {
@@ -23,6 +29,9 @@ func (v *Prepared) QueryPRFe(ctx context.Context, alpha complex128) ([]complex12
 	}
 	if err := pdb.CtxErr(ctx); err != nil {
 		return nil, err
+	}
+	if p := par.Limit(ctx); p > 0 {
+		return v.PRFeSharded(alpha, p), nil
 	}
 	return v.PRFe(alpha), nil
 }
@@ -34,7 +43,7 @@ func (v *Prepared) QueryPRFeBatch(ctx context.Context, alphas []complex128) ([][
 		return nil, err
 	}
 	out := make([][]complex128, len(alphas))
-	err := par.ForCtx(ctx, len(alphas), func(a int) {
+	err := par.ForWorkersCtx(ctx, par.WorkersFor(ctx, len(alphas)), len(alphas), func(_, a int) {
 		out[a] = v.PRFe(alphas[a])
 	})
 	if err != nil {
@@ -51,6 +60,9 @@ func (v *Prepared) QueryRankPRFe(ctx context.Context, alpha float64) (pdb.Rankin
 	}
 	if err := pdb.CtxErr(ctx); err != nil {
 		return nil, err
+	}
+	if p := par.Limit(ctx); p > 0 {
+		return v.RankPRFeSharded(alpha, p), nil
 	}
 	return v.RankPRFe(alpha), nil
 }
@@ -97,6 +109,9 @@ func (v *Prepared) QueryPRFeCombo(ctx context.Context, us, alphas []complex128) 
 	for i := range us {
 		terms[i] = ExpTerm{U: us[i], Alpha: alphas[i]}
 	}
+	if p := par.Limit(ctx); p > 0 {
+		return v.PRFeComboSharded(terms, p), nil
+	}
 	return v.PRFeCombo(terms), nil
 }
 
@@ -120,6 +135,9 @@ func (v *Prepared) QueryPRFOmega(ctx context.Context, w []float64) ([]float64, e
 	if err := pdb.CtxErr(ctx); err != nil {
 		return nil, err
 	}
+	if p := par.Limit(ctx); p > 0 {
+		return v.PRFOmegaSharded(w, p), nil
+	}
 	return v.PRFOmega(w), nil
 }
 
@@ -131,6 +149,9 @@ func (v *Prepared) QueryPTh(ctx context.Context, h int) ([]float64, error) {
 	if err := pdb.CtxErr(ctx); err != nil {
 		return nil, err
 	}
+	if p := par.Limit(ctx); p > 0 {
+		return v.PThSharded(h, p), nil
+	}
 	return v.PTh(h), nil
 }
 
@@ -139,6 +160,9 @@ func (v *Prepared) QueryPTh(ctx context.Context, h int) ([]float64, error) {
 func (v *Prepared) QueryERank(ctx context.Context) ([]float64, error) {
 	if err := pdb.CtxErr(ctx); err != nil {
 		return nil, err
+	}
+	if p := par.Limit(ctx); p > 0 {
+		return v.ERankSharded(p), nil
 	}
 	return v.ERank(), nil
 }

@@ -1,0 +1,561 @@
+package core
+
+// This file is the sharded evaluation layer: every kernel here partitions
+// the score-sorted struct-of-arrays view into P contiguous shards and
+// evaluates them in parallel, merging with the algebra each kernel's running
+// state obeys.
+//
+// Why this is sound: each scalar kernel carries one running quantity across
+// the sorted scan —
+//
+//   - PRFe and PRFe-combo carry the product ∏_{l<i}(1−p_l+p_l·α), and
+//     products are associative: the product over a prefix is the product of
+//     the per-shard products before it, in shard order.
+//   - The rank-distribution folds (PRFω(h), PT(h)) carry the truncated
+//     generating-function coefficients of ∏(1−p_l+p_l·x), and truncated
+//     polynomial multiplication is likewise associative (coefficient j of a
+//     product depends only on coefficients ≤ j of its factors, so
+//     truncation at h commutes with the merge).
+//   - ERank and PRFl carry the prefix sum Σ_{l<i} p_l, which the view
+//     precomputes once in exact sequential order (shardData), so any shard
+//     resumes from a bit-identical partial sum.
+//
+// Certification: sharded results are bit-for-bit equal to the scalar
+// kernels wherever the merge reuses the scalar accumulation (P = 1 always;
+// ERank/PRFl for every P; the fused PT(h) ladder against per-h scalar
+// folds), and within 1e-12 relative wherever the merge regroups floating-
+// point operations (P > 1 products and polynomial merges) — the same
+// tolerance the scalar path already grants PRFeComboParallel. See
+// shard_test.go for the property shapes.
+//
+// Shard counts need not divide the view: shardBounds spreads the remainder
+// one tuple at a time, and counts above Len() simply produce empty shards
+// (their local state is the identity, so merges pass through them). The
+// goroutine fan-out is still bounded by GOMAXPROCS via internal/par.
+
+import (
+	"math"
+	"math/cmplx"
+
+	"repro/internal/pdb"
+)
+
+// shardCount normalizes a requested parallelism: at least one shard.
+// Counts above Len() are allowed — the extra shards are empty — so callers
+// can pass any positive knob value; the goroutine count stays bounded by
+// GOMAXPROCS regardless.
+func shardCount(workers int) int {
+	if workers < 1 {
+		return 1
+	}
+	return workers
+}
+
+// shardBounds partitions [0, n) into p contiguous spans: shard s is
+// [bounds[s], bounds[s+1]). Spans differ in length by at most one; when
+// p > n the tail shards are empty.
+func shardBounds(n, p int) []int {
+	bounds := make([]int, p+1)
+	for s := 0; s <= p; s++ {
+		bounds[s] = s * n / p
+	}
+	return bounds
+}
+
+// ---------------------------------------------------------------------------
+// Fused PT(h) ladders: one generating-function pass answers every depth.
+// ---------------------------------------------------------------------------
+
+// checkLadder panics unless hs is a strictly increasing, non-negative depth
+// ladder — the precondition the fused fold's shared prefix sums rely on.
+func checkLadder(hs []int) {
+	for k, h := range hs {
+		if h < 0 || (k > 0 && h <= hs[k-1]) {
+			panic("core: PT(h) ladder must be strictly increasing and non-negative")
+		}
+	}
+}
+
+// PThLadder evaluates PT(h) for every depth of a strictly increasing ladder
+// hs in ONE generating-function pass at h_max — O(n·h_max) total instead of
+// O(n·Σh) for per-depth scans. The fold shares partial coefficient sums
+// across rungs: Σ_{j<h_k} g[j] is a prefix of Σ_{j<h_{k+1}} g[j], so each
+// coefficient is added exactly once per tuple, in the same order the scalar
+// PTh fold adds it — outs[k] is bit-for-bit PTh(hs[k]).
+//
+// outs[k] is indexed by TupleID, exactly like PTh(hs[k]).
+func (v *Prepared) PThLadder(hs []int) [][]float64 {
+	outs, n := ladderOut(len(hs), v.Len())
+	if len(hs) == 0 || n == 0 {
+		return outs
+	}
+	checkLadder(hs)
+	hmax := hs[len(hs)-1]
+	v.pthLadderSpan(hs, outs, 0, n, polyOne(hmax), hmax)
+	return outs
+}
+
+// PThLadderSharded is PThLadder across p contiguous shards: each shard
+// first computes its local generating-function polynomial (truncated to
+// h_max), an exclusive scan of truncated polynomial products gives every
+// shard its starting coefficients, and the shards then fold in parallel.
+// Agreement with PThLadder is bit-for-bit at p ≤ 1 and within 1e-12
+// relative for p > 1 (the merge regroups the polynomial multiplications).
+func (v *Prepared) PThLadderSharded(hs []int, workers int) [][]float64 {
+	outs, n := ladderOut(len(hs), v.Len())
+	if len(hs) == 0 || n == 0 {
+		return outs
+	}
+	checkLadder(hs)
+	hmax := hs[len(hs)-1]
+	p := shardCount(workers)
+	if p == 1 {
+		v.pthLadderSpan(hs, outs, 0, n, polyOne(hmax), hmax)
+		return outs
+	}
+	bounds := shardBounds(n, p)
+	starts := v.shardPolyStarts(bounds, hmax)
+	parallelForWorkers(parallelWorkers(p), p, func(_, s int) {
+		if bounds[s] < bounds[s+1] {
+			v.pthLadderSpan(hs, outs, bounds[s], bounds[s+1], starts[s], hmax)
+		}
+	})
+	return outs
+}
+
+// ladderOut allocates the rungs×n answer matrix in one flat backing array.
+func ladderOut(rungs, n int) ([][]float64, int) {
+	outs := make([][]float64, rungs)
+	flat := make([]float64, rungs*n)
+	for k := range outs {
+		outs[k] = flat[k*n : (k+1)*n : (k+1)*n]
+	}
+	return outs, n
+}
+
+// polyOne returns the multiplicative identity polynomial [1] with capacity
+// for a degree-(hmax−1) truncation, so advance grows it without reallocating.
+func polyOne(hmax int) []float64 {
+	cap := hmax + 1
+	g := make([]float64, 1, cap)
+	g[0] = 1
+	return g
+}
+
+// pthLadderSpan runs the fused ladder fold over sorted positions [lo, hi)
+// starting from generating-function coefficients g (which it advances in
+// place). The inner loop is segment-wise: rung k adds the coefficients in
+// [h_{k−1}, h_k) to the shared running sum, so each g[j] is touched once.
+func (v *Prepared) pthLadderSpan(hs []int, outs [][]float64, lo, hi int, g []float64, hmax int) {
+	probs, ids := v.probs, v.ids
+	for i := lo; i < hi; i++ {
+		p := probs[i]
+		id := ids[i]
+		gl := len(g)
+		cum := 0.0
+		prev := 0
+		for k, h := range hs {
+			end := h
+			if end > gl {
+				end = gl
+			}
+			for j := prev; j < end; j++ {
+				cum += g[j]
+			}
+			prev = end
+			outs[k][id] = p * cum
+		}
+		g = advance(g, p, hmax)
+	}
+}
+
+// shardPolyStarts computes each shard's starting generating-function
+// coefficients: phase one builds every shard's local polynomial in
+// parallel, then an exclusive scan of truncated products assigns shard s
+// the polynomial of all tuples before it. The returned slices are private
+// to their shard (the fold advances them in place).
+func (v *Prepared) shardPolyStarts(bounds []int, hmax int) [][]float64 {
+	p := len(bounds) - 1
+	polys := make([][]float64, p)
+	parallelForWorkers(parallelWorkers(p), p, func(_, s int) {
+		g := polyOne(hmax)
+		for i := bounds[s]; i < bounds[s+1]; i++ {
+			g = advance(g, v.probs[i], hmax)
+		}
+		polys[s] = g
+	})
+	starts := make([][]float64, p)
+	acc := polyOne(hmax)
+	for s := 0; s < p; s++ {
+		starts[s] = acc
+		if s+1 < p {
+			acc = convTrunc(acc, polys[s], hmax)
+		}
+	}
+	return starts
+}
+
+// convTrunc multiplies two coefficient vectors, truncating the product to
+// the same effective length advance maintains: at most max(maxLen, 1)
+// coefficients (the length-1 identity survives even a zero truncation).
+func convTrunc(a, b []float64, maxLen int) []float64 {
+	if maxLen < 1 {
+		maxLen = 1
+	}
+	lc := len(a) + len(b) - 1
+	if lc > maxLen {
+		lc = maxLen
+	}
+	c := make([]float64, lc)
+	for i, ai := range a {
+		if i >= lc {
+			break
+		}
+		for j, bj := range b {
+			if i+j >= lc {
+				break
+			}
+			c[i+j] += ai * bj
+		}
+	}
+	return c
+}
+
+// PRFOmegaSharded evaluates the PRFω(h) weight-vector family across p
+// contiguous shards with the same polynomial-prefix merge as
+// PThLadderSharded. Bit-for-bit PRFOmega at p ≤ 1; within 1e-12 relative
+// for p > 1.
+func (v *Prepared) PRFOmegaSharded(w []float64, workers int) []float64 {
+	n := v.Len()
+	out := make([]float64, n)
+	if n == 0 {
+		return out
+	}
+	h := len(w)
+	p := shardCount(workers)
+	if p == 1 {
+		v.prfOmegaSpan(w, out, 0, n, polyOne(h), h)
+		return out
+	}
+	bounds := shardBounds(n, p)
+	starts := v.shardPolyStarts(bounds, h)
+	parallelForWorkers(parallelWorkers(p), p, func(_, s int) {
+		if bounds[s] < bounds[s+1] {
+			v.prfOmegaSpan(w, out, bounds[s], bounds[s+1], starts[s], h)
+		}
+	})
+	return out
+}
+
+// prfOmegaSpan is the scalar PRFOmega fold over positions [lo, hi) from
+// starting coefficients g — identical arithmetic, identical order.
+func (v *Prepared) prfOmegaSpan(w, out []float64, lo, hi int, g []float64, h int) {
+	probs, ids := v.probs, v.ids
+	for i := lo; i < hi; i++ {
+		p := probs[i]
+		var up float64
+		for j := 0; j < len(g) && j < h; j++ {
+			up += w[j] * g[j]
+		}
+		out[ids[i]] = p * up
+		g = advance(g, p, h)
+	}
+}
+
+// PThSharded evaluates Pr(r(t) ≤ h) across p contiguous shards — the
+// sharded form of PTh, via PRFOmegaSharded on the unit weight ladder.
+func (v *Prepared) PThSharded(h, workers int) []float64 {
+	return v.PRFOmegaSharded(PTWeights(h), workers)
+}
+
+// ---------------------------------------------------------------------------
+// Sharded PRFe: per-shard running-product prefixes.
+// ---------------------------------------------------------------------------
+
+// PRFeSharded evaluates Υ_α across p contiguous shards: each shard's local
+// factor product is computed in parallel, an exclusive scan hands every
+// shard its starting prefix product, and the shards then run the scalar
+// PRFe recurrence from that start. Real α > 0 additionally rides the
+// lane-split kernel (lanes.go), whose real-arithmetic loop is bit-for-bit
+// the complex one. Agreement with PRFe is bit-for-bit at p ≤ 1 and within
+// 1e-12 for p > 1.
+func (v *Prepared) PRFeSharded(alpha complex128, workers int) []complex128 {
+	n := v.Len()
+	out := make([]complex128, n)
+	if n == 0 {
+		return out
+	}
+	p := shardCount(workers)
+	ar := real(alpha)
+	realLanes := imag(alpha) == 0 && ar > 0
+	if p == 1 {
+		if realLanes {
+			v.prfeRealSpan(out, 0, n, ar, 1)
+		} else {
+			v.prfeSpan(out, 0, n, alpha, 1)
+		}
+		return out
+	}
+	bounds := shardBounds(n, p)
+	// Phase 1: local factor products per shard.
+	local := make([]complex128, p)
+	parallelForWorkers(parallelWorkers(p), p, func(_, s int) {
+		prod := complex(1, 0)
+		if realLanes {
+			rp := 1.0
+			for i := bounds[s]; i < bounds[s+1]; i++ {
+				pr := v.probs[i]
+				rp *= 1 - pr + pr*ar
+			}
+			prod = complex(rp, 0)
+		} else {
+			for i := bounds[s]; i < bounds[s+1]; i++ {
+				pc := complex(v.probs[i], 0)
+				prod *= 1 - pc + pc*alpha
+			}
+		}
+		local[s] = prod
+	})
+	// Exclusive scan: shard s starts from the product of shards before it.
+	starts := make([]complex128, p)
+	acc := complex(1, 0)
+	for s := 0; s < p; s++ {
+		starts[s] = acc
+		acc *= local[s]
+	}
+	// Phase 2: the scalar recurrence per shard, from its prefix product.
+	parallelForWorkers(parallelWorkers(p), p, func(_, s int) {
+		if bounds[s] >= bounds[s+1] {
+			return
+		}
+		if realLanes {
+			v.prfeRealSpan(out, bounds[s], bounds[s+1], ar, real(starts[s]))
+		} else {
+			v.prfeSpan(out, bounds[s], bounds[s+1], alpha, starts[s])
+		}
+	})
+	return out
+}
+
+// prfeSpan is the scalar PRFe recurrence over positions [lo, hi) from a
+// starting prefix product.
+func (v *Prepared) prfeSpan(out []complex128, lo, hi int, alpha, prod complex128) {
+	for i := lo; i < hi; i++ {
+		p := complex(v.probs[i], 0)
+		out[v.ids[i]] = prod * p * alpha
+		prod *= 1 - p + p*alpha
+	}
+}
+
+// PRFeLogSharded evaluates log|Υ_α| — the ranking-robust form — across p
+// contiguous shards using the lane-split renormalized-product kernel
+// (lanes.go): each shard tracks its running product as a (mantissa,
+// base-2 exponent) pair instead of summing logarithms, so the hot loop
+// costs one math.Log per tuple (the hoisted log p comes from shardData)
+// instead of the scalar path's two logs plus a complex magnitude.
+//
+// Values agree with PRFeLog within 1e-12 (scaled); annihilated tuples
+// (zero probability, or any exact-zero factor earlier in the sorted order)
+// come out -Inf exactly as the scalar path reports them.
+func (v *Prepared) PRFeLogSharded(alpha complex128, workers int) []float64 {
+	n := v.Len()
+	out := make([]float64, n)
+	if n == 0 {
+		return out
+	}
+	aux := v.shardData()
+	p := shardCount(workers)
+	bounds := shardBounds(n, p)
+	logAlpha := math.Log(cmplx.Abs(alpha))
+	ar, ai := real(alpha), imag(alpha)
+	if ai == 0 {
+		// Real α: single-lane renormalized products.
+		ms := make([]float64, p)
+		es := make([]int64, p)
+		if p > 1 {
+			parallelForWorkers(parallelWorkers(p), p, func(_, s int) {
+				m, e := 1.0, int64(0)
+				for i := bounds[s]; i < bounds[s+1]; i++ {
+					pr := v.probs[i]
+					m *= 1 - pr + pr*ar
+					if am := math.Abs(m); am < 0x1p-512 || am > 0x1p512 {
+						m, e = renorm(m, e)
+					}
+				}
+				ms[s], es[s] = m, e
+			})
+		}
+		base := make([]float64, p)
+		m, e := 1.0, int64(0)
+		for s := 0; s < p; s++ {
+			base[s] = logMag(m, e)
+			m *= ms[s]
+			e += es[s]
+			m, e = renorm(m, e)
+		}
+		parallelForWorkers(parallelWorkers(p), p, func(_, s int) {
+			if bounds[s] < bounds[s+1] {
+				v.prfeLogRealSpan(out, aux.logProbs, bounds[s], bounds[s+1], ar, logAlpha, base[s])
+			}
+		})
+		return out
+	}
+	// Complex α: re/im lanes with a shared base-2 exponent.
+	mrs := make([]float64, p)
+	mis := make([]float64, p)
+	es := make([]int64, p)
+	if p > 1 {
+		parallelForWorkers(parallelWorkers(p), p, func(_, s int) {
+			mr, mi, e := 1.0, 0.0, int64(0)
+			for i := bounds[s]; i < bounds[s+1]; i++ {
+				pr := v.probs[i]
+				fr := 1 - pr + pr*ar
+				fi := pr * ai
+				mr, mi = mr*fr-mi*fi, mr*fi+mi*fr
+				if mag2 := mr*mr + mi*mi; mag2 < 0x1p-512 || mag2 > 0x1p512 {
+					mr, mi, e = renormC(mr, mi, e)
+				}
+			}
+			mrs[s], mis[s], es[s] = mr, mi, e
+		})
+	}
+	base := make([]float64, p)
+	mr, mi, e := 1.0, 0.0, int64(0)
+	for s := 0; s < p; s++ {
+		base[s] = logMagC(mr, mi, e)
+		mr, mi = mr*mrs[s]-mi*mis[s], mr*mis[s]+mi*mrs[s]
+		e += es[s]
+		mr, mi, e = renormC(mr, mi, e)
+	}
+	parallelForWorkers(parallelWorkers(p), p, func(_, s int) {
+		if bounds[s] < bounds[s+1] {
+			v.prfeLogComplexSpan(out, aux.logProbs, bounds[s], bounds[s+1], ar, ai, logAlpha, base[s])
+		}
+	})
+	return out
+}
+
+// RankPRFeSharded ranks by the sharded log-domain evaluation — the
+// Parallelism-knob form of RankPRFe.
+func (v *Prepared) RankPRFeSharded(alpha float64, workers int) pdb.Ranking {
+	return pdb.RankByValue(v.PRFeLogSharded(complex(alpha, 0), workers))
+}
+
+// PRFeComboSharded evaluates Σ_l u_l·Υ_{α_l} across p contiguous shards:
+// phase one computes every shard's per-term factor products, an exclusive
+// scan hands each shard its L starting prefixes, and each shard then runs
+// the fused PRFeCombo recurrence. Bit-for-bit PRFeCombo at p ≤ 1; within
+// 1e-12 for p > 1.
+func (v *Prepared) PRFeComboSharded(terms []ExpTerm, workers int) []complex128 {
+	n := v.Len()
+	l := len(terms)
+	p := shardCount(workers)
+	if p == 1 || l == 0 || n == 0 {
+		return v.PRFeCombo(terms)
+	}
+	out := make([]complex128, n)
+	us := make([]complex128, l)
+	alphas := make([]complex128, l)
+	for j, term := range terms {
+		us[j] = term.U
+		alphas[j] = term.Alpha
+	}
+	bounds := shardBounds(n, p)
+	local := make([][]complex128, p)
+	parallelForWorkers(parallelWorkers(p), p, func(_, s int) {
+		prods := make([]complex128, l)
+		for j := range prods {
+			prods[j] = 1
+		}
+		for i := bounds[s]; i < bounds[s+1]; i++ {
+			pc := complex(v.probs[i], 0)
+			for j := 0; j < l; j++ {
+				prods[j] *= 1 - pc + pc*alphas[j]
+			}
+		}
+		local[s] = prods
+	})
+	starts := make([][]complex128, p)
+	acc := make([]complex128, l)
+	for j := range acc {
+		acc[j] = 1
+	}
+	for s := 0; s < p; s++ {
+		starts[s] = acc
+		if s+1 < p {
+			next := make([]complex128, l)
+			for j := range next {
+				next[j] = acc[j] * local[s][j]
+			}
+			acc = next
+		}
+	}
+	parallelForWorkers(parallelWorkers(p), p, func(_, s int) {
+		prods := starts[s]
+		for i := bounds[s]; i < bounds[s+1]; i++ {
+			pc := complex(v.probs[i], 0)
+			var sum complex128
+			for j := 0; j < l; j++ {
+				sum += us[j] * prods[j] * pc * alphas[j]
+				prods[j] *= 1 - pc + pc*alphas[j]
+			}
+			out[v.ids[i]] = sum
+		}
+	})
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Sharded prefix-sum kernels: exact for every shard count.
+// ---------------------------------------------------------------------------
+
+// ERankSharded evaluates E[r(t)] across p contiguous shards. Each shard
+// resumes from the prepare-time sequential prefix sum at its start
+// position, so the arithmetic per tuple is bit-for-bit the scalar ERank
+// kernel for EVERY shard count — the prefix values are the identical
+// partial sums, just read from shardData instead of re-accumulated.
+func (v *Prepared) ERankSharded(workers int) []float64 {
+	n := v.Len()
+	out := make([]float64, n)
+	if n == 0 {
+		return out
+	}
+	aux := v.shardData()
+	c := aux.probPrefix[n]
+	p := shardCount(workers)
+	bounds := shardBounds(n, p)
+	parallelForWorkers(parallelWorkers(p), p, func(_, s int) {
+		prefix := aux.probPrefix[bounds[s]]
+		for i := bounds[s]; i < bounds[s+1]; i++ {
+			pr := v.probs[i]
+			er1 := pr * (1 + prefix)
+			er2 := (1 - pr) * (c - pr)
+			out[v.ids[i]] = er1 + er2
+			prefix += pr
+		}
+	})
+	return out
+}
+
+// PRFlSharded evaluates the PRFℓ special case ω(i) = −i across p contiguous
+// shards, bit-for-bit PRFl for every shard count (same prefix-sum resume as
+// ERankSharded).
+func (v *Prepared) PRFlSharded(workers int) []float64 {
+	n := v.Len()
+	out := make([]float64, n)
+	if n == 0 {
+		return out
+	}
+	aux := v.shardData()
+	p := shardCount(workers)
+	bounds := shardBounds(n, p)
+	parallelForWorkers(parallelWorkers(p), p, func(_, s int) {
+		prefix := aux.probPrefix[bounds[s]]
+		for i := bounds[s]; i < bounds[s+1]; i++ {
+			pr := v.probs[i]
+			out[v.ids[i]] = -pr * (1 + prefix)
+			prefix += pr
+		}
+	})
+	return out
+}

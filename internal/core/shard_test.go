@@ -1,0 +1,413 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/pdb"
+)
+
+// Property suite for the sharded evaluation layer (shard.go, lanes.go):
+// every kernel is diffed against its scalar reference across shard counts
+// P ∈ {1, 2, 7, n, n+3} (the last producing empty shards) and across the
+// degenerate dataset shapes — all-tied scores, zero- and one-probability
+// tuples, annihilating α, tiny n. Kernels documented bit-for-bit are
+// compared with ==; the product/polynomial merges with the 1e-12 scaled
+// tolerance their certification promises. A -race test runs sharded and
+// scalar kernels concurrently over one shared view.
+
+// shardShapes are the dataset shapes every property test sweeps.
+func shardShapes(tb testing.TB) map[string]*pdb.Dataset {
+	rng := rand.New(rand.NewSource(7))
+	n := 500
+	scores := make([]float64, n)
+	probs := make([]float64, n)
+	for i := range scores {
+		scores[i] = rng.Float64() * 100
+		probs[i] = rng.Float64()
+	}
+	random := pdb.MustDataset(scores, probs)
+
+	ties := make([]float64, n)
+	half := make([]float64, n)
+	for i := range ties {
+		ties[i] = 42 // every score tied: sorted order is ID order
+		half[i] = 0.5
+	}
+	allTies := pdb.MustDataset(ties, half)
+
+	extreme := make([]float64, n)
+	for i := range extreme {
+		switch i % 4 {
+		case 0:
+			extreme[i] = 0 // absent tuples: -Inf log values, identity factors
+		case 1:
+			extreme[i] = 1 // certain tuples: f = α exactly
+		default:
+			extreme[i] = rng.Float64()
+		}
+	}
+	zeroOne := pdb.MustDataset(scores, extreme)
+
+	tiny := pdb.MustDataset([]float64{3, 2, 1}, []float64{0.9, 0, 1})
+	single := pdb.MustDataset([]float64{1}, []float64{0.7})
+	empty := pdb.MustDataset(nil, nil)
+
+	return map[string]*pdb.Dataset{
+		"random":  random,
+		"allTies": allTies,
+		"zeroOne": zeroOne,
+		"tiny":    tiny,
+		"single":  single,
+		"empty":   empty,
+	}
+}
+
+// shardCounts returns the shard-count ladder for a view of n tuples,
+// including one count past n so empty shards are exercised.
+func shardCounts(n int) []int {
+	return []int{1, 2, 7, max(n, 1), n + 3}
+}
+
+// closeEnough is the 1e-12 scaled tolerance of the sharded certification;
+// non-finite values must match exactly.
+func closeEnough(a, b float64) bool {
+	if a == b {
+		return true // covers ±Inf and exact ties
+	}
+	if math.IsNaN(a) || math.IsNaN(b) || math.IsInf(a, 0) || math.IsInf(b, 0) {
+		return false
+	}
+	scale := math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+	return math.Abs(a-b) <= 1e-12*scale
+}
+
+func diffVals(t *testing.T, label string, got, want []float64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: length %d, want %d", label, len(got), len(want))
+	}
+	for i := range want {
+		if !closeEnough(got[i], want[i]) {
+			t.Fatalf("%s: value[%d] = %v, want %v", label, i, got[i], want[i])
+		}
+	}
+}
+
+func diffComplex(t *testing.T, label string, got, want []complex128) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: length %d, want %d", label, len(got), len(want))
+	}
+	for i := range want {
+		if !closeEnough(real(got[i]), real(want[i])) || !closeEnough(imag(got[i]), imag(want[i])) {
+			t.Fatalf("%s: value[%d] = %v, want %v", label, i, got[i], want[i])
+		}
+	}
+}
+
+func TestShardBounds(t *testing.T) {
+	for _, tc := range []struct{ n, p int }{{10, 3}, {0, 4}, {5, 8}, {500, 7}, {1, 1}} {
+		bounds := shardBounds(tc.n, tc.p)
+		if len(bounds) != tc.p+1 || bounds[0] != 0 || bounds[tc.p] != tc.n {
+			t.Fatalf("shardBounds(%d,%d) = %v: bad frame", tc.n, tc.p, bounds)
+		}
+		for s := 0; s < tc.p; s++ {
+			width := bounds[s+1] - bounds[s]
+			if width < 0 || width > tc.n/tc.p+1 {
+				t.Fatalf("shardBounds(%d,%d) = %v: shard %d width %d", tc.n, tc.p, bounds, s, width)
+			}
+		}
+	}
+	// p > n must yield empty shards, not panic.
+	bounds := shardBounds(5, 8)
+	empties := 0
+	for s := 0; s < 8; s++ {
+		if bounds[s] == bounds[s+1] {
+			empties++
+		}
+	}
+	if empties != 3 {
+		t.Fatalf("shardBounds(5,8) = %v: %d empty shards, want 3", bounds, empties)
+	}
+}
+
+func TestPThLadderBitForBit(t *testing.T) {
+	hs := []int{1, 5, 17, 60}
+	for name, d := range shardShapes(t) {
+		v := Prepare(d)
+		outs := v.PThLadder(hs)
+		for k, h := range hs {
+			want := v.PTh(h)
+			for i := range want {
+				if outs[k][i] != want[i] {
+					t.Fatalf("%s: PThLadder h=%d id=%d: %v != scalar %v", name, h, i, outs[k][i], want[i])
+				}
+			}
+		}
+	}
+	// h = 0 rung: everywhere zero, still well-formed.
+	v := Prepare(shardShapes(t)["tiny"])
+	outs := v.PThLadder([]int{0, 2})
+	for i, x := range outs[0] {
+		if x != 0 {
+			t.Fatalf("PThLadder h=0: out[%d] = %v, want 0", i, x)
+		}
+	}
+}
+
+func TestPThLadderSharded(t *testing.T) {
+	hs := []int{3, 10, 25}
+	for name, d := range shardShapes(t) {
+		v := Prepare(d)
+		want := v.PThLadder(hs)
+		for _, p := range shardCounts(v.Len()) {
+			got := v.PThLadderSharded(hs, p)
+			for k := range hs {
+				if p == 1 {
+					for i := range want[k] {
+						if got[k][i] != want[k][i] {
+							t.Fatalf("%s P=1: ladder h=%d id=%d not bit-for-bit", name, hs[k], i)
+						}
+					}
+				} else {
+					diffVals(t, name+"/ladderSharded", got[k], want[k])
+				}
+			}
+		}
+	}
+}
+
+func TestPRFOmegaSharded(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	w := make([]float64, 40)
+	for i := range w {
+		w[i] = rng.NormFloat64() // negative weights included
+	}
+	for name, d := range shardShapes(t) {
+		v := Prepare(d)
+		want := v.PRFOmega(w)
+		for _, p := range shardCounts(v.Len()) {
+			got := v.PRFOmegaSharded(w, p)
+			if p == 1 {
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("%s P=1: PRFOmegaSharded[%d] not bit-for-bit", name, i)
+					}
+				}
+			} else {
+				diffVals(t, name+"/prfomegaSharded", got, want)
+			}
+		}
+		wantPT := v.PTh(7)
+		diffVals(t, name+"/pthSharded", v.PThSharded(7, 4), wantPT)
+	}
+}
+
+func TestPRFeSharded(t *testing.T) {
+	alphas := []complex128{
+		complex(0.3, 0),
+		complex(1, 0),
+		complex(0.05, 0),
+		complex(-0.5, 0),   // negative real: factors change sign
+		complex(-1, 0),     // annihilates at p = 0.5 (f = 0 exactly)
+		complex(0.5, 0.25), // genuinely complex
+	}
+	for name, d := range shardShapes(t) {
+		v := Prepare(d)
+		for _, alpha := range alphas {
+			want := v.PRFe(alpha)
+			for _, p := range shardCounts(v.Len()) {
+				got := v.PRFeSharded(alpha, p)
+				if p == 1 {
+					for i := range want {
+						if got[i] != want[i] {
+							t.Fatalf("%s α=%v P=1: PRFeSharded[%d] = %v, want %v", name, alpha, i, got[i], want[i])
+						}
+					}
+				} else {
+					diffComplex(t, name+"/prfeSharded", got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestPRFeLogSharded(t *testing.T) {
+	alphas := []complex128{
+		complex(0.3, 0),
+		complex(1, 0),
+		complex(0.05, 0),
+		complex(-0.5, 0),
+		complex(-1, 0), // exact-zero factor at p = 0.5: annihilation path
+		complex(0, 0),  // log|α| = -Inf: everything -Inf
+		complex(0.5, 0.25),
+	}
+	for name, d := range shardShapes(t) {
+		v := Prepare(d)
+		for _, alpha := range alphas {
+			want := v.PRFeLog(alpha)
+			for _, p := range shardCounts(v.Len()) {
+				got := v.PRFeLogSharded(alpha, p)
+				diffVals(t, name+"/prfeLogSharded", got, want)
+			}
+		}
+	}
+}
+
+func TestRankPRFeShardedAgrees(t *testing.T) {
+	for _, name := range []string{"random", "zeroOne", "tiny"} {
+		v := Prepare(shardShapes(t)[name])
+		want := v.RankPRFe(0.3)
+		for _, p := range shardCounts(v.Len()) {
+			got := v.RankPRFeSharded(0.3, p)
+			if len(got) != len(want) {
+				t.Fatalf("%s P=%d: ranking length %d, want %d", name, p, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("%s P=%d: ranking[%d] = %d, want %d", name, p, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestPRFeComboSharded(t *testing.T) {
+	terms := []ExpTerm{
+		{U: complex(0.4, 0.1), Alpha: complex(0.9, 0.05)},
+		{U: complex(-0.2, 0.3), Alpha: complex(0.7, -0.1)},
+		{U: complex(1.1, 0), Alpha: complex(0.3, 0)},
+	}
+	for name, d := range shardShapes(t) {
+		v := Prepare(d)
+		want := v.PRFeCombo(terms)
+		for _, p := range shardCounts(v.Len()) {
+			got := v.PRFeComboSharded(terms, p)
+			if p == 1 {
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("%s P=1: PRFeComboSharded[%d] not bit-for-bit", name, i)
+					}
+				}
+			} else {
+				diffComplex(t, name+"/comboSharded", got, want)
+			}
+		}
+	}
+}
+
+func TestPrefixSumShardedExact(t *testing.T) {
+	// ERank and PRFl resume from the prepare-time sequential prefix sums,
+	// so they are bit-for-bit for EVERY shard count.
+	for name, d := range shardShapes(t) {
+		v := Prepare(d)
+		wantER := v.ERank()
+		wantPL := v.PRFl()
+		for _, p := range shardCounts(v.Len()) {
+			gotER := v.ERankSharded(p)
+			gotPL := v.PRFlSharded(p)
+			for i := range wantER {
+				if gotER[i] != wantER[i] {
+					t.Fatalf("%s P=%d: ERankSharded[%d] = %v, want %v", name, p, i, gotER[i], wantER[i])
+				}
+				if gotPL[i] != wantPL[i] {
+					t.Fatalf("%s P=%d: PRFlSharded[%d] = %v, want %v", name, p, i, gotPL[i], wantPL[i])
+				}
+			}
+		}
+	}
+}
+
+// TestShardedScalarConcurrent runs sharded and scalar kernels concurrently
+// over one shared view and diffs the results — the -race certification that
+// the sharded layer (including the lazily built shardData aggregates) never
+// writes shared state.
+func TestShardedScalarConcurrent(t *testing.T) {
+	v := Prepare(shardShapes(t)["random"])
+	hs := []int{2, 9, 30}
+	var wg sync.WaitGroup
+	errs := make(chan string, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			p := 1 + g%5
+			for iter := 0; iter < 5; iter++ {
+				switch g % 4 {
+				case 0:
+					want := v.PRFeLog(complex(0.3, 0))
+					got := v.PRFeLogSharded(complex(0.3, 0), p)
+					for i := range want {
+						if !closeEnough(got[i], want[i]) {
+							errs <- "concurrent PRFeLogSharded diverged"
+							return
+						}
+					}
+				case 1:
+					want := v.PThLadder(hs)
+					got := v.PThLadderSharded(hs, p)
+					for k := range hs {
+						for i := range want[k] {
+							if !closeEnough(got[k][i], want[k][i]) {
+								errs <- "concurrent PThLadderSharded diverged"
+								return
+							}
+						}
+					}
+				case 2:
+					want := v.ERank()
+					got := v.ERankSharded(p)
+					for i := range want {
+						if got[i] != want[i] {
+							errs <- "concurrent ERankSharded diverged"
+							return
+						}
+					}
+				case 3:
+					want := v.PRFe(complex(0.7, 0))
+					got := v.PRFeSharded(complex(0.7, 0), p)
+					for i := range want {
+						if !closeEnough(real(got[i]), real(want[i])) {
+							errs <- "concurrent PRFeSharded diverged"
+							return
+						}
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for msg := range errs {
+		t.Fatal(msg)
+	}
+}
+
+func TestRenorm(t *testing.T) {
+	// The renormalized representation must track extreme products exactly
+	// in scale: value = m·2^e with |m| pinned into [2^-512, 2^512].
+	m, e := 1.0, int64(0)
+	for i := 0; i < 10000; i++ {
+		m *= 1e-3
+		if am := math.Abs(m); am < 0x1p-512 || am > 0x1p512 {
+			m, e = renorm(m, e)
+		}
+	}
+	got := logMag(m, e)
+	want := 10000 * math.Log(1e-3)
+	if math.Abs(got-want) > 1e-6*math.Abs(want) {
+		t.Fatalf("renorm drifted: logMag = %v, want %v", got, want)
+	}
+	// Subnormal-scale factors need the looped renorm.
+	m, e = renorm(0x1p-1070, 0)
+	if lm := logMag(m, e); math.Abs(lm-(-1070*math.Ln2)) > 1e-9 {
+		t.Fatalf("subnormal renorm: logMag = %v, want %v", lm, -1070*math.Ln2)
+	}
+	// Zero mantissa stays zero (annihilated product).
+	if m, _ := renorm(0, 3); m != 0 {
+		t.Fatalf("renorm(0) = %v, want 0", m)
+	}
+}

@@ -34,6 +34,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/par"
 	"repro/internal/pdb"
 )
 
@@ -161,6 +162,16 @@ type Query struct {
 	Terms []core.ExpTerm
 	// K is the answer size for OutputTopK.
 	K int
+	// Parallelism caps this query's worker fan-out and, on backends that
+	// support it, switches single evaluations onto sharded parallel kernels
+	// with that many shards (core.Prepared's sharded evaluation layer). The
+	// zero value keeps the backend's default dispatch: the exact legacy
+	// scalar kernels, GOMAXPROCS-wide batch fan-out. Sharded answers agree
+	// with the scalar ones bit-for-bit or within 1e-12 (see
+	// core.PRFeSharded and friends); results are cached per Parallelism
+	// value so the certification holds per knob setting. Negative values
+	// are rejected.
+	Parallelism int
 }
 
 // Result is the answer to one Query (one grid point, for batches).
@@ -234,7 +245,20 @@ func (q *Query) validateCommon() error {
 			return err
 		}
 	}
+	if q.Parallelism < 0 {
+		return fmt.Errorf("engine: parallelism %d is negative", q.Parallelism)
+	}
 	return nil
+}
+
+// queryCtx applies the query's execution knobs to the context: a positive
+// Parallelism becomes the par.WithLimit cap every backend fan-out and
+// sharded kernel below reads.
+func (q *Query) queryCtx(ctx context.Context) context.Context {
+	if q.Parallelism > 0 {
+		return par.WithLimit(ctx, q.Parallelism)
+	}
+	return ctx
 }
 
 // splitTerms converts the ExpTerm form into the parallel slices the
@@ -263,6 +287,7 @@ func (e *Engine) Rank(ctx context.Context, q Query) (*Result, error) {
 		// zero-value Alpha — reject instead of guessing.
 		return nil, errors.New("engine: Rank got an Alphas grid; use RankBatch for grids (or set Alpha for a single evaluation)")
 	}
+	ctx = q.queryCtx(ctx)
 	res := &Result{Metric: q.Metric, Alpha: q.Alpha}
 
 	switch q.Metric {
@@ -417,6 +442,10 @@ func (e *Engine) RankBatch(ctx context.Context, q Query) ([]Result, error) {
 			return nil, err
 		}
 	}
+	if q.Parallelism < 0 {
+		return nil, fmt.Errorf("engine: parallelism %d is negative", q.Parallelism)
+	}
+	ctx = q.queryCtx(ctx)
 	out := make([]Result, len(q.Alphas))
 	for a, alpha := range q.Alphas {
 		out[a] = Result{Metric: q.Metric, Alpha: alpha}

@@ -1,0 +1,144 @@
+package engine
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+)
+
+// Tests for the Query.Parallelism knob: dispatch onto the sharded kernels,
+// agreement with the scalar path, validation, and cache-key separation.
+
+func parTol(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	if math.IsNaN(a) || math.IsNaN(b) || math.IsInf(a, 0) || math.IsInf(b, 0) {
+		return false
+	}
+	scale := math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+	return math.Abs(a-b) <= 1e-12*scale
+}
+
+func TestParallelismKnobAgreesWithScalar(t *testing.T) {
+	d := datagen.IIPLike(400, 9)
+	e := New(core.Prepare(d))
+	ctx := context.Background()
+	for _, par := range []int{1, 3, 8} {
+		// PRFe values.
+		scalar, err := e.Rank(ctx, Query{Metric: MetricPRFe, Alpha: 0.4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sharded, err := e.Rank(ctx, Query{Metric: MetricPRFe, Alpha: 0.4, Parallelism: par})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range scalar.Complex {
+			if !parTol(real(sharded.Complex[i]), real(scalar.Complex[i])) {
+				t.Fatalf("par=%d: PRFe values diverge at %d", par, i)
+			}
+		}
+		// PRFe ranking: same order despite the log-domain lanes rewrite.
+		sr, err := e.Rank(ctx, Query{Metric: MetricPRFe, Alpha: 0.4, Output: OutputRanking})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pr, err := e.Rank(ctx, Query{Metric: MetricPRFe, Alpha: 0.4, Output: OutputRanking, Parallelism: par})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range sr.Ranking {
+			if sr.Ranking[i] != pr.Ranking[i] {
+				t.Fatalf("par=%d: PRFe ranking diverges at %d", par, i)
+			}
+		}
+		// PT(h) and ERank real-valued paths.
+		for _, q := range []Query{
+			{Metric: MetricPTh, H: 12},
+			{Metric: MetricERank},
+			{Metric: MetricPRFOmega, Weights: []float64{1, 0.5, 0.25, 0.125}},
+		} {
+			s, err := e.Rank(ctx, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			q.Parallelism = par
+			p, err := e.Rank(ctx, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range s.Values {
+				if !parTol(p.Values[i], s.Values[i]) {
+					t.Fatalf("par=%d %v: values diverge at %d: %v vs %v", par, q.Metric, i, p.Values[i], s.Values[i])
+				}
+			}
+		}
+	}
+}
+
+func TestParallelismKnobBatch(t *testing.T) {
+	d := datagen.IIPLike(200, 5)
+	e := New(core.Prepare(d))
+	ctx := context.Background()
+	alphas := []float64{0.9, 0.2, 0.6, 0.4} // non-monotone: parallel fan-out path
+	base, err := e.RankBatch(ctx, Query{Metric: MetricPRFe, Alphas: alphas, Output: OutputRanking})
+	if err != nil {
+		t.Fatal(err)
+	}
+	capped, err := e.RankBatch(ctx, Query{Metric: MetricPRFe, Alphas: alphas, Output: OutputRanking, Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for a := range base {
+		for i := range base[a].Ranking {
+			if base[a].Ranking[i] != capped[a].Ranking[i] {
+				t.Fatalf("capped batch diverges at grid %d position %d", a, i)
+			}
+		}
+	}
+}
+
+func TestParallelismValidation(t *testing.T) {
+	e := New(core.Prepare(datagen.IIPLike(16, 1)))
+	ctx := context.Background()
+	if _, err := e.Rank(ctx, Query{Metric: MetricPRFe, Alpha: 0.5, Parallelism: -2}); err == nil {
+		t.Fatal("negative Parallelism accepted by Rank")
+	}
+	if _, err := e.RankBatch(ctx, Query{Metric: MetricPRFe, Alphas: []float64{0.5, 0.6}, Parallelism: -1}); err == nil {
+		t.Fatal("negative Parallelism accepted by RankBatch")
+	}
+}
+
+func TestCacheKeyParallelism(t *testing.T) {
+	base := Query{Metric: MetricPRFe, Alpha: 0.5}
+	k0, ok := base.CacheKey()
+	if !ok {
+		t.Fatal("base query not cacheable")
+	}
+	withPar := base
+	withPar.Parallelism = 4
+	k4, ok := withPar.CacheKey()
+	if !ok {
+		t.Fatal("parallel query not cacheable")
+	}
+	if k0 == k4 {
+		t.Fatal("Parallelism not encoded in cache key: sharded (≤1e-12) results would alias scalar bit-exact entries")
+	}
+	// The zero value must not perturb pre-knob keys.
+	again, _ := Query{Metric: MetricPRFe, Alpha: 0.5, Parallelism: 0}.CacheKey()
+	if again != k0 {
+		t.Fatal("zero Parallelism changed the canonical key")
+	}
+	// A negative knob is invalid and must not be cacheable: only positive
+	// values are encoded, so a negative one would alias k0 and a warm cache
+	// could answer a query that Rank is required to reject.
+	bad := base
+	bad.Parallelism = -2
+	if k, ok := bad.CacheKey(); ok {
+		t.Fatalf("negative Parallelism cacheable (key %q): warm caches would bypass validation", k)
+	}
+}

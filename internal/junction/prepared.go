@@ -130,7 +130,7 @@ func (pn *PreparedNetwork) PRFeBatch(alphas []complex128) [][]complex128 {
 func (pn *PreparedNetwork) prfeBatchCtx(ctx context.Context, alphas []complex128) ([][]complex128, error) {
 	rd := pn.RankDistribution()
 	out := make([][]complex128, len(alphas))
-	err := par.ForCtx(ctx, len(alphas), func(a int) {
+	err := par.ForWorkersCtx(ctx, par.WorkersFor(ctx, len(alphas)), len(alphas), func(_, a int) {
 		row := make([]complex128, pn.Len())
 		for v := range row {
 			row[v] = prfeFold(rd.Dist[v], alphas[a])
@@ -371,7 +371,7 @@ func (pc *PreparedChain) PRFeBatch(alphas []complex128) [][]complex128 {
 // points.
 func (pc *PreparedChain) prfeBatchCtx(ctx context.Context, alphas []complex128) ([][]complex128, error) {
 	out := make([][]complex128, len(alphas))
-	workers := par.Workers(len(alphas))
+	workers := par.WorkersFor(ctx, len(alphas))
 	evals := make([]*chainEval, workers)
 	err := par.ForWorkersCtx(ctx, workers, len(alphas), func(w, a int) {
 		if evals[w] == nil {
@@ -411,7 +411,7 @@ func (pc *PreparedChain) RankPRFeBatch(alphas []float64) []pdb.Ranking {
 // rankBatchCtx is the cancellation-aware per-α ranking loop shared by the
 // full-ranking and top-k batch paths.
 func (pc *PreparedChain) rankBatchCtx(ctx context.Context, alphas []float64, emit func(a int, r pdb.Ranking)) error {
-	workers := par.Workers(len(alphas))
+	workers := par.WorkersFor(ctx, len(alphas))
 	evals := make([]*chainEval, workers)
 	vals := make([][]complex128, workers)
 	err := par.ForWorkersCtx(ctx, workers, len(alphas), func(w, a int) {

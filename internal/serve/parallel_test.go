@@ -1,0 +1,99 @@
+package serve
+
+import (
+	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// Tests for the wire-level parallelism knob: the "parallelism" query field
+// reaches the engine, is clamped by Options.MaxParallelism, and sharded
+// answers stay within the certified 1e-12 of the scalar response.
+
+func TestParallelismWire(t *testing.T) {
+	s, _ := testServer(t, Options{MaxParallelism: 4})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	scalarQ := WireQuery{Metric: "pth", H: 5}
+	parQ := WireQuery{Metric: "pth", H: 5, Parallelism: 3}
+	resp, body := post(t, ts.URL+"/rank", reqBody(t, "iip", scalarQ))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("scalar: status %d: %s", resp.StatusCode, body)
+	}
+	var scalar RankResponse
+	if err := json.Unmarshal(body, &scalar); err != nil {
+		t.Fatal(err)
+	}
+	resp, body = post(t, ts.URL+"/rank", reqBody(t, "iip", parQ))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("parallel: status %d: %s", resp.StatusCode, body)
+	}
+	var sharded RankResponse
+	if err := json.Unmarshal(body, &sharded); err != nil {
+		t.Fatal(err)
+	}
+	if len(sharded.Values) != len(scalar.Values) {
+		t.Fatalf("value lengths differ: %d vs %d", len(sharded.Values), len(scalar.Values))
+	}
+	for i := range scalar.Values {
+		diff := math.Abs(sharded.Values[i] - scalar.Values[i])
+		scale := math.Max(1, math.Abs(scalar.Values[i]))
+		if diff > 1e-12*scale {
+			t.Fatalf("value[%d]: sharded %v vs scalar %v", i, sharded.Values[i], scalar.Values[i])
+		}
+	}
+
+	// Negative parallelism is a 400, not a panic or a silent clamp — even
+	// when the equivalent scalar response is already byte-cached (prime it
+	// first): the invalid knob must not alias the scalar cache key and be
+	// answered 200 from the warm cache without ever reaching validation.
+	resp, body = post(t, ts.URL+"/rank", reqBody(t, "iip", WireQuery{Metric: "prfe", Alpha: 0.5}))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("prime scalar prfe: status %d: %s", resp.StatusCode, body)
+	}
+	resp, body = post(t, ts.URL+"/rank", reqBody(t, "iip", WireQuery{Metric: "prfe", Alpha: 0.5, Parallelism: -3}))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("negative parallelism: status %d: %s", resp.StatusCode, body)
+	}
+
+	// Correlated backends ignore the knob for single queries but must still
+	// answer (the cap flows through their batch fan-outs only).
+	resp, body = post(t, ts.URL+"/rank", reqBody(t, "chain", WireQuery{Metric: "prfe", Alpha: 0.6, Parallelism: 2}))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("chain with parallelism: status %d: %s", resp.StatusCode, body)
+	}
+}
+
+// TestParallelismClamp certifies the server-side cap: a request far above
+// MaxParallelism is lowered before evaluation and before cache-keying, so
+// it shares bytes with an at-the-cap request.
+func TestParallelismClamp(t *testing.T) {
+	s, _ := testServer(t, Options{MaxParallelism: 2})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	atCap := WireQuery{Metric: "prfe", Alpha: 0.7, Parallelism: 2}
+	overCap := WireQuery{Metric: "prfe", Alpha: 0.7, Parallelism: 1000}
+	_, wantBody := post(t, ts.URL+"/rank", reqBody(t, "iip", atCap))
+	resp, gotBody := post(t, ts.URL+"/rank", reqBody(t, "iip", overCap))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("over-cap: status %d: %s", resp.StatusCode, gotBody)
+	}
+	if string(gotBody) != string(wantBody) {
+		t.Fatal("over-cap request did not clamp onto the at-cap response")
+	}
+
+	// MaxParallelism < 0 disables the knob entirely: the response must be
+	// byte-identical to the scalar path (Parallelism clamped to 0).
+	sOff, _ := testServer(t, Options{MaxParallelism: -1})
+	tsOff := httptest.NewServer(sOff)
+	defer tsOff.Close()
+	_, scalarBody := post(t, tsOff.URL+"/rank", reqBody(t, "iip", WireQuery{Metric: "prfe", Alpha: 0.7}))
+	_, knobBody := post(t, tsOff.URL+"/rank", reqBody(t, "iip", WireQuery{Metric: "prfe", Alpha: 0.7, Parallelism: 8}))
+	if string(knobBody) != string(scalarBody) {
+		t.Fatal("disabled knob did not fall back to the scalar response bytes")
+	}
+}

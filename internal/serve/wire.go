@@ -35,6 +35,11 @@ type WireQuery struct {
 	H       int       `json:"h,omitempty"`
 	K       int       `json:"k,omitempty"`
 	Terms   []Term    `json:"terms,omitempty"`
+	// Parallelism asks the engine to evaluate this query with up to that
+	// many parallel shards/workers (0 = the scalar default). The server
+	// clamps it to Options.MaxParallelism (default GOMAXPROCS) so one query
+	// cannot starve concurrent requests.
+	Parallelism int `json:"parallelism,omitempty"`
 }
 
 // metricNames maps wire names onto engine metrics.
@@ -82,6 +87,7 @@ func (w WireQuery) ToQuery() (engine.Query, error) {
 	q.Weights = w.Weights
 	q.H = w.H
 	q.K = w.K
+	q.Parallelism = w.Parallelism
 	if len(w.Terms) > 0 {
 		q.Terms = make([]core.ExpTerm, len(w.Terms))
 		for i, t := range w.Terms {

@@ -2,8 +2,12 @@
 # Run the repeated-query benchmark suite and record the perf trajectory.
 # The full report also embeds a quick-measured smoke-size section, which
 # scripts/benchdiff.sh uses as the size-for-size regression baseline.
-# Usage: scripts/bench.sh [OUT.json]   (default: BENCH_6.json in the repo root)
+# The report now also carries the multi-core trajectory sections (the
+# sharded kernels at forced GOMAXPROCS settings over a large dataset) and
+# the learning-workload arm (learn/alpha-fit: the Section 5.2 recursive
+# α refinement over the engine's Ranker interface).
+# Usage: scripts/bench.sh [OUT.json]   (default: BENCH_7.json in the repo root)
 set -euo pipefail
 cd "$(dirname "$0")/.."
-out="${1:-BENCH_6.json}"
+out="${1:-BENCH_7.json}"
 go run ./cmd/bench -out "$out"
