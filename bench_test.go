@@ -29,9 +29,9 @@ func BenchmarkTable1RankingFunctions(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		_ = prf.TopK(prf.EScore(d), k)
 		_ = prf.TopK(prf.PTh(d, k), k)
-		_ = prf.URank(d, k)
+		_, _ = prf.URank(d, k)
 		_ = prf.ERankRanking(prf.ERank(d)).TopK(k)
-		_, _ = prf.UTopK(d, k)
+		_, _, _ = prf.UTopK(d, k)
 	}
 }
 
@@ -157,7 +157,7 @@ func BenchmarkFigure11URank100k(b *testing.B) {
 	d.SortByScore()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		_ = prf.URank(d, 100)
+		_, _ = prf.URank(d, 100)
 	}
 }
 
@@ -271,7 +271,7 @@ func BenchmarkUTopK100k(b *testing.B) {
 	d.SortByScore()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		_, _ = prf.UTopK(d, 100)
+		_, _, _ = prf.UTopK(d, 100)
 	}
 }
 
@@ -280,7 +280,7 @@ func BenchmarkKSelection(b *testing.B) {
 	d.SortByScore()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		_, _ = prf.KSelection(d, 100)
+		_, _, _ = prf.KSelection(d, 100)
 	}
 }
 

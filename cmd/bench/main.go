@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	bench [-out BENCH_7.json] [-n 10000] [-grid 16] [-terms 20]
+//	bench [-out BENCH_8.json] [-n 10000] [-grid 16] [-terms 20]
 //	bench -smoke                      # run every workload once, tiny sizes
 //	bench -smoke -out ci.json         # quick-measured smoke report
 //	bench -diff OLD.json NEW.json     # regression gate (scripts/benchdiff.sh)
@@ -301,6 +301,23 @@ func runSuite(n, grid, terms, chainN int, meas measureFunc) Section {
 	add("engine/network-rank-sweep", func() { benchwork.EngineRankSweep(engNet, netAlphas) })
 	add("engine/tree-value-sweep", func() { benchwork.EngineValueSweep(engTree, alphas) })
 
+	// Consensus-semantics arms (PR 8): the Global-Topk, Expected-Rank and
+	// Median-Rank metrics promoted to first-class engine dispatch, scalar
+	// and (for the sharded Expected-Rank kernel) at full parallelism.
+	semPar := runtime.GOMAXPROCS(0)
+	add("semantics/globaltopk-ranking", func() {
+		benchwork.EngineSemanticRanking(engIndep, engine.MetricGlobalTopk, 10, 0)
+	})
+	xrScalar := add("semantics/expectedrank-ranking", func() {
+		benchwork.EngineSemanticRanking(engIndep, engine.MetricExpectedRank, 10, 0)
+	})
+	xrShard := addPar("semantics/expectedrank-ranking-parallel", semPar, func() {
+		benchwork.EngineSemanticRanking(engIndep, engine.MetricExpectedRank, 10, semPar)
+	})
+	add("semantics/medianrank-ranking", func() {
+		benchwork.EngineSemanticRanking(engIndep, engine.MetricMedianRank, 10, 0)
+	})
+
 	// Engine-level cache arms (PR 5): one dashboard refresh = the panel mix
 	// plus the ranked sweep. The cached engine is warmed before measurement
 	// so ops measure steady-state hits (the realistic repeated-dashboard
@@ -433,6 +450,9 @@ func runSuite(n, grid, terms, chainN int, meas measureFunc) Section {
 	sec.Speedups["prfe log lanes vs scalar"] = lgScalar.NsPerOp / lgLanes.NsPerOp
 	sec.Speedups["erank sharded vs scalar"] = erScalar.NsPerOp / erShard.NsPerOp
 	sec.Speedups["engine parallel sweep vs scalar sweep"] = engRank.NsPerOp / engPar.NsPerOp
+	// Consensus-semantics headline (PR 8): the sharded Expected-Rank kernel
+	// behind engine dispatch against its scalar path.
+	sec.Speedups["semantics expectedrank parallel vs scalar"] = xrScalar.NsPerOp / xrShard.NsPerOp
 	if n > 1000 {
 		// At smoke sizes a cold evaluation is cheaper than an HTTP round
 		// trip, so the storm ratio is connection noise — recording it
@@ -539,7 +559,7 @@ func multicoreHeadlines(sections []Section, speedups map[string]float64) {
 
 func main() {
 	var (
-		out       = flag.String("out", "", "output JSON path (default BENCH_7.json; in -smoke mode: no file unless set)")
+		out       = flag.String("out", "", "output JSON path (default BENCH_8.json; in -smoke mode: no file unless set)")
 		n         = flag.Int("n", 10000, "dataset size")
 		grid      = flag.Int("grid", 16, "α grid points for the spectrum sweeps")
 		terms     = flag.Int("terms", 20, "terms in the PRFe combination")
@@ -590,7 +610,7 @@ func main() {
 	}
 
 	if *out == "" {
-		*out = "BENCH_7.json"
+		*out = "BENCH_8.json"
 	}
 	sec := runSuite(*n, *grid, *terms, *chainN, fullMeasure)
 	report := newReport(sec)

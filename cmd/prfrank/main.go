@@ -198,7 +198,8 @@ func baseline(fn string, d *pdb.Dataset, tree *andxor.Tree, k int) (pdb.Ranking,
 	values := map[pdb.TupleID]float64{}
 	if tree != nil {
 		if fn == "urank" {
-			return baselines.URankTree(tree, k), values, "", nil
+			set, err := baselines.URankTree(tree, k)
+			return set, values, "", err
 		}
 		return nil, nil, "", fmt.Errorf("function %q is not available with a group column (use prfe|pt|erank|urank)", fn)
 	}
@@ -220,12 +221,19 @@ func baseline(fn string, d *pdb.Dataset, tree *andxor.Tree, k int) (pdb.Ranking,
 	case "escore":
 		return byValue(baselines.EScore(d)), values, "", nil
 	case "urank":
-		return baselines.URankPrepared(view(), k), values, "", nil
+		set, err := baselines.URankPrepared(view(), k)
+		return set, values, "", err
 	case "utop":
-		set, p := baselines.UTopKPrepared(view(), k)
+		set, p, err := baselines.UTopKPrepared(view(), k)
+		if err != nil {
+			return nil, nil, "", err
+		}
 		return set, values, fmt.Sprintf("# U-Top answer probability: %g", p), nil
 	case "kselection":
-		set, v := baselines.KSelectionPrepared(view(), k)
+		set, v, err := baselines.KSelectionPrepared(view(), k)
+		if err != nil {
+			return nil, nil, "", err
+		}
 		return set, values, fmt.Sprintf("# expected best score: %g", v), nil
 	case "prob":
 		return byValue(baselines.ByProbability(d)), values, "", nil

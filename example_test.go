@@ -58,7 +58,7 @@ func ExampleTreeRankDistribution() {
 // U-Top returns the most probable top-k set together with its probability.
 func ExampleUTopK() {
 	d, _ := prf.NewDataset([]float64{10, 5}, []float64{0.9, 0.8})
-	set, p := prf.UTopK(d, 1)
+	set, p, _ := prf.UTopK(d, 1)
 	fmt.Println(set, p)
 	// Output:
 	// [0] 0.9

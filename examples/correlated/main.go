@@ -53,7 +53,11 @@ func main() {
 
 	// Consensus answer (Section 6) and U-Rank on the tree.
 	fmt.Printf("\nconsensus top-2: %v\n", label(prf.ConsensusTopKTree(tree, 2), names))
-	fmt.Printf("U-Rank top-3:    %v\n", label(prf.URankTree(tree, 3), names))
+	uRank, err := prf.URankTree(tree, 3)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("U-Rank top-3:    %v\n", label(uRank, names))
 	fmt.Printf("expected ranks:  ")
 	for id, er := range prf.TreeExpectedRanks(tree) {
 		fmt.Printf("%s=%.2f ", names[id][:2], er)

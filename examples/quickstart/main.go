@@ -63,9 +63,15 @@ func main() {
 	fmt.Printf("  E-Score ranking:   %v\n", names(prf.TopK(prf.EScore(d), 4)))
 	fmt.Printf("  PT(2) ranking:     %v\n", names(prf.TopK(prf.PTh(d, 2), 4)))
 	fmt.Printf("  E-Rank ranking:    %v\n", names(prf.ERankRanking(prf.ERank(d))))
-	uTop, p := prf.UTopK(d, 2)
+	uTop, p, err := prf.UTopK(d, 2)
+	if err != nil {
+		panic(err)
+	}
 	fmt.Printf("  U-Top 2-set:       %v (probability %.3f)\n", names(uTop), p)
-	kSel, v := prf.KSelection(d, 2)
+	kSel, v, err := prf.KSelection(d, 2)
+	if err != nil {
+		panic(err)
+	}
 	fmt.Printf("  2-selection:       %v (expected best score %.2f)\n", names(kSel), v)
 
 	// The consensus view (Section 6): PT(k)'s answer minimizes the expected

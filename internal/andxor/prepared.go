@@ -230,3 +230,22 @@ func (pt *PreparedTree) ERank() []float64 {
 	}
 	return out
 }
+
+// ExpectedRank returns the consensus expected rank (the Li/Deshpande
+// convention: absent leaves take rank |pw|+1) for every leaf. The two
+// conventions differ by one on exactly the worlds missing the leaf, so this
+// is ERank plus the leaf's absence mass 1 − marginal.
+func (pt *PreparedTree) ExpectedRank() []float64 {
+	out := pt.ERank()
+	for id := range out {
+		out[id] += 1 - pt.t.Leaf(pdb.TupleID(id)).Prob
+	}
+	return out
+}
+
+// MedianRank returns the consensus median rank per leaf: the smallest j with
+// Pr(r(t) ≤ j) ≥ 1/2, or the sentinel n+1 when the leaf is absent from a
+// majority of worlds. Folds the tree's exact rank distribution (Algorithm 2).
+func (pt *PreparedTree) MedianRank() []float64 {
+	return pdb.MedianRankFromDistribution(RankDistribution(pt.t), pt.Len())
+}

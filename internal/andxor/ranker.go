@@ -131,3 +131,21 @@ func (pt *PreparedTree) QueryERank(ctx context.Context) ([]float64, error) {
 	}
 	return pt.ERank(), nil
 }
+
+// QueryExpectedRank returns the consensus expected rank (absent → |pw|+1)
+// per leaf. Identical to ExpectedRank.
+func (pt *PreparedTree) QueryExpectedRank(ctx context.Context) ([]float64, error) {
+	if err := pdb.CtxErr(ctx); err != nil {
+		return nil, err
+	}
+	return pt.ExpectedRank(), nil
+}
+
+// QueryMedianRank returns the consensus median rank per leaf over the tree's
+// exact rank distribution. Identical to MedianRank.
+func (pt *PreparedTree) QueryMedianRank(ctx context.Context) ([]float64, error) {
+	if err := pdb.CtxErr(ctx); err != nil {
+		return nil, err
+	}
+	return pt.MedianRank(), nil
+}

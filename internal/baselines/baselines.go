@@ -14,6 +14,8 @@ package baselines
 
 import (
 	"container/heap"
+	"errors"
+	"fmt"
 	"math"
 	"math/rand"
 	"sort"
@@ -22,6 +24,44 @@ import (
 	"repro/internal/core"
 	"repro/internal/pdb"
 )
+
+// Typed errors for degenerate top-k queries. These used to be silent zero
+// values (nil sets, probability 0, quietly clamped k), which made "the
+// answer is empty" indistinguishable from "the question was malformed";
+// callers now branch on errors.Is.
+var (
+	// ErrEmptyDataset reports a top-k query against a dataset with no tuples.
+	ErrEmptyDataset = errors.New("baselines: empty dataset")
+	// ErrBadK reports k outside 1..n. k > n in particular is an error, not
+	// a clamp: the caller asked for more tuples than exist.
+	ErrBadK = errors.New("baselines: k out of range")
+	// ErrAllZeroProbabilities reports a dataset whose every tuple has
+	// probability zero — the only possible world is empty, so no top-k
+	// semantics has a meaningful answer.
+	ErrAllZeroProbabilities = errors.New("baselines: every tuple has probability zero")
+	// ErrNoPositiveAnswer reports a U-Top query where no size-k set has
+	// positive probability of being exactly the top-k (fewer than k tuples
+	// with p > 0).
+	ErrNoPositiveAnswer = errors.New("baselines: no size-k answer has positive probability")
+)
+
+// checkTopKQuery validates the shared preconditions of the top-k
+// baselines: a non-empty dataset, k in 1..n, and at least one tuple with
+// positive probability. prob(i) is indexed by view position.
+func checkTopKQuery(n, k int, prob func(i int) float64) error {
+	if n == 0 {
+		return ErrEmptyDataset
+	}
+	if k < 1 || k > n {
+		return fmt.Errorf("%w: k=%d with %d tuples", ErrBadK, k, n)
+	}
+	for i := 0; i < n; i++ {
+		if prob(i) > 0 {
+			return nil
+		}
+	}
+	return ErrAllZeroProbabilities
+}
 
 // EScore returns Pr(t)·score(t) per tuple — the expected-score ranking
 // function. Invariant to correlations (a drawback the paper points out), so
@@ -65,26 +105,31 @@ func PThTree(t *andxor.Tree, h int) []float64 { return andxor.PTh(t, h) }
 // URank returns the paper's distinct-tuples U-Rank top-k: position i gets
 // the tuple maximizing Pr(r(t)=i) among tuples not already chosen at an
 // earlier position. O(nk + n log n) via truncated rank distributions.
-func URank(d *pdb.Dataset, k int) pdb.Ranking {
+// Degenerate queries (empty dataset, k outside 1..n, all-zero
+// probabilities) return a typed error; see ErrEmptyDataset, ErrBadK,
+// ErrAllZeroProbabilities.
+func URank(d *pdb.Dataset, k int) (pdb.Ranking, error) {
 	return URankPrepared(core.Prepare(d), k)
 }
 
 // URankPrepared is URank on a prepared view (no re-sort, no clone).
-func URankPrepared(v *core.Prepared, k int) pdb.Ranking {
-	if k > v.Len() {
-		k = v.Len()
+func URankPrepared(v *core.Prepared, k int) (pdb.Ranking, error) {
+	if err := checkTopKQuery(v.Len(), k, v.Prob); err != nil {
+		return nil, err
 	}
 	rd := v.RankDistributionTrunc(k)
-	return uRankFromDistribution(rd, v.Len(), k)
+	return uRankFromDistribution(rd, v.Len(), k), nil
 }
 
-// URankTree is U-Rank on a correlated dataset.
-func URankTree(t *andxor.Tree, k int) pdb.Ranking {
-	if k > t.Len() {
-		k = t.Len()
+// URankTree is U-Rank on a correlated dataset, with the same typed-error
+// contract as URank (probabilities are the leaves' marginals).
+func URankTree(t *andxor.Tree, k int) (pdb.Ranking, error) {
+	prob := func(i int) float64 { return t.Leaf(pdb.TupleID(i)).Prob }
+	if err := checkTopKQuery(t.Len(), k, prob); err != nil {
+		return nil, err
 	}
 	rd := andxor.RankDistributionTrunc(t, k)
-	return uRankFromDistribution(rd, t.Len(), k)
+	return uRankFromDistribution(rd, t.Len(), k), nil
 }
 
 func uRankFromDistribution(rd *pdb.RankDistribution, n, k int) pdb.Ranking {
@@ -146,18 +191,20 @@ func ERankRanking(expectedRanks []float64) pdb.Ranking {
 // of the answer: the optimal completion takes the k−1 tuples among t₁..t_{m−1}
 // maximizing the odds p/(1−p) (tuples with p=1 are forced; tuples with p=0
 // never help). A second pass reconstructs the best set.
-func UTopK(d *pdb.Dataset, k int) (pdb.Ranking, float64) {
+//
+// Degenerate queries return a typed error (ErrEmptyDataset, ErrBadK,
+// ErrAllZeroProbabilities); when fewer than k tuples have p > 0 no size-k
+// set can be the top-k, and the result is ErrNoPositiveAnswer rather than
+// an arbitrary zero-probability set.
+func UTopK(d *pdb.Dataset, k int) (pdb.Ranking, float64, error) {
 	return UTopKPrepared(core.Prepare(d), k)
 }
 
 // UTopKPrepared is UTopK on a prepared view (no re-sort, no clone).
-func UTopKPrepared(v *core.Prepared, k int) (pdb.Ranking, float64) {
+func UTopKPrepared(v *core.Prepared, k int) (pdb.Ranking, float64, error) {
 	n := v.Len()
-	if k <= 0 || n == 0 {
-		return nil, 0
-	}
-	if k > n {
-		k = n
+	if err := checkTopKQuery(n, k, v.Prob); err != nil {
+		return nil, 0, err
 	}
 	bestM, bestLog := -1, math.Inf(-1)
 	sel := newTopGainSelector(k - 1)
@@ -196,15 +243,7 @@ func UTopKPrepared(v *core.Prepared, k int) (pdb.Ranking, float64) {
 		}
 	}
 	if bestM < 0 {
-		// No size-k answer has positive probability (e.g. fewer than k
-		// tuples with p>0). Fall back to the k best-scored positive tuples.
-		out := make(pdb.Ranking, 0, k)
-		for m := 0; m < n && len(out) < k; m++ {
-			if v.Prob(m) > 0 {
-				out = append(out, v.ID(m))
-			}
-		}
-		return out, 0
+		return nil, 0, fmt.Errorf("%w: k=%d", ErrNoPositiveAnswer, k)
 	}
 	// Reconstruct: forced p=1 tuples plus the top finite gains in
 	// t₀..t_{bestM−1}, then t_{bestM} itself.
@@ -237,7 +276,7 @@ func UTopKPrepared(v *core.Prepared, k int) (pdb.Ranking, float64) {
 			out = append(out, v.ID(m))
 		}
 	}
-	return out, math.Exp(bestLog)
+	return out, math.Exp(bestLog), nil
 }
 
 // topGainSelector maintains the largest `cap` gains seen so far and their
@@ -350,20 +389,18 @@ func UTopKMonteCarlo(s WorldSampler, k, samples int, rng *rand.Rand) pdb.Ranking
 //	g(i,j) = max( g(i+1,j), pᵢ·sᵢ + (1−pᵢ)·g(i+1,j−1) )
 //
 // over the score-sorted order. Returns the chosen set (score order) and its
-// expected best score.
-func KSelection(d *pdb.Dataset, k int) (pdb.Ranking, float64) {
+// expected best score. Degenerate queries return a typed error
+// (ErrEmptyDataset, ErrBadK, ErrAllZeroProbabilities).
+func KSelection(d *pdb.Dataset, k int) (pdb.Ranking, float64, error) {
 	return KSelectionPrepared(core.Prepare(d), k)
 }
 
 // KSelectionPrepared is KSelection on a prepared view (no re-sort, no
 // clone). The DP table is one flat allocation sliced into rows.
-func KSelectionPrepared(v *core.Prepared, k int) (pdb.Ranking, float64) {
+func KSelectionPrepared(v *core.Prepared, k int) (pdb.Ranking, float64, error) {
 	n := v.Len()
-	if k > n {
-		k = n
-	}
-	if k <= 0 || n == 0 {
-		return nil, 0
+	if err := checkTopKQuery(n, k, v.Prob); err != nil {
+		return nil, 0, err
 	}
 	// g[i][j]: best value using tuples i..n−1 with j picks left.
 	g := make([][]float64, n+1)
@@ -393,7 +430,7 @@ func KSelectionPrepared(v *core.Prepared, k int) (pdb.Ranking, float64) {
 			j--
 		}
 	}
-	return out, g[0][k]
+	return out, g[0][k], nil
 }
 
 // KSelectionPRF returns the PRF special case ω(t,i) = δ(i=1)·score(t), i.e.

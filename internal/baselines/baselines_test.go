@@ -1,6 +1,7 @@
 package baselines
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
@@ -112,7 +113,10 @@ func TestQuickURankMatchesEnumeration(t *testing.T) {
 		n := 2 + rng.Intn(7)
 		k := 1 + rng.Intn(n)
 		d := randDataset(rng, n)
-		got := URank(d, k)
+		got, err := URank(d, k)
+		if err != nil {
+			return false
+		}
 		worlds, err := pdb.EnumerateWorlds(d)
 		if err != nil {
 			return false
@@ -191,16 +195,19 @@ func TestQuickUTopKMatchesBruteForce(t *testing.T) {
 			ts[rng.Intn(n)].Prob = 0
 		}
 		d2, _ := pdb.FromTuples(ts)
-		gotSet, gotP := UTopK(d2, k)
+		gotSet, gotP, utErr := UTopK(d2, k)
+		if utErr != nil {
+			// Typed degenerate outcome: fewer than k tuples can ever appear,
+			// so no size-k answer has positive probability.
+			if !errors.Is(utErr, ErrNoPositiveAnswer) && !errors.Is(utErr, ErrAllZeroProbabilities) {
+				return false
+			}
+			_, bruteP := bruteUTopQuiet(d2, k)
+			return bruteP == 0
+		}
 		worlds, err := pdb.EnumerateWorlds(d2)
 		if err != nil {
 			return false
-		}
-		if len(gotSet) < k {
-			// Degenerate fallback: fewer than k tuples can ever appear, so
-			// no size-k answer has positive probability.
-			_, bruteP := bruteUTopQuiet(d2, k)
-			return gotP == 0 && bruteP == 0
 		}
 		// Probability that the returned set is exactly the top-k.
 		var checkP float64
@@ -258,7 +265,10 @@ func bruteUTopQuiet(d *pdb.Dataset, k int) (map[pdb.TupleID]bool, float64) {
 func TestUTopKSimple(t *testing.T) {
 	// Two tuples, k=1: {t0} wins with p=.9 vs {t1} with .1·.8.
 	d := pdb.MustDataset([]float64{10, 5}, []float64{0.9, 0.8})
-	set, p := UTopK(d, 1)
+	set, p, err := UTopK(d, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(set) != 1 || set[0] != 0 {
 		t.Fatalf("UTop = %v", set)
 	}
@@ -270,7 +280,10 @@ func TestUTopKSimple(t *testing.T) {
 func TestUTopKWithCertainTuples(t *testing.T) {
 	// A certain tuple below k certain tuples forces itself into any answer.
 	d := pdb.MustDataset([]float64{10, 8, 6}, []float64{0.5, 1, 0.5})
-	set, p := UTopK(d, 2)
+	set, p, err := UTopK(d, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
 	found := false
 	for _, id := range set {
 		if id == 1 {
@@ -286,17 +299,14 @@ func TestUTopKWithCertainTuples(t *testing.T) {
 }
 
 func TestUTopKDegenerate(t *testing.T) {
-	// Fewer positive tuples than k: fall back, probability 0.
+	// Fewer positive tuples than k: typed error instead of a silent
+	// zero-probability fallback set.
 	d := pdb.MustDataset([]float64{10, 5}, []float64{0.5, 0})
-	set, p := UTopK(d, 2)
-	if p != 0 {
-		t.Fatalf("p = %v, want 0", p)
+	if set, p, err := UTopK(d, 2); !errors.Is(err, ErrNoPositiveAnswer) || set != nil || p != 0 {
+		t.Fatalf("UTop = %v, %v, %v; want ErrNoPositiveAnswer", set, p, err)
 	}
-	if len(set) != 1 || set[0] != 0 {
-		t.Fatalf("fallback set %v", set)
-	}
-	if got, _ := UTopK(pdb.MustDataset(nil, nil), 3); got != nil {
-		t.Fatalf("empty dataset UTop = %v", got)
+	if _, _, err := UTopK(pdb.MustDataset(nil, nil), 3); !errors.Is(err, ErrEmptyDataset) {
+		t.Fatalf("empty dataset err = %v, want ErrEmptyDataset", err)
 	}
 }
 
@@ -306,7 +316,10 @@ func TestUTopKMonteCarloAgreesWithExact(t *testing.T) {
 		[]float64{100, 90, 80, 70, 60},
 		[]float64{0.9, 0.85, 0.2, 0.9, 0.3},
 	)
-	exact, _ := UTopK(d, 2)
+	exact, _, err := UTopK(d, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
 	mc := UTopKMonteCarlo(DatasetSampler{D: d}, 2, 20000, rng)
 	if len(mc) != len(exact) {
 		t.Fatalf("MC answer %v vs exact %v", mc, exact)
@@ -342,7 +355,10 @@ func TestQuickKSelectionMatchesBruteForce(t *testing.T) {
 		n := 1 + rng.Intn(8)
 		k := 1 + rng.Intn(n)
 		d := randDataset(rng, n)
-		_, gotVal := KSelection(d, k)
+		_, gotVal, ksErr := KSelection(d, k)
+		if ksErr != nil {
+			return false
+		}
 		bestVal := 0.0
 		ts := make([]pdb.Tuple, n)
 		copy(ts, d.Tuples())
@@ -398,18 +414,22 @@ func expectedBest(ts []pdb.Tuple, mask int) float64 {
 func TestKSelectionReturnsRequestedSize(t *testing.T) {
 	rng := rand.New(rand.NewSource(12))
 	d := randDataset(rng, 10)
-	set, val := KSelection(d, 4)
+	set, val, err := KSelection(d, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(set) != 4 {
 		t.Fatalf("set size %d", len(set))
 	}
 	if val < 0 {
 		t.Fatalf("negative value %v", val)
 	}
-	if set2, _ := KSelection(d, 99); len(set2) != 10 {
-		t.Fatalf("clamped set size %d", len(set2))
+	// k beyond n is a typed error now, not a silent clamp.
+	if _, _, err := KSelection(d, 99); !errors.Is(err, ErrBadK) {
+		t.Fatalf("k=99 err = %v, want ErrBadK", err)
 	}
-	if set3, v3 := KSelection(pdb.MustDataset(nil, nil), 2); set3 != nil || v3 != 0 {
-		t.Fatalf("empty dataset k-selection = %v, %v", set3, v3)
+	if _, _, err := KSelection(pdb.MustDataset(nil, nil), 2); !errors.Is(err, ErrEmptyDataset) {
+		t.Fatalf("empty dataset err = %v, want ErrEmptyDataset", err)
 	}
 }
 

@@ -211,7 +211,10 @@ func TestExpectedWeightedSymDiffTree(t *testing.T) {
 
 func TestURankTreeMatchesEnumeration(t *testing.T) {
 	tree := figure1Tree(t)
-	got := URankTree(tree, 3)
+	got, err := URankTree(tree, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
 	worlds, _ := tree.EnumerateWorlds(0)
 	rd := pdb.RankDistributionFromWorlds(worlds, tree.Len())
 	chosen := make(map[pdb.TupleID]bool)

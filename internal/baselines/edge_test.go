@@ -1,6 +1,7 @@
 package baselines
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
@@ -45,14 +46,29 @@ func TestBaselinesOnDegenerateDatasets(t *testing.T) {
 			checkFinite("ERank", ERank(d))
 			checkFinite("PTh", PTh(d, k))
 			checkFinite("KSelectionPRF", KSelectionPRF(d))
-			if got := URank(d, k); len(got) > k {
-				t.Fatalf("URank too long: %v", got)
-			}
-			if _, p := UTopK(d, k); math.IsNaN(p) {
-				t.Fatal("UTopK probability NaN")
-			}
-			if _, v := KSelection(d, k); math.IsNaN(v) {
-				t.Fatal("KSelection value NaN")
+			ur, urErr := URank(d, k)
+			_, utP, utErr := UTopK(d, k)
+			_, ksV, ksErr := KSelection(d, k)
+			if name == "all impossible" {
+				// Every top-k baseline reports the degenerate input.
+				for label, err := range map[string]error{"URank": urErr, "UTopK": utErr, "KSelection": ksErr} {
+					if !errors.Is(err, ErrAllZeroProbabilities) {
+						t.Fatalf("%s err = %v, want ErrAllZeroProbabilities", label, err)
+					}
+				}
+			} else {
+				if urErr != nil || utErr != nil || ksErr != nil {
+					t.Fatalf("unexpected errors: %v %v %v", urErr, utErr, ksErr)
+				}
+				if len(ur) > k {
+					t.Fatalf("URank too long: %v", ur)
+				}
+				if math.IsNaN(utP) {
+					t.Fatal("UTopK probability NaN")
+				}
+				if math.IsNaN(ksV) {
+					t.Fatal("KSelection value NaN")
+				}
 			}
 			tau := ConsensusTopK(d, k)
 			if e := ExpectedSymDiff(d, tau); math.IsNaN(e) || e < 0 {
@@ -66,10 +82,14 @@ func TestBaselinesOnDegenerateDatasets(t *testing.T) {
 func TestAllSemanticsAgreeOnCertainData(t *testing.T) {
 	d := pdb.MustDataset([]float64{40, 30, 20, 10}, []float64{1, 1, 1, 1})
 	want := pdb.Ranking{0, 1, 2, 3}
+	uRank, err := URank(d, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
 	checks := map[string]pdb.Ranking{
 		"E-Score":   pdb.RankByValue(EScore(d)),
 		"PT(4)":     pdb.RankByValue(PTh(d, 4)).TopK(4),
-		"U-Rank":    URank(d, 4),
+		"U-Rank":    uRank,
 		"E-Rank":    ERankRanking(ERank(d)),
 		"consensus": ConsensusTopK(d, 4),
 		"PRFe(0.5)": core.RankPRFe(d, 0.5),
@@ -81,7 +101,10 @@ func TestAllSemanticsAgreeOnCertainData(t *testing.T) {
 			}
 		}
 	}
-	set, p := UTopK(d, 2)
+	set, p, err := UTopK(d, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if p != 1 || set[0] != 0 || set[1] != 1 {
 		t.Fatalf("U-Top on certain data: %v %v", set, p)
 	}
@@ -101,7 +124,12 @@ func TestQuickUTopKSanity(t *testing.T) {
 		}
 		d := pdb.MustDataset(scores, probs)
 		k := 1 + rng.Intn(n)
-		set, p := UTopK(d, k)
+		set, p, err := UTopK(d, k)
+		if err != nil {
+			// Random probs can starve a size-k answer; only the typed
+			// degenerate outcomes are acceptable.
+			return errors.Is(err, ErrNoPositiveAnswer) || errors.Is(err, ErrAllZeroProbabilities)
+		}
 		if p < 0 || p > 1+1e-12 {
 			return false
 		}
@@ -132,7 +160,10 @@ func TestQuickKSelectionMonotoneInK(t *testing.T) {
 		d := pdb.MustDataset(scores, probs)
 		prev := 0.0
 		for k := 1; k <= n; k++ {
-			_, v := KSelection(d, k)
+			_, v, err := KSelection(d, k)
+			if err != nil {
+				return false
+			}
 			if v < prev-1e-9 {
 				return false
 			}
@@ -188,9 +219,10 @@ func TestQuickURankTopOneConsistency(t *testing.T) {
 			probs[i] = 0.05 + 0.9*rng.Float64()
 		}
 		d := pdb.MustDataset(scores, probs)
-		ur := URank(d, 1)
-		ut, _ := UTopK(d, 1)
-		return len(ur) == 1 && len(ut) == 1 && ur[0] == ut[0]
+		ur, urErr := URank(d, 1)
+		ut, _, utErr := UTopK(d, 1)
+		return urErr == nil && utErr == nil &&
+			len(ur) == 1 && len(ut) == 1 && ur[0] == ut[0]
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
 		t.Fatal(err)

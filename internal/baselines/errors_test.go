@@ -1,0 +1,102 @@
+package baselines
+
+// Regression tests for the typed-error contract of the consensus top-k
+// baselines: degenerate queries (empty dataset, k outside 1..n, all-zero
+// probabilities, no positive size-k answer) must surface a sentinel
+// matchable with errors.Is instead of silent zero values.
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/andxor"
+	"repro/internal/core"
+	"repro/internal/pdb"
+)
+
+func TestTopKBaselineTypedErrors(t *testing.T) {
+	empty := pdb.MustDataset(nil, nil)
+	ok := pdb.MustDataset([]float64{10, 5, 1}, []float64{0.9, 0.5, 0.2})
+	zeros := pdb.MustDataset([]float64{10, 5, 1}, []float64{0, 0, 0})
+	starved := pdb.MustDataset([]float64{10, 5, 1}, []float64{0.5, 0, 0})
+
+	cases := []struct {
+		name string
+		d    *pdb.Dataset
+		k    int
+		want error
+	}{
+		{"empty dataset", empty, 1, ErrEmptyDataset},
+		{"k zero", ok, 0, ErrBadK},
+		{"k negative", ok, -2, ErrBadK},
+		{"k beyond n", ok, 4, ErrBadK},
+		{"all-zero probabilities", zeros, 2, ErrAllZeroProbabilities},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if set, err := URank(tc.d, tc.k); !errors.Is(err, tc.want) || set != nil {
+				t.Errorf("URank = %v, %v; want %v", set, err, tc.want)
+			}
+			if set, p, err := UTopK(tc.d, tc.k); !errors.Is(err, tc.want) || set != nil || p != 0 {
+				t.Errorf("UTopK = %v, %v, %v; want %v", set, p, err, tc.want)
+			}
+			if set, v, err := KSelection(tc.d, tc.k); !errors.Is(err, tc.want) || set != nil || v != 0 {
+				t.Errorf("KSelection = %v, %v, %v; want %v", set, v, err, tc.want)
+			}
+		})
+	}
+
+	// One positive tuple cannot fill a size-2 U-Top answer: this is the one
+	// condition specific to UTopK (URank and KSelection still have answers).
+	if _, _, err := UTopK(starved, 2); !errors.Is(err, ErrNoPositiveAnswer) {
+		t.Errorf("UTopK starved err = %v, want ErrNoPositiveAnswer", err)
+	}
+	if set, err := URank(starved, 2); err != nil || len(set) == 0 {
+		t.Errorf("URank starved = %v, %v; want an answer", set, err)
+	}
+	if _, _, err := KSelection(starved, 2); err != nil {
+		t.Errorf("KSelection starved err = %v, want nil", err)
+	}
+
+	// Prepared-view entry points share the same contract.
+	v := core.Prepare(ok)
+	if _, err := URankPrepared(v, 99); !errors.Is(err, ErrBadK) {
+		t.Errorf("URankPrepared k=99 err = %v, want ErrBadK", err)
+	}
+	if _, _, err := UTopKPrepared(v, 0); !errors.Is(err, ErrBadK) {
+		t.Errorf("UTopKPrepared k=0 err = %v, want ErrBadK", err)
+	}
+	if _, _, err := KSelectionPrepared(core.Prepare(empty), 1); !errors.Is(err, ErrEmptyDataset) {
+		t.Errorf("KSelectionPrepared empty err = %v, want ErrEmptyDataset", err)
+	}
+}
+
+func TestURankTreeTypedErrors(t *testing.T) {
+	tree, err := andxor.XTuples([][]andxor.Alternative{
+		{{Score: 10, Prob: 0.6}, {Score: 8, Prob: 0.3}},
+		{{Score: 5, Prob: 0.7}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := URankTree(tree, 0); !errors.Is(err, ErrBadK) {
+		t.Errorf("URankTree k=0 err = %v, want ErrBadK", err)
+	}
+	if _, err := URankTree(tree, tree.Len()+1); !errors.Is(err, ErrBadK) {
+		t.Errorf("URankTree k>n err = %v, want ErrBadK", err)
+	}
+	zero, err := andxor.XTuples([][]andxor.Alternative{
+		{{Score: 10, Prob: 0}},
+		{{Score: 5, Prob: 0}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := URankTree(zero, 1); !errors.Is(err, ErrAllZeroProbabilities) {
+		t.Errorf("URankTree all-zero err = %v, want ErrAllZeroProbabilities", err)
+	}
+	got, err := URankTree(tree, 2)
+	if err != nil || len(got) != 2 {
+		t.Errorf("URankTree valid = %v, %v", got, err)
+	}
+}

@@ -338,6 +338,19 @@ func EngineValueSweep(e *engine.Engine, alphas []float64) {
 	}
 }
 
+// EngineSemanticRanking answers one consensus-semantics ranking query —
+// Global-Topk, Expected-Rank or Median-Rank — through Engine.Rank, at the
+// given shard parallelism (0 = scalar path). One op = one full ranking.
+func EngineSemanticRanking(e *engine.Engine, m engine.Metric, k, par int) {
+	q := engine.Query{Metric: m, Output: engine.OutputRanking, Parallelism: par}
+	if m == engine.MetricGlobalTopk {
+		q.K = k
+	}
+	if _, err := e.Rank(context.Background(), q); err != nil {
+		panic(err)
+	}
+}
+
 // DirectRankSweep is the direct prepared-view call EngineRankSweep is
 // measured against (same kernel, no engine dispatch).
 func DirectRankSweep(v *core.Prepared, alphas []float64) {

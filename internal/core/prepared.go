@@ -311,6 +311,60 @@ func (v *Prepared) ERank() []float64 {
 	return out
 }
 
+// ExpectedRank returns the consensus expected rank (the Li/Deshpande
+// convention: absent tuples take rank |pw|+1). On every correlation model it
+// exceeds the Cormode-convention ERank by exactly Pr(t absent), since the
+// conventions differ by one on each world missing t — so the kernel is the
+// ERank scan plus a per-tuple (1−p) shift.
+func (v *Prepared) ExpectedRank() []float64 {
+	out := v.ERank()
+	for i := 0; i < v.Len(); i++ {
+		out[v.ids[i]] += 1 - v.probs[i]
+	}
+	return out
+}
+
+// ExpectedRankSharded is ExpectedRank over the sharded ERank kernel (which
+// is bit-for-bit equal to the scalar one at every worker count; the (1−p)
+// shift is per-element, so this variant is too).
+func (v *Prepared) ExpectedRankSharded(workers int) []float64 {
+	out := v.ERankSharded(workers)
+	for i := 0; i < v.Len(); i++ {
+		out[v.ids[i]] += 1 - v.probs[i]
+	}
+	return out
+}
+
+// MedianRank returns the consensus median rank per tuple: the smallest j
+// with Pr(r(t) ≤ j) ≥ 1/2 under the absent-→-∞ convention, or the sentinel
+// n+1 when the tuple is absent from a majority of worlds. One generating-
+// function scan with an early-exit cumulative fold per tuple: O(n²) worst
+// case, O(n) space (the full rank-distribution matrix is never
+// materialized).
+func (v *Prepared) MedianRank() []float64 {
+	n := v.Len()
+	out := make([]float64, n)
+	g := make([]float64, 1, n+1)
+	g[0] = 1
+	for i := 0; i < n; i++ {
+		p := v.probs[i]
+		med := pdb.MedianRankSentinel(n)
+		if p > 0 {
+			cum := 0.0
+			for j := 0; j < len(g); j++ {
+				cum += p * g[j]
+				if cum >= 0.5 {
+					med = float64(j + 1)
+					break
+				}
+			}
+		}
+		out[v.ids[i]] = med
+		g = advance(g, p, n)
+	}
+	return out
+}
+
 // PRFl evaluates the PRFℓ special case ω(i) = −i via one prefix-sum scan.
 func (v *Prepared) PRFl() []float64 {
 	out := make([]float64, v.Len())

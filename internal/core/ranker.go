@@ -166,3 +166,27 @@ func (v *Prepared) QueryERank(ctx context.Context) ([]float64, error) {
 	}
 	return v.ERank(), nil
 }
+
+// QueryExpectedRank returns the consensus expected rank (absent → |pw|+1)
+// per tuple. Identical to ExpectedRank; both dispatch arms are bit-for-bit
+// equal (the sharded ERank kernel is exact at every worker count).
+func (v *Prepared) QueryExpectedRank(ctx context.Context) ([]float64, error) {
+	if err := pdb.CtxErr(ctx); err != nil {
+		return nil, err
+	}
+	if p := par.Limit(ctx); p > 0 {
+		return v.ExpectedRankSharded(p), nil
+	}
+	return v.ExpectedRank(), nil
+}
+
+// QueryMedianRank returns the consensus median rank per tuple. Identical to
+// MedianRank. The parallelism cap is accepted but does not change dispatch:
+// the kernel's early-exit cumulative scan has no sharded variant, and the
+// cap is an upper bound, not a mandate.
+func (v *Prepared) QueryMedianRank(ctx context.Context) ([]float64, error) {
+	if err := pdb.CtxErr(ctx); err != nil {
+		return nil, err
+	}
+	return v.MedianRank(), nil
+}

@@ -306,15 +306,20 @@ func TestPrefixSumShardedExact(t *testing.T) {
 		v := Prepare(d)
 		wantER := v.ERank()
 		wantPL := v.PRFl()
+		wantXR := v.ExpectedRank()
 		for _, p := range shardCounts(v.Len()) {
 			gotER := v.ERankSharded(p)
 			gotPL := v.PRFlSharded(p)
+			gotXR := v.ExpectedRankSharded(p)
 			for i := range wantER {
 				if gotER[i] != wantER[i] {
 					t.Fatalf("%s P=%d: ERankSharded[%d] = %v, want %v", name, p, i, gotER[i], wantER[i])
 				}
 				if gotPL[i] != wantPL[i] {
 					t.Fatalf("%s P=%d: PRFlSharded[%d] = %v, want %v", name, p, i, gotPL[i], wantPL[i])
+				}
+				if gotXR[i] != wantXR[i] {
+					t.Fatalf("%s P=%d: ExpectedRankSharded[%d] = %v, want %v", name, p, i, gotXR[i], wantXR[i])
 				}
 			}
 		}
@@ -383,6 +388,187 @@ func TestShardedScalarConcurrent(t *testing.T) {
 	close(errs)
 	for msg := range errs {
 		t.Fatal(msg)
+	}
+}
+
+// TestShardedRandomSweep is the seeded P×input property sweep: random
+// datasets (ties, zero/one probabilities and plain draws mixed per tuple)
+// × random shard counts × every sharded kernel, asserting the documented
+// exactness tiers draw by draw — P = 1 bit-for-bit, P > 1 within the
+// 1e-12 scaled tolerance, prefix-sum kernels (E-Rank, Expected-Rank, PRFl)
+// bit-for-bit at EVERY P, and −Inf log magnitudes reproduced exactly.
+func TestShardedRandomSweep(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(300)
+		scores := make([]float64, n)
+		probs := make([]float64, n)
+		for i := range scores {
+			scores[i] = math.Floor(rng.Float64() * 40) // coarse grid: frequent ties
+			switch rng.Intn(8) {
+			case 0:
+				probs[i] = 0
+			case 1:
+				probs[i] = 1
+			default:
+				probs[i] = rng.Float64()
+			}
+		}
+		v := Prepare(pdb.MustDataset(scores, probs))
+		alpha := complex(rng.Float64(), 0)
+		if seed%2 == 0 {
+			alpha = complex(rng.Float64()-0.5, rng.Float64()/2)
+		}
+		w := make([]float64, 1+rng.Intn(30))
+		for i := range w {
+			w[i] = rng.NormFloat64()
+		}
+		hs := []int{0, 1 + rng.Intn(4), n, n + 2} // h=0 and h=n rungs included
+		if hs[1] >= n {
+			hs = []int{0, n, n + 2}
+		}
+		terms := []ExpTerm{
+			{U: complex(rng.Float64(), 0), Alpha: complex(rng.Float64(), 0)},
+			{U: complex(-rng.Float64(), rng.Float64()), Alpha: complex(rng.Float64()/2, rng.Float64()/4)},
+		}
+
+		wantPRFe := v.PRFe(alpha)
+		wantLog := v.PRFeLog(alpha)
+		wantOmega := v.PRFOmega(w)
+		wantLadder := v.PThLadder(hs)
+		wantCombo := v.PRFeCombo(terms)
+		wantER := v.ERank()
+		wantXR := v.ExpectedRank()
+
+		ps := []int{1, 1 + rng.Intn(2*n), 1 + rng.Intn(2*n)}
+		for _, p := range ps {
+			label := func(k string) string {
+				return k + " seed=" + string(rune('0'+seed)) + " P=" + string(rune('0'+min(p, 9)))
+			}
+			gotPRFe := v.PRFeSharded(alpha, p)
+			gotOmega := v.PRFOmegaSharded(w, p)
+			gotLadder := v.PThLadderSharded(hs, p)
+			gotCombo := v.PRFeComboSharded(terms, p)
+			if p == 1 {
+				// Tier 1: the P=1 dispatch is the scalar kernel itself.
+				for i := 0; i < n; i++ {
+					if gotPRFe[i] != wantPRFe[i] || gotOmega[i] != wantOmega[i] || gotCombo[i] != wantCombo[i] {
+						t.Fatalf("seed %d P=1: tuple %d not bit-for-bit", seed, i)
+					}
+					for k := range hs {
+						if gotLadder[k][i] != wantLadder[k][i] {
+							t.Fatalf("seed %d P=1: ladder h=%d tuple %d not bit-for-bit", seed, hs[k], i)
+						}
+					}
+				}
+			} else {
+				// Tier 2: sharded merges within 1e-12 scaled.
+				diffComplex(t, label("prfe"), gotPRFe, wantPRFe)
+				diffVals(t, label("prfomega"), gotOmega, wantOmega)
+				diffComplex(t, label("combo"), gotCombo, wantCombo)
+				for k := range hs {
+					diffVals(t, label("ladder"), gotLadder[k], wantLadder[k])
+				}
+			}
+			// Tier 3: prefix-sum kernels are exact at every P.
+			gotER := v.ERankSharded(p)
+			gotXR := v.ExpectedRankSharded(p)
+			for i := 0; i < n; i++ {
+				if gotER[i] != wantER[i] || gotXR[i] != wantXR[i] {
+					t.Fatalf("seed %d P=%d: rank kernels not bit-for-bit at tuple %d", seed, p, i)
+				}
+			}
+			// Tier 4: −Inf log magnitudes (zero-probability tuples, and the
+			// whole vector when α = 0) are reproduced exactly, never as a
+			// large-negative approximation.
+			gotLog := v.PRFeLogSharded(alpha, p)
+			diffVals(t, label("prfelog"), gotLog, wantLog)
+			for i := 0; i < n; i++ {
+				if math.IsInf(wantLog[i], -1) && gotLog[i] != wantLog[i] {
+					t.Fatalf("seed %d P=%d: -Inf log value approximated at tuple %d: %v", seed, p, i, gotLog[i])
+				}
+			}
+		}
+		// The α = 0 column: every log magnitude is exactly -Inf.
+		for _, p := range ps {
+			for i, x := range v.PRFeLogSharded(0, p) {
+				if !math.IsInf(x, -1) {
+					t.Fatalf("seed %d P=%d: PRFeLogSharded(0)[%d] = %v, want -Inf", seed, p, i, x)
+				}
+			}
+		}
+	}
+}
+
+// TestPThLadderAdversarial pins the rung edge cases: the h = 0 rung is an
+// all-zero row, the h = n rung is the presence probability (PT saturates),
+// rungs beyond n change nothing, and each rung of an adversarial ladder
+// equals the standalone scalar PT(h) bit-for-bit.
+func TestPThLadderAdversarial(t *testing.T) {
+	for _, name := range []string{"random", "zeroOne", "allTies", "tiny"} {
+		d := shardShapes(t)[name]
+		v := Prepare(d)
+		n := v.Len()
+		hs := []int{0, 1, n, n + 7}
+		for _, p := range []int{0, 1, 4} {
+			var outs [][]float64
+			if p == 0 {
+				outs = v.PThLadder(hs)
+			} else {
+				outs = v.PThLadderSharded(hs, p)
+			}
+			for k, h := range hs {
+				want := v.PTh(h)
+				if p <= 1 {
+					for i := range want {
+						if outs[k][i] != want[i] {
+							t.Fatalf("%s P=%d h=%d: ladder[%d] = %v, want scalar %v", name, p, h, i, outs[k][i], want[i])
+						}
+					}
+				} else {
+					diffVals(t, name+"/adversarialLadder", outs[k], want)
+				}
+			}
+			for i, x := range outs[0] { // h = 0: everywhere zero
+				if x != 0 {
+					t.Fatalf("%s P=%d: PT(0)[%d] = %v, want 0", name, p, i, x)
+				}
+			}
+			if n > 0 { // h = n vs h = n+7: saturated, identical
+				for i := range outs[2] {
+					if outs[2][i] != outs[3][i] {
+						t.Fatalf("%s P=%d: PT(n)[%d] = %v but PT(n+7)[%d] = %v", name, p, i, outs[2][i], i, outs[3][i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPThLadderRejectsBadRungs pins checkLadder: duplicate, decreasing and
+// negative rungs panic instead of silently folding garbage through the
+// shared prefix sums.
+func TestPThLadderRejectsBadRungs(t *testing.T) {
+	v := Prepare(shardShapes(t)["tiny"])
+	for name, hs := range map[string][]int{
+		"duplicate":  {2, 2},
+		"decreasing": {5, 3},
+		"negative":   {-1, 2},
+	} {
+		for _, sharded := range []bool{false, true} {
+			func() {
+				defer func() {
+					if recover() == nil {
+						t.Errorf("%s rungs %v (sharded=%v): no panic", name, hs, sharded)
+					}
+				}()
+				if sharded {
+					v.PThLadderSharded(hs, 4)
+				} else {
+					v.PThLadder(hs)
+				}
+			}()
+		}
 	}
 }
 

@@ -57,8 +57,9 @@ func (q Query) CacheKey() (string, bool) {
 		buf = strconv.AppendInt(buf, int64(q.Parallelism), 16)
 	}
 	buf = appendF64(buf, 'a', q.Alpha)
-	if q.Output == OutputTopK {
-		// K only affects top-k answers; a ranking query ignores it.
+	if q.Output == OutputTopK || q.Metric == MetricGlobalTopk {
+		// K only affects top-k answers — except under Global-Topk, where K
+		// is also the world top-k depth and shapes every output form.
 		buf = append(buf, 'k')
 		buf = strconv.AppendInt(buf, int64(q.K), 16)
 	}

@@ -70,6 +70,14 @@ type Ranker interface {
 	QueryPTh(ctx context.Context, h int) ([]float64, error)
 	// QueryERank returns E[r(t)] per tuple (lower is better).
 	QueryERank(ctx context.Context) ([]float64, error)
+	// QueryExpectedRank returns the consensus expected rank per tuple
+	// (Li/Deshpande convention: an absent tuple takes rank |pw|+1; lower is
+	// better).
+	QueryExpectedRank(ctx context.Context) ([]float64, error)
+	// QueryMedianRank returns the consensus median rank per tuple: the
+	// smallest j with Pr(r(t) ≤ j) ≥ 1/2, or the sentinel n+1 when the
+	// tuple is absent from a majority of worlds (lower is better).
+	QueryMedianRank(ctx context.Context) ([]float64, error)
 }
 
 // Metric selects the ranking function a Query evaluates.
@@ -90,6 +98,22 @@ const (
 	// MetricPRFeCombo is a linear combination Σ_l u_l·Υ_{α_l}(t) — the
 	// Section 5.1 approximation backend for arbitrary PRFω functions.
 	MetricPRFeCombo
+	// MetricGlobalTopk is the Global-Topk semantics of Zhang/Chomicki:
+	// value(t) = Pr(t ∈ top-k(pw)) = Pr(r(t) ≤ K), and the answer is the K
+	// tuples maximizing that probability. Query.K is both the world top-k
+	// depth and the answer size, and must be ≥ 1 for every output form.
+	MetricGlobalTopk
+	// MetricExpectedRank is the consensus expected rank of Li/Deshpande
+	// ("Consensus Answers"): E[r_pw(t)] where an absent tuple takes rank
+	// |pw|+1. It differs from MetricERank (the Cormode convention, absent →
+	// |pw|) by exactly Pr(t absent). Lower is better; rankings are
+	// best-first.
+	MetricExpectedRank
+	// MetricMedianRank is the consensus median rank: the smallest j with
+	// Pr(r_pw(t) ≤ j) ≥ 1/2 under the absent-→-∞ convention, with the
+	// finite sentinel n+1 when no such j exists. Lower is better; rankings
+	// are best-first.
+	MetricMedianRank
 )
 
 func (m Metric) String() string {
@@ -106,6 +130,12 @@ func (m Metric) String() string {
 		return "E-Rank"
 	case MetricPRFeCombo:
 		return "PRFe-combo"
+	case MetricGlobalTopk:
+		return "Global-Topk"
+	case MetricExpectedRank:
+		return "Expected-Rank"
+	case MetricMedianRank:
+		return "Median-Rank"
 	default:
 		return fmt.Sprintf("Metric(%d)", uint8(m))
 	}
@@ -235,6 +265,14 @@ func (q *Query) validateCommon() error {
 		if err := pdb.CheckCombo(us, alphas); err != nil {
 			return err
 		}
+	case MetricGlobalTopk:
+		// K is the world top-k depth for every output form, not just the
+		// answer size, so the OutputTopK-only CheckTopK below is not enough.
+		if q.K < 1 {
+			return fmt.Errorf("engine: MetricGlobalTopk needs K ≥ 1 (got %d)", q.K)
+		}
+	case MetricExpectedRank, MetricMedianRank:
+		// no parameters
 	case 0:
 		return errNoMetric
 	default:
@@ -348,17 +386,25 @@ func (e *Engine) realValues(ctx context.Context, q Query) ([]float64, error) {
 		return e.r.QueryPRF(ctx, q.Omega)
 	case MetricERank:
 		return e.r.QueryERank(ctx)
+	case MetricGlobalTopk:
+		// Pr(t ∈ top-k(pw)) is exactly PT(K) on every correlation model, so
+		// Global-Topk rides each backend's fastest PT(h) kernel.
+		return e.r.QueryPTh(ctx, q.K)
+	case MetricExpectedRank:
+		return e.r.QueryExpectedRank(ctx)
+	case MetricMedianRank:
+		return e.r.QueryMedianRank(ctx)
 	default:
 		return nil, fmt.Errorf("engine: unknown metric %v", q.Metric)
 	}
 }
 
-// rankRealValues turns per-tuple values into a best-first ranking. E-Rank
-// values are ascending-is-better and get negated, matching
-// baselines.ERankRanking bit-for-bit; everything else ranks by
-// non-increasing value with ties broken by ID.
+// rankRealValues turns per-tuple values into a best-first ranking. The rank
+// metrics (E-Rank, Expected-Rank, Median-Rank) are ascending-is-better and
+// get negated, matching baselines.ERankRanking bit-for-bit; everything else
+// ranks by non-increasing value with ties broken by ID.
 func (e *Engine) rankRealValues(m Metric, vals []float64) pdb.Ranking {
-	if m == MetricERank {
+	if m == MetricERank || m == MetricExpectedRank || m == MetricMedianRank {
 		neg := make([]float64, len(vals))
 		for i, v := range vals {
 			neg[i] = -v

@@ -73,6 +73,14 @@ func ByID(id string) (Experiment, bool) {
 	return Experiment{}, false
 }
 
+// mustRanking unwraps a (Ranking, error) pair from the consensus
+// baselines; every experiment queries well-formed synthetic data, so an
+// error here is a bug, not an input condition.
+func mustRanking(r pdb.Ranking, err error) pdb.Ranking {
+	pdb.MustNoErr(err)
+	return r
+}
+
 // kendall is shorthand for the normalized Kendall top-k distance.
 func kendall(a, b pdb.Ranking, k int) float64 {
 	return rankdist.KendallTopK(a.TopK(k), b.TopK(k), k)

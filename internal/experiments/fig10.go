@@ -97,8 +97,8 @@ func runFig10(cfg Config) error {
 			pdb.RankByValue(andxor.PTh(d.tree, k2)),
 			pdb.RankByValue(v.PTh(k2)), k2)
 		urDist := kendall(
-			baselines.URankTree(d.tree, k2),
-			baselines.URankPrepared(v, k2), k2)
+			mustRanking(baselines.URankTree(d.tree, k2)),
+			mustRanking(baselines.URankPrepared(v, k2)), k2)
 		fmt.Fprintf(cfg.Out, "%10s %12.4f %12.4f %12.4f\n", d.name, prfeDist, ptDist, urDist)
 	}
 	fmt.Fprintln(cfg.Out, "\nPaper: ignoring correlations is nearly harmless on Syn-XOR (x-tuples) but")

@@ -31,7 +31,7 @@ func runFig11(cfg Config) error {
 		tPrep := timeIt(func() { v = core.Prepare(d) })
 		tPRFe := timeIt(func() { v.PRFeLog(complex(0.95, 0)) })
 		tPT := timeIt(func() { v.PTh(h) })
-		tUR := timeIt(func() { baselines.URankPrepared(v, k) })
+		tUR := timeIt(func() { mustRanking(baselines.URankPrepared(v, k)) })
 		tER := timeIt(func() { baselines.ERankPrepared(v) })
 		fmt.Fprintf(cfg.Out, "%10d %12s %12s %12s %12s %12s\n", n,
 			fmtDur(tPrep), fmtDur(tPRFe), fmtDur(tPT), fmtDur(tUR), fmtDur(tER))

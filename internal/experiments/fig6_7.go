@@ -80,9 +80,10 @@ func runFig7(cfg Config) error {
 		prob := pdb.RankByValue(baselines.ByProbability(d))
 		eScore := pdb.RankByValue(baselines.EScore(d))
 		pt := pdb.RankByValue(v.PTh(kk))
-		uRank := baselines.URankPrepared(v, kk)
+		uRank := mustRanking(baselines.URankPrepared(v, kk))
 		eRank := baselines.ERankRanking(baselines.ERankPrepared(v))
-		uTop, _ := baselines.UTopKPrepared(v, kk)
+		uTop, _, errUT := baselines.UTopKPrepared(v, kk)
+		pdb.MustNoErr(errUT)
 		refs := []struct {
 			name string
 			r    pdb.Ranking

@@ -42,7 +42,7 @@ func fig9UserFuncs() []userFunc {
 			if kk > d.Len() {
 				kk = d.Len()
 			}
-			return baselines.URank(d, kk)
+			return mustRanking(baselines.URank(d, kk))
 		}},
 		{"E-Rank", func(d *pdb.Dataset, _ int) pdb.Ranking {
 			return baselines.ERankRanking(baselines.ERank(d))

@@ -24,9 +24,10 @@ func baselineRankings(d *pdb.Dataset, k, h int) (labels []string, ranks []pdb.Ra
 	v := core.Prepare(d)
 	eScore := pdb.RankByValue(baselines.EScore(d))
 	pt := pdb.RankByValue(v.PTh(h))
-	uRank := baselines.URankPrepared(v, k)
+	uRank := mustRanking(baselines.URankPrepared(v, k))
 	eRank := baselines.ERankRanking(baselines.ERankPrepared(v))
-	uTop, _ := baselines.UTopKPrepared(v, k)
+	uTop, _, errUT := baselines.UTopKPrepared(v, k)
+	pdb.MustNoErr(errUT)
 	ranks = []pdb.Ranking{eScore, pt, uRank, eRank, uTop}
 	return labels, ranks
 }

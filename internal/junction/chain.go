@@ -58,6 +58,15 @@ func NewChain(scores []float64, pair [][2][2]float64) (*Chain, error) {
 // Len returns the number of variables.
 func (c *Chain) Len() int { return len(c.scores) }
 
+// Score returns variable i's ranking score.
+func (c *Chain) Score(i int) float64 { return c.scores[i] }
+
+// PairJoint returns the calibrated pairwise joint Pr(Y_j = a ∧ Y_{j+1} = b)
+// as validated by NewChain. The enumeration oracle rebuilds world
+// probabilities from these joints from first principles, independent of
+// every chain kernel.
+func (c *Chain) PairJoint(j int) [2][2]float64 { return c.pair[j] }
+
 // Network converts the chain into a general Markov network (first joint as a
 // pairwise factor, then conditionals), for cross-checking against the
 // generic junction-tree pipeline.

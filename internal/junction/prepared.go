@@ -160,6 +160,24 @@ func (pn *PreparedNetwork) ERank() []float64 {
 	return out
 }
 
+// ExpectedRank returns the consensus expected rank (the Li/Deshpande
+// convention: absent tuples take rank |pw|+1): ERank plus the absence mass
+// 1 − marginal, the exact gap between the two conventions on every world.
+func (pn *PreparedNetwork) ExpectedRank() []float64 {
+	out := pn.ERank()
+	for v := range out {
+		out[v] += 1 - pn.marg[v]
+	}
+	return out
+}
+
+// MedianRank returns the consensus median rank per tuple — the smallest j
+// with Pr(r(t) ≤ j) ≥ 1/2, sentinel n+1 when the tuple is absent from a
+// majority of worlds — folded from the cached rank-distribution matrix.
+func (pn *PreparedNetwork) MedianRank() []float64 {
+	return pdb.MedianRankFromDistribution(pn.RankDistribution(), pn.Len())
+}
+
 // ---------------------------------------------------------------------------
 // Prepared Markov chains: the Section 9.3 special case, where PRFe admits a
 // far better batch algorithm than the partial-sum DP.

@@ -161,6 +161,24 @@ func (pn *PreparedNetwork) QueryERank(ctx context.Context) ([]float64, error) {
 	return pn.ERank(), nil
 }
 
+// QueryExpectedRank returns the consensus expected rank (absent → |pw|+1)
+// per tuple. Identical to ExpectedRank.
+func (pn *PreparedNetwork) QueryExpectedRank(ctx context.Context) ([]float64, error) {
+	if err := pdb.CtxErr(ctx); err != nil {
+		return nil, err
+	}
+	return pn.ExpectedRank(), nil
+}
+
+// QueryMedianRank returns the consensus median rank per tuple over the
+// cached rank-distribution matrix. Identical to MedianRank.
+func (pn *PreparedNetwork) QueryMedianRank(ctx context.Context) ([]float64, error) {
+	if err := pdb.CtxErr(ctx); err != nil {
+		return nil, err
+	}
+	return pn.MedianRank(), nil
+}
+
 // weightVecOmega adapts a PRFω weight vector to the ω-function form the
 // rank-distribution folds take: w[j] weighs rank j+1, ranks beyond len(w)
 // weigh zero.
@@ -329,6 +347,29 @@ func (pc *PreparedChain) QueryERank(ctx context.Context) ([]float64, error) {
 	out := make([]float64, len(cached))
 	copy(out, cached)
 	return out, nil
+}
+
+// QueryExpectedRank returns the consensus expected rank (absent → |pw|+1)
+// per tuple: the cached Cormode-convention vector plus the absence mass
+// 1 − Pr(Y_t = 1), the exact gap between the two conventions.
+func (pc *PreparedChain) QueryExpectedRank(ctx context.Context) ([]float64, error) {
+	out, err := pc.QueryERank(ctx)
+	if err != nil {
+		return nil, err
+	}
+	for v := range out {
+		out[v] += 1 - pc.m[v][1]
+	}
+	return out, nil
+}
+
+// QueryMedianRank returns the consensus median rank per tuple folded from
+// the cached Θ(n³) chain rank distribution.
+func (pc *PreparedChain) QueryMedianRank(ctx context.Context) ([]float64, error) {
+	if err := pdb.CtxErr(ctx); err != nil {
+		return nil, err
+	}
+	return pdb.MedianRankFromDistribution(pc.RankDistribution(), pc.Len()), nil
 }
 
 func (pc *PreparedChain) computeERank(ctx context.Context) ([]float64, error) {

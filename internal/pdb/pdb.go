@@ -305,6 +305,34 @@ func RankDistributionFromWorlds(worlds []World, n int) *RankDistribution {
 	return &RankDistribution{Dist: dist}
 }
 
+// MedianRankSentinel returns the value MedianRankFromDistribution assigns a
+// tuple that is absent from a majority of worlds: n+1, one past the largest
+// finite rank, so the sentinel is finite (JSON-encodable) and unambiguous.
+func MedianRankSentinel(n int) float64 { return float64(n + 1) }
+
+// MedianRankFromDistribution computes the consensus median rank per tuple
+// from a positional-probability matrix: the smallest j ≥ 1 with
+// Pr(r(t) ≤ j) ≥ 1/2 under the absent-tuples-rank-∞ convention, or
+// MedianRankSentinel(n) when the cumulative presence mass never reaches 1/2
+// (the tuple is absent from a majority of worlds). n is the number of
+// tuples; every correlated backend and the enumeration oracle feed their own
+// matrices through this one fold.
+func MedianRankFromDistribution(rd *RankDistribution, n int) []float64 {
+	out := make([]float64, n)
+	for id := 0; id < n; id++ {
+		out[id] = MedianRankSentinel(n)
+		cum := 0.0
+		for j, p := range rd.Dist[id] {
+			cum += p
+			if cum >= 0.5 {
+				out[id] = float64(j + 1)
+				break
+			}
+		}
+	}
+	return out
+}
+
 // TopKFromWorld returns the first k present tuples of a world (fewer if the
 // world is smaller).
 func TopKFromWorld(w World, k int) []TupleID {

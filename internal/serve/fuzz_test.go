@@ -8,8 +8,12 @@ package serve
 
 import (
 	"encoding/json"
+	"reflect"
 	"strings"
 	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/pdb"
 )
 
 func FuzzWireQueryDecode(f *testing.F) {
@@ -48,6 +52,69 @@ func FuzzWireQueryDecode(f *testing.F) {
 		}
 		if _, ok := q.CacheKey(); !ok {
 			t.Fatalf("wire query decoded to an uncacheable engine query: %q", data)
+		}
+	})
+}
+
+// FuzzColumnarRows certifies the columnar result path: for any batch of
+// homogeneous engine results decoded from the fuzz input, the columnar wire
+// form — including a JSON round trip, the shape a client actually receives
+// — must invert back through Rows() to exactly the per-grid-point results
+// array. Run with: go test ./internal/serve -fuzz FuzzColumnarRows
+func FuzzColumnarRows(f *testing.F) {
+	f.Add([]byte{0, 2, 0x10, 0x20, 0x30})
+	f.Add([]byte{1, 3, 0xff, 0x00, 0x7f, 0x40})
+	f.Add([]byte{2, 1, 0x05, 0x04, 0x03, 0x02, 0x01})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 2 {
+			t.Skip()
+		}
+		shape := data[0] % 3
+		width := int(data[1])%3 + 1 // tuples per result
+		payload := data[2:]
+		var rs []engine.Result
+		for i := 0; i+width <= len(payload) && len(rs) < 8; i += width {
+			r := engine.Result{Metric: engine.MetricPRFe, Alpha: float64(payload[i]) / 16}
+			switch shape {
+			case 0:
+				r.Values = make([]float64, width)
+				for j := range r.Values {
+					r.Values[j] = float64(payload[i+j]) / 4
+				}
+			case 1:
+				r.Complex = make([]complex128, width)
+				for j := range r.Complex {
+					r.Complex[j] = complex(float64(payload[i+j])/4, float64(payload[i+j]%8))
+				}
+			case 2:
+				r.Ranking = make(pdb.Ranking, width)
+				for j := range r.Ranking {
+					r.Ranking[j] = pdb.TupleID(payload[i+j])
+				}
+			}
+			rs = append(rs, r)
+		}
+		want := FromResults(rs)
+		col := FromResultsColumnar("fuzz", rs)
+
+		// Direct inversion.
+		if got := col.Rows(); !reflect.DeepEqual(got, want) {
+			t.Fatalf("Rows() != FromResults():\n got %+v\nwant %+v", got, want)
+		}
+		// Inversion after the JSON round trip a client performs.
+		enc, err := json.Marshal(col)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var dec ColumnarBatch
+		if err := json.Unmarshal(enc, &dec); err != nil {
+			t.Fatal(err)
+		}
+		if dec.Dataset != "fuzz" || dec.Format != "columnar" {
+			t.Fatalf("framing lost in round trip: %+v", dec)
+		}
+		if got := dec.Rows(); !reflect.DeepEqual(got, want) {
+			t.Fatalf("decoded Rows() != FromResults():\n got %+v\nwant %+v", got, want)
 		}
 	})
 }

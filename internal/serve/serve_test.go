@@ -128,6 +128,9 @@ func TestServeMatchesEngine(t *testing.T) {
 			{U: Complex{1, 0}, Alpha: Complex{0.9, 0}},
 			{U: Complex{-0.25, 0.5}, Alpha: Complex{0.5, 0.1}},
 		}},
+		{Metric: "globaltopk", K: 2},
+		{Metric: "expectedrank", Output: "ranking"},
+		{Metric: "medianrank", Output: "topk", K: 3},
 	}
 	for name, e := range engines {
 		for i, wq := range queries {
@@ -302,6 +305,8 @@ func TestServeErrors(t *testing.T) {
 		{"grid on rank", "/rank", reqBody(t, "iip", WireQuery{Metric: "prfe", Alphas: []float64{0.1, 0.2}}), http.StatusBadRequest, "bad_request"},
 		{"batch without grid", "/rankbatch", reqBody(t, "iip", WireQuery{Metric: "prfe", Alpha: 0.5}), http.StatusBadRequest, "bad_request"},
 		{"batch gridless metric", "/rankbatch", reqBody(t, "iip", WireQuery{Metric: "erank"}), http.StatusBadRequest, "bad_request"},
+		{"batch gridless globaltopk", "/rankbatch", reqBody(t, "iip", WireQuery{Metric: "globaltopk", K: 2}), http.StatusBadRequest, "bad_request"},
+		{"negative parallelism", "/rank", reqBody(t, "iip", WireQuery{Metric: "medianrank", Parallelism: -3}), http.StatusBadRequest, "bad_request"},
 		{"negative timeout", "/rank", `{"dataset": "iip", "query": {"metric": "prfe"}, "timeout_ms": -5}`, http.StatusBadRequest, "bad_request"},
 		{"oversized body", "/rank", `{"dataset": "iip", "query": {"metric": "prfomega", "weights": [` + strings.Repeat("1,", 4000) + `1]}}`, http.StatusRequestEntityTooLarge, "too_large"},
 	}

@@ -7,6 +7,7 @@ package serve
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/core"
 	"repro/internal/engine"
@@ -44,11 +45,14 @@ type WireQuery struct {
 
 // metricNames maps wire names onto engine metrics.
 var metricNames = map[string]engine.Metric{
-	"prfe":      engine.MetricPRFe,
-	"prfomega":  engine.MetricPRFOmega,
-	"pth":       engine.MetricPTh,
-	"erank":     engine.MetricERank,
-	"prfecombo": engine.MetricPRFeCombo,
+	"prfe":         engine.MetricPRFe,
+	"prfomega":     engine.MetricPRFOmega,
+	"pth":          engine.MetricPTh,
+	"erank":        engine.MetricERank,
+	"prfecombo":    engine.MetricPRFeCombo,
+	"globaltopk":   engine.MetricGlobalTopk,
+	"expectedrank": engine.MetricExpectedRank,
+	"medianrank":   engine.MetricMedianRank,
 }
 
 // wireMetricName inverts metricNames for responses.
@@ -69,7 +73,7 @@ func (w WireQuery) ToQuery() (engine.Query, error) {
 		if w.Metric == "prf" {
 			return q, fmt.Errorf("serve: metric %q needs an arbitrary ω function and has no wire form; use prfomega (a weight vector) or prfecombo (an exponential-sum approximation)", w.Metric)
 		}
-		return q, fmt.Errorf("serve: unknown metric %q (want prfe|prfomega|pth|erank|prfecombo)", w.Metric)
+		return q, fmt.Errorf("serve: unknown metric %q (want prfe|prfomega|pth|erank|prfecombo|globaltopk|expectedrank|medianrank)", w.Metric)
 	}
 	q.Metric = m
 	switch w.Output {
@@ -81,6 +85,35 @@ func (w WireQuery) ToQuery() (engine.Query, error) {
 		q.Output = engine.OutputTopK
 	default:
 		return q, fmt.Errorf("serve: unknown output %q (want values|ranking|topk)", w.Output)
+	}
+	// Reject non-finite parameters here, before the engine ever sees the
+	// query: a NaN/Inf that slipped through would otherwise be encoded
+	// bit-exactly into cache keys (engine.Query.CacheKey and the byte
+	// cache) and poison warm entries the engine's own validation only
+	// partially guards (pdb.CheckWeights admits ±Inf). Each rejection is a
+	// typed serve error the handlers map to a 400.
+	if !isFinite(w.Alpha) {
+		return q, fmt.Errorf("serve: non-finite alpha %v", w.Alpha)
+	}
+	for i, a := range w.Alphas {
+		if !isFinite(a) {
+			return q, fmt.Errorf("serve: non-finite alphas[%d] = %v", i, a)
+		}
+	}
+	for i, x := range w.Weights {
+		if !isFinite(x) {
+			return q, fmt.Errorf("serve: non-finite weights[%d] = %v", i, x)
+		}
+	}
+	for i, t := range w.Terms {
+		for _, part := range [...]float64{t.U[0], t.U[1], t.Alpha[0], t.Alpha[1]} {
+			if !isFinite(part) {
+				return q, fmt.Errorf("serve: non-finite terms[%d]", i)
+			}
+		}
+	}
+	if w.Parallelism < 0 {
+		return q, fmt.Errorf("serve: negative parallelism %d", w.Parallelism)
 	}
 	q.Alpha = w.Alpha
 	q.Alphas = w.Alphas
@@ -99,6 +132,9 @@ func (w WireQuery) ToQuery() (engine.Query, error) {
 	}
 	return q, nil
 }
+
+// isFinite reports whether f is neither NaN nor ±Inf.
+func isFinite(f float64) bool { return !math.IsNaN(f) && !math.IsInf(f, 0) }
 
 // WireResult is the JSON form of engine.Result: exactly one of Values,
 // Complex or Ranking is set, mirroring the query's metric and output form.

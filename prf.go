@@ -271,18 +271,18 @@ type Sweep = core.Sweep
 func NewSweep(v *Prepared, alpha float64) *Sweep { return v.NewSweep(alpha) }
 
 // URankPrepared is URank on a prepared view (no re-sort, no clone).
-func URankPrepared(v *Prepared, k int) Ranking { return baselines.URankPrepared(v, k) }
+func URankPrepared(v *Prepared, k int) (Ranking, error) { return baselines.URankPrepared(v, k) }
 
 // ERankPrepared is ERank on a prepared view (no re-sort, no clone).
 func ERankPrepared(v *Prepared) []float64 { return baselines.ERankPrepared(v) }
 
 // UTopKPrepared is UTopK on a prepared view (no re-sort, no clone).
-func UTopKPrepared(v *Prepared, k int) (Ranking, float64) {
+func UTopKPrepared(v *Prepared, k int) (Ranking, float64, error) {
 	return baselines.UTopKPrepared(v, k)
 }
 
 // KSelectionPrepared is KSelection on a prepared view (no re-sort, no clone).
-func KSelectionPrepared(v *Prepared, k int) (Ranking, float64) {
+func KSelectionPrepared(v *Prepared, k int) (Ranking, float64, error) {
 	return baselines.KSelectionPrepared(v, k)
 }
 
@@ -508,11 +508,23 @@ func EScore(d *Dataset) []float64 { return baselines.EScore(d) }
 // ByProbability returns Pr(t) per tuple.
 func ByProbability(d *Dataset) []float64 { return baselines.ByProbability(d) }
 
-// URank returns the distinct-tuples U-Rank top-k answer.
-func URank(d *Dataset, k int) Ranking { return baselines.URank(d, k) }
+// Typed errors surfaced by the consensus top-k baselines (URank, UTopK,
+// KSelection) on degenerate queries; match with errors.Is.
+var (
+	ErrEmptyDataset         = baselines.ErrEmptyDataset
+	ErrBadK                 = baselines.ErrBadK
+	ErrAllZeroProbabilities = baselines.ErrAllZeroProbabilities
+	ErrNoPositiveAnswer     = baselines.ErrNoPositiveAnswer
+)
 
-// URankTree is U-Rank on a correlated dataset.
-func URankTree(t *Tree, k int) Ranking { return baselines.URankTree(t, k) }
+// URank returns the distinct-tuples U-Rank top-k answer. Degenerate
+// queries (empty dataset, k outside 1..n, all-zero probabilities) return a
+// typed error; see ErrEmptyDataset, ErrBadK, ErrAllZeroProbabilities.
+func URank(d *Dataset, k int) (Ranking, error) { return baselines.URank(d, k) }
+
+// URankTree is U-Rank on a correlated dataset, with the same typed-error
+// contract as URank.
+func URankTree(t *Tree, k int) (Ranking, error) { return baselines.URankTree(t, k) }
 
 // ERank returns E[r(t)] per tuple (lower is better); pair with ERankRanking.
 func ERank(d *Dataset) []float64 { return baselines.ERank(d) }
@@ -522,8 +534,10 @@ func ERankRanking(expectedRanks []float64) Ranking { return baselines.ERankRanki
 
 // UTopK returns the exact U-Top answer for independent tuples: the k-set
 // with the highest probability of being exactly the top-k, plus that
-// probability. O(n log n).
-func UTopK(d *Dataset, k int) (Ranking, float64) { return baselines.UTopK(d, k) }
+// probability. O(n log n). Degenerate queries return a typed error; when
+// fewer than k tuples have positive probability the answer is
+// ErrNoPositiveAnswer rather than an arbitrary zero-probability set.
+func UTopK(d *Dataset, k int) (Ranking, float64, error) { return baselines.UTopK(d, k) }
 
 // UTopKMonteCarloTree estimates the U-Top answer of a correlated dataset by
 // world sampling.
@@ -533,8 +547,10 @@ func UTopKMonteCarloTree(t *Tree, k, samples int, rng *rand.Rand) Ranking {
 
 // KSelection solves the k-selection query exactly for independent tuples
 // with non-negative scores (O(nk) dynamic program), returning the chosen set
-// and its expected best score.
-func KSelection(d *Dataset, k int) (Ranking, float64) { return baselines.KSelection(d, k) }
+// and its expected best score. Degenerate queries return a typed error.
+func KSelection(d *Dataset, k int) (Ranking, float64, error) {
+	return baselines.KSelection(d, k)
+}
 
 // ConsensusTopK returns the consensus top-k answer under symmetric
 // difference (Theorem 2: identical to PT(k)'s top-k).

@@ -71,14 +71,14 @@ func TestPublicAPIIndependentPipeline(t *testing.T) {
 	if got := prf.TopK(prf.EScore(d), 2); len(got) != 2 {
 		t.Fatalf("EScore TopK: %v", got)
 	}
-	if got := prf.URank(d, 3); len(got) != 3 {
-		t.Fatalf("URank: %v", got)
+	if got, err := prf.URank(d, 3); err != nil || len(got) != 3 {
+		t.Fatalf("URank: %v %v", got, err)
 	}
-	if set, p := prf.UTopK(d, 2); len(set) != 2 || p <= 0 || p > 1 {
-		t.Fatalf("UTopK: %v %v", set, p)
+	if set, p, err := prf.UTopK(d, 2); err != nil || len(set) != 2 || p <= 0 || p > 1 {
+		t.Fatalf("UTopK: %v %v %v", set, p, err)
 	}
-	if set, v := prf.KSelection(d, 2); len(set) != 2 || v <= 0 {
-		t.Fatalf("KSelection: %v %v", set, v)
+	if set, v, err := prf.KSelection(d, 2); err != nil || len(set) != 2 || v <= 0 {
+		t.Fatalf("KSelection: %v %v %v", set, v, err)
 	}
 	er := prf.ERank(d)
 	if len(prf.ERankRanking(er)) != 4 {
@@ -130,8 +130,8 @@ func TestPublicAPITreePipeline(t *testing.T) {
 	if got := prf.TreePTh(tree, 2); len(got) != 6 {
 		t.Fatalf("tree PT: %v", got)
 	}
-	if got := prf.URankTree(tree, 2); len(got) != 2 {
-		t.Fatalf("tree URank: %v", got)
+	if got, err := prf.URankTree(tree, 2); err != nil || len(got) != 2 {
+		t.Fatalf("tree URank: %v %v", got, err)
 	}
 	if got := prf.TreeExpectedRanks(tree); len(got) != 6 {
 		t.Fatalf("tree ERank: %v", got)

@@ -5,9 +5,11 @@
 # The report now also carries the multi-core trajectory sections (the
 # sharded kernels at forced GOMAXPROCS settings over a large dataset) and
 # the learning-workload arm (learn/alpha-fit: the Section 5.2 recursive
-# α refinement over the engine's Ranker interface).
-# Usage: scripts/bench.sh [OUT.json]   (default: BENCH_7.json in the repo root)
+# α refinement over the engine's Ranker interface), and the consensus-
+# semantics arms (semantics/*: Global-Topk, Expected-Rank and Median-Rank
+# through the unified engine).
+# Usage: scripts/bench.sh [OUT.json]   (default: BENCH_8.json in the repo root)
 set -euo pipefail
 cd "$(dirname "$0")/.."
-out="${1:-BENCH_7.json}"
+out="${1:-BENCH_8.json}"
 go run ./cmd/bench -out "$out"
