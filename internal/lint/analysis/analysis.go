@@ -1,0 +1,151 @@
+// Package analysis is the repository's static-analysis framework: a
+// dependency-free mirror of the golang.org/x/tools/go/analysis surface,
+// implemented on the standard library's go/ast and go/types so the lint
+// suite builds in the hermetic (network-less) environment this module pins
+// itself to. The API is shaped so that an analyzer written here ports to
+// the upstream framework by changing one import path.
+//
+// An Analyzer inspects one type-checked package (a Pass) and reports
+// Diagnostics. Cross-package state flows through package facts: a pass may
+// export one JSON-serializable fact for its package, and later passes over
+// importing packages read it back (the drivers shuttle facts between
+// passes — in memory for the standalone and test drivers, through go vet's
+// .vetx files for the `go vet -vettool` driver).
+//
+// Suppressions are part of the framework contract (see suppress.go): a
+// finding can be silenced line-by-line with `//lint:allow <analyzer>
+// <reason>` or file-wide with `//lint:file-allow <analyzer> <reason>`, and
+// a suppression without a reason is itself a diagnostic — the escape hatch
+// never silently widens.
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer is one named invariant checker.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and suppression
+	// comments. Lowercase, no spaces.
+	Name string
+	// Doc states the invariant the analyzer enforces and why it exists.
+	Doc string
+	// Run inspects the pass and reports findings via pass.Reportf.
+	Run func(pass *Pass) error
+}
+
+// Diagnostic is one finding, attributed to the analyzer that produced it.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string
+	Message  string
+}
+
+// FactSource supplies the serialized fact a named analyzer exported for a
+// package path, if any. Drivers implement it over their fact transport.
+type FactSource interface {
+	PackageFact(pkgPath, analyzer string) ([]byte, bool)
+}
+
+// Pass holds everything one analyzer sees about one package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	facts FactSource
+	diags *[]Diagnostic
+	// exported collects the pass's fact (at most one per analyzer+package).
+	exported map[string]json.RawMessage
+}
+
+// NewPass assembles a pass for one analyzer over a loaded package. diags
+// accumulates findings across analyzers; exported collects facts keyed by
+// analyzer name.
+func NewPass(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, facts FactSource, diags *[]Diagnostic, exported map[string]json.RawMessage) *Pass {
+	return &Pass{
+		Analyzer:  a,
+		Fset:      fset,
+		Files:     files,
+		Pkg:       pkg,
+		TypesInfo: info,
+		facts:     facts,
+		diags:     diags,
+		exported:  exported,
+	}
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      pos,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// ExportFact serializes v as this pass's package fact. Calling it twice
+// overwrites the earlier fact.
+func (p *Pass) ExportFact(v any) error {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("%s: marshaling package fact: %w", p.Analyzer.Name, err)
+	}
+	p.exported[p.Analyzer.Name] = data
+	return nil
+}
+
+// ImportFact unmarshals into v the fact this analyzer exported when it ran
+// over pkgPath, reporting whether one was found. Drivers may key facts by
+// augmented package IDs (go vet's test variants look like
+// "path [root.test]"), so lookups fall back from the exact path to any
+// variant of it.
+func (p *Pass) ImportFact(pkgPath string, v any) bool {
+	if p.facts == nil {
+		return false
+	}
+	data, ok := p.facts.PackageFact(pkgPath, p.Analyzer.Name)
+	if !ok {
+		return false
+	}
+	return json.Unmarshal(data, v) == nil
+}
+
+// MemFacts is the in-memory fact transport used by the standalone and test
+// drivers: facts[pkgPath][analyzer] = serialized fact.
+type MemFacts map[string]map[string]json.RawMessage
+
+// PackageFact implements FactSource with the test-variant fallback
+// documented on Pass.ImportFact.
+func (m MemFacts) PackageFact(pkgPath, analyzer string) ([]byte, bool) {
+	if byAnalyzer, ok := m[pkgPath]; ok {
+		if data, ok := byAnalyzer[analyzer]; ok {
+			return data, true
+		}
+	}
+	// Fallback: a fact recorded under a test-variant ID ("path [x.test]").
+	for key, byAnalyzer := range m {
+		if len(key) > len(pkgPath) && key[:len(pkgPath)] == pkgPath && key[len(pkgPath)] == ' ' {
+			if data, ok := byAnalyzer[analyzer]; ok {
+				return data, true
+			}
+		}
+	}
+	return nil, false
+}
+
+// Set records a fact.
+func (m MemFacts) Set(pkgPath, analyzer string, data json.RawMessage) {
+	byAnalyzer, ok := m[pkgPath]
+	if !ok {
+		byAnalyzer = make(map[string]json.RawMessage)
+		m[pkgPath] = byAnalyzer
+	}
+	byAnalyzer[analyzer] = data
+}

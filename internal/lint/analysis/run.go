@@ -1,0 +1,33 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// RunPackage runs every analyzer over one loaded package, applies the
+// suppression filter, and returns the surviving diagnostics (sorted by
+// position) together with the facts the analyzers exported. It is the one
+// code path shared by the go vet driver, the standalone driver, and the
+// test harness, so suppression semantics cannot drift between them.
+func RunPackage(analyzers []*Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, facts FactSource) ([]Diagnostic, map[string]json.RawMessage, error) {
+	exported := make(map[string]json.RawMessage)
+	var raw []Diagnostic
+	for _, a := range analyzers {
+		pass := NewPass(a, fset, files, pkg, info, facts, &raw, exported)
+		if err := a.Run(pass); err != nil {
+			return nil, nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path(), err)
+		}
+	}
+	known := map[string]bool{"lint": true}
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	diags := Filter(fset, files, raw, known)
+	sort.SliceStable(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	return diags, exported, nil
+}

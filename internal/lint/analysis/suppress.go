@@ -1,0 +1,162 @@
+package analysis
+
+// Suppression comments are the lint suite's escape hatch. Two forms:
+//
+//	//lint:allow <analyzer> <reason>       silences <analyzer> on this line
+//	                                       (trailing comment) or, when the
+//	                                       comment stands alone, on the
+//	                                       next line
+//	//lint:file-allow <analyzer> <reason>  silences <analyzer> in the file
+//
+// The reason is mandatory: a suppression with an empty reason (or naming
+// an analyzer that does not exist) is reported as a finding attributed to
+// the named analyzer, so the hatch leaves a written record or it does not
+// open. This file implements scanning and the post-run filter every driver
+// applies.
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+const (
+	allowPrefix     = "//lint:allow "
+	fileAllowPrefix = "//lint:file-allow "
+)
+
+// suppression is one parsed allow comment.
+type suppression struct {
+	pos      token.Pos
+	analyzer string
+	reason   string
+	fileWide bool
+	// line is the source line the suppression covers (the comment's own
+	// line for trailing comments, the following line for standalone ones).
+	line int
+	file *token.File
+}
+
+// scanSuppressions parses every allow comment in the files.
+func scanSuppressions(fset *token.FileSet, files []*ast.File) []suppression {
+	var out []suppression
+	for _, f := range files {
+		tf := fset.File(f.Pos())
+		if tf == nil {
+			continue
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				var rest string
+				var fileWide bool
+				switch {
+				case strings.HasPrefix(text, fileAllowPrefix):
+					rest = text[len(fileAllowPrefix):]
+					fileWide = true
+				case strings.HasPrefix(text, allowPrefix):
+					rest = text[len(allowPrefix):]
+				case text == "//lint:allow" || text == "//lint:file-allow":
+					// Bare directive: no analyzer, no reason.
+					out = append(out, suppression{pos: c.Pos(), file: tf})
+					continue
+				default:
+					continue
+				}
+				name, reason, _ := strings.Cut(strings.TrimSpace(rest), " ")
+				s := suppression{
+					pos:      c.Pos(),
+					analyzer: name,
+					reason:   strings.TrimSpace(reason),
+					fileWide: fileWide,
+					file:     tf,
+				}
+				s.line = tf.Line(c.Pos())
+				if !fileWide && isOwnLine(tf, f, c) {
+					// A standalone comment covers the following line.
+					s.line++
+				}
+				out = append(out, s)
+			}
+		}
+	}
+	return out
+}
+
+// isOwnLine reports whether comment c is the first thing on its line (a
+// standalone comment) rather than trailing code.
+func isOwnLine(tf *token.File, f *ast.File, c *ast.Comment) bool {
+	line := tf.Line(c.Pos())
+	first := true
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil || !first {
+			return false
+		}
+		if n.Pos().IsValid() && tf.Line(n.Pos()) == line && n.Pos() < c.Pos() {
+			if _, isFile := n.(*ast.File); !isFile {
+				first = false
+			}
+		}
+		return first
+	})
+	return first
+}
+
+// Filter applies suppression comments to diags: it drops findings covered
+// by a reasoned allow comment and appends one finding per malformed
+// suppression (missing reason, unknown analyzer). known maps analyzer
+// names that exist in this run.
+func Filter(fset *token.FileSet, files []*ast.File, diags []Diagnostic, known map[string]bool) []Diagnostic {
+	sups := scanSuppressions(fset, files)
+	var out []Diagnostic
+	for _, d := range diags {
+		if !suppressed(fset, sups, d) {
+			out = append(out, d)
+		}
+	}
+	for _, s := range sups {
+		switch {
+		case s.analyzer == "" || s.reason == "":
+			out = append(out, Diagnostic{
+				Pos:      s.pos,
+				Analyzer: nonEmpty(s.analyzer, "lint"),
+				Message:  "suppression without a reason: write //lint:allow <analyzer> <why this finding does not apply>",
+			})
+		case known != nil && !known[s.analyzer]:
+			out = append(out, Diagnostic{
+				Pos:      s.pos,
+				Analyzer: "lint",
+				Message:  "suppression names unknown analyzer " + s.analyzer,
+			})
+		}
+	}
+	return out
+}
+
+func nonEmpty(s, fallback string) string {
+	if s == "" {
+		return fallback
+	}
+	return s
+}
+
+// suppressed reports whether d is covered by a well-formed suppression.
+func suppressed(fset *token.FileSet, sups []suppression, d Diagnostic) bool {
+	if !d.Pos.IsValid() {
+		return false
+	}
+	tf := fset.File(d.Pos)
+	if tf == nil {
+		return false
+	}
+	line := tf.Line(d.Pos)
+	for _, s := range sups {
+		if s.analyzer != d.Analyzer || s.reason == "" || s.file != tf {
+			continue
+		}
+		if s.fileWide || s.line == line {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,103 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// TestSuppressions pins the escape-hatch contract: reasoned allows
+// silence their line (or file), reasonless or unknown-analyzer allows are
+// findings themselves and silence nothing.
+func TestSuppressions(t *testing.T) {
+	known := map[string]bool{"ctxflow": true, "poolhygiene": true, "lint": true}
+
+	const src = `package p
+
+func a() {} //lint:allow ctxflow reason one
+//lint:allow ctxflow standalone comments cover the following line
+func b() {}
+//lint:file-allow poolhygiene whole file is a bench harness
+func c() {} //lint:allow ctxflow
+func d() {} //lint:allow nosuch made-up analyzer
+func e() {} //lint:allow
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	tf := fset.File(f.Pos())
+	at := func(line int, analyzer string) Diagnostic {
+		return Diagnostic{Pos: tf.LineStart(line), Analyzer: analyzer, Message: "finding"}
+	}
+
+	diags := []Diagnostic{
+		at(3, "ctxflow"),     // suppressed: trailing reasoned allow
+		at(5, "ctxflow"),     // suppressed: standalone allow on line 4
+		at(3, "poolhygiene"), // suppressed: file-allow covers every line
+		at(7, "ctxflow"),     // survives: the allow on line 7 has no reason
+		at(9, "ctxflow"),     // survives: the allow names a different analyzer
+	}
+	out := Filter(fset, []*ast.File{f}, diags, known)
+
+	var findings, reasonless, unknown int
+	line7Survives := false
+	for _, d := range out {
+		switch {
+		case strings.Contains(d.Message, "without a reason"):
+			reasonless++
+		case strings.Contains(d.Message, "unknown analyzer nosuch"):
+			unknown++
+		case d.Message == "finding":
+			findings++
+			if fset.Position(d.Pos).Line == 7 {
+				line7Survives = true
+			}
+		default:
+			t.Errorf("unexpected diagnostic: %s", d.Message)
+		}
+	}
+	if findings != 2 {
+		t.Errorf("surviving findings: got %d, want 2\nall: %v", findings, render(fset, out))
+	}
+	if !line7Survives {
+		t.Errorf("reasonless suppression silenced the line-7 finding\nall: %v", render(fset, out))
+	}
+	// Line 7's bare-analyzer allow and line 9's bare allow both lack
+	// reasons.
+	if reasonless != 2 {
+		t.Errorf("reasonless-suppression findings: got %d, want 2\nall: %v", reasonless, render(fset, out))
+	}
+	if unknown != 1 {
+		t.Errorf("unknown-analyzer findings: got %d, want 1\nall: %v", unknown, render(fset, out))
+	}
+}
+
+// TestSuppressionAttribution checks the reasonless finding is attributed
+// to the named analyzer, so it cannot itself be silenced by accident.
+func TestSuppressionAttribution(t *testing.T) {
+	const src = `package p
+
+func a() {} //lint:allow ctxflow
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	out := Filter(fset, []*ast.File{f}, nil, map[string]bool{"ctxflow": true, "lint": true})
+	if len(out) != 1 || out[0].Analyzer != "ctxflow" {
+		t.Fatalf("got %v, want one finding attributed to ctxflow", render(fset, out))
+	}
+}
+
+func render(fset *token.FileSet, diags []Diagnostic) []string {
+	out := make([]string, 0, len(diags))
+	for _, d := range diags {
+		out = append(out, fset.Position(d.Pos).String()+" ["+d.Analyzer+"] "+d.Message)
+	}
+	return out
+}

@@ -1,0 +1,164 @@
+// Package analysistest runs one analyzer over source fixtures and checks
+// its findings against `// want "regexp"` expectation comments, mirroring
+// golang.org/x/tools/go/analysis/analysistest. Fixtures live under
+// testdata/src/<pkg>/ next to the analyzer's test file. Fixture packages
+// may import the standard library (resolved from GOROOT source, which
+// works offline) and each other (resolved from the fixture tree), so fact
+// flow between a producing and a consuming fixture package is testable.
+package analysistest
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/load"
+)
+
+// Run analyzes the fixture packages (paths under testdata/src, in
+// dependency order when facts matter) and reports any mismatch between
+// diagnostics and want comments as test failures.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	r := &runner{
+		t:        t,
+		srcdir:   filepath.Join(testdata, "src"),
+		analyzer: a,
+		fset:     token.NewFileSet(),
+		loaded:   make(map[string]*types.Package),
+		facts:    make(analysis.MemFacts),
+	}
+	r.stdlib = importer.ForCompiler(r.fset, "source", nil)
+	for _, pkg := range pkgs {
+		r.check(pkg)
+	}
+}
+
+type runner struct {
+	t        *testing.T
+	srcdir   string
+	analyzer *analysis.Analyzer
+	fset     *token.FileSet
+	stdlib   types.Importer
+	loaded   map[string]*types.Package
+	facts    analysis.MemFacts
+}
+
+// Import resolves fixture packages from the testdata tree, everything else
+// from GOROOT source. It makes runner a types.Importer so fixtures can
+// import each other.
+func (r *runner) Import(path string) (*types.Package, error) {
+	if pkg, ok := r.loaded[path]; ok {
+		return pkg, nil
+	}
+	if fi, err := os.Stat(filepath.Join(r.srcdir, path)); err == nil && fi.IsDir() {
+		pkg, _, _, err := r.load(path)
+		return pkg, err
+	}
+	return r.stdlib.Import(path)
+}
+
+// load parses and type-checks one fixture package.
+func (r *runner) load(path string) (*types.Package, []*ast.File, *types.Info, error) {
+	dir := filepath.Join(r.srcdir, path)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, filepath.Join(dir, e.Name()))
+		}
+	}
+	sort.Strings(names)
+	files, err := load.ParseFiles(r.fset, names)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	pkg, info, err := load.Check(r.fset, path, files, r, "")
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	r.loaded[path] = pkg
+	return pkg, files, info, nil
+}
+
+// check runs the analyzer over one fixture package and verifies wants.
+func (r *runner) check(path string) {
+	r.t.Helper()
+	pkg, files, info, err := r.load(path)
+	if err != nil {
+		r.t.Fatalf("loading fixture %s: %v", path, err)
+	}
+	diags, exported, err := analysis.RunPackage([]*analysis.Analyzer{r.analyzer}, r.fset, files, pkg, info, r.facts)
+	if err != nil {
+		r.t.Fatalf("running %s on %s: %v", r.analyzer.Name, path, err)
+	}
+	for name, data := range exported {
+		r.facts.Set(path, name, data)
+	}
+	r.verify(files, diags)
+}
+
+// want is one expectation parsed from a `// want "re"` comment.
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+var wantRE = regexp.MustCompile(`// want (.*)$`)
+var quotedRE = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+func (r *runner) verify(files []*ast.File, diags []analysis.Diagnostic) {
+	r.t.Helper()
+	var wants []*want
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := r.fset.Position(c.Pos())
+				for _, q := range quotedRE.FindAllStringSubmatch(m[1], -1) {
+					text := strings.ReplaceAll(q[1], `\"`, `"`)
+					re, err := regexp.Compile(text)
+					if err != nil {
+						r.t.Fatalf("%s: bad want regexp %q: %v", pos, q[1], err)
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	for _, d := range diags {
+		pos := r.fset.Position(d.Pos)
+		found := false
+		for _, w := range wants {
+			if !w.matched && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			r.t.Errorf("%s: unexpected diagnostic: %s [%s]", pos, d.Message, d.Analyzer)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			r.t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}

@@ -1,0 +1,241 @@
+// Package cachekeycover proves, from the type information, that the query
+// cache can never alias two distinct queries: every field of a `Query`
+// struct must be encoded by its `CacheKey` method, and every cacheable
+// field must be mapped by the wire layer (wire.go) that constructs
+// queries from requests. A field that is genuinely not part of the cache
+// identity carries an explicit annotation:
+//
+//	// prflint:uncacheable <reason>
+//
+// which both exempts it and forces CacheKey to refuse caching for it
+// (that part is the golden tests' job; this analyzer enforces the
+// inventory).
+//
+// The producing side runs in any package declaring a struct type named
+// Query with a CacheKey method; it exports a package fact listing the
+// fields and the annotated exceptions. The consuming side runs in any
+// package with a file named wire.go and checks the fact of each imported
+// package: a cacheable field the wire layer never references is exactly
+// the "new Query knob silently ignored by the server" bug class.
+package cachekeycover
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/astq"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "cachekeycover",
+	Doc:  "every Query field reaches CacheKey and wire.go, or is annotated prflint:uncacheable",
+	Run:  run,
+}
+
+const annotation = "// prflint:uncacheable"
+
+// Fact is the package fact exported by the producing side.
+type Fact struct {
+	Struct      string   // name of the struct type ("Query")
+	Fields      []string // all named fields, in declaration order
+	Uncacheable []string // fields annotated prflint:uncacheable
+}
+
+func run(pass *analysis.Pass) error {
+	checkProducer(pass)
+	checkConsumer(pass)
+	return nil
+}
+
+// checkProducer handles the package that declares Query + CacheKey.
+func checkProducer(pass *analysis.Pass) {
+	st, typeObj := findQueryStruct(pass)
+	if st == nil {
+		return
+	}
+	body := cacheKeyBody(pass, typeObj)
+	if body == nil {
+		return
+	}
+
+	fact := Fact{Struct: typeObj.Name()}
+	uncacheable := make(map[string]bool)
+	for _, field := range st.Fields.List {
+		reason, annotated := uncacheableAnnotation(field)
+		if annotated && reason == "" {
+			pass.Reportf(field.Pos(), "prflint:uncacheable annotation needs a reason")
+		}
+		for _, name := range field.Names {
+			fact.Fields = append(fact.Fields, name.Name)
+			if annotated {
+				uncacheable[name.Name] = true
+				continue
+			}
+			fieldObj := pass.TypesInfo.Defs[name]
+			if !astq.MentionsObject(pass.TypesInfo, body, fieldObj) && !mentionsFieldByName(pass.TypesInfo, body, typeObj, name.Name) {
+				pass.Reportf(name.Pos(),
+					"%s.%s is not encoded in CacheKey: cached results would alias across queries differing only in %s; encode it or annotate %s <reason>",
+					typeObj.Name(), name.Name, name.Name, strings.TrimPrefix(annotation, "// "))
+			}
+		}
+	}
+	for name := range uncacheable {
+		fact.Uncacheable = append(fact.Uncacheable, name)
+	}
+	sort.Strings(fact.Uncacheable)
+	if err := pass.ExportFact(&fact); err != nil {
+		pass.Reportf(st.Pos(), "internal: %v", err)
+	}
+}
+
+// findQueryStruct locates a struct type literally named "Query".
+func findQueryStruct(pass *analysis.Pass) (*ast.StructType, *types.TypeName) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok || ts.Name.Name != "Query" {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				obj, _ := pass.TypesInfo.Defs[ts.Name].(*types.TypeName)
+				if obj != nil {
+					return st, obj
+				}
+			}
+		}
+	}
+	return nil, nil
+}
+
+// cacheKeyBody finds the body of the CacheKey method on typeObj.
+func cacheKeyBody(pass *analysis.Pass, typeObj *types.TypeName) *ast.BlockStmt {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Name.Name != "CacheKey" || fn.Recv == nil || fn.Body == nil {
+				continue
+			}
+			obj, _ := pass.TypesInfo.Defs[fn.Name].(*types.Func)
+			if obj == nil {
+				continue
+			}
+			recv := obj.Type().(*types.Signature).Recv()
+			if named := astq.NamedOf(recv.Type()); named != nil && named.Obj() == typeObj {
+				return fn.Body
+			}
+		}
+	}
+	return nil
+}
+
+// uncacheableAnnotation inspects a field's doc and line comments.
+func uncacheableAnnotation(field *ast.Field) (reason string, found bool) {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			if strings.HasPrefix(c.Text, annotation) {
+				return strings.TrimSpace(c.Text[len(annotation):]), true
+			}
+		}
+	}
+	return "", false
+}
+
+// mentionsFieldByName catches field accesses that resolve through a copy
+// or pointer of the struct (selection object identity can differ across
+// instantiations; name + receiver type is the robust check).
+func mentionsFieldByName(info *types.Info, body ast.Node, typeObj *types.TypeName, field string) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != field {
+			return true
+		}
+		if s, ok := info.Selections[sel]; ok && s.Kind() == types.FieldVal {
+			if named := astq.NamedOf(s.Recv()); named != nil && named.Obj() == typeObj {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// checkConsumer handles packages with a wire.go mapping requests to
+// queries.
+func checkConsumer(pass *analysis.Pass) {
+	for _, file := range pass.Files {
+		name := filepath.Base(pass.Fset.Position(file.Pos()).Filename)
+		if name != "wire.go" {
+			continue
+		}
+		for _, imp := range file.Imports {
+			path := strings.Trim(imp.Path.Value, `"`)
+			var fact Fact
+			if !pass.ImportFact(path, &fact) {
+				continue
+			}
+			referenced := queryFieldsReferenced(pass, file, path, fact.Struct)
+			uncacheable := make(map[string]bool, len(fact.Uncacheable))
+			for _, f := range fact.Uncacheable {
+				uncacheable[f] = true
+			}
+			for _, f := range fact.Fields {
+				if !uncacheable[f] && !referenced[f] {
+					pass.Reportf(file.Name.Pos(),
+						"cacheable %s.%s field %s is never mapped in wire.go: served queries cannot set it, so the knob is dead on the wire; map it or annotate it prflint:uncacheable",
+						astq.PkgBase(path), fact.Struct, f)
+				}
+			}
+		}
+	}
+}
+
+// queryFieldsReferenced collects the fields of pkgPath.structName that
+// file touches, via selector access or composite-literal keys.
+func queryFieldsReferenced(pass *analysis.Pass, file *ast.File, pkgPath, structName string) map[string]bool {
+	out := make(map[string]bool)
+	matches := func(t types.Type) bool {
+		named := astq.NamedOf(t)
+		return named != nil && named.Obj().Name() == structName &&
+			named.Obj().Pkg() != nil && named.Obj().Pkg().Path() == pkgPath
+	}
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			if s, ok := pass.TypesInfo.Selections[n]; ok && s.Kind() == types.FieldVal && matches(s.Recv()) {
+				out[n.Sel.Name] = true
+			}
+		case *ast.CompositeLit:
+			if tv, ok := pass.TypesInfo.Types[n]; ok && matches(tv.Type) {
+				for _, elt := range n.Elts {
+					if kv, ok := elt.(*ast.KeyValueExpr); ok {
+						if key, ok := kv.Key.(*ast.Ident); ok {
+							out[key.Name] = true
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+	return out
+}

@@ -1,0 +1,17 @@
+package cachekeycover_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/analyzers/cachekeycover"
+)
+
+// TestInjectedField is the negative test the cache contract demands: cka
+// declares a Query field that CacheKey does not encode (and one the wire
+// layer does not map), and the analyzer must fire on both. ckwire loads
+// second so the package fact exported by cka is visible, exactly as under
+// go vet.
+func TestInjectedField(t *testing.T) {
+	analysistest.Run(t, "testdata", cachekeycover.Analyzer, "cka", "ckwire")
+}

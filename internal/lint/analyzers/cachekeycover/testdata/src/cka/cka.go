@@ -1,0 +1,23 @@
+// Package cka is a fixture shaped like internal/engine: a Query struct
+// with a CacheKey method. The Injected field is the deliberately-injected
+// knob the analyzer must catch.
+package cka
+
+import "strconv"
+
+type Query struct {
+	Metric string
+	Alpha  float64
+	// prflint:uncacheable function-valued knob; CacheKey refuses to cache it
+	Omega func(int) float64
+	// prflint:uncacheable
+	Hidden   int // want "prflint:uncacheable annotation needs a reason"
+	Injected int // want "Query.Injected is not encoded in CacheKey"
+}
+
+func (q Query) CacheKey() (string, bool) {
+	if q.Omega != nil {
+		return "", false
+	}
+	return q.Metric + "|" + strconv.FormatFloat(q.Alpha, 'x', -1, 64), true
+}

@@ -1,0 +1,11 @@
+package ckwire // want "Query field Alpha is never mapped in wire.go" "Query field Injected is never mapped in wire.go"
+
+import "cka"
+
+type WireQuery struct {
+	Metric string `json:"metric"`
+}
+
+func (w WireQuery) ToQuery() cka.Query {
+	return cka.Query{Metric: w.Metric}
+}

@@ -1,0 +1,135 @@
+// Package ctxflow enforces the serving layer's cancellation contract:
+// deadlines must keep working no matter how large a PRF grid or batch
+// gets.
+//
+// Rule C1: an error-returning Query*/Rank* method that accepts a
+// context.Context must consult it inside every batch loop — each
+// top-level loop whose body does real work (calls functions) has to
+// mention ctx somewhere in its nest, either a direct check
+// (pdb.CtxErr(ctx), ctx.Err()) or delegation to a ctx-aware helper
+// (par.ForCtx, par.ForWorkersCtx, a Query*(ctx, ...) call). Loops inside
+// function literals are exempt: closures handed to par.ForWorkersCtx run
+// under the helper's grid-point cancellation already.
+//
+// Rule C2: no context.Background()/context.TODO() outside cmd/ trees —
+// library code accepts its context from the caller, or serving deadlines
+// silently detach.
+package ctxflow
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/astq"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxflow",
+	Doc:  "Query*/Rank* batch loops must consult their ctx; no ambient contexts below cmd/",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	// Commands and example mains are the legitimate roots of context
+	// trees; everything else accepts its ctx from above.
+	banAmbient := !astq.InCmd(pass.Pkg.Path()) && pass.Pkg.Name() != "main"
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkBatchLoops(pass, fn)
+		}
+		if banAmbient {
+			banAmbientContexts(pass, file)
+		}
+	}
+	return nil
+}
+
+// checkBatchLoops applies rule C1 to one declared function.
+func checkBatchLoops(pass *analysis.Pass, fn *ast.FuncDecl) {
+	if !strings.HasPrefix(fn.Name.Name, "Query") && !strings.HasPrefix(fn.Name.Name, "Rank") {
+		return
+	}
+	obj, ok := pass.TypesInfo.Defs[fn.Name].(*types.Func)
+	if !ok {
+		return
+	}
+	sig := obj.Type().(*types.Signature)
+	if !astq.ReturnsError(sig) {
+		return
+	}
+	var ctxObj types.Object
+	for i := 0; i < sig.Params().Len(); i++ {
+		if p := sig.Params().At(i); astq.IsContextType(p.Type()) {
+			ctxObj = p
+			break
+		}
+	}
+	if ctxObj == nil {
+		return
+	}
+	for _, loop := range topLevelLoops(fn.Body) {
+		if doesWork(pass.TypesInfo, loop) && !astq.MentionsObject(pass.TypesInfo, loop, ctxObj) {
+			pass.Reportf(loop.Pos(),
+				"%s: batch loop never consults ctx; check pdb.CtxErr(ctx) per iteration or delegate to a ctx-aware helper",
+				fn.Name.Name)
+		}
+	}
+}
+
+// topLevelLoops collects loops not nested inside another loop or inside a
+// function literal. Inner loops are the outer loop's responsibility (one
+// check per grid point is the granularity the engine promises), and
+// closures run under whatever driver receives them.
+func topLevelLoops(body *ast.BlockStmt) []ast.Stmt {
+	var loops []ast.Stmt
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			loops = append(loops, n.(ast.Stmt))
+			return false
+		case *ast.FuncLit:
+			return false
+		}
+		return true
+	}
+	ast.Inspect(body, walk)
+	return loops
+}
+
+// doesWork reports whether the loop nest calls any real function.
+func doesWork(info *types.Info, loop ast.Node) bool {
+	works := false
+	ast.Inspect(loop, func(n ast.Node) bool {
+		if works {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok && astq.IsWorkCall(info, call) {
+			works = true
+		}
+		return !works
+	})
+	return works
+}
+
+// banAmbientContexts applies rule C2 to one file.
+func banAmbientContexts(pass *analysis.Pass, file *ast.File) {
+	ast.Inspect(file, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := astq.Callee(pass.TypesInfo, call)
+		if astq.IsPkgFunc(fn, "context", "Background") || astq.IsPkgFunc(fn, "context", "TODO") {
+			pass.Reportf(call.Pos(),
+				"context.%s() below cmd/: accept a ctx from the caller so deadlines propagate", fn.Name())
+		}
+		return true
+	})
+}

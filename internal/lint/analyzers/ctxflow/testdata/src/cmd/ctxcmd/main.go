@@ -1,0 +1,8 @@
+// Commands are the legitimate roots of context trees: no findings here.
+package main
+
+import "context"
+
+func main() {
+	_ = context.Background()
+}

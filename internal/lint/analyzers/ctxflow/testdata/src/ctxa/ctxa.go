@@ -1,0 +1,81 @@
+package ctxa
+
+import "context"
+
+type Ranker struct{}
+
+func work(i int) int { return i + 1 }
+
+// QueryUnchecked's loop calls real work and never consults ctx.
+func (Ranker) QueryUnchecked(ctx context.Context, xs []int) (int, error) {
+	s := 0
+	for _, x := range xs { // want "batch loop never consults ctx"
+		s += work(x)
+	}
+	return s, nil
+}
+
+// QueryChecked consults ctx once per iteration.
+func (Ranker) QueryChecked(ctx context.Context, xs []int) (int, error) {
+	s := 0
+	for _, x := range xs {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+		s += work(x)
+	}
+	return s, nil
+}
+
+// RankDelegating passes ctx to the per-item call, which owns cancellation.
+func (r Ranker) RankDelegating(ctx context.Context, xs []int) (int, error) {
+	s := 0
+	for _, x := range xs {
+		n, err := r.QueryChecked(ctx, []int{x})
+		if err != nil {
+			return 0, err
+		}
+		s += n
+	}
+	return s, nil
+}
+
+// QueryTrivial's loops only move data around — no work calls, no finding.
+func (Ranker) QueryTrivial(ctx context.Context, xs []int) ([]int, error) {
+	out := make([]int, 0, len(xs))
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out, nil
+}
+
+// QueryClosure hands its loop to a driver closure; the driver receives
+// ctx, so loops inside the literal are exempt.
+func (Ranker) QueryClosure(ctx context.Context, xs []int) (int, error) {
+	s := 0
+	run := func(f func()) error { f(); return ctx.Err() }
+	err := run(func() {
+		for _, x := range xs {
+			s += work(x)
+		}
+	})
+	return s, err
+}
+
+// NotAQuery is outside the naming contract: no finding even though the
+// loop ignores ctx.
+func NotAQuery(ctx context.Context, xs []int) (int, error) {
+	s := 0
+	for _, x := range xs {
+		s += work(x)
+	}
+	return s, nil
+}
+
+func ambient() context.Context {
+	return context.Background() // want "context.Background.. below cmd/"
+}
+
+func todo() context.Context {
+	return context.TODO() // want "context.TODO.. below cmd/"
+}

@@ -1,0 +1,135 @@
+// Package errdiscipline enforces how failure propagates out of the query
+// path.
+//
+// Rule E1: panic is reserved for constructors. A New*/Prepare* function
+// validating its inputs may panic (the caller misused the API at setup
+// time); Must* helpers exist to panic by contract; everything else —
+// anything reachable once a query is in flight — returns an error, or a
+// single malformed request can take down the server.
+//
+// Rule E2: fmt.Errorf calls that format an error value must wrap it with
+// %w, not flatten it with %v/%s, so errors.Is against the engine's
+// sentinel errors keeps working through every layer.
+package errdiscipline
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strconv"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/astq"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "errdiscipline",
+	Doc:  "panics only in New*/Prepare*/Must* constructors; wrap errors with %w",
+	Run:  run,
+}
+
+// constructorRE matches function names allowed to panic, in both exported
+// and unexported spellings (NewSweep, newSweep, MustNoErr, ...).
+var constructorRE = regexp.MustCompile(`^(New|Prepare|Must|init$)|^(new|prepare|must)([A-Z_]|$)`)
+
+func run(pass *analysis.Pass) error {
+	// A command's main tree may fail fast; the panic rule governs library
+	// code, where a request must never take the process down.
+	isMain := pass.Pkg.Name() == "main"
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if !isMain && !constructorRE.MatchString(fn.Name.Name) {
+				checkPanics(pass, fn)
+			}
+			checkWrapping(pass, fn)
+		}
+	}
+	return nil
+}
+
+// checkPanics applies rule E1 to one non-constructor function.
+func checkPanics(pass *analysis.Pass, fn *ast.FuncDecl) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok && b.Name() == "panic" {
+			pass.Reportf(call.Pos(),
+				"panic in %s, which is not a New*/Prepare*/Must* constructor: query-path failures return errors", fn.Name.Name)
+		}
+		return true
+	})
+}
+
+// checkWrapping applies rule E2 to every fmt.Errorf call in fn.
+func checkWrapping(pass *analysis.Pass, fn *ast.FuncDecl) {
+	info := pass.TypesInfo
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if !astq.IsPkgFunc(astq.Callee(info, call), "fmt", "Errorf") || len(call.Args) < 2 {
+			return true
+		}
+		lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit)
+		if !ok {
+			return true
+		}
+		format, err := strconv.Unquote(lit.Value)
+		if err != nil {
+			return true
+		}
+		verbs := scanVerbs(format)
+		for i, verb := range verbs {
+			argIdx := 1 + i
+			if argIdx >= len(call.Args) || verb == 'w' {
+				continue
+			}
+			tv, ok := info.Types[call.Args[argIdx]]
+			if ok && astq.IsErrorType(tv.Type) {
+				pass.Reportf(call.Args[argIdx].Pos(),
+					"error formatted with %%%c: wrap it with %%w so errors.Is sees through this layer", verb)
+			}
+		}
+		return true
+	})
+}
+
+// scanVerbs returns the verb letter for each argument-consuming verb in a
+// format string, in order. Width/precision stars also consume arguments
+// and are returned as '*' entries so indexes stay aligned.
+func scanVerbs(format string) []rune {
+	var verbs []rune
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+	flags:
+		for i < len(format) {
+			switch format[i] {
+			case '+', '-', '#', ' ', '0', '1', '2', '3', '4', '5', '6', '7', '8', '9', '.':
+				i++
+			case '*':
+				verbs = append(verbs, '*')
+				i++
+			default:
+				break flags
+			}
+		}
+		if i < len(format) && format[i] != '%' {
+			verbs = append(verbs, rune(format[i]))
+		}
+	}
+	return verbs
+}

@@ -1,0 +1,12 @@
+package errdiscipline_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/analyzers/errdiscipline"
+)
+
+func TestErrDiscipline(t *testing.T) {
+	analysistest.Run(t, "testdata", errdiscipline.Analyzer, "errd")
+}

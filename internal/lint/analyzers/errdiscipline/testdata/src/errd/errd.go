@@ -1,0 +1,81 @@
+package errd
+
+import (
+	"errors"
+	"fmt"
+)
+
+var ErrBad = errors.New("bad input")
+
+// NewThing may panic: constructors validate at setup time.
+func NewThing(n int) int {
+	if n < 0 {
+		panic("negative")
+	}
+	return n
+}
+
+// PrepareThing likewise.
+func PrepareThing(n int) int {
+	if n < 0 {
+		panic("negative")
+	}
+	return n
+}
+
+// MustThing panics by contract.
+func MustThing(n int, err error) int {
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// newThing: the unexported spelling counts as a constructor too.
+func newThing(n int) int {
+	if n < 0 {
+		panic("negative")
+	}
+	return n
+}
+
+// QueryThing is in-flight code: failures return errors.
+func QueryThing(n int) (int, error) {
+	if n < 0 {
+		panic("negative") // want "panic in QueryThing"
+	}
+	return n, nil
+}
+
+// helper is ordinary non-constructor code.
+func helper(n int) int {
+	if n < 0 {
+		panic("negative") // want "panic in helper"
+	}
+	return n
+}
+
+// flatten loses the sentinel: errors.Is can no longer see ErrBad.
+func flatten(err error) error {
+	return fmt.Errorf("query failed: %v", err) // want "error formatted with %v"
+}
+
+// flattenS likewise via %s.
+func flattenS(err error) error {
+	return fmt.Errorf("query failed: %s", err) // want "error formatted with %s"
+}
+
+// wrap keeps the chain intact.
+func wrap(err error) error {
+	return fmt.Errorf("query failed: %w", err)
+}
+
+// starWidth: the * consumes an argument; the error still maps to its verb.
+func starWidth(err error) error {
+	return fmt.Errorf("%*d attempts: %v", 3, 7, err) // want "error formatted with %v"
+}
+
+// nonError formats plain values: no finding.
+func nonError(n int) error {
+	return fmt.Errorf("bad count %d (%.2f%%)", n, 50.0)
+}

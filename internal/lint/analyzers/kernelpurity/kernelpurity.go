@@ -1,0 +1,126 @@
+// Package kernelpurity keeps the numeric kernels deterministic and
+// dependency-free. The kernel packages (core, andxor, junction, rankdist,
+// poly, fft, dftapprox) are the part of the tree whose outputs must be
+// bit-reproducible across runs and hosts — that is what the golden files
+// and the possible-worlds oracle certify against.
+//
+// Rule K1: kernels may not import fmt, log, os, time, or math/rand —
+// formatting belongs above the kernel boundary, clocks and ambient
+// randomness have no business in a deterministic evaluator.
+//
+// Rule K2: no ranging over a map into ordered output (append inside a
+// map-range): map iteration order is deliberately randomized by the
+// runtime, so any slice built that way differs run to run.
+//
+// Rule K3: no ==/!= between two non-constant floating-point (or complex)
+// values. Comparisons against literal zeros and ones are the exactness
+// tier's idiom and stay legal; variable-to-variable equality is the
+// hazard and belongs in internal/exact, whose helpers document which
+// comparisons are exact by construction (internal/exact is not a kernel
+// package, so its own comparisons are out of scope here).
+package kernelpurity
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/astq"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "kernelpurity",
+	Doc:  "kernel packages: no fmt/log/os/time/math-rand, no map-order output, no float ==",
+	Run:  run,
+}
+
+// kernelPkgs is the closed set of kernel package base names.
+var kernelPkgs = map[string]bool{
+	"core": true, "andxor": true, "junction": true, "rankdist": true,
+	"poly": true, "fft": true, "dftapprox": true,
+}
+
+var bannedImports = map[string]string{
+	"fmt":          "formatting belongs above the kernel boundary",
+	"log":          "kernels do not log",
+	"os":           "kernels touch no ambient OS state",
+	"time":         "kernels are clock-free",
+	"math/rand":    "ambient randomness breaks reproducibility",
+	"math/rand/v2": "ambient randomness breaks reproducibility",
+}
+
+func run(pass *analysis.Pass) error {
+	if !kernelPkgs[astq.PkgBase(pass.Pkg.Path())] {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, imp := range file.Imports {
+			path := strings.Trim(imp.Path.Value, `"`)
+			if why, banned := bannedImports[path]; banned {
+				pass.Reportf(imp.Pos(), "kernel package imports %s: %s", path, why)
+			}
+		}
+		checkMapOrder(pass, file)
+		checkFloatEq(pass, file)
+	}
+	return nil
+}
+
+// checkMapOrder flags appends inside a range over a map (rule K2).
+func checkMapOrder(pass *analysis.Pass, file *ast.File) {
+	ast.Inspect(file, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		tv, ok := pass.TypesInfo.Types[rs.X]
+		if !ok {
+			return true
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		ast.Inspect(rs.Body, func(inner ast.Node) bool {
+			call, ok := inner.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+				if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok && b.Name() == "append" {
+					pass.Reportf(call.Pos(),
+						"append inside a map range: iteration order is randomized, so this output is nondeterministic; collect keys and sort first")
+				}
+			}
+			return true
+		})
+		return true
+	})
+}
+
+// checkFloatEq flags non-constant float/complex equality (rule K3).
+func checkFloatEq(pass *analysis.Pass, file *ast.File) {
+	ast.Inspect(file, func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+			return true
+		}
+		x, xok := pass.TypesInfo.Types[be.X]
+		y, yok := pass.TypesInfo.Types[be.Y]
+		if !xok || !yok || !isFloatish(x.Type) || !isFloatish(y.Type) {
+			return true
+		}
+		if x.Value != nil || y.Value != nil {
+			return true // one side is a constant: the exactness-tier idiom
+		}
+		pass.Reportf(be.OpPos,
+			"%s between two non-constant floats: rounding makes this comparison unstable; use internal/exact or restructure", be.Op)
+		return true
+	})
+}
+
+func isFloatish(t types.Type) bool {
+	basic, ok := t.Underlying().(*types.Basic)
+	return ok && basic.Info()&(types.IsFloat|types.IsComplex) != 0
+}

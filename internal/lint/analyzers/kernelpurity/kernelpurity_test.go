@@ -1,0 +1,12 @@
+package kernelpurity_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/analyzers/kernelpurity"
+)
+
+func TestKernelPurity(t *testing.T) {
+	analysistest.Run(t, "testdata", kernelpurity.Analyzer, "core", "notkernel")
+}

@@ -1,0 +1,41 @@
+// Package core has a kernel package's base name, so every purity rule
+// applies.
+package core
+
+import "fmt" // want "kernel package imports fmt"
+
+func Describe(x int) string { return fmt.Sprint(x) }
+
+// Keys builds ordered output from randomized map iteration.
+func Keys(m map[int]float64) []int {
+	var out []int
+	for k := range m {
+		out = append(out, k) // want "append inside a map range"
+	}
+	return out
+}
+
+// Sum only reduces over the map — order-independent, no finding.
+func Sum(m map[int]float64) float64 {
+	s := 0.0
+	for _, v := range m {
+		s += v
+	}
+	return s
+}
+
+// Same compares two computed floats for equality.
+func Same(a, b float64) bool {
+	return a == b // want "== between two non-constant floats"
+}
+
+// Differs compares two computed complex values.
+func Differs(a, b complex128) bool {
+	return a != b // want "!= between two non-constant floats"
+}
+
+// AtZero compares against a literal: the exactness-tier idiom, legal.
+func AtZero(p float64) bool { return p == 0 }
+
+// IsOne likewise.
+func IsOne(p float64) bool { return p != 1 }

@@ -1,0 +1,17 @@
+// Package notkernel is outside the kernel set: the same constructs draw
+// no findings.
+package notkernel
+
+import "fmt"
+
+func Describe(x int) string { return fmt.Sprint(x) }
+
+func Same(a, b float64) bool { return a == b }
+
+func Keys(m map[int]float64) []int {
+	var out []int
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,251 @@
+// Package poolhygiene guards the two ways a sync.Pool corrupts answers
+// under load.
+//
+// Rule P1 (leak): a function that calls pool.Get must either hand the
+// value back — a Put call (or put* checkout-helper call) somewhere in the
+// function, deferred or not — or be a checkout helper itself, returning
+// the pooled value to a caller who assumes the pairing.
+//
+// Rule P2 (stale state): when the checked-out value's type has a
+// reset/Reset method, that method must be called in the same function
+// before the value is reused. Resetting at checkout (the repo's getEval
+// idiom) rather than at Put is what keeps a forgotten Put from turning
+// into wrong probabilities: stale DP accumulators from the previous
+// query are the failure mode, and they only show up under concurrency.
+package poolhygiene
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/astq"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "poolhygiene",
+	Doc:  "sync.Pool.Get pairs with Put on all paths, and pooled state resets at checkout",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkFunc(pass, fn)
+		}
+	}
+	return nil
+}
+
+// getSite is one pool.Get call in a function.
+type getSite struct {
+	call *ast.CallExpr
+	// bound is the variable the pooled value lands in, when the call is
+	// the `v := pool.Get().(*T)` idiom; nil otherwise.
+	bound types.Object
+	// typ is the concrete type the value is asserted to, nil when the
+	// value stays an any.
+	typ types.Type
+}
+
+func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl) {
+	info := pass.TypesInfo
+	var gets []getSite
+	putSeen := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := astq.Callee(info, call)
+		switch {
+		case isPoolMethod(callee, "Get"):
+			gets = append(gets, getSite{call: call})
+		case isPoolMethod(callee, "Put"):
+			putSeen = true
+		case callee != nil && strings.HasPrefix(callee.Name(), "put"):
+			// Checkout-helper idiom: putEval(ev) owns the Pool.Put.
+			putSeen = true
+		}
+		return true
+	})
+	if len(gets) == 0 {
+		return
+	}
+	resolveBindings(info, fn.Body, gets)
+
+	for i := range gets {
+		g := &gets[i]
+		if !putSeen && !escapes(info, fn, g) {
+			pass.Reportf(g.call.Pos(),
+				"%s: sync.Pool.Get without a Put on any path: the pool drains and every call allocates", fn.Name.Name)
+		}
+		if g.typ != nil {
+			name := types.TypeString(g.typ, types.RelativeTo(pass.Pkg))
+			switch m := resetMethod(g.typ); {
+			case m == nil && hasAccumulators(g.typ):
+				pass.Reportf(g.call.Pos(),
+					"%s: pooled %s carries slice/map state but has no reset method: recycled accumulators leak the previous query's values under load",
+					fn.Name.Name, name)
+			case m != nil && !callsMethod(info, fn.Body, g.bound, m):
+				pass.Reportf(g.call.Pos(),
+					"%s: pooled %s checked out without calling %s: state from the previous query leaks into this one under load",
+					fn.Name.Name, name, m.Name())
+			}
+		}
+	}
+}
+
+// isPoolMethod reports whether fn is (*sync.Pool).Get / Put.
+func isPoolMethod(fn *types.Func, name string) bool {
+	return astq.IsMethodOf(fn, "sync", "Pool", name)
+}
+
+// resolveBindings fills bound/typ for Get calls of the form
+// `v := pool.Get().(*T)`, `v, ok := pool.Get().(*T)`, or
+// `v := pool.Get()`.
+func resolveBindings(info *types.Info, body ast.Node, gets []getSite) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok || len(assign.Lhs) < 1 || len(assign.Lhs) > 2 || len(assign.Rhs) != 1 {
+			return true
+		}
+		lhs, ok := assign.Lhs[0].(*ast.Ident)
+		if !ok {
+			return true
+		}
+		rhs := ast.Unparen(assign.Rhs[0])
+		var call *ast.CallExpr
+		var typ types.Type
+		if ta, ok := rhs.(*ast.TypeAssertExpr); ok {
+			call, _ = ast.Unparen(ta.X).(*ast.CallExpr)
+			if tv, ok := info.Types[ta.Type]; ok {
+				typ = tv.Type
+			}
+		} else {
+			call, _ = rhs.(*ast.CallExpr)
+		}
+		if call == nil {
+			return true
+		}
+		for i := range gets {
+			if gets[i].call == call {
+				if obj := info.Defs[lhs]; obj != nil {
+					gets[i].bound = obj
+				} else if obj := info.Uses[lhs]; obj != nil {
+					gets[i].bound = obj
+				}
+				gets[i].typ = typ
+			}
+		}
+		return true
+	})
+}
+
+// escapes reports whether the pooled value leaves the function through a
+// return statement — the checkout-helper shape, where the caller owns the
+// Put.
+func escapes(info *types.Info, fn *ast.FuncDecl, g *getSite) bool {
+	if fn.Type.Results == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		for _, res := range ret.Results {
+			res = ast.Unparen(res)
+			if g.bound != nil {
+				if id, ok := res.(*ast.Ident); ok && info.Uses[id] == g.bound {
+					found = true
+				}
+			}
+			if containsCall(res, g.call) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func containsCall(n ast.Node, call *ast.CallExpr) bool {
+	found := false
+	ast.Inspect(n, func(node ast.Node) bool {
+		if node == call {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// hasAccumulators reports whether t (after deref) is a struct with any
+// slice or map field — state that survives a round-trip through the pool
+// and therefore needs explicit resetting.
+func hasAccumulators(t types.Type) bool {
+	if ptr, ok := types.Unalias(t).(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		switch st.Field(i).Type().Underlying().(type) {
+		case *types.Slice, *types.Map:
+			return true
+		}
+	}
+	return false
+}
+
+// resetMethod finds a reset or Reset method in t's method set.
+func resetMethod(t types.Type) *types.Func {
+	ms := types.NewMethodSet(t)
+	for i := 0; i < ms.Len(); i++ {
+		if fn, ok := ms.At(i).Obj().(*types.Func); ok {
+			if fn.Name() == "reset" || fn.Name() == "Reset" {
+				return fn
+			}
+		}
+	}
+	return nil
+}
+
+// callsMethod reports whether body calls method m on the bound variable
+// (or on anything, when the binding is unknown).
+func callsMethod(info *types.Info, body ast.Node, bound types.Object, m *types.Func) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != m.Name() {
+			return true
+		}
+		if bound != nil {
+			if id, ok := ast.Unparen(sel.X).(*ast.Ident); !ok || info.Uses[id] != bound {
+				return true
+			}
+		}
+		found = true
+		return false
+	})
+	return found
+}

@@ -1,0 +1,12 @@
+package poolhygiene_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/analyzers/poolhygiene"
+)
+
+func TestPoolHygiene(t *testing.T) {
+	analysistest.Run(t, "testdata", poolhygiene.Analyzer, "pool")
+}

@@ -1,0 +1,68 @@
+package pool
+
+import "sync"
+
+type ev struct{ acc []float64 }
+
+func (e *ev) reset() {
+	for i := range e.acc {
+		e.acc[i] = 0
+	}
+}
+
+// bare carries accumulator state but declares no reset method.
+type bare struct{ acc []float64 }
+
+var (
+	evPool   = sync.Pool{New: func() any { return &ev{acc: make([]float64, 8)} }}
+	barePool = sync.Pool{New: func() any { return &bare{acc: make([]float64, 8)} }}
+)
+
+// use is a clean round trip: reset at checkout, Put on the way out.
+func use() float64 {
+	e := evPool.Get().(*ev)
+	e.reset()
+	defer evPool.Put(e)
+	return e.acc[0]
+}
+
+// leak checks out and never hands back.
+func leak() float64 {
+	e := evPool.Get().(*ev) // want "sync.Pool.Get without a Put"
+	e.reset()
+	return e.acc[0]
+}
+
+// stale skips the reset the type declares.
+func stale() float64 {
+	e := evPool.Get().(*ev) // want "checked out without calling reset"
+	defer evPool.Put(e)
+	return e.acc[0]
+}
+
+// unresettable pools a type that cannot be reset at all.
+func unresettable() float64 {
+	b := barePool.Get().(*bare) // want "carries slice/map state but has no reset method"
+	defer barePool.Put(b)
+	return b.acc[0]
+}
+
+// checkout is the getEval idiom: the value escapes to the caller, who
+// owns the Put; reset happens here, at checkout.
+func checkout() *ev {
+	if e, ok := evPool.Get().(*ev); ok {
+		e.reset()
+		return e
+	}
+	return &ev{acc: make([]float64, 8)}
+}
+
+// putBack is the matching put* helper.
+func putBack(e *ev) { evPool.Put(e) }
+
+// viaHelper leans on the helper pair: no direct Get, nothing to flag.
+func viaHelper() float64 {
+	e := checkout()
+	defer putBack(e)
+	return e.acc[0]
+}

@@ -1,0 +1,132 @@
+// Package astq holds the small typed-AST queries every prflint analyzer
+// asks: who is being called, is this the context type, does this subtree
+// mention that object. Centralizing them keeps the analyzers themselves
+// close to plain statements of their invariants.
+package astq
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Callee resolves the function or method a call statically invokes, or
+// nil for builtins, conversions, and dynamic calls through function
+// values.
+func Callee(info *types.Info, call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = info.Uses[fun]
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			obj = sel.Obj()
+		} else {
+			obj = info.Uses[fun.Sel] // package-qualified call
+		}
+	}
+	fn, _ := obj.(*types.Func)
+	return fn
+}
+
+// IsPkgFunc reports whether fn is the package-level function pkgPath.name.
+func IsPkgFunc(fn *types.Func, pkgPath, name string) bool {
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == pkgPath &&
+		fn.Name() == name && fn.Type().(*types.Signature).Recv() == nil
+}
+
+// IsMethodOf reports whether fn is a method named name on the named type
+// pkgPath.typeName (value or pointer receiver).
+func IsMethodOf(fn *types.Func, pkgPath, typeName, name string) bool {
+	if fn == nil || fn.Name() != name {
+		return false
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return false
+	}
+	named := NamedOf(recv.Type())
+	return named != nil && named.Obj().Pkg() != nil &&
+		named.Obj().Pkg().Path() == pkgPath && named.Obj().Name() == typeName
+}
+
+// NamedOf unwraps pointers and aliases down to a named type, or nil.
+func NamedOf(t types.Type) *types.Named {
+	if ptr, ok := types.Unalias(t).(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, _ := types.Unalias(t).(*types.Named)
+	return named
+}
+
+// IsContextType reports whether t is context.Context.
+func IsContextType(t types.Type) bool {
+	named := NamedOf(t)
+	return named != nil && named.Obj().Pkg() != nil &&
+		named.Obj().Pkg().Path() == "context" && named.Obj().Name() == "Context"
+}
+
+// IsErrorType reports whether t is the predeclared error interface.
+func IsErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// ReturnsError reports whether sig's results include an error.
+func ReturnsError(sig *types.Signature) bool {
+	res := sig.Results()
+	for i := 0; i < res.Len(); i++ {
+		if IsErrorType(res.At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// MentionsObject reports whether any identifier under n resolves to obj.
+func MentionsObject(info *types.Info, n ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(n, func(node ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := node.(*ast.Ident); ok && info.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// IsWorkCall reports whether call invokes an actual function — not a type
+// conversion and not a builtin like len or append. Loops containing no
+// work calls are copy/index arithmetic and exempt from ctx-check rules.
+func IsWorkCall(info *types.Info, call *ast.CallExpr) bool {
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		return false
+	}
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if _, ok := info.Uses[fun].(*types.Builtin); ok {
+			return false
+		}
+	case *ast.SelectorExpr:
+		if _, ok := info.Uses[fun.Sel].(*types.Builtin); ok {
+			return false
+		}
+	}
+	return true
+}
+
+// PkgBase returns the final segment of an import path.
+func PkgBase(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+// InCmd reports whether path is a command tree ("cmd/..." anywhere in the
+// path), where ambient contexts are legitimate roots.
+func InCmd(path string) bool {
+	return strings.Contains("/"+path+"/", "/cmd/")
+}

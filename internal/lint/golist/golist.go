@@ -1,0 +1,131 @@
+// Package golist is prflint's standalone driver: it loads packages with
+// `go list -e -export -deps -json`, type-checks each module package from
+// source against the export data of its dependencies, and runs the
+// analyzer suite in dependency order so package facts (e.g.
+// cachekeycover's Query field inventory) flow from engine to serve exactly
+// as they do under `go vet -vettool`. This is the path scripts/lint.sh and
+// `prflint ./...` take.
+package golist
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/load"
+)
+
+// listPackage is the subset of `go list -json` output the driver needs.
+type listPackage struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Standard   bool
+	DepOnly    bool
+	Export     string
+	Module     *struct{ Path string }
+	Error      *struct{ Err string }
+}
+
+// Main analyzes the packages matching patterns and prints findings to
+// stderr. It returns the process exit code: 0 clean, 1 operational error,
+// 2 findings.
+func Main(patterns []string, analyzers []*analysis.Analyzer) int {
+	return run(patterns, analyzers, os.Stderr)
+}
+
+func run(patterns []string, analyzers []*analysis.Analyzer, stderr io.Writer) int {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := goList(patterns)
+	if err != nil {
+		fmt.Fprintf(stderr, "prflint: %v\n", err)
+		return 1
+	}
+
+	// Export data for every listed package, for import resolution.
+	exports := make(map[string]string)
+	for _, p := range pkgs {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+
+	facts := make(analysis.MemFacts)
+	exit := 0
+	for _, p := range pkgs { // `go list -deps` emits dependencies first
+		if p.Standard || p.Module == nil || p.Module.Path == "" {
+			continue
+		}
+		if p.Error != nil {
+			fmt.Fprintf(stderr, "prflint: %s: %s\n", p.ImportPath, p.Error.Err)
+			return 1
+		}
+		diags, fset, err := analyzeOne(p, analyzers, exports, facts)
+		if err != nil {
+			fmt.Fprintf(stderr, "prflint: %s: %v\n", p.ImportPath, err)
+			return 1
+		}
+		for _, d := range diags {
+			fmt.Fprintf(stderr, "%s: %s [%s]\n", fset.Position(d.Pos), d.Message, d.Analyzer)
+			exit = 2
+		}
+	}
+	return exit
+}
+
+func analyzeOne(p *listPackage, analyzers []*analysis.Analyzer, exports map[string]string, facts analysis.MemFacts) ([]analysis.Diagnostic, *token.FileSet, error) {
+	fset := token.NewFileSet()
+	names := make([]string, len(p.GoFiles))
+	for i, f := range p.GoFiles {
+		names[i] = filepath.Join(p.Dir, f)
+	}
+	files, err := load.ParseFiles(fset, names)
+	if err != nil {
+		return nil, nil, err
+	}
+	imp := load.ExportImporter(fset, nil, exports)
+	pkg, info, err := load.Check(fset, p.ImportPath, files, imp, "")
+	if err != nil {
+		return nil, nil, err
+	}
+	diags, exported, err := analysis.RunPackage(analyzers, fset, files, pkg, info, facts)
+	if err != nil {
+		return nil, nil, err
+	}
+	for name, data := range exported {
+		facts.Set(p.ImportPath, name, data)
+	}
+	return diags, fset, nil
+}
+
+// goList runs the go command and decodes its JSON package stream.
+func goList(patterns []string) ([]*listPackage, error) {
+	args := append([]string{"list", "-e", "-export", "-deps", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	var out, errBuf bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errBuf
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list: %w\n%s", err, errBuf.String())
+	}
+	dec := json.NewDecoder(&out)
+	var pkgs []*listPackage
+	for {
+		var p listPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decoding go list output: %w", err)
+		}
+		pkgs = append(pkgs, &p)
+	}
+	return pkgs, nil
+}

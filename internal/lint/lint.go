@@ -1,0 +1,25 @@
+// Package lint assembles the prflint analyzer suite. The five analyzers
+// each pin one invariant the engine's correctness rests on; see DESIGN.md
+// §"Static analysis architecture" for the analyzer ↔ invariant ↔ incident
+// mapping.
+package lint
+
+import (
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/analyzers/cachekeycover"
+	"repro/internal/lint/analyzers/ctxflow"
+	"repro/internal/lint/analyzers/errdiscipline"
+	"repro/internal/lint/analyzers/kernelpurity"
+	"repro/internal/lint/analyzers/poolhygiene"
+)
+
+// Analyzers returns the full suite, in a stable order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		cachekeycover.Analyzer,
+		ctxflow.Analyzer,
+		errdiscipline.Analyzer,
+		kernelpurity.Analyzer,
+		poolhygiene.Analyzer,
+	}
+}

@@ -1,0 +1,89 @@
+// Package load parses and type-checks one package's source files for the
+// lint drivers. Import resolution is pluggable: the go vet driver resolves
+// through export data named in vet.cfg, the standalone driver through
+// `go list -export` output, and the test harness through fixture sources —
+// all by supplying a types.Importer here.
+package load
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"strings"
+)
+
+// ParseFiles parses filenames (absolute paths) with comments retained.
+func ParseFiles(fset *token.FileSet, filenames []string) ([]*ast.File, error) {
+	files := make([]*ast.File, 0, len(filenames))
+	for _, name := range filenames {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// NewInfo allocates a types.Info with every map analyzers consult.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}
+
+// Check type-checks files as package path, resolving imports through imp.
+// goVersion may be "" or a "go1.N" string.
+func Check(fset *token.FileSet, path string, files []*ast.File, imp types.Importer, goVersion string) (*types.Package, *types.Info, error) {
+	info := NewInfo()
+	conf := types.Config{
+		Importer: imp,
+		Sizes:    types.SizesFor("gc", "amd64"),
+	}
+	if strings.HasPrefix(goVersion, "go1.") {
+		conf.GoVersion = goVersion
+	}
+	pkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, nil, err
+	}
+	return pkg, info, nil
+}
+
+// ExportImporter builds a types.Importer over compiler export data: imports
+// of path p are served from the .a file named by exports[canon(p)], where
+// canon applies importMap (source import path -> package path) first.
+// "unsafe" resolves to the builtin types.Unsafe package.
+func ExportImporter(fset *token.FileSet, importMap map[string]string, exports map[string]string) types.Importer {
+	lookup := func(path string) (io.ReadCloser, error) {
+		if canon, ok := importMap[path]; ok {
+			path = canon
+		}
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	return unsafeAware{importer.ForCompiler(fset, "gc", lookup)}
+}
+
+// unsafeAware short-circuits "unsafe", which has no export data on disk.
+type unsafeAware struct{ next types.Importer }
+
+func (u unsafeAware) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	return u.next.Import(path)
+}

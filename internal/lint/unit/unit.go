@@ -1,0 +1,210 @@
+// Package unit implements the `go vet -vettool` side of prflint: the
+// still-unpublished vet command-line protocol that cmd/go speaks to an
+// analysis tool. For every package in the build (including every
+// dependency, standard library included), cmd/go hands the tool a vet.cfg
+// describing the type-checked unit and expects:
+//
+//   - diagnostics on stderr and exit status 2 when there are findings
+//     (suppressed when cfg.VetxOnly says only facts are wanted),
+//   - a serialized fact file written to cfg.VetxOutput in every case, and
+//   - exit status 0 on type-check failure when
+//     cfg.SucceedOnTypecheckFailure is set (the compiler will report the
+//     error with better fidelity).
+//
+// Packages outside this module are never analyzed — prflint's invariants
+// are repo-specific — so their runs just write an empty fact file. Test
+// variants ("pkg [pkg.test]" IDs) are skipped the same way: the invariants
+// govern production code, and test files legitimately use the constructs
+// the analyzers ban (context.Background, fmt in kernels, panics).
+package unit
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/load"
+
+	"go/token"
+)
+
+// Config mirrors cmd/go's vetConfig JSON (cmd/go/internal/work/exec.go).
+type Config struct {
+	ID           string
+	Compiler     string
+	Dir          string
+	ImportPath   string
+	GoFiles      []string
+	NonGoFiles   []string
+	IgnoredFiles []string
+
+	ModulePath    string
+	ModuleVersion string
+	ImportMap     map[string]string
+	PackageFile   map[string]string
+	Standard      map[string]bool
+	PackageVetx   map[string]string
+	VetxOnly      bool
+	VetxOutput    string
+	GoVersion     string
+
+	SucceedOnTypecheckFailure bool
+}
+
+// Main runs the analyzers under the vet protocol for one vet.cfg and
+// exits. It never returns.
+func Main(cfgFile string, analyzers []*analysis.Analyzer) {
+	os.Exit(run(cfgFile, analyzers, os.Stderr))
+}
+
+func run(cfgFile string, analyzers []*analysis.Analyzer, stderr *os.File) int {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fmt.Fprintf(stderr, "prflint: %v\n", err)
+		return 1
+	}
+	var cfg Config
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(stderr, "prflint: parsing %s: %v\n", cfgFile, err)
+		return 1
+	}
+
+	// Empty fact set unless analysis below produces one; the output file
+	// must exist either way or cmd/go records the run as failed.
+	facts := map[string]json.RawMessage{}
+
+	if analyzable(&cfg) {
+		diags, exported, err := analyze(&cfg, analyzers)
+		switch {
+		case err != nil && cfg.SucceedOnTypecheckFailure:
+			// cmd/go's hack: the compile step reports the error.
+		case err != nil:
+			fmt.Fprintf(stderr, "prflint: %s: %v\n", cfg.ImportPath, err)
+			return 1
+		default:
+			facts = exported
+			if len(diags) > 0 && !cfg.VetxOnly {
+				fset := diags[0].fset
+				for _, d := range diags {
+					fmt.Fprintf(stderr, "%s: %s [%s]\n", fset.Position(d.Pos), d.Message, d.Analyzer)
+				}
+				writeVetx(&cfg, facts, stderr)
+				return 2
+			}
+		}
+	}
+	if !writeVetx(&cfg, facts, stderr) {
+		return 1
+	}
+	return 0
+}
+
+// analyzable reports whether this unit carries production code of this
+// module. go vet roots each package at its test-augmented variant, so a
+// variant unit is analyzed too — restricted to its non-test files (see
+// prodFiles). External test packages and generated test mains carry no
+// production code at all.
+func analyzable(cfg *Config) bool {
+	if cfg.ModulePath == "" {
+		return false
+	}
+	if strings.HasSuffix(cfg.ImportPath, ".test") || strings.HasSuffix(cfg.ImportPath, "_test") {
+		return false // generated test main / external test package
+	}
+	return cfg.ImportPath == cfg.ModulePath ||
+		strings.HasPrefix(cfg.ImportPath, cfg.ModulePath+"/")
+}
+
+// prodFiles drops _test.go files: the invariants govern production code,
+// and test files legitimately use the constructs the analyzers ban
+// (ambient contexts, fmt in kernels, panics via must-helpers). Test files
+// never export anything production files consume, so the remainder still
+// type-checks as the plain package.
+func prodFiles(files []string) []string {
+	out := files[:0:0]
+	for _, f := range files {
+		if !strings.HasSuffix(f, "_test.go") {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// posDiag carries the fileset a diagnostic was produced under so run can
+// render positions.
+type posDiag struct {
+	analysis.Diagnostic
+	fset *token.FileSet
+}
+
+func analyze(cfg *Config, analyzers []*analysis.Analyzer) ([]posDiag, map[string]json.RawMessage, error) {
+	goFiles := prodFiles(cfg.GoFiles)
+	if len(goFiles) == 0 {
+		return nil, map[string]json.RawMessage{}, nil
+	}
+	fset := token.NewFileSet()
+	files, err := load.ParseFiles(fset, goFiles)
+	if err != nil {
+		return nil, nil, err
+	}
+	imp := load.ExportImporter(fset, cfg.ImportMap, cfg.PackageFile)
+	pkg, info, err := load.Check(fset, cfg.ImportPath, files, imp, cfg.GoVersion)
+	if err != nil {
+		return nil, nil, err
+	}
+	diags, exported, err := analysis.RunPackage(analyzers, fset, files, pkg, info, vetxFacts{cfg: cfg})
+	if err != nil {
+		return nil, nil, err
+	}
+	out := make([]posDiag, len(diags))
+	for i, d := range diags {
+		out[i] = posDiag{Diagnostic: d, fset: fset}
+	}
+	return out, exported, nil
+}
+
+func writeVetx(cfg *Config, facts map[string]json.RawMessage, stderr *os.File) bool {
+	data, err := json.Marshal(facts)
+	if err == nil {
+		err = os.WriteFile(cfg.VetxOutput, data, 0o666)
+	}
+	if err != nil {
+		fmt.Fprintf(stderr, "prflint: writing facts: %v\n", err)
+		return false
+	}
+	return true
+}
+
+// vetxFacts reads dependency facts out of the .vetx files cmd/go shuttles
+// between vet runs (cfg.PackageVetx maps package path -> file).
+type vetxFacts struct {
+	cfg *Config
+}
+
+func (v vetxFacts) PackageFact(pkgPath, analyzer string) ([]byte, bool) {
+	file, ok := v.cfg.PackageVetx[pkgPath]
+	if !ok {
+		// Fact recorded under a test-variant ID ("path [x.test]").
+		for id, f := range v.cfg.PackageVetx {
+			if strings.HasPrefix(id, pkgPath+" ") {
+				file, ok = f, true
+				break
+			}
+		}
+	}
+	if !ok {
+		return nil, false
+	}
+	data, err := os.ReadFile(file)
+	if err != nil {
+		return nil, false
+	}
+	var byAnalyzer map[string]json.RawMessage
+	if json.Unmarshal(data, &byAnalyzer) != nil {
+		return nil, false
+	}
+	fact, ok := byAnalyzer[analyzer]
+	return fact, ok
+}

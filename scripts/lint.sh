@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Run prflint — the repo's own go/analysis suite — over the whole module,
+# exactly as the CI prflint job does: build cmd/prflint, then drive it
+# through `go vet -vettool` so analysis runs per compilation unit with
+# package facts (cachekeycover's Query inventory) flowing dependency-first.
+#
+# Findings print as `file:line:col: message [analyzer]` and exit non-zero.
+# A finding is silenced only by an explicit annotation carrying a reason:
+#   //lint:allow <analyzer> <reason>        one line
+#   //lint:file-allow <analyzer> <reason>   whole file
+# Reasonless suppressions are themselves reported, so the escape hatch
+# cannot rot into a blanket mute.
+#
+# Usage: scripts/lint.sh [packages...]   (default: ./...)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+go build -o "$tmp/prflint" ./cmd/prflint
+go vet -vettool="$tmp/prflint" "${@:-./...}"
