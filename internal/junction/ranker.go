@@ -292,6 +292,12 @@ func (pc *PreparedChain) QueryPRF(ctx context.Context, omega func(t pdb.Tuple, r
 	rd := pc.RankDistribution()
 	out := make([]float64, pc.Len())
 	for v := range out {
+		// One cancellation check per tuple row: the inner fold is Θ(n)
+		// calls into user-supplied ω, so a stuck deadline surfaces after
+		// at most one row, matching the engine's grid-point granularity.
+		if err := pdb.CtxErr(ctx); err != nil {
+			return nil, err
+		}
 		tu := pdb.Tuple{ID: pdb.TupleID(v), Score: pc.c.scores[v], Prob: pc.m[v][1]}
 		for j, p := range rd.Dist[v] {
 			if p != 0 {
