@@ -66,6 +66,7 @@ func (pn *PreparedNetwork) Marginal(v int) float64 { return pn.marg[v] }
 
 func (pn *PreparedNetwork) getEval() *dpEval {
 	if e, ok := pn.pool.Get().(*dpEval); ok {
+		e.reset()
 		return e
 	}
 	return pn.jt.newDPEval()
@@ -333,6 +334,7 @@ func (pc *PreparedChain) baseMat(j int) mat2 {
 }
 
 func (pc *PreparedChain) getEval() *chainEval {
+	//lint:allow poolhygiene prfeInto rewrites every leaf (real and padding) and rebuilds all internal products before any read, so a recycled tree carries no observable state
 	if e, ok := pc.pool.Get().(*chainEval); ok {
 		return e
 	}

@@ -121,6 +121,17 @@ func (jt *JTree) newDPEval() *dpEval {
 	return e
 }
 
+// reset clears the per-query delta mask before a pooled dpEval is handed
+// to a new query. acc and msg need no clearing — every DP pass replaces
+// their entries wholesale before reading them — but delta is read-modify
+// (callers flip individual bits), so a stale mask from the previous query
+// would silently count the wrong variables.
+func (e *dpEval) reset() {
+	for i := range e.delta {
+		e.delta[i] = false
+	}
+}
+
 // unitVec and zeroVec are shared read-only seed vectors: the DP only ever
 // replaces acc/msg entries, never writes through them.
 var (
