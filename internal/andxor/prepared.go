@@ -95,6 +95,7 @@ func (pt *PreparedTree) PRFe(alpha complex128) []complex128 {
 // GOMAXPROCS goroutines; each worker drains its share of the grid with one
 // pooled evaluation state. out[a] equals PRFe(alphas[a]) bit-for-bit.
 func (pt *PreparedTree) PRFeBatch(alphas []complex128) [][]complex128 {
+	//lint:allow ctxflow ctx-free compatibility API; the engine's query path uses prfeBatchCtx with the caller's ctx
 	out, err := pt.prfeBatchCtx(context.Background(), alphas)
 	pdb.MustNoErr(err) // Background never cancels
 	return out
@@ -158,6 +159,7 @@ func (pt *PreparedTree) RankPRFe(alpha float64) pdb.Ranking {
 // parallel. out[a] equals RankPRFe(alphas[a]) bit-for-bit.
 func (pt *PreparedTree) RankPRFeBatch(alphas []float64) []pdb.Ranking {
 	out := make([]pdb.Ranking, len(alphas))
+	//lint:allow ctxflow ctx-free compatibility API; the engine's query path uses rankBatch with the caller's ctx
 	pdb.MustNoErr(pt.rankBatch(context.Background(), alphas, func(a int, r pdb.Ranking) { out[a] = r }))
 	return out
 }
@@ -167,6 +169,7 @@ func (pt *PreparedTree) RankPRFeBatch(alphas []float64) []pdb.Ranking {
 // RankPRFe(alphas[a]).TopK(k).
 func (pt *PreparedTree) TopKPRFeBatch(alphas []float64, k int) []pdb.Ranking {
 	out := make([]pdb.Ranking, len(alphas))
+	//lint:allow ctxflow ctx-free compatibility API; the engine's query path uses rankBatch with the caller's ctx
 	pdb.MustNoErr(pt.rankBatch(context.Background(), alphas, func(a int, r pdb.Ranking) { out[a] = r.TopK(k) }))
 	return out
 }

@@ -1,6 +1,7 @@
 package andxor
 
 import (
+	"repro/internal/exact"
 	"repro/internal/pdb"
 )
 
@@ -119,7 +120,7 @@ func updateProd(prod complex128, zeros int, old, new complex128) (complex128, in
 // path to the root.
 func (e *prfeEval) setLeaf(l *Node, newAA, newA0 complex128) {
 	oldAA, oldA0 := e.vAA[l.idx], e.vA0[l.idx]
-	if oldAA == newAA && oldA0 == newA0 {
+	if exact.SameC(oldAA, newAA) && exact.SameC(oldA0, newA0) {
 		return
 	}
 	e.vAA[l.idx], e.vA0[l.idx] = newAA, newA0

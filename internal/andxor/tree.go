@@ -28,11 +28,12 @@ package andxor
 
 import (
 	"errors"
-	"fmt"
+	"fmt" //lint:allow kernelpurity fmt.Errorf/Sprintf on construction and validation paths only; no formatting in the per-tuple inner loops
 	"math"
-	"math/rand"
+	"math/rand" //lint:allow kernelpurity rand.Rand is an injected parameter type; Sample never draws from ambient global randomness
 	"sort"
 
+	"repro/internal/exact"
 	"repro/internal/pdb"
 )
 
@@ -275,6 +276,7 @@ func (t *Tree) Dataset() *pdb.Dataset {
 	if err != nil {
 		// Marginals are products of validated probabilities; failure here is
 		// a bug in this package, not caller error.
+		//lint:allow errdiscipline internal invariant: validated marginals cannot fail FromTuples, so this is unreachable absent a bug here
 		panic(err)
 	}
 	return d
@@ -289,7 +291,7 @@ func (t *Tree) sortedLeafOrder() []pdb.TupleID {
 	}
 	sort.SliceStable(ids, func(a, b int) bool {
 		la, lb := t.leaves[ids[a]], t.leaves[ids[b]]
-		if la.score != lb.score {
+		if !exact.Same(la.score, lb.score) {
 			return la.score > lb.score
 		}
 		return la.id < lb.id
@@ -325,7 +327,7 @@ func (t *Tree) Sample(rng *rand.Rand) pdb.World {
 	walk(t.root)
 	sort.Slice(present, func(a, b int) bool {
 		la, lb := t.leaves[present[a]], t.leaves[present[b]]
-		if la.score != lb.score {
+		if !exact.Same(la.score, lb.score) {
 			return la.score > lb.score
 		}
 		return la.id < lb.id
@@ -357,7 +359,7 @@ func (t *Tree) EnumerateWorlds(maxWorlds int) ([]pdb.World, error) {
 	for _, s := range sets {
 		sort.Slice(s.ids, func(a, b int) bool {
 			la, lb := t.leaves[s.ids[a]], t.leaves[s.ids[b]]
-			if la.score != lb.score {
+			if !exact.Same(la.score, lb.score) {
 				return la.score > lb.score
 			}
 			return la.id < lb.id

@@ -1,7 +1,7 @@
 package andxor
 
 import (
-	"fmt"
+	"fmt" //lint:allow kernelpurity fmt.Errorf/Sprintf on construction and validation paths only; no formatting in the per-tuple inner loops
 	"math/cmplx"
 	"sort"
 

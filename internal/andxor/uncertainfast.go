@@ -4,6 +4,7 @@ import (
 	"math"
 	"sort"
 
+	"repro/internal/exact"
 	"repro/internal/pdb"
 )
 
@@ -49,7 +50,7 @@ func sortAlternatives(groups [][]Alternative) []scoredAlt {
 		}
 	}
 	sort.SliceStable(alts, func(i, j int) bool {
-		if alts[i].score != alts[j].score {
+		if !exact.Same(alts[i].score, alts[j].score) {
 			return alts[i].score > alts[j].score
 		}
 		if alts[i].group != alts[j].group {

@@ -5,6 +5,9 @@
 // loop it b.N times.
 package benchwork
 
+//lint:file-allow ctxflow benchmark drivers are context roots: the bench run owns its lifetime and has no caller to receive a deadline from
+//lint:file-allow errdiscipline bench fixtures fail fast: a broken fixture must abort the run rather than record a bogus measurement
+
 import (
 	"bytes"
 	"context"

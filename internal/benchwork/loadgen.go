@@ -1,5 +1,7 @@
 package benchwork
 
+//lint:file-allow errdiscipline bench fixtures fail fast: a broken fixture must abort the run rather than record a bogus measurement
+
 // The load-generator arm of cmd/bench: a vegeta-style closed-loop driver
 // that measures the serving layer the way a service is measured — QPS and
 // latency percentiles under concurrency against a live HTTP server (the

@@ -1,5 +1,8 @@
 package benchwork
 
+//lint:file-allow ctxflow benchmark drivers are context roots: the bench run owns its lifetime and has no caller to receive a deadline from
+//lint:file-allow errdiscipline bench fixtures fail fast: a broken fixture must abort the run rather than record a bogus measurement
+
 // Sharded-kernel workloads (PR 7): the PT(h) ladder (per-h scalar vs fused
 // vs shard-parallel), the lane-split PRFe log kernel, the prefix-resumed
 // ERank shards, the Parallelism-knob engine sweep and the Section 5.2

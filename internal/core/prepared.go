@@ -8,6 +8,7 @@ import (
 	"sort"
 	"sync"
 
+	"repro/internal/exact"
 	"repro/internal/par"
 	"repro/internal/pdb"
 )
@@ -95,7 +96,7 @@ func Prepare(d *pdb.Dataset) *Prepared {
 	// unstable sort yields the same permutation as SortByScore's stable one.
 	sort.Slice(idx, func(a, b int) bool {
 		ta, tb := ts[idx[a]], ts[idx[b]]
-		if ta.Score != tb.Score {
+		if !exact.Same(ta.Score, tb.Score) {
 			return ta.Score > tb.Score
 		}
 		return ta.ID < tb.ID
@@ -550,7 +551,7 @@ func (v *Prepared) CrossingPointReference(i, j int) (float64, bool) {
 	}
 	lo, hi := crossEps, 1.0
 	flo, fhi := logRho(lo), logRho(hi)
-	if flo == fhi || (flo < 0) == (fhi < 0) {
+	if exact.Same(flo, fhi) || (flo < 0) == (fhi < 0) {
 		return 0, false // same sign at both ends: no swap in (0,1)
 	}
 	for iter := 0; iter < 200 && hi-lo > 1e-14; iter++ {
@@ -597,6 +598,7 @@ func (v *Prepared) PRFeLogBatch(alphas []complex128) [][]float64 {
 // falls back to per-α evaluation parallelized across GOMAXPROCS workers.
 func (v *Prepared) RankPRFeBatch(alphas []float64) []pdb.Ranking {
 	if len(alphas) >= 2 && gridForSweep(alphas) {
+		//lint:allow ctxflow ctx-free compatibility API; the engine's query path uses RankPRFeSweep with the caller's ctx
 		out, err := v.RankPRFeSweep(context.Background(), alphas)
 		pdb.MustNoErr(err) // grid pre-checked and ctx never cancels
 		return out
@@ -609,6 +611,7 @@ func (v *Prepared) RankPRFeBatch(alphas []float64) []pdb.Ranking {
 // monotone α grids. Each worker owns one value buffer for its whole share
 // of the batch, so the per-query allocations are the output rankings alone.
 func (v *Prepared) RankPRFeBatchParallel(alphas []float64) []pdb.Ranking {
+	//lint:allow ctxflow ctx-free compatibility API; the engine's query path uses rankPRFeParallelCtx with the caller's ctx
 	out, err := v.rankPRFeParallelCtx(context.Background(), alphas)
 	pdb.MustNoErr(err) // Background never cancels
 	return out
@@ -635,6 +638,7 @@ func (v *Prepared) rankPRFeParallelCtx(ctx context.Context, alphas []float64) ([
 // in (0, 1] ride the kinetic sweep; other batches run per-α in parallel.
 func (v *Prepared) TopKPRFeBatch(alphas []float64, k int) []pdb.Ranking {
 	if len(alphas) >= 2 && gridForSweep(alphas) {
+		//lint:allow ctxflow ctx-free compatibility API; the engine's query path uses TopKPRFeSweep with the caller's ctx
 		out, err := v.TopKPRFeSweep(context.Background(), alphas, k)
 		pdb.MustNoErr(err) // grid pre-checked and ctx never cancels
 		return out
@@ -647,6 +651,7 @@ func (v *Prepared) TopKPRFeBatch(alphas []float64, k int) []pdb.Ranking {
 // one full-ranking scratch for all its queries — only the k-length answers
 // are fresh allocations.
 func (v *Prepared) TopKPRFeBatchParallel(alphas []float64, k int) []pdb.Ranking {
+	//lint:allow ctxflow ctx-free compatibility API; the engine's query path uses topKPRFeParallelCtx with the caller's ctx
 	out, err := v.topKPRFeParallelCtx(context.Background(), alphas, k)
 	pdb.MustNoErr(err) // Background never cancels
 	return out

@@ -71,6 +71,7 @@ func shardBounds(n, p int) []int {
 func checkLadder(hs []int) {
 	for k, h := range hs {
 		if h < 0 || (k > 0 && h <= hs[k-1]) {
+			//lint:allow errdiscipline documented precondition assert on a caller-built ladder, hit before any per-tuple work; tests assert the panic
 			panic("core: PT(h) ladder must be strictly increasing and non-negative")
 		}
 	}

@@ -3,10 +3,11 @@ package core
 import (
 	"context"
 	"errors"
-	"fmt"
+	"fmt" //lint:allow kernelpurity fmt.Errorf/Sprintf on construction and validation paths only; no formatting in the per-tuple inner loops
 	"math"
 	"slices"
 
+	"repro/internal/exact"
 	"repro/internal/pdb"
 )
 
@@ -92,7 +93,7 @@ type sweepEvent struct {
 type eventHeap []sweepEvent
 
 func (h eventHeap) before(a, b sweepEvent) bool {
-	if a.beta != b.beta {
+	if !exact.Same(a.beta, b.beta) {
 		return a.beta < b.beta
 	}
 	return a.k < b.k
@@ -310,7 +311,7 @@ func (s *Sweep) DistinctCrossingTimes() int { return s.distinctTimes }
 // copies. (PRFe log-values are never NaN, so no NaN arm is needed.)
 func (s *Sweep) above(a, b int) bool {
 	va, vb := s.vals[a], s.vals[b]
-	if va != vb {
+	if !exact.Same(va, vb) {
 		return va > vb
 	}
 	return s.v.ids[a] < s.v.ids[b]
@@ -478,7 +479,7 @@ func (s *Sweep) advanceBounded(target float64, budget int) bool {
 			}
 			s.perm[k], s.perm[k+1] = int(e.right), int(e.left)
 			s.crossings++
-			if e.beta != s.lastBeta {
+			if !exact.Same(e.beta, s.lastBeta) {
 				s.distinctTimes++
 				s.lastBeta = e.beta
 			}
@@ -798,7 +799,7 @@ func (s *Sweep) productRoot(c *solveCtx, lo, hi, flo, seed float64) float64 {
 			break
 		}
 		nx := 0.5 * (lo + hi)
-		if f1 != f0 {
+		if !exact.Same(f1, f0) {
 			if sx := x1 - f1*(x1-x0)/(f1-f0); sx > lo && sx < hi {
 				nx = sx
 			}
@@ -1059,7 +1060,7 @@ func (v *Prepared) RankPRFeSweep(ctx context.Context, alphas []float64) ([]pdb.R
 		return nil, errSweepGrid
 	}
 	if ctx == nil {
-		ctx = context.Background()
+		ctx = context.Background() //lint:allow ctxflow nil-ctx normalization: Background is the documented nil fallback
 	}
 	out := make([]pdb.Ranking, len(alphas))
 	s := v.newSweep(alphas[0], true)
@@ -1084,7 +1085,7 @@ func (v *Prepared) TopKPRFeSweep(ctx context.Context, alphas []float64, k int) (
 		return nil, errSweepGrid
 	}
 	if ctx == nil {
-		ctx = context.Background()
+		ctx = context.Background() //lint:allow ctxflow nil-ctx normalization: Background is the documented nil fallback
 	}
 	out := make([]pdb.Ranking, len(alphas))
 	s := v.newSweep(alphas[0], true)

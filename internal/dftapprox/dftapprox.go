@@ -23,6 +23,7 @@ import (
 	"math/cmplx"
 	"sort"
 
+	"repro/internal/exact"
 	"repro/internal/fft"
 )
 
@@ -159,7 +160,7 @@ func Approximate(omega func(i int) float64, n int, opts Options) []Term {
 	}
 	sort.Slice(order, func(a, b int) bool {
 		ma, mb := cmplx.Abs(psi[order[a]]), cmplx.Abs(psi[order[b]])
-		if ma != mb {
+		if !exact.Same(ma, mb) {
 			return ma > mb
 		}
 		return order[a] < order[b]
@@ -189,6 +190,7 @@ func Approximate(omega func(i int) float64, n int, opts Options) []Term {
 	terms := make([]Term, 0, len(chosen))
 	ks := make([]int, 0, len(chosen))
 	for k := range chosen {
+		//lint:allow kernelpurity the collected keys are sorted immediately below
 		ks = append(ks, k)
 	}
 	sort.Ints(ks)

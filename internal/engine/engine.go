@@ -187,6 +187,7 @@ type Query struct {
 	H int
 	// Omega is the arbitrary weight function for MetricPRF. Must be O(1)
 	// per call.
+	// prflint:uncacheable function values cannot be hashed or transported; CacheKey refuses Omega queries and the wire layer selects weights via Metric+Weights
 	Omega func(t pdb.Tuple, rank int) float64
 	// Terms are the PRFe-combination terms for MetricPRFeCombo.
 	Terms []core.ExpTerm

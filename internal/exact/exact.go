@@ -1,0 +1,29 @@
+// Package exact is the engine's exactness tier: the only sanctioned home
+// for IEEE-754 equality on floating-point values. Everywhere else a float
+// ==/!= is presumed to be a rounding accident (and the kernelpurity
+// analyzer flags it); routing a comparison through this package is an
+// explicit declaration that bit-for-bit identity is the contract.
+//
+// The legitimate uses in this engine are:
+//
+//   - tie detection inside total-order comparators, where the fallback key
+//     (tuple ID, variable index) makes the order deterministic whichever
+//     way rounding lands;
+//   - change detection in memoized update paths, where a false "different"
+//     merely costs a recomputation and a false "same" is impossible
+//     because the compared values are copies of each other;
+//   - sign/endpoint bookkeeping in bracketing root-finders, where the
+//     values being compared were produced by the very same expression.
+//
+// Same and SameC are trivially inlined; there is no performance cost to
+// making the intent explicit.
+package exact
+
+// Same reports whether a and b are the same IEEE-754 value under Go's ==
+// (so -0 == 0, and NaN is never the Same as anything, including itself).
+// Use it only where exact identity is the contract, never as a proximity
+// test.
+func Same(a, b float64) bool { return a == b }
+
+// SameC is Same for complex128 values: both components must be == equal.
+func SameC(a, b complex128) bool { return a == b }

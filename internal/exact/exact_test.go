@@ -1,0 +1,36 @@
+package exact
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSame(t *testing.T) {
+	cases := []struct {
+		a, b float64
+		want bool
+	}{
+		{1.5, 1.5, true},
+		{1.5, 1.5000000000000002, false},
+		{0, math.Copysign(0, -1), true}, // IEEE ==: -0 is the same as 0
+		{math.NaN(), math.NaN(), false}, // NaN is never Same, even as itself
+		{math.Inf(1), math.Inf(1), true},
+	}
+	for _, c := range cases {
+		if got := Same(c.a, c.b); got != c.want {
+			t.Errorf("Same(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestSameC(t *testing.T) {
+	if !SameC(complex(1, 2), complex(1, 2)) {
+		t.Error("SameC(1+2i, 1+2i) = false")
+	}
+	if SameC(complex(1, 2), complex(1, 2.0000000000000004)) {
+		t.Error("SameC reported distinct imaginary parts as the same")
+	}
+	if SameC(complex(math.NaN(), 0), complex(math.NaN(), 0)) {
+		t.Error("SameC(NaN+0i, NaN+0i) = true, want false")
+	}
+}

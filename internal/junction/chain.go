@@ -2,9 +2,10 @@ package junction
 
 import (
 	"errors"
-	"fmt"
+	"fmt" //lint:allow kernelpurity fmt.Errorf/Sprintf on construction and validation paths only; no formatting in the per-tuple inner loops
 	"math"
 
+	"repro/internal/exact"
 	"repro/internal/pdb"
 )
 
@@ -107,7 +108,7 @@ func (c *Chain) RankDistribution() *pdb.RankDistribution {
 	for i := 1; i < n; i++ {
 		for j := i; j > 0; j-- {
 			a, b := order[j-1], order[j]
-			if c.scores[b] > c.scores[a] || (c.scores[b] == c.scores[a] && b < a) {
+			if c.scores[b] > c.scores[a] || (exact.Same(c.scores[b], c.scores[a]) && b < a) {
 				order[j-1], order[j] = order[j], order[j-1]
 			} else {
 				break

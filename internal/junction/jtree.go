@@ -2,7 +2,7 @@ package junction
 
 import (
 	"errors"
-	"fmt"
+	"fmt" //lint:allow kernelpurity fmt.Errorf/Sprintf on construction and validation paths only; no formatting in the per-tuple inner loops
 	"sort"
 	"sync"
 )
@@ -161,6 +161,7 @@ func aliveNeighbors(g []map[int]bool, alive []bool, v int) []int {
 	var out []int
 	for u := range g[v] {
 		if alive[u] {
+			//lint:allow kernelpurity the collected neighbors are sorted immediately below
 			out = append(out, u)
 		}
 	}

@@ -33,10 +33,11 @@ package junction
 
 import (
 	"errors"
-	"fmt"
+	"fmt" //lint:allow kernelpurity fmt.Errorf/Sprintf on construction and validation paths only; no formatting in the per-tuple inner loops
 	"math"
 	"sort"
 
+	"repro/internal/exact"
 	"repro/internal/pdb"
 )
 
@@ -130,7 +131,7 @@ func (net *Network) sortedOrder() []int {
 		order[i] = i
 	}
 	sort.SliceStable(order, func(a, b int) bool {
-		if net.scores[order[a]] != net.scores[order[b]] {
+		if !exact.Same(net.scores[order[a]], net.scores[order[b]]) {
 			return net.scores[order[a]] > net.scores[order[b]]
 		}
 		return order[a] < order[b]

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"sync"
 
+	"repro/internal/exact"
 	"repro/internal/par"
 	"repro/internal/pdb"
 )
@@ -120,6 +121,7 @@ func (pn *PreparedNetwork) PRFe(alpha complex128) []complex128 {
 // per-α folds fan out across GOMAXPROCS goroutines. out[a] equals
 // PRFe(alphas[a]) bit-for-bit.
 func (pn *PreparedNetwork) PRFeBatch(alphas []complex128) [][]complex128 {
+	//lint:allow ctxflow ctx-free compatibility API; the engine's query path uses prfeBatchCtx with the caller's ctx
 	out, err := pn.prfeBatchCtx(context.Background(), alphas)
 	pdb.MustNoErr(err)
 	return out
@@ -259,7 +261,7 @@ func PrepareChain(c *Chain) *PreparedChain {
 	// exact permutation Chain.RankDistribution's order uses.
 	scores := c.scores
 	sort.SliceStable(pc.order, func(a, b int) bool {
-		if scores[pc.order[a]] != scores[pc.order[b]] {
+		if !exact.Same(scores[pc.order[a]], scores[pc.order[b]]) {
 			return scores[pc.order[a]] > scores[pc.order[b]]
 		}
 		return pc.order[a] < pc.order[b]
@@ -382,6 +384,7 @@ func (pc *PreparedChain) PRFe(alpha complex128) []complex128 {
 // GOMAXPROCS goroutines with one pooled product tree per worker. out[a]
 // equals PRFe(alphas[a]) bit-for-bit.
 func (pc *PreparedChain) PRFeBatch(alphas []complex128) [][]complex128 {
+	//lint:allow ctxflow ctx-free compatibility API; the engine's query path uses prfeBatchCtx with the caller's ctx
 	out, err := pc.prfeBatchCtx(context.Background(), alphas)
 	pdb.MustNoErr(err)
 	return out
@@ -424,6 +427,7 @@ func (pc *PreparedChain) RankPRFe(alpha float64) pdb.Ranking {
 // fresh allocations.
 func (pc *PreparedChain) RankPRFeBatch(alphas []float64) []pdb.Ranking {
 	out := make([]pdb.Ranking, len(alphas))
+	//lint:allow ctxflow ctx-free compatibility API; the engine's query path uses rankBatchCtx with the caller's ctx
 	pdb.MustNoErr(pc.rankBatchCtx(context.Background(), alphas, func(a int, r pdb.Ranking) { out[a] = r }))
 	return out
 }

@@ -51,6 +51,7 @@ func LearnAlpha(sample *pdb.Dataset, user pdb.Ranking, k, iters int) AlphaResult
 	// Sort once; the search evaluates many α — each refinement round's nine
 	// ascending probes are a monotone grid, so one kinetic sweep answers the
 	// whole round off a single sort instead of nine independent re-sorts.
+	//lint:allow ctxflow legacy ctx-free wrapper; callers needing deadlines use LearnAlphaRanker directly
 	return mustAlpha(LearnAlphaRanker(context.Background(), core.Prepare(sample), user, k, iters))
 }
 
@@ -60,6 +61,7 @@ func LearnAlpha(sample *pdb.Dataset, user pdb.Ranking, k, iters int) AlphaResult
 // PreparedTree — the tree is indexed once and each refinement round's
 // nine-point grid runs as one parallel batch.
 func LearnAlphaTree(sample *andxor.Tree, user pdb.Ranking, k, iters int) AlphaResult {
+	//lint:allow ctxflow legacy ctx-free wrapper; callers needing deadlines use LearnAlphaRanker directly
 	return mustAlpha(LearnAlphaRanker(context.Background(), andxor.PrepareTree(sample), user, k, iters))
 }
 
@@ -242,8 +244,10 @@ func RankWithOmega(d *pdb.Dataset, w []float64) pdb.Ranking {
 // exhaustive reference LearnAlpha is checked against, and the data series
 // behind the Figure 7-style distance-vs-α curves.
 func GridScanAlpha(sample *pdb.Dataset, user pdb.Ranking, k, gridSize int) (alphas, dists []float64) {
+	//lint:allow ctxflow legacy ctx-free wrapper; callers needing deadlines use GridScanAlphaRanker directly
 	alphas, dists, err := GridScanAlphaRanker(context.Background(), core.Prepare(sample), user, k, gridSize)
 	if err != nil {
+		//lint:allow errdiscipline legacy ctx-free wrapper: with in-process data and a Background ctx an error means caller misuse, matching mustAlpha
 		panic(err)
 	}
 	return alphas, dists

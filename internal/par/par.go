@@ -37,7 +37,7 @@ func WithLimit(ctx context.Context, p int) context.Context {
 		return ctx
 	}
 	if ctx == nil {
-		ctx = context.Background()
+		ctx = context.Background() //lint:allow ctxflow nil-ctx normalization: Background is the documented nil fallback
 	}
 	return context.WithValue(ctx, limitKey{}, p)
 }
@@ -116,7 +116,7 @@ func For(jobs int, fn func(j int)) {
 // (one grid point, one tuple block) for prompt aborts.
 func ForWorkersCtx(ctx context.Context, workers, jobs int, fn func(worker, job int)) error {
 	if ctx == nil {
-		ctx = context.Background()
+		ctx = context.Background() //lint:allow ctxflow nil-ctx normalization: Background is the documented nil fallback
 	}
 	done := ctx.Done()
 	if done == nil {

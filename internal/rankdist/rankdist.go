@@ -7,7 +7,7 @@
 package rankdist
 
 import (
-	"fmt"
+	"fmt" //lint:allow kernelpurity fmt.Errorf/Sprintf on construction and validation paths only; no formatting in the per-tuple inner loops
 
 	"repro/internal/pdb"
 )
@@ -96,6 +96,7 @@ func positions(r pdb.Ranking) map[pdb.TupleID]int {
 	m := make(map[pdb.TupleID]int, len(r))
 	for i, id := range r {
 		if _, dup := m[id]; dup {
+			//lint:allow errdiscipline documented contract: rankings are engine-produced permutations, so a duplicate is a caller bug; tests assert the panic
 			panic(fmt.Sprintf("rankdist: duplicate tuple %d in ranking", id))
 		}
 		m[id] = i
@@ -109,6 +110,7 @@ func positions(r pdb.Ranking) map[pdb.TupleID]int {
 // the same set.
 func KendallFull(r1, r2 pdb.Ranking) float64 {
 	if len(r1) != len(r2) {
+		//lint:allow errdiscipline documented contract: KendallFull panics on non-permutation input; tests assert the panic
 		panic("rankdist: full rankings differ in length")
 	}
 	n := len(r1)
@@ -120,6 +122,7 @@ func KendallFull(r1, r2 pdb.Ranking) float64 {
 	for i, id := range r1 {
 		p, ok := pos2[id]
 		if !ok {
+			//lint:allow errdiscipline documented contract: KendallFull panics on non-permutation input; tests assert the panic
 			panic(fmt.Sprintf("rankdist: tuple %d missing from second ranking", id))
 		}
 		seq[i] = p

@@ -219,6 +219,7 @@ func Serve(ctx context.Context, addr string, s *RankServer) error {
 	case err := <-errCh:
 		return err
 	case <-ctx.Done():
+		//lint:allow ctxflow the graceful-shutdown timeout must outlive the already-cancelled parent ctx
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := srv.Shutdown(shutdownCtx); err != nil {
