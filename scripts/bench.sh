@@ -8,8 +8,8 @@
 # α refinement over the engine's Ranker interface), and the consensus-
 # semantics arms (semantics/*: Global-Topk, Expected-Rank and Median-Rank
 # through the unified engine).
-# Usage: scripts/bench.sh [OUT.json]   (default: BENCH_8.json in the repo root)
+# Usage: scripts/bench.sh [OUT.json]   (default: BENCH_9.json in the repo root)
 set -euo pipefail
 cd "$(dirname "$0")/.."
-out="${1:-BENCH_8.json}"
+out="${1:-BENCH_9.json}"
 go run ./cmd/bench -out "$out"
