@@ -75,6 +75,8 @@
 package main
 
 import (
+	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -90,6 +92,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/serve"
+	"repro/internal/store"
 )
 
 // Result is one measured benchmark case. GOMAXPROCS and Parallelism record
@@ -142,7 +145,10 @@ type Report struct {
 	// at forced GOMAXPROCS settings (one section per setting) over the
 	// -sharded-n dataset, recording speedup-vs-cores.
 	Multicore []Section `json:"multicore,omitempty"`
-	Smoke     *Section  `json:"smoke,omitempty"`
+	// Store holds the persistent-store arms re-run at -store-n (the
+	// cold-open acceptance size), separate from the full-size section.
+	Store *Section `json:"store,omitempty"`
+	Smoke *Section `json:"smoke,omitempty"`
 }
 
 // LoadReport is the load-generator block of the report: the hot dashboard
@@ -380,6 +386,12 @@ func runSuite(n, grid, terms, chainN int, meas measureFunc) Section {
 	srvBatchGz := add("serve/cached/rankbatch-sweep-gzip", func() { benchwork.ServeRoundTripGzip(client, cachedSrv.URL+"/rankbatch", batchBody) })
 	add("serve/rankbatch-stream", func() { benchwork.ServeRoundTrip(client, uncachedSrv.URL+"/rankbatch", streamBody) })
 
+	// Persistent-store arms (PR 10): the disk-backed segment path against
+	// the CSV text path it replaces. Cold-open decodes a segment and fully
+	// materializes the sorted view; the cold top-k arm answers through the
+	// certified partial-materialization path, reading only a prefix.
+	runStoreArms(n, add, sec.Speedups, meas != nil, "")
+
 	// Cold-storm pair: wall time for rounds × conc identical never-seen
 	// requests, wire-layer single-flight on vs off. Wall-time measured (not
 	// ns/op): the latch's value is what N callers experience together. The
@@ -461,6 +473,84 @@ func runSuite(n, grid, terms, chainN int, meas measureFunc) Section {
 			float64(noLatchTime.Nanoseconds()) / float64(latchTime.Nanoseconds())
 	}
 	return sec
+}
+
+// runStoreArms registers the persistent-store workloads at size n: the CSV
+// parse+prepare baseline (the path every load took before the store), the
+// segment cold open (header + checksum-verified section reads + FromSorted,
+// no text parsing, no sort), and the cold certified top-k (partial
+// materialization: only a score-order prefix is read, the tail is bounded
+// away). Speedup keys get keySuffix appended so the -store-n trajectory can
+// coexist with the in-suite arms.
+func runStoreArms(n int, add func(name string, op func()) Result,
+	speedups map[string]float64, measured bool, keySuffix string) {
+	d := benchwork.Dataset(n)
+	var csv bytes.Buffer
+	for _, t := range d.Tuples() {
+		fmt.Fprintf(&csv, "%v,%v\n", t.Score, t.Prob)
+	}
+	ds, err := store.Parse(store.KindIndependent, bytes.NewReader(csv.Bytes()))
+	if err != nil {
+		panic(err) // fixture invariant: datagen output always parses
+	}
+	dir, err := os.MkdirTemp("", "prfbench-store-")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(dir)
+	st, err := store.Open(dir)
+	if err != nil {
+		panic(err)
+	}
+	if _, err := st.Import("bench", ds); err != nil {
+		panic(err)
+	}
+	ctx := context.Background()
+
+	csvArm := add("store/csv-parse-prepare", func() {
+		ds2, err := store.Parse(store.KindIndependent, bytes.NewReader(csv.Bytes()))
+		if err != nil {
+			panic(err)
+		}
+		if _, err := ds2.Engine(); err != nil {
+			panic(err)
+		}
+	})
+	coldArm := add("store/cold-open", func() {
+		h, err := st.OpenHandle("bench")
+		if err != nil {
+			panic(err)
+		}
+		// Materialize owns and closes the handle.
+		if _, err := store.NewLazy(h).Materialize(ctx); err != nil {
+			panic(err)
+		}
+	})
+	var readFraction float64 // file size over bytes read, from the last run
+	topkArm := add("store/topk-cold-partial", func() {
+		h, err := st.OpenHandle("bench")
+		if err != nil {
+			panic(err)
+		}
+		lz := store.NewLazy(h)
+		if _, err := lz.QueryTopKPRFeBatch(ctx, []float64{0.95}, 10); err != nil {
+			panic(err)
+		}
+		if br := lz.BytesRead(); br > 0 {
+			readFraction = float64(h.SizeBytes()) / float64(br)
+		}
+		_ = h.Close() // already closed if the query fell back to a full load
+	})
+	if !measured {
+		return
+	}
+	speedups["store cold-open vs csv parse+prepare"+keySuffix] = csvArm.NsPerOp / coldArm.NsPerOp
+	speedups["store cold topk vs cold full open"+keySuffix] = coldArm.NsPerOp / topkArm.NsPerOp
+	// o(n) evidence for the partial path: how many times over the top-k
+	// query could have re-read the file with the bytes it did not touch.
+	// ~1 when the dataset is too small for partial eligibility (the query
+	// falls back to a full load), large when only a prefix was needed.
+	speedups["store cold topk file bytes over bytes read"+keySuffix] = readFraction
 }
 
 // multicoreSettings returns the forced-GOMAXPROCS trajectory points
@@ -572,6 +662,7 @@ func main() {
 		loadDur   = flag.Duration("load-dur", 2*time.Second, "load arm: run duration (0 disables the load arm)")
 		loadAddr  = flag.String("load-addr", "", "load arm: external server base URL (default: in-process fixture)")
 		shardedN  = flag.Int("sharded-n", 100000, "multi-core trajectory: dataset size for the sharded kernel arms (0 disables)")
+		storeN    = flag.Int("store-n", 100000, "persistent-store trajectory: dataset size for the cold-open arms (0 disables)")
 	)
 	flag.Parse()
 
@@ -618,6 +709,24 @@ func main() {
 		fmt.Printf("\nmulti-core trajectory at n=%d…\n", *shardedN)
 		report.Multicore = runMulticore(*shardedN, benchwork.Ladder(10, 10), fullMeasure)
 		multicoreHeadlines(report.Multicore, report.Speedups)
+	}
+	if *storeN > 0 {
+		fmt.Printf("\npersistent-store trajectory at n=%d…\n", *storeN)
+		ssec := Section{N: *storeN, GOMAXPROCS: runtime.GOMAXPROCS(0),
+			NumCPU: runtime.NumCPU(), Speedups: map[string]float64{}}
+		add := func(name string, op func()) Result {
+			r := fullMeasure(name, op)
+			r.GOMAXPROCS = runtime.GOMAXPROCS(0)
+			ssec.Results = append(ssec.Results, r)
+			fmt.Printf("%-44s %12.3f ms/op  (%d iters, %d allocs/op)\n",
+				r.Name, r.MsPerOp, r.Iters, r.AllocsOp)
+			return r
+		}
+		runStoreArms(*storeN, add, ssec.Speedups, true, fmt.Sprintf("@%d", *storeN))
+		for k, v := range ssec.Speedups {
+			report.Speedups[k] = v
+		}
+		report.Store = &ssec
 	}
 	if *loadDur > 0 {
 		fmt.Printf("\nload arm: %d clients for %v…\n", *loadConc, *loadDur)

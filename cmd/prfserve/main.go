@@ -10,6 +10,7 @@
 //	prfserve -data iip=ind:iip.csv -data sensors=xrel:sensors.csv -listen :8080
 //	prfserve -demo                                # three synthetic datasets
 //	prfserve -oneshot -data iip=ind:iip.csv -req query.json
+//	prfserve -store ./segs -admin-token $TOK      # persistent, long-lived
 //
 // Dataset kinds: ind (CSV score,probability), xrel (CSV
 // score,probability,group — rows sharing a group are mutually exclusive),
@@ -34,6 +35,14 @@
 // HTTP, no cache — and prints the byte-identical JSON the HTTP endpoint
 // would return. The CI serve smoke test diffs the two paths against each
 // other (scripts/serve_smoke.sh).
+//
+// With -store DIR the server is long-lived: -data files are imported into
+// the store as binary segments (use cmd/prfstore for offline imports), every
+// segment in the store is served, and -admin-token enables the dataset
+// lifecycle endpoints (POST/DELETE /datasets/{name}, GET
+// /datasets/{name}/info) for zero-downtime replacement. A segment that
+// fails to open is skipped and reported under /stats load_errors instead of
+// aborting startup; startup fails only when nothing loads at all.
 package main
 
 import (
@@ -57,6 +66,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/junction"
 	"repro/internal/serve"
+	"repro/internal/store"
 )
 
 // dataFlags collects repeatable -data name=kind:path specs.
@@ -102,50 +112,55 @@ func main() {
 		addrFile   = flag.String("addr-file", "", "write the bound address to this file once listening")
 		oneshot    = flag.Bool("oneshot", false, "evaluate -req against Engine.Rank in-process, print the response JSON, exit")
 		reqPath    = flag.String("req", "-", "request JSON for -oneshot (\"-\" for stdin)")
+		storeDir   = flag.String("store", "", "segment store directory: import -data files into it and serve every segment in it")
+		adminToken = flag.String("admin-token", "", "Bearer token enabling the dataset admin endpoints (needs -store)")
 	)
 	flag.Var(&data, "data", "dataset to load, name=kind:path (kind: ind|xrel|tree|chain); repeatable")
 	flag.Parse()
 
-	if err := run(data, *listen, *demo, *demoN, *cacheCap, *byteCap, *noFlight, *timeout, *maxTimeout, *addrFile, *oneshot, *reqPath); err != nil {
+	if err := run(data, *listen, *demo, *demoN, *cacheCap, *byteCap, *noFlight, *timeout, *maxTimeout, *addrFile, *oneshot, *reqPath, *storeDir, *adminToken); err != nil {
 		fmt.Fprintln(os.Stderr, "prfserve:", err)
 		os.Exit(1)
 	}
 }
 
 func run(data dataFlags, listen string, demo bool, demoN, cacheCap, byteCap int, noFlight bool,
-	timeout, maxTimeout time.Duration, addrFile string, oneshot bool, reqPath string) error {
-	engines := map[string]*engine.Engine{}
-	order := []string{}
-	add := func(name string, e *engine.Engine) error {
-		if _, dup := engines[name]; dup {
-			return fmt.Errorf("dataset %q given twice", name)
-		}
-		engines[name] = e
-		order = append(order, name)
-		return nil
-	}
-	for _, d := range data {
-		e, err := serve.LoadFile(d.kind, d.path)
+	timeout, maxTimeout time.Duration, addrFile string, oneshot bool, reqPath, storeDir, adminToken string) error {
+	if oneshot {
+		// Oneshot stays the storeless in-process reference path: it parses
+		// -data files directly so the smoke tests can diff store-served
+		// responses against an independent load of the same sources.
+		engines, _, err := loadEngines(data, demo, demoN)
 		if err != nil {
 			return err
 		}
-		if err := add(d.name, e); err != nil {
+		if len(engines) == 0 {
+			return errors.New("no datasets: pass -data name=kind:path (or -demo)")
+		}
+		return runOneshot(engines, reqPath)
+	}
+	if adminToken != "" && storeDir == "" {
+		return errors.New("-admin-token needs -store (admin endpoints manage stored segments)")
+	}
+
+	var st *store.Store
+	if storeDir != "" {
+		var err error
+		if st, err = store.Open(storeDir); err != nil {
 			return err
 		}
-	}
-	if demo {
-		for name, e := range demoEngines(demoN) {
-			if err := add(name, e); err != nil {
+		// -data files become segments first; the serving views are then
+		// opened from the store so startup and import share one code path.
+		seen := map[string]bool{}
+		for _, d := range data {
+			if seen[d.name] {
+				return fmt.Errorf("dataset %q given twice", d.name)
+			}
+			seen[d.name] = true
+			if err := importFile(st, d); err != nil {
 				return err
 			}
 		}
-	}
-	if len(engines) == 0 {
-		return errors.New("no datasets: pass -data name=kind:path (or -demo)")
-	}
-
-	if oneshot {
-		return runOneshot(engines, reqPath)
 	}
 
 	s := serve.New(serve.Options{
@@ -154,11 +169,51 @@ func run(data dataFlags, listen string, demo bool, demoN, cacheCap, byteCap int,
 		CacheCapacity:       cacheCap,
 		ByteCacheCapacity:   byteCap,
 		DisableSingleFlight: noFlight,
+		Store:               st,
+		AdminToken:          adminToken,
 	})
-	for _, name := range order {
-		if err := s.AddDataset(name, engines[name]); err != nil {
+
+	loaded := []string{}
+	if st != nil {
+		names, err := st.Names()
+		if err != nil {
 			return err
 		}
+		for _, name := range names {
+			// Skip-and-report: one unreadable segment must not take down
+			// the healthy ones. The failure stays visible under /stats.
+			if err := s.InstallFromStore(name); err != nil {
+				s.RecordLoadError(name, err)
+				fmt.Fprintf(os.Stderr, "prfserve: skipping dataset %q: %v\n", name, err)
+				continue
+			}
+			loaded = append(loaded, name)
+		}
+	} else {
+		engines, order, err := loadEngines(data, false, 0)
+		if err != nil {
+			return err
+		}
+		for _, name := range order {
+			if err := s.AddDataset(name, engines[name]); err != nil {
+				return err
+			}
+			loaded = append(loaded, name)
+		}
+	}
+	if demo {
+		for name, e := range demoEngines(demoN) {
+			if err := s.AddDataset(name, e); err != nil {
+				return err
+			}
+			loaded = append(loaded, name)
+		}
+	}
+	if len(loaded) == 0 {
+		if storeDir != "" {
+			return errors.New("no datasets loaded: the store is empty or every segment failed to open")
+		}
+		return errors.New("no datasets: pass -data name=kind:path (or -demo)")
 	}
 
 	ln, err := net.Listen("tcp", listen)
@@ -170,8 +225,8 @@ func run(data dataFlags, listen string, demo bool, demoN, cacheCap, byteCap int,
 			return err
 		}
 	}
-	for _, name := range order {
-		fmt.Printf("prfserve: dataset %q loaded (%d tuples)\n", name, engines[name].Ranker().Len())
+	for _, name := range loaded {
+		fmt.Printf("prfserve: dataset %q loaded\n", name)
 	}
 	fmt.Printf("prfserve: listening on %s\n", ln.Addr())
 
@@ -190,6 +245,56 @@ func run(data dataFlags, listen string, demo bool, demoN, cacheCap, byteCap int,
 		defer cancel()
 		return httpSrv.Shutdown(ctx)
 	}
+}
+
+// loadEngines parses -data files (and optionally the demo set) straight
+// into prepared engines — the storeless path.
+func loadEngines(data dataFlags, demo bool, demoN int) (map[string]*engine.Engine, []string, error) {
+	engines := map[string]*engine.Engine{}
+	order := []string{}
+	add := func(name string, e *engine.Engine) error {
+		if _, dup := engines[name]; dup {
+			return fmt.Errorf("dataset %q given twice", name)
+		}
+		engines[name] = e
+		order = append(order, name)
+		return nil
+	}
+	for _, d := range data {
+		e, err := serve.LoadFile(d.kind, d.path)
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := add(d.name, e); err != nil {
+			return nil, nil, err
+		}
+	}
+	if demo {
+		for name, e := range demoEngines(demoN) {
+			if err := add(name, e); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+	return engines, order, nil
+}
+
+// importFile parses one -data file and persists it as the next generation
+// of the named segment.
+func importFile(st *store.Store, d dataSpec) error {
+	f, err := os.Open(d.path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	ds, err := store.Parse(d.kind, f)
+	if err != nil {
+		return fmt.Errorf("%s: %w", d.path, err)
+	}
+	if _, err := st.Import(d.name, ds); err != nil {
+		return err
+	}
+	return nil
 }
 
 // runOneshot answers one RankRequest via Engine.Rank/RankBatch directly —

@@ -1,0 +1,149 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/pdb"
+)
+
+// randomDataset builds a dataset with ties, zero and one probabilities —
+// the edge cases the sorted-order and log-kernel invariants must survive.
+func randomDataset(t *testing.T, n int, seed int64) *pdb.Dataset {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	scores := make([]float64, n)
+	probs := make([]float64, n)
+	for i := range scores {
+		scores[i] = float64(rng.Intn(n / 2)) // integer scores force ties
+		switch rng.Intn(10) {
+		case 0:
+			probs[i] = 0
+		case 1:
+			probs[i] = 1
+		default:
+			probs[i] = rng.Float64()
+		}
+	}
+	d, err := pdb.NewDataset(scores, probs)
+	if err != nil {
+		t.Fatalf("NewDataset: %v", err)
+	}
+	return d
+}
+
+func TestFromSortedMatchesPrepare(t *testing.T) {
+	for _, n := range []int{1, 2, 17, 400} {
+		d := randomDataset(t, max(n, 2), int64(n))
+		want := Prepare(d)
+		got, err := FromSorted(want.IDs(), want.Scores(), want.Probs())
+		if err != nil {
+			t.Fatalf("n=%d: FromSorted: %v", n, err)
+		}
+		for i := 0; i < want.Len(); i++ {
+			if got.ID(i) != want.ID(i) ||
+				math.Float64bits(got.Score(i)) != math.Float64bits(want.Score(i)) ||
+				math.Float64bits(got.Prob(i)) != math.Float64bits(want.Prob(i)) {
+				t.Fatalf("n=%d: position %d differs: got %v want %v", n, i, got.Tuple(i), want.Tuple(i))
+			}
+		}
+	}
+}
+
+func TestFromSortedCopiesInput(t *testing.T) {
+	ids := []pdb.TupleID{1, 0}
+	scores := []float64{5, 3}
+	probs := []float64{0.5, 0.25}
+	v, err := FromSorted(ids, scores, probs)
+	if err != nil {
+		t.Fatalf("FromSorted: %v", err)
+	}
+	ids[0], scores[0], probs[0] = 99, -1, -1
+	if v.ID(0) != 1 || v.Score(0) != 5 || v.Prob(0) != 0.5 {
+		t.Fatalf("view aliases caller arrays: %v", v.Tuple(0))
+	}
+}
+
+func TestFromSortedRejectsInvalid(t *testing.T) {
+	cases := []struct {
+		name   string
+		ids    []pdb.TupleID
+		scores []float64
+		probs  []float64
+	}{
+		{"length mismatch", []pdb.TupleID{0}, []float64{1, 2}, []float64{0.5}},
+		{"unsorted scores", []pdb.TupleID{0, 1}, []float64{1, 2}, []float64{0.5, 0.5}},
+		{"tie broken descending", []pdb.TupleID{1, 0}, []float64{2, 2}, []float64{0.5, 0.5}},
+		{"duplicate id", []pdb.TupleID{0, 0}, []float64{2, 1}, []float64{0.5, 0.5}},
+		{"id out of range", []pdb.TupleID{0, 2}, []float64{2, 1}, []float64{0.5, 0.5}},
+		{"negative id", []pdb.TupleID{-1, 0}, []float64{2, 1}, []float64{0.5, 0.5}},
+		{"probability above one", []pdb.TupleID{0, 1}, []float64{2, 1}, []float64{0.5, 1.5}},
+		{"NaN score", []pdb.TupleID{0, 1}, []float64{math.NaN(), 1}, []float64{0.5, 0.5}},
+		{"infinite score", []pdb.TupleID{0, 1}, []float64{math.Inf(1), 1}, []float64{0.5, 0.5}},
+	}
+	for _, tc := range cases {
+		if _, err := FromSorted(tc.ids, tc.scores, tc.probs); err == nil {
+			t.Errorf("%s: want error, got nil", tc.name)
+		}
+	}
+}
+
+// TestPRFeLogSpanMatchesPRFeLog pins the resumable span kernel bit-for-bit
+// to PRFeLogInto: any partition of the probability array into consecutive
+// spans must reproduce the exact per-position values and running state of
+// the one-pass kernel. The store's lazy partial materialization depends on
+// this equivalence for its ≡-full-load certification.
+func TestPRFeLogSpanMatchesPRFeLog(t *testing.T) {
+	for _, n := range []int{1, 3, 64, 257} {
+		v := Prepare(randomDataset(t, max(n, 2), int64(1000+n)))
+		for _, alpha := range []float64{1e-6, 0.3, 0.95, 1} {
+			want := v.PRFeLog(complex(alpha, 0)) // indexed by TupleID
+			// Positional reference via the view's position→ID mapping.
+			wantPos := make([]float64, v.Len())
+			for i := 0; i < v.Len(); i++ {
+				wantPos[i] = want[v.ID(i)]
+			}
+			for _, chunk := range []int{1, 2, 7, v.Len()} {
+				var st PRFeLogState
+				got := make([]float64, v.Len())
+				for lo := 0; lo < v.Len(); lo += chunk {
+					hi := min(lo+chunk, v.Len())
+					PRFeLogSpan(complex(alpha, 0), v.Probs()[lo:hi], &st, got[lo:hi])
+				}
+				for i := range got {
+					if math.Float64bits(got[i]) != math.Float64bits(wantPos[i]) {
+						t.Fatalf("n=%d α=%v chunk=%d: position %d: span %v != kernel %v",
+							n, alpha, chunk, i, got[i], wantPos[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPRFeLogSpanBound verifies the partial-materialization bound the lazy
+// store path certifies against: after consuming a prefix, every later value
+// is ≤ LogProd + log α for α ∈ (0, 1], bit-wise (no epsilon).
+func TestPRFeLogSpanBound(t *testing.T) {
+	v := Prepare(randomDataset(t, 500, 7))
+	for _, alpha := range []float64{0.05, 0.5, 1} {
+		logAlpha := math.Log(alpha)
+		all := make([]float64, v.Len())
+		var full PRFeLogState
+		PRFeLogSpan(complex(alpha, 0), v.Probs(), &full, all)
+		for m := 1; m < v.Len(); m += 13 {
+			var st PRFeLogState
+			PRFeLogSpan(complex(alpha, 0), v.Probs()[:m], &st, make([]float64, m))
+			bound := math.Inf(-1)
+			if !st.Zeroed {
+				bound = st.LogProd + logAlpha
+			}
+			for j := m; j < v.Len(); j++ {
+				if all[j] > bound {
+					t.Fatalf("α=%v m=%d: value at %d (%v) exceeds bound %v", alpha, m, j, all[j], bound)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,426 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/store"
+)
+
+const adminToken = "test-admin-token"
+
+// adminServer builds a store-backed server with the lifecycle endpoints
+// enabled and one independent dataset imported as generation 1.
+func adminServer(t *testing.T, opts Options) (*Server, *store.Store) {
+	t.Helper()
+	st, err := store.Open(filepath.Join(t.TempDir(), "segs"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Store = st
+	opts.AdminToken = adminToken
+	s := New(opts)
+	ds, err := store.Parse(store.KindIndependent, strings.NewReader("10,0.9\n8,0.5\n6,0.25\n4,0.8\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Import("d", ds); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.InstallFromStore("d"); err != nil {
+		t.Fatal(err)
+	}
+	return s, st
+}
+
+func adminReq(t *testing.T, method, url, token string, body string) (*http.Response, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(method, url, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if token != "" {
+		req.Header.Set("Authorization", "Bearer "+token)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+func errCode(t *testing.T, data []byte) string {
+	t.Helper()
+	var e ErrorResponse
+	if err := json.Unmarshal(data, &e); err != nil {
+		t.Fatalf("non-JSON error body %q: %v", data, err)
+	}
+	return e.Code
+}
+
+func TestAdminAuth(t *testing.T) {
+	s, _ := adminServer(t, Options{})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	for _, tc := range []struct {
+		name, method, path, token string
+		status                    int
+		code                      string
+	}{
+		{"import no token", http.MethodPost, "/datasets/d?kind=ind", "", http.StatusUnauthorized, "unauthorized"},
+		{"import bad token", http.MethodPost, "/datasets/d?kind=ind", "wrong", http.StatusUnauthorized, "unauthorized"},
+		{"delete no token", http.MethodDelete, "/datasets/d", "", http.StatusUnauthorized, "unauthorized"},
+		{"info bad token", http.MethodGet, "/datasets/d/info", "nope", http.StatusUnauthorized, "unauthorized"},
+	} {
+		resp, body := adminReq(t, tc.method, ts.URL+tc.path, tc.token, "")
+		if resp.StatusCode != tc.status || errCode(t, body) != tc.code {
+			t.Errorf("%s: got %d %s, want %d %s", tc.name, resp.StatusCode, errCode(t, body), tc.status, tc.code)
+		}
+	}
+
+	// A server without admin configuration answers 403 admin_disabled even
+	// to the right method and path — the feature is off, not forbidden.
+	plain := httptest.NewServer(New(Options{}))
+	defer plain.Close()
+	resp, body := adminReq(t, http.MethodPost, plain.URL+"/datasets/d?kind=ind", adminToken, "1,0.5\n")
+	if resp.StatusCode != http.StatusForbidden || errCode(t, body) != "admin_disabled" {
+		t.Fatalf("unconfigured admin: got %d %s", resp.StatusCode, errCode(t, body))
+	}
+}
+
+func TestAdminImportSwapAndInfo(t *testing.T) {
+	s, st := adminServer(t, Options{})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	// Replace generation 1 with a different dataset.
+	resp, body := adminReq(t, http.MethodPost, ts.URL+"/datasets/d?kind=ind", adminToken, "5,0.5\n3,0.25\n")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("import: %d %s", resp.StatusCode, body)
+	}
+	var info store.Info
+	if err := json.Unmarshal(body, &info); err != nil {
+		t.Fatal(err)
+	}
+	if info.Generation != 2 || info.Tuples != 2 || info.Kind != store.KindIndependent {
+		t.Fatalf("import info %+v", info)
+	}
+	if got, err := st.Info("d"); err != nil || got.Generation != 2 {
+		t.Fatalf("store not updated: %+v %v", got, err)
+	}
+
+	// The serving view swapped with it.
+	resp, body = adminReq(t, http.MethodGet, ts.URL+"/datasets/d/info", adminToken, "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("info: %d %s", resp.StatusCode, body)
+	}
+	var di DatasetInfo
+	if err := json.Unmarshal(body, &di); err != nil {
+		t.Fatal(err)
+	}
+	if di.Generation != 2 || di.Tuples != 2 || di.Model != "independent" || di.Kind != store.KindIndependent {
+		t.Fatalf("serving info %+v", di)
+	}
+
+	// Unknown name and bad inputs are typed client errors.
+	resp, body = adminReq(t, http.MethodGet, ts.URL+"/datasets/ghost/info", adminToken, "")
+	if resp.StatusCode != http.StatusNotFound || errCode(t, body) != "unknown_dataset" {
+		t.Fatalf("ghost info: %d %s", resp.StatusCode, body)
+	}
+	resp, body = adminReq(t, http.MethodPost, ts.URL+"/datasets/d", adminToken, "1,0.5\n")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("missing kind: %d %s", resp.StatusCode, body)
+	}
+	resp, body = adminReq(t, http.MethodPost, ts.URL+"/datasets/d?kind=ind", adminToken, "not,a,csv\nrow")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad body: %d %s", resp.StatusCode, body)
+	}
+	resp, body = adminReq(t, http.MethodPost, ts.URL+"/datasets/bad..name$?kind=ind", adminToken, "1,0.5\n")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad name: %d %s", resp.StatusCode, body)
+	}
+	// A failed import must leave the old view serving.
+	s.mu.RLock()
+	d, ok := s.datasets["d"]
+	s.mu.RUnlock()
+	if !ok || d.gen != 2 {
+		t.Fatalf("failed imports disturbed the serving view")
+	}
+}
+
+func TestAdminDelete(t *testing.T) {
+	s, st := adminServer(t, Options{})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	resp, body := adminReq(t, http.MethodDelete, ts.URL+"/datasets/d", adminToken, "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("delete: %d %s", resp.StatusCode, body)
+	}
+	if _, err := st.Info("d"); err == nil {
+		t.Fatal("segment survived the delete")
+	}
+	// Queries now see an unknown dataset; a second delete is the typed 404.
+	resp, body = post(t, ts.URL+"/rank", reqBody(t, "d", WireQuery{Metric: "prfe", Alpha: 0.5}))
+	if resp.StatusCode != http.StatusNotFound || errCode(t, body) != "unknown_dataset" {
+		t.Fatalf("rank after delete: %d %s", resp.StatusCode, body)
+	}
+	resp, body = adminReq(t, http.MethodDelete, ts.URL+"/datasets/d", adminToken, "")
+	if resp.StatusCode != http.StatusNotFound || errCode(t, body) != "unknown_dataset" {
+		t.Fatalf("double delete: %d %s", resp.StatusCode, body)
+	}
+}
+
+// TestAdminWrongMethodAllow pins the JSON 405 on the wildcard admin paths.
+func TestAdminWrongMethodAllow(t *testing.T) {
+	s, _ := adminServer(t, Options{})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	resp, body := adminReq(t, http.MethodPut, ts.URL+"/datasets/d", adminToken, "")
+	if resp.StatusCode != http.StatusMethodNotAllowed || errCode(t, body) != "method_not_allowed" {
+		t.Fatalf("PUT on dataset: %d %s", resp.StatusCode, body)
+	}
+	if allow := resp.Header.Get("Allow"); !strings.Contains(allow, "POST") || !strings.Contains(allow, "DELETE") {
+		t.Fatalf("Allow %q", allow)
+	}
+	resp, body = adminReq(t, http.MethodPost, ts.URL+"/datasets/d/info", adminToken, "")
+	if resp.StatusCode != http.StatusMethodNotAllowed || errCode(t, body) != "method_not_allowed" {
+		t.Fatalf("POST on info: %d %s", resp.StatusCode, body)
+	}
+}
+
+// TestAdminCacheCountersResetPerGeneration: a swap installs fresh caches,
+// so /stats counters for the name start over and the old generation's
+// entries can never answer for the new data.
+func TestAdminCacheCountersResetPerGeneration(t *testing.T) {
+	s, _ := adminServer(t, Options{})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	rank := reqBody(t, "d", WireQuery{Metric: "prfe", Alpha: 0.5})
+	for i := 0; i < 3; i++ { // one miss, two hits
+		if resp, body := post(t, ts.URL+"/rank", rank); resp.StatusCode != http.StatusOK {
+			t.Fatalf("rank %d: %d %s", i, resp.StatusCode, body)
+		}
+	}
+	stats := func() DatasetStats {
+		resp, body := adminReq(t, http.MethodGet, ts.URL+"/stats", "", "")
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("stats: %d %s", resp.StatusCode, body)
+		}
+		var sr StatsResponse
+		if err := json.Unmarshal(body, &sr); err != nil {
+			t.Fatal(err)
+		}
+		return sr.Datasets["d"]
+	}
+	warm := stats()
+	if warm.ByteCache == nil || warm.ByteCache.Hits == 0 {
+		t.Fatalf("warm-up produced no byte-cache hits: %+v", warm)
+	}
+	if warm.Generation != 1 {
+		t.Fatalf("generation %d before swap", warm.Generation)
+	}
+
+	resp, body := adminReq(t, http.MethodPost, ts.URL+"/datasets/d?kind=ind", adminToken, "5,0.5\n3,0.25\n")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("swap: %d %s", resp.StatusCode, body)
+	}
+	fresh := stats()
+	if fresh.Generation != 2 {
+		t.Fatalf("generation %d after swap", fresh.Generation)
+	}
+	if fresh.ByteCache != nil && (fresh.ByteCache.Hits != 0 || fresh.ByteCache.Misses != 0) {
+		t.Fatalf("byte-cache counters survived the swap: %+v", fresh.ByteCache)
+	}
+	if fresh.Cache != nil && (fresh.Cache.Hits != 0 || fresh.Cache.Misses != 0) {
+		t.Fatalf("result-cache counters survived the swap: %+v", fresh.Cache)
+	}
+}
+
+// TestStartupSkipAndReport is the regression test for the startup
+// partial-failure bug: a broken dataset must surface as a typed /stats
+// entry while the healthy ones serve.
+func TestStartupSkipAndReport(t *testing.T) {
+	s, st := adminServer(t, Options{})
+	// Simulate the prfserve startup loop over a store that also holds a
+	// corrupt segment.
+	if err := writeCorruptSegment(st); err != nil {
+		t.Fatal(err)
+	}
+	names, err := st.Names()
+	if err != nil {
+		t.Fatal(err)
+	}
+	broken := 0
+	for _, name := range names {
+		s.mu.RLock()
+		_, have := s.datasets[name]
+		s.mu.RUnlock()
+		if have {
+			continue
+		}
+		if err := s.InstallFromStore(name); err != nil {
+			s.RecordLoadError(name, err)
+			broken++
+		}
+	}
+	if broken != 1 {
+		t.Fatalf("corrupt segment loaded cleanly")
+	}
+
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	resp, body := adminReq(t, http.MethodGet, ts.URL+"/stats", "", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stats: %d %s", resp.StatusCode, body)
+	}
+	var sr StatsResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.LoadErrors["broken"] == "" {
+		t.Fatalf("load_errors missing the broken dataset: %+v", sr.LoadErrors)
+	}
+	if _, ok := sr.Datasets["d"]; !ok {
+		t.Fatal("healthy dataset missing from stats")
+	}
+	// The healthy dataset serves; the broken one is a typed 404.
+	if resp, body := post(t, ts.URL+"/rank", reqBody(t, "d", WireQuery{Metric: "prfe", Alpha: 0.5})); resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthy rank: %d %s", resp.StatusCode, body)
+	}
+	resp, body = post(t, ts.URL+"/rank", reqBody(t, "broken", WireQuery{Metric: "prfe", Alpha: 0.5}))
+	if resp.StatusCode != http.StatusNotFound || errCode(t, body) != "unknown_dataset" {
+		t.Fatalf("broken rank: %d %s", resp.StatusCode, body)
+	}
+	// A successful re-import of the broken name clears the report.
+	resp, body = adminReq(t, http.MethodPost, ts.URL+"/datasets/broken?kind=ind", adminToken, "2,0.5\n")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("repair import: %d %s", resp.StatusCode, body)
+	}
+	resp, body = adminReq(t, http.MethodGet, ts.URL+"/stats", "", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatal("stats after repair")
+	}
+	sr = StatsResponse{}
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.LoadErrors["broken"] != "" {
+		t.Fatalf("load_errors not cleared by repair: %+v", sr.LoadErrors)
+	}
+}
+
+// writeCorruptSegment imports a valid dataset named "broken" and then
+// flips a header byte on disk (the header checksum is verified on every
+// open, unlike payload checksums, which lazy opens defer to import time).
+func writeCorruptSegment(st *store.Store) error {
+	ds, err := store.Parse(store.KindIndependent, strings.NewReader("9,0.5\n7,0.25\n"))
+	if err != nil {
+		return err
+	}
+	if _, err := st.Import("broken", ds); err != nil {
+		return err
+	}
+	path := filepath.Join(st.Dir(), "broken.seg")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	data[9] ^= 0xff // inside the version field, breaking the header CRC
+	return os.WriteFile(path, data, 0o644)
+}
+
+// TestSwapUnderLoad is the atomicity contract, run with -race in CI: 32
+// clients hammer one dataset across a POST swap; every response must be
+// byte-identical to the pre-swap answer or the post-swap answer — never a
+// blend, never an error.
+func TestSwapUnderLoad(t *testing.T) {
+	s, _ := adminServer(t, Options{})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	rank := reqBody(t, "d", WireQuery{Metric: "prfe", Alpha: 0.75, Output: "ranking"})
+	fetch := func() (int, []byte) {
+		resp, body := post(t, ts.URL+"/rank", rank)
+		return resp.StatusCode, body
+	}
+	code, oldBody := fetch()
+	if code != http.StatusOK {
+		t.Fatalf("pre-swap rank: %d %s", code, oldBody)
+	}
+
+	start := make(chan struct{})
+	results := make(chan []byte, 256)
+	errs := make(chan error, 33)
+	var wg sync.WaitGroup
+	for c := 0; c < 32; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			for i := 0; i < 8; i++ {
+				code, body := fetch()
+				if code != http.StatusOK {
+					errs <- fmt.Errorf("mid-swap rank: %d %s", code, body)
+					return
+				}
+				results <- body
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		<-start
+		resp, body := adminReq(t, http.MethodPost, ts.URL+"/datasets/d?kind=ind",
+			adminToken, "10,0.1\n8,0.95\n6,0.6\n4,0.2\n2,0.7\n")
+		if resp.StatusCode != http.StatusOK {
+			errs <- fmt.Errorf("swap: %d %s", resp.StatusCode, body)
+		}
+	}()
+	close(start)
+	wg.Wait()
+	close(results)
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	code, newBody := fetch()
+	if code != http.StatusOK {
+		t.Fatalf("post-swap rank: %d %s", code, newBody)
+	}
+	if bytes.Equal(oldBody, newBody) {
+		t.Fatal("swap produced identical answers; the test cannot distinguish generations")
+	}
+	sawOld, sawNew := false, false
+	for body := range results {
+		switch {
+		case bytes.Equal(body, oldBody):
+			sawOld = true
+		case bytes.Equal(body, newBody):
+			sawNew = true
+		default:
+			t.Fatalf("mid-swap answer matches neither generation:\n%s", body)
+		}
+	}
+	if !sawOld && !sawNew {
+		t.Fatal("no responses captured")
+	}
+}

@@ -1,33 +1,28 @@
 package serve
 
 // Dataset loaders: every correlation model the engine serves can be loaded
-// from a file at startup. CSV covers the flat models (independent tuples,
-// x-relations); JSON specs cover the structured ones (and/xor trees, Markov
-// chains). Loading ends in a prepared view wrapped in an engine.Engine —
-// the one-time cost that makes every later query cheap.
+// from a file at startup. Parsing and validation live in internal/store
+// (the same code path an imported segment goes through, so a dataset loaded
+// at startup and one imported into a store are interchangeable); these
+// wrappers keep the serve-level names and finish the job by preparing an
+// engine.Engine — the one-time cost that makes every later query cheap.
 
 import (
-	"encoding/csv"
-	"encoding/json"
-	"errors"
 	"fmt"
 	"io"
 	"os"
-	"strconv"
 
-	"repro/internal/andxor"
-	"repro/internal/core"
 	"repro/internal/engine"
-	"repro/internal/junction"
-	"repro/internal/pdb"
+	"repro/internal/store"
 )
 
-// Kinds accepted by LoadFile.
+// Kinds accepted by LoadFile (re-exported from the store, which owns the
+// dataset formats).
 const (
-	KindIndependent = "ind"   // CSV: score,probability
-	KindXRelation   = "xrel"  // CSV: score,probability,group
-	KindTree        = "tree"  // JSON: nested and/xor spec
-	KindChain       = "chain" // JSON: {"scores": [...], "pairs": [...]}
+	KindIndependent = store.KindIndependent // CSV: score,probability
+	KindXRelation   = store.KindXRelation   // CSV: score,probability,group
+	KindTree        = store.KindTree        // JSON: nested and/xor spec
+	KindChain       = store.KindChain       // JSON: {"scores": [...], "pairs": [...]}
 )
 
 // LoadFile loads one dataset file of the given kind into a prepared engine.
@@ -46,90 +41,18 @@ func LoadFile(kind, path string) (*engine.Engine, error) {
 
 // Load loads one dataset of the given kind from a reader.
 func Load(kind string, r io.Reader) (*engine.Engine, error) {
-	switch kind {
-	case KindIndependent:
-		return LoadIndependentCSV(r)
-	case KindXRelation:
-		return LoadXRelationCSV(r)
-	case KindTree:
-		return LoadTreeJSON(r)
-	case KindChain:
-		return LoadChainJSON(r)
-	default:
-		return nil, fmt.Errorf("serve: unknown dataset kind %q (want %s|%s|%s|%s)",
-			kind, KindIndependent, KindXRelation, KindTree, KindChain)
+	ds, err := store.Parse(kind, r)
+	if err != nil {
+		return nil, err
 	}
-}
-
-// readCSV parses score,probability[,group] rows (an optional non-numeric
-// header row is skipped) and reports whether any row carried a group.
-func readCSV(r io.Reader) (scores, probs []float64, groups []string, grouped bool, err error) {
-	cr := csv.NewReader(r)
-	cr.FieldsPerRecord = -1
-	line := 0
-	for {
-		rec, err := cr.Read()
-		if err == io.EOF {
-			break
-		}
-		if err != nil {
-			return nil, nil, nil, false, err
-		}
-		line++
-		if len(rec) < 2 {
-			return nil, nil, nil, false, fmt.Errorf("serve: line %d: need score,probability", line)
-		}
-		if line == 1 {
-			_, err0 := strconv.ParseFloat(rec[0], 64)
-			_, err1 := strconv.ParseFloat(rec[1], 64)
-			// Only a row that is non-numeric in BOTH value columns reads as
-			// a header; a data row with one typo'd field must error below,
-			// not silently vanish (it would shift every tuple ID).
-			if err0 != nil && err1 != nil {
-				continue
-			}
-		}
-		s, err := strconv.ParseFloat(rec[0], 64)
-		if err != nil {
-			return nil, nil, nil, false, fmt.Errorf("serve: line %d: bad score %q", line, rec[0])
-		}
-		p, err := strconv.ParseFloat(rec[1], 64)
-		if err != nil {
-			return nil, nil, nil, false, fmt.Errorf("serve: line %d: bad probability %q", line, rec[1])
-		}
-		scores = append(scores, s)
-		probs = append(probs, p)
-		g := ""
-		if len(rec) >= 3 {
-			g = rec[2]
-		}
-		if g != "" {
-			grouped = true
-		}
-		groups = append(groups, g)
-	}
-	return scores, probs, groups, grouped, nil
+	return ds.Engine()
 }
 
 // LoadIndependentCSV loads score,probability rows as a tuple-independent
 // dataset prepared into a sorted view. A group column, if present, is an
 // error — use LoadXRelationCSV for x-relations.
 func LoadIndependentCSV(r io.Reader) (*engine.Engine, error) {
-	scores, probs, _, grouped, err := readCSV(r)
-	if err != nil {
-		return nil, err
-	}
-	if grouped {
-		return nil, errors.New("serve: independent CSV has a group column; load it as an x-relation (kind xrel)")
-	}
-	if len(scores) == 0 {
-		return nil, errors.New("serve: empty dataset")
-	}
-	d, err := pdb.NewDataset(scores, probs)
-	if err != nil {
-		return nil, err
-	}
-	return engine.New(core.Prepare(d)), nil
+	return Load(KindIndependent, r)
 }
 
 // LoadXRelationCSV loads score,probability,group rows as an x-relation:
@@ -138,129 +61,19 @@ func LoadIndependentCSV(r io.Reader) (*engine.Engine, error) {
 // first-appearance order; rows with an empty group are singleton x-tuples.
 // Tuple IDs in answers are leaf indices in that order.
 func LoadXRelationCSV(r io.Reader) (*engine.Engine, error) {
-	scores, probs, groups, _, err := readCSV(r)
-	if err != nil {
-		return nil, err
-	}
-	if len(scores) == 0 {
-		return nil, errors.New("serve: empty dataset")
-	}
-	gs, _ := andxor.GroupRows(scores, probs, groups)
-	t, err := andxor.XTuples(gs)
-	if err != nil {
-		return nil, err
-	}
-	return engine.New(andxor.PrepareTree(t)), nil
+	return Load(KindXRelation, r)
 }
 
-// treeSpec is the recursive JSON form of an and/xor tree node: exactly one
-// of leaf, and, xor per node.
-//
-//	{"and": [
-//	  {"xor": {"probs": [0.4, 0.6], "children": [
-//	    {"leaf": {"score": 120}}, {"leaf": {"score": 80}}]}},
-//	  {"leaf": {"key": "t3", "score": 95}}]}
-type treeSpec struct {
-	Leaf *leafSpec  `json:"leaf,omitempty"`
-	And  []treeSpec `json:"and,omitempty"`
-	Xor  *xorSpec   `json:"xor,omitempty"`
-}
-
-type leafSpec struct {
-	Key   string  `json:"key,omitempty"`
-	Score float64 `json:"score"`
-}
-
-type xorSpec struct {
-	Probs    []float64  `json:"probs"`
-	Children []treeSpec `json:"children"`
-}
-
-// node builds the andxor node for a spec.
-func (ts treeSpec) node(path string) (*andxor.Node, error) {
-	set := 0
-	if ts.Leaf != nil {
-		set++
-	}
-	if len(ts.And) > 0 {
-		set++
-	}
-	if ts.Xor != nil {
-		set++
-	}
-	if set != 1 {
-		return nil, fmt.Errorf("serve: tree node %s must set exactly one of leaf, and, xor", path)
-	}
-	switch {
-	case ts.Leaf != nil:
-		if ts.Leaf.Key != "" {
-			return andxor.NewKeyedLeaf(ts.Leaf.Key, ts.Leaf.Score), nil
-		}
-		return andxor.NewLeaf(ts.Leaf.Score), nil
-	case ts.Xor != nil:
-		kids := make([]*andxor.Node, len(ts.Xor.Children))
-		for i, c := range ts.Xor.Children {
-			n, err := c.node(fmt.Sprintf("%s.xor[%d]", path, i))
-			if err != nil {
-				return nil, err
-			}
-			kids[i] = n
-		}
-		return andxor.NewXor(ts.Xor.Probs, kids...), nil
-	default:
-		kids := make([]*andxor.Node, len(ts.And))
-		for i, c := range ts.And {
-			n, err := c.node(fmt.Sprintf("%s.and[%d]", path, i))
-			if err != nil {
-				return nil, err
-			}
-			kids[i] = n
-		}
-		return andxor.NewAnd(kids...), nil
-	}
-}
-
-// LoadTreeJSON loads a nested and/xor tree spec (see treeSpec) and prepares
-// it. Probability and key constraints are validated by the tree
+// LoadTreeJSON loads a nested and/xor tree spec (see store.TreeSpec) and
+// prepares it. Probability and key constraints are validated by the tree
 // constructor.
 func LoadTreeJSON(r io.Reader) (*engine.Engine, error) {
-	dec := json.NewDecoder(r)
-	dec.DisallowUnknownFields()
-	var spec treeSpec
-	if err := dec.Decode(&spec); err != nil {
-		return nil, fmt.Errorf("serve: malformed tree spec: %w", err)
-	}
-	root, err := spec.node("root")
-	if err != nil {
-		return nil, err
-	}
-	t, err := andxor.New(root)
-	if err != nil {
-		return nil, err
-	}
-	return engine.New(andxor.PrepareTree(t)), nil
-}
-
-// chainSpec is the JSON form of a Markov chain: n scores and n−1 calibrated
-// pairwise joints Pr(Y_j, Y_{j+1}), each a [[p00, p01], [p10, p11]] table.
-type chainSpec struct {
-	Scores []float64       `json:"scores"`
-	Pairs  [][2][2]float64 `json:"pairs"`
+	return Load(KindTree, r)
 }
 
 // LoadChainJSON loads a Markov chain spec and prepares it (the product-tree
 // PRFe backend). Calibration of the pairwise joints is validated by the
 // chain constructor.
 func LoadChainJSON(r io.Reader) (*engine.Engine, error) {
-	dec := json.NewDecoder(r)
-	dec.DisallowUnknownFields()
-	var spec chainSpec
-	if err := dec.Decode(&spec); err != nil {
-		return nil, fmt.Errorf("serve: malformed chain spec: %w", err)
-	}
-	c, err := junction.NewChain(spec.Scores, spec.Pairs)
-	if err != nil {
-		return nil, err
-	}
-	return engine.New(junction.PrepareChain(c)), nil
+	return Load(KindChain, r)
 }

@@ -21,13 +21,24 @@
 //	GET  /stats      request, cache, byte-cache and single-flight counters
 //	GET  /healthz    liveness
 //
+// A server built over a dataset store (Options.Store) additionally speaks
+// the authenticated admin lifecycle (Bearer Options.AdminToken):
+//
+//	POST   /datasets/{name}?kind=K  import/replace a dataset (body = CSV/JSON)
+//	DELETE /datasets/{name}         drop a dataset from server and store
+//	GET    /datasets/{name}/info    kind, generation, cache counters
+//
 // POST bodies must declare Content-Type: application/json (or a +json
-// subtype). Every error is a JSON body with a stable code and the matching
-// HTTP status: bad_request 400, unknown_dataset and not_found 404,
-// method_not_allowed 405, too_large 413, unsupported_media_type 415,
-// deadline_exceeded 504. Because prepared views are immutable, neither
-// cache ever invalidates — a dataset's caches live exactly as long as the
-// dataset.
+// subtype); admin imports are raw dataset files and skip that check. Every
+// error is a JSON body with a stable code and the matching HTTP status:
+// bad_request 400, unauthorized 401, admin_disabled 403, unknown_dataset
+// and not_found 404, method_not_allowed 405, too_large 413,
+// unsupported_media_type 415, deadline_exceeded 504, store_error 500.
+// Dataset views stay immutable — a refresh installs a brand-new dataset
+// (fresh engine + caches, next store generation) behind the name with one
+// atomic pointer swap, in-flight queries finish on the old view, and
+// neither cache ever needs item-level invalidation: a generation's caches
+// live exactly as long as its view.
 package serve
 
 import (
@@ -48,6 +59,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/junction"
+	"repro/internal/store"
 )
 
 // Options configures a Server.
@@ -78,9 +90,21 @@ type Options struct {
 	// 0 takes GOMAXPROCS; negative disables the knob (every query runs the
 	// scalar path).
 	MaxParallelism int
+	// Store, when set, backs the dataset-lifecycle admin endpoints: imports
+	// persist there and installs re-open from it (so what is served is
+	// provably what was stored).
+	Store *store.Store
+	// AdminToken authorizes the admin endpoints via Authorization: Bearer.
+	// Empty leaves them disabled (typed 403) — there is no default secret.
+	AdminToken string
+	// MaxAdminBodyBytes bounds admin dataset uploads; 0 takes 64 MiB.
+	MaxAdminBodyBytes int64
 }
 
-const defaultMaxBody = 1 << 20
+const (
+	defaultMaxBody      = 1 << 20
+	defaultMaxAdminBody = 64 << 20
+)
 
 // dataset is one loaded, immutable dataset with its engines and wire-path
 // state: the encoded-byte cache and the serve-level single-flight group
@@ -89,6 +113,8 @@ const defaultMaxBody = 1 << 20
 type dataset struct {
 	name   string
 	model  string
+	kind   string // store dataset kind; "" when registered directly
+	gen    uint64 // store generation; 0 when registered directly
 	eng    *engine.Engine
 	cached *engine.CachedEngine // nil when caching is disabled
 	bytes  *byteCache           // nil when byte caching is disabled
@@ -120,6 +146,11 @@ type Server struct {
 
 	mu       sync.RWMutex
 	datasets map[string]*dataset
+	// loadErrors records datasets that failed to load or install, keyed by
+	// name — the skip-and-report startup contract surfaces them on /stats
+	// instead of aborting the server. A later successful install clears the
+	// entry.
+	loadErrors map[string]string
 
 	// requests counts every /rank and /rankbatch attempt, including ones
 	// rejected before evaluation — rejected traffic must stay visible on
@@ -132,11 +163,14 @@ func New(opts Options) *Server {
 	if opts.MaxBodyBytes <= 0 {
 		opts.MaxBodyBytes = defaultMaxBody
 	}
-	s := &Server{opts: opts, datasets: map[string]*dataset{}, start: time.Now()}
+	s := &Server{opts: opts, datasets: map[string]*dataset{}, loadErrors: map[string]string{}, start: time.Now()}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /rank", s.handleRank)
 	s.mux.HandleFunc("POST /rankbatch", s.handleRankBatch)
 	s.mux.HandleFunc("GET /datasets", s.handleDatasets)
+	s.mux.HandleFunc("POST /datasets/{name}", s.handleDatasetImport)
+	s.mux.HandleFunc("DELETE /datasets/{name}", s.handleDatasetDelete)
+	s.mux.HandleFunc("GET /datasets/{name}/info", s.handleDatasetInfo)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -145,7 +179,7 @@ func New(opts Options) *Server {
 	return s
 }
 
-// endpointMethods maps every known path to its one allowed method, for the
+// endpointMethods maps every fixed path to its one allowed method, for the
 // JSON 405/404 fallbacks in ServeHTTP.
 var endpointMethods = map[string]string{
 	"/rank":      http.MethodPost,
@@ -153,6 +187,25 @@ var endpointMethods = map[string]string{
 	"/datasets":  http.MethodGet,
 	"/stats":     http.MethodGet,
 	"/healthz":   http.MethodGet,
+}
+
+// allowedMethods reports the Allow set for a path, covering the wildcard
+// admin routes the endpointMethods table cannot.
+func allowedMethods(path string) (string, bool) {
+	if m, ok := endpointMethods[path]; ok {
+		return m, true
+	}
+	rest, ok := strings.CutPrefix(path, "/datasets/")
+	if !ok || rest == "" {
+		return "", false
+	}
+	if name, isInfo := strings.CutSuffix(rest, "/info"); isInfo && name != "" && !strings.Contains(name, "/") {
+		return http.MethodGet, true
+	}
+	if !strings.Contains(rest, "/") {
+		return "POST, DELETE", true
+	}
+	return "", false
 }
 
 // AddDataset registers a prepared dataset under a unique name. The model
@@ -165,24 +218,64 @@ func (s *Server) AddDataset(name string, e *engine.Engine) error {
 	if e == nil || e.Ranker() == nil {
 		return fmt.Errorf("serve: dataset %q has no engine", name)
 	}
-	d := &dataset{name: name, model: modelName(e.Ranker()), eng: e}
-	if s.opts.CacheCapacity >= 0 {
-		d.cached = engine.NewCached(e, s.opts.CacheCapacity)
-	}
-	d.bytes = newByteCache(s.opts.ByteCacheCapacity)
+	d := s.newDataset(name, e)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, dup := s.datasets[name]; dup {
 		return fmt.Errorf("serve: dataset %q already registered", name)
 	}
 	s.datasets[name] = d
+	delete(s.loadErrors, name)
+	return nil
+}
+
+// newDataset builds a dataset entry with its own fresh cache generation —
+// every install goes through here, so counters always start at zero for a
+// new view.
+func (s *Server) newDataset(name string, e *engine.Engine) *dataset {
+	d := &dataset{name: name, model: modelName(e.Ranker()), eng: e}
+	if s.opts.CacheCapacity >= 0 {
+		d.cached = engine.NewCached(e, s.opts.CacheCapacity)
+	}
+	d.bytes = newByteCache(s.opts.ByteCacheCapacity)
+	return d
+}
+
+// RecordLoadError reports a dataset that failed to load at startup; it
+// appears under load_errors on /stats until a later install of the same
+// name succeeds. The skip-and-report startup path in cmd/prfserve uses
+// this so one broken file no longer takes the whole server down.
+func (s *Server) RecordLoadError(name string, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.loadErrors[name] = err.Error()
+}
+
+// InstallFromStore (re)opens one dataset from the configured store and
+// atomically swaps it in under its name: a brand-new immutable view with
+// brand-new engine/byte caches. In-flight queries keep the old view;
+// the old generation's caches retire with it.
+func (s *Server) InstallFromStore(name string) error {
+	if s.opts.Store == nil {
+		return errors.New("serve: no dataset store configured")
+	}
+	e, info, err := s.opts.Store.OpenEngine(name)
+	if err != nil {
+		return err
+	}
+	d := s.newDataset(name, e)
+	d.kind, d.gen = info.Kind, info.Generation
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.datasets[name] = d
+	delete(s.loadErrors, name)
 	return nil
 }
 
 // modelName labels the correlation model behind a Ranker.
 func modelName(r engine.Ranker) string {
 	switch r.(type) {
-	case *core.Prepared:
+	case *core.Prepared, *store.LazyPrepared:
 		return "independent"
 	case *andxor.PreparedTree:
 		return "andxor"
@@ -207,14 +300,14 @@ func (s *Server) dataset(name string) (*dataset, bool) {
 // everything else instead of net/http's plain-text defaults.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if _, pattern := s.mux.Handler(r); pattern == "" {
-		if method, known := endpointMethods[r.URL.Path]; known {
-			w.Header().Set("Allow", method)
+		if methods, known := allowedMethods(r.URL.Path); known {
+			w.Header().Set("Allow", methods)
 			writeError(w, http.StatusMethodNotAllowed, "method_not_allowed",
-				fmt.Sprintf("serve: %s %s: use %s", r.Method, r.URL.Path, method))
+				fmt.Sprintf("serve: %s %s: use %s", r.Method, r.URL.Path, methods))
 			return
 		}
 		writeError(w, http.StatusNotFound, "not_found",
-			fmt.Sprintf("serve: no such endpoint %s (have /rank, /rankbatch, /datasets, /stats, /healthz)", r.URL.Path))
+			fmt.Sprintf("serve: no such endpoint %s (have /rank, /rankbatch, /datasets, /datasets/{name}, /stats, /healthz)", r.URL.Path))
 		return
 	}
 	s.mux.ServeHTTP(w, r)
@@ -413,24 +506,35 @@ func (s *Server) handleRankBatch(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// DatasetInfo is one row of GET /datasets.
+// DatasetInfo is one row of GET /datasets (and the body of
+// GET /datasets/{name}/info).
 type DatasetInfo struct {
 	Name   string `json:"name"`
 	Model  string `json:"model"`
 	Tuples int    `json:"tuples"`
 	Cached bool   `json:"cached"`
+	// Kind and Generation identify the stored snapshot behind the view;
+	// both are absent for datasets registered directly via AddDataset.
+	Kind       string `json:"kind,omitempty"`
+	Generation uint64 `json:"generation,omitempty"`
+}
+
+func (d *dataset) info() DatasetInfo {
+	return DatasetInfo{
+		Name:       d.name,
+		Model:      d.model,
+		Tuples:     d.eng.Ranker().Len(),
+		Cached:     d.cached != nil,
+		Kind:       d.kind,
+		Generation: d.gen,
+	}
 }
 
 func (s *Server) handleDatasets(w http.ResponseWriter, _ *http.Request) {
 	s.mu.RLock()
 	infos := make([]DatasetInfo, 0, len(s.datasets))
 	for _, d := range s.datasets {
-		infos = append(infos, DatasetInfo{
-			Name:   d.name,
-			Model:  d.model,
-			Tuples: d.eng.Ranker().Len(),
-			Cached: d.cached != nil,
-		})
+		infos = append(infos, d.info())
 	}
 	s.mu.RUnlock()
 	sort.Slice(infos, func(i, j int) bool { return infos[i].Name < infos[j].Name })
@@ -439,10 +543,12 @@ func (s *Server) handleDatasets(w http.ResponseWriter, _ *http.Request) {
 
 // DatasetStats is the per-dataset block of GET /stats.
 type DatasetStats struct {
-	Model     string             `json:"model"`
-	Tuples    int                `json:"tuples"`
-	Cache     *engine.CacheStats `json:"cache,omitempty"`
-	ByteCache *ByteCacheStats    `json:"byte_cache,omitempty"`
+	Model      string             `json:"model"`
+	Tuples     int                `json:"tuples"`
+	Kind       string             `json:"kind,omitempty"`
+	Generation uint64             `json:"generation,omitempty"`
+	Cache      *engine.CacheStats `json:"cache,omitempty"`
+	ByteCache  *ByteCacheStats    `json:"byte_cache,omitempty"`
 }
 
 // StatsResponse is the body of GET /stats.
@@ -450,6 +556,10 @@ type StatsResponse struct {
 	UptimeMS int64                   `json:"uptime_ms"`
 	Requests int64                   `json:"requests"`
 	Datasets map[string]DatasetStats `json:"datasets"`
+	// LoadErrors lists datasets that failed to load at startup (or whose
+	// last install attempt failed), keyed by name — the skip-and-report
+	// contract: a broken dataset is visible here, not fatal.
+	LoadErrors map[string]string `json:"load_errors,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
@@ -460,7 +570,7 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	}
 	s.mu.RLock()
 	for name, d := range s.datasets {
-		st := DatasetStats{Model: d.model, Tuples: d.eng.Ranker().Len()}
+		st := DatasetStats{Model: d.model, Tuples: d.eng.Ranker().Len(), Kind: d.kind, Generation: d.gen}
 		if d.cached != nil {
 			cs := d.cached.Stats()
 			st.Cache = &cs
@@ -471,6 +581,12 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 			st.ByteCache = &bs
 		}
 		resp.Datasets[name] = st
+	}
+	if len(s.loadErrors) > 0 {
+		resp.LoadErrors = make(map[string]string, len(s.loadErrors))
+		for name, msg := range s.loadErrors {
+			resp.LoadErrors[name] = msg
+		}
 	}
 	s.mu.RUnlock()
 	writeJSON(w, resp)

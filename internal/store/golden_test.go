@@ -1,0 +1,63 @@
+package store
+
+// The on-disk format contract, pinned to golden segment files: segments are
+// persisted state for real, so any byte-level drift — a reordered section,
+// a changed checksum polynomial, an accidental field width change — must
+// fail here instead of corrupting existing stores. Regenerate with:
+//
+//	go test ./internal/store -run TestGoldenSegments -update-segments
+//
+// and review the diff like the wire-format change it is: a regeneration is
+// only legitimate alongside a Version bump and the migration notes in
+// format.go / DESIGN.md §5e.
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateSegments = flag.Bool("update-segments", false, "rewrite testdata/*.seg golden segments")
+
+func TestGoldenSegments(t *testing.T) {
+	for kind, src := range kindSources() {
+		ds, err := Parse(kind, strings.NewReader(src))
+		if err != nil {
+			t.Fatalf("%s: parse: %v", kind, err)
+		}
+		got, err := Encode(ds, 7)
+		if err != nil {
+			t.Fatalf("%s: encode: %v", kind, err)
+		}
+		path := filepath.Join("testdata", fmt.Sprintf("golden-v%d-%s.seg", Version, kind))
+		if *updateSegments {
+			if err := os.MkdirAll("testdata", 0o755); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, got, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%s: missing golden segment (run with -update-segments to generate): %v", kind, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("%s: segment encoding drifted from %s — if intentional, bump Version in format.go, regenerate with -update-segments, and document the migration", kind, path)
+		}
+		// The checked-in bytes must also keep decoding: old stores stay
+		// readable.
+		back, gen, err := Decode(want)
+		if err != nil {
+			t.Fatalf("%s: golden segment no longer decodes: %v", kind, err)
+		}
+		if gen != 7 || back.Kind != kind {
+			t.Fatalf("%s: golden decoded to kind %s gen %d", kind, back.Kind, gen)
+		}
+	}
+}

@@ -1,0 +1,425 @@
+package store
+
+import (
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/andxor"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/junction"
+	"repro/internal/pdb"
+)
+
+// The shared sample specs — same shapes the serve tests use, so every kind
+// is covered by a realistic small dataset.
+const (
+	indCSV = `score,probability
+120,0.4
+130,0.7
+80,0.3
+95,0.4
+130,0.6
+105,1.0
+`
+	xrelCSV = `score,probability,group
+120,0.4,a
+130,0.7,b
+80,0.3,b
+95,0.4,c
+110,0.6,c
+105,1.0,
+`
+	chainJSON = `{
+  "scores": [30, 20, 10],
+  "pairs": [
+    [[0.30, 0.20], [0.10, 0.40]],
+    [[0.28, 0.12], [0.42, 0.18]]
+  ]
+}`
+	treeJSON = `{"and": [
+  {"xor": {"probs": [0.4], "children": [{"leaf": {"score": 120}}]}},
+  {"xor": {"probs": [0.7, 0.3], "children": [{"leaf": {"score": 130}}, {"leaf": {"score": 80}}]}}
+]}`
+)
+
+func kindSources() map[string]string {
+	return map[string]string{
+		KindIndependent: indCSV,
+		KindXRelation:   xrelCSV,
+		KindTree:        treeJSON,
+		KindChain:       chainJSON,
+	}
+}
+
+func tempStore(t *testing.T) *Store {
+	t.Helper()
+	s, err := Open(filepath.Join(t.TempDir(), "segs"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestImportRoundTripPerKind certifies import→open for every kind: the
+// decoded dataset re-encodes to the identical segment bytes, and the store
+// metadata matches.
+func TestImportRoundTripPerKind(t *testing.T) {
+	s := tempStore(t)
+	for kind, src := range kindSources() {
+		ds, err := Parse(kind, strings.NewReader(src))
+		if err != nil {
+			t.Fatalf("%s: parse: %v", kind, err)
+		}
+		info, err := s.Import(kind, ds)
+		if err != nil {
+			t.Fatalf("%s: import: %v", kind, err)
+		}
+		if info.Kind != kind || info.Generation != 1 || info.Tuples != ds.Len() {
+			t.Fatalf("%s: bad import info %+v", kind, info)
+		}
+		got, gen, err := s.Dataset(kind)
+		if err != nil {
+			t.Fatalf("%s: open: %v", kind, err)
+		}
+		if gen != 1 {
+			t.Fatalf("%s: generation %d after first import", kind, gen)
+		}
+		want, err := Encode(ds, gen)
+		if err != nil {
+			t.Fatalf("%s: encode: %v", kind, err)
+		}
+		again, err := Encode(got, gen)
+		if err != nil {
+			t.Fatalf("%s: re-encode: %v", kind, err)
+		}
+		if !reflect.DeepEqual(want, again) {
+			t.Fatalf("%s: decoded dataset does not re-encode bit-for-bit", kind)
+		}
+		if err := s.Verify(kind); err != nil {
+			t.Fatalf("%s: verify: %v", kind, err)
+		}
+	}
+	names, err := s.Names()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []string{"chain", "ind", "tree", "xrel"}; !reflect.DeepEqual(names, want) {
+		t.Fatalf("names %v, want %v", names, want)
+	}
+}
+
+// referenceEngine builds each kind's engine the pre-store way — straight
+// from the in-memory model constructors — as the bit-for-bit oracle.
+func referenceEngine(t *testing.T, kind, src string) *engine.Engine {
+	t.Helper()
+	switch kind {
+	case KindIndependent:
+		ds, err := Parse(kind, strings.NewReader(src))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Rebuild from the original input-order rows so the reference path
+		// includes NewDataset + Prepare (sorting included).
+		scores := make([]float64, len(ds.Scores))
+		probs := make([]float64, len(ds.Probs))
+		for pos, id := range ds.IDs {
+			scores[id] = ds.Scores[pos]
+			probs[id] = ds.Probs[pos]
+		}
+		d, err := pdb.NewDataset(scores, probs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return engine.New(core.Prepare(d))
+	case KindXRelation:
+		ds, err := Parse(kind, strings.NewReader(src))
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := andxor.XTuples(ds.xgroups())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return engine.New(andxor.PrepareTree(tr))
+	case KindTree:
+		ds, err := Parse(kind, strings.NewReader(src))
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := ds.tree()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return engine.New(andxor.PrepareTree(tr))
+	case KindChain:
+		ds, err := Parse(kind, strings.NewReader(src))
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := junction.NewChain(ds.Scores, ds.Pairs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return engine.New(junction.PrepareChain(c))
+	}
+	t.Fatalf("unknown kind %s", kind)
+	return nil
+}
+
+// TestOpenEngineMatchesPrepare certifies store-opened engines against
+// in-memory preparation bit-for-bit, per kind: full PRFe values, the full
+// ranking, and a whole-relation metric.
+func TestOpenEngineMatchesPrepare(t *testing.T) {
+	ctx := context.Background()
+	s := tempStore(t)
+	for kind, src := range kindSources() {
+		ds, err := Parse(kind, strings.NewReader(src))
+		if err != nil {
+			t.Fatalf("%s: parse: %v", kind, err)
+		}
+		if _, err := s.Import(kind, ds); err != nil {
+			t.Fatalf("%s: import: %v", kind, err)
+		}
+		got, info, err := s.OpenEngine(kind)
+		if err != nil {
+			t.Fatalf("%s: open engine: %v", kind, err)
+		}
+		want := referenceEngine(t, kind, src)
+		if info.Tuples != want.Ranker().Len() || got.Ranker().Len() != want.Ranker().Len() {
+			t.Fatalf("%s: length mismatch: info %d, store %d, reference %d",
+				kind, info.Tuples, got.Ranker().Len(), want.Ranker().Len())
+		}
+		gv, err := got.Ranker().QueryPRFe(ctx, complex(0.8, 0))
+		if err != nil {
+			t.Fatalf("%s: store PRFe: %v", kind, err)
+		}
+		wv, err := want.Ranker().QueryPRFe(ctx, complex(0.8, 0))
+		if err != nil {
+			t.Fatalf("%s: reference PRFe: %v", kind, err)
+		}
+		for i := range wv {
+			if math.Float64bits(real(gv[i])) != math.Float64bits(real(wv[i])) ||
+				math.Float64bits(imag(gv[i])) != math.Float64bits(imag(wv[i])) {
+				t.Fatalf("%s: PRFe value %d differs: %v vs %v", kind, i, gv[i], wv[i])
+			}
+		}
+		gr, err := got.Ranker().QueryRankPRFe(ctx, 0.8)
+		if err != nil {
+			t.Fatalf("%s: store ranking: %v", kind, err)
+		}
+		wr, err := want.Ranker().QueryRankPRFe(ctx, 0.8)
+		if err != nil {
+			t.Fatalf("%s: reference ranking: %v", kind, err)
+		}
+		if !reflect.DeepEqual(gr, wr) {
+			t.Fatalf("%s: rankings differ: %v vs %v", kind, gr, wr)
+		}
+		ge, err := got.Ranker().QueryExpectedRank(ctx)
+		if err != nil {
+			t.Fatalf("%s: store expected rank: %v", kind, err)
+		}
+		we, err := want.Ranker().QueryExpectedRank(ctx)
+		if err != nil {
+			t.Fatalf("%s: reference expected rank: %v", kind, err)
+		}
+		for i := range we {
+			if math.Float64bits(ge[i]) != math.Float64bits(we[i]) {
+				t.Fatalf("%s: expected rank %d differs: %v vs %v", kind, i, ge[i], we[i])
+			}
+		}
+	}
+}
+
+func TestImportBumpsGenerationAndSwapsAtomically(t *testing.T) {
+	s := tempStore(t)
+	ds, err := Parse(KindIndependent, strings.NewReader(indCSV))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Import("d", ds); err != nil {
+		t.Fatal(err)
+	}
+	// A reader opened before the re-import keeps its snapshot.
+	h, err := s.OpenHandle("d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	ds2, err := Parse(KindIndependent, strings.NewReader("1,0.5\n2,0.25\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := s.Import("d", ds2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Generation != 2 {
+		t.Fatalf("generation %d after second import, want 2", info.Generation)
+	}
+	if h.Generation() != 1 || h.Len() != ds.Len() {
+		t.Fatalf("open handle lost its snapshot: gen %d len %d", h.Generation(), h.Len())
+	}
+	if _, _, err := h.Dataset(); err != nil {
+		t.Fatalf("snapshot read after swap: %v", err)
+	}
+	cur, err := s.Info("d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cur.Generation != 2 || cur.Tuples != 2 {
+		t.Fatalf("store did not swap: %+v", cur)
+	}
+}
+
+func TestDeleteAndNotFound(t *testing.T) {
+	s := tempStore(t)
+	if err := s.Delete("missing"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("delete missing: %v, want ErrNotFound", err)
+	}
+	if _, err := s.Info("missing"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("info missing: %v, want ErrNotFound", err)
+	}
+	ds, err := Parse(KindChain, strings.NewReader(chainJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Import("c", ds); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete("c"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Info("c"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("info after delete: %v, want ErrNotFound", err)
+	}
+}
+
+func TestCheckName(t *testing.T) {
+	for _, ok := range []string{"a", "A-1", "x_y.z", strings.Repeat("n", 128)} {
+		if err := CheckName(ok); err != nil {
+			t.Errorf("%q rejected: %v", ok, err)
+		}
+	}
+	for _, bad := range []string{"", ".hidden", "a/b", "../up", "sp ace", "nul\x00", strings.Repeat("n", 129)} {
+		if err := CheckName(bad); !errors.Is(err, ErrBadName) {
+			t.Errorf("%q accepted", bad)
+		}
+	}
+}
+
+func TestCompactPreservesBytesAndGeneration(t *testing.T) {
+	s := tempStore(t)
+	ds, err := Parse(KindXRelation, strings.NewReader(xrelCSV))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Import("x", ds); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Import("x", ds); err != nil { // gen 2
+		t.Fatal(err)
+	}
+	before, err := os.ReadFile(filepath.Join(s.Dir(), "x.seg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := s.Compact("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Generation != 2 {
+		t.Fatalf("compact changed generation to %d", info.Generation)
+	}
+	after, err := os.ReadFile(filepath.Join(s.Dir(), "x.seg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(before, after) {
+		t.Fatal("compacting an intact canonical segment changed its bytes")
+	}
+}
+
+// TestVerifyDetectsCorruption flips bytes across the file and expects
+// Verify (or open) to fail with a typed error every time.
+func TestVerifyDetectsCorruption(t *testing.T) {
+	s := tempStore(t)
+	ds, err := Parse(KindIndependent, strings.NewReader(indCSV))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Import("d", ds); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(s.Dir(), "d.seg")
+	pristine, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	offsets := []int{0, 9, 13, 17, 25, 33, 37, 41, 50}
+	for i := 0; i < 12; i++ {
+		offsets = append(offsets, rng.Intn(len(pristine)))
+	}
+	for _, off := range offsets {
+		mut := append([]byte(nil), pristine...)
+		mut[off] ^= 0x40
+		if err := os.WriteFile(path, mut, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		err := s.Verify("d")
+		if err == nil {
+			t.Fatalf("flipping byte %d went undetected", off)
+		}
+		if !isTypedSegmentError(err) {
+			t.Fatalf("flipping byte %d: untyped error %v", off, err)
+		}
+	}
+	// Truncations, including mid-header.
+	for _, n := range []int{0, 7, 39, 60, len(pristine) - 1} {
+		if err := os.WriteFile(path, pristine[:n], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Verify("d"); err == nil || !isTypedSegmentError(err) {
+			t.Fatalf("truncation to %d bytes: %v", n, err)
+		}
+	}
+}
+
+func isTypedSegmentError(err error) bool {
+	for _, typed := range []error{ErrBadMagic, ErrVersion, ErrTruncated, ErrChecksum, ErrCorrupt, ErrNotFound} {
+		if errors.Is(err, typed) {
+			return true
+		}
+	}
+	return false
+}
+
+// TestParseMatchesServeConventions pins the parse-layer behaviors the
+// loaders have always promised: header detection, the group-column guard,
+// empty input, malformed rows.
+func TestParseMatchesServeConventions(t *testing.T) {
+	if _, err := Parse(KindIndependent, strings.NewReader(xrelCSV)); err == nil || !strings.Contains(err.Error(), "group column") {
+		t.Fatalf("independent parse of grouped CSV: %v", err)
+	}
+	if _, err := Parse(KindIndependent, strings.NewReader("")); err == nil || !strings.Contains(err.Error(), "empty dataset") {
+		t.Fatalf("empty csv: %v", err)
+	}
+	if _, err := Parse(KindIndependent, strings.NewReader("abc,0.5\n")); err == nil {
+		t.Fatal("typo'd score in row 1 must error, not read as a header")
+	}
+	if _, err := Parse("nope", strings.NewReader("")); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+	ds, err := Parse(KindIndependent, strings.NewReader("score,prob\n5,0.5\n3,0.25\n"))
+	if err != nil || ds.Len() != 2 {
+		t.Fatalf("header row not skipped: %v (%+v)", err, ds)
+	}
+}

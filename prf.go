@@ -43,6 +43,7 @@ import (
 	"repro/internal/pdb"
 	"repro/internal/rankdist"
 	"repro/internal/serve"
+	"repro/internal/store"
 )
 
 // Base model types (Section 3.1).
@@ -181,8 +182,19 @@ type (
 	// error responses. It implements http.Handler.
 	RankServer = serve.Server
 	// ServeOptions configures a RankServer: default and maximum per-request
-	// timeouts, per-dataset cache capacity, request size bound.
+	// timeouts, per-dataset cache capacity, request size bound, and — with
+	// Store and AdminToken set — the authenticated dataset lifecycle
+	// endpoints (POST/DELETE /datasets/{name}, GET /datasets/{name}/info).
 	ServeOptions = serve.Options
+	// DatasetStore is a directory of immutable binary dataset segments:
+	// score-sorted, checksummed, written atomically, re-imports bump a
+	// generation counter while open readers keep their snapshot.
+	// Independent datasets open lazily and answer cold top-k PRFe queries
+	// from a certified score-order prefix (o(n) bytes for small k).
+	DatasetStore = store.Store
+	// DatasetInfo is the stored metadata of one segment: name, kind, tuple
+	// count, generation, size.
+	DatasetInfo = store.Info
 )
 
 // DefaultCacheCapacity is the result-cache entry bound used when a
@@ -207,6 +219,13 @@ func NewRankServer(opts ServeOptions) *RankServer { return serve.New(opts) }
 // alternatives), "tree" (JSON and/xor spec), "chain" (JSON Markov-chain
 // spec).
 func LoadDataset(kind, path string) (*Engine, error) { return serve.LoadFile(kind, path) }
+
+// OpenStore opens (creating if needed) a segment store rooted at dir. Use
+// Store.Import to persist datasets, Store.OpenEngine to open one for
+// querying, and ServeOptions.Store to serve a whole directory with the
+// dataset lifecycle endpoints enabled. cmd/prfstore is the offline CLI over
+// the same store.
+func OpenStore(dir string) (*DatasetStore, error) { return store.Open(dir) }
 
 // Serve runs a RankServer on addr until ctx is canceled, then shuts down
 // gracefully (in-flight requests get ten seconds to finish). A clean
